@@ -1,0 +1,161 @@
+// Command otftest runs the on-the-fly testing platform over a bit stream:
+// either a file of ASCII '0'/'1' characters (or raw bytes with -raw), or a
+// simulated TRNG.
+//
+// Usage:
+//
+//	otftest -n 65536 -variant high -alpha 0.01 -file bits.txt
+//	otftest -n 128 -variant light -source biased -p 0.6 -sequences 10
+//	cat bits.txt | otftest -n 65536 -variant medium -file -
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/bitstream"
+	"repro/internal/core"
+	"repro/internal/hwblock"
+	"repro/internal/trng"
+)
+
+func main() {
+	n := flag.Int("n", 65536, "sequence length (128, 65536 or 1048576)")
+	variant := flag.String("variant", "medium", "design variant: light, medium or high")
+	alpha := flag.Float64("alpha", 0.01, "level of significance (NIST: 0.001..0.01)")
+	file := flag.String("file", "", "bit-stream file ('-' for stdin); ASCII 0/1 unless -raw")
+	raw := flag.Bool("raw", false, "treat the file as raw bytes, MSB first")
+	source := flag.String("source", "", "simulated source: ideal, biased, markov, ringosc, locked, stuck")
+	p := flag.Float64("p", 0.6, "bias / stickiness parameter for simulated sources")
+	seed := flag.Int64("seed", 1, "seed for simulated sources")
+	sequences := flag.Int("sequences", 1, "number of sequences to evaluate")
+	flag.Parse()
+
+	v, err := parseVariant(*variant)
+	if err != nil {
+		fatal(err)
+	}
+	cfg, err := hwblock.NewConfig(*n, v)
+	if err != nil {
+		fatal(err)
+	}
+	mon, err := core.NewMonitor(cfg, *alpha)
+	if err != nil {
+		fatal(err)
+	}
+
+	var src trng.Source
+	switch {
+	case *file != "":
+		src, err = fileSource(*file, *raw)
+		if err != nil {
+			fatal(err)
+		}
+	case *source != "":
+		src, err = simulatedSource(*source, *p, *seed)
+		if err != nil {
+			fatal(err)
+		}
+	default:
+		fatal(fmt.Errorf("need -file or -source"))
+	}
+
+	reports, err := mon.Watch(src, *sequences)
+	if err != nil && len(reports) == 0 {
+		fatal(err)
+	}
+	exit := 0
+	for _, r := range reports {
+		status := "PASS"
+		if !r.Report.Pass() {
+			status = fmt.Sprintf("FAIL (tests %v)", r.Report.Failed())
+			exit = 1
+		}
+		fmt.Printf("sequence %d [bits %d..%d): %s\n",
+			r.Index, r.StartBit, r.StartBit+int64(cfg.N), status)
+		for _, v := range r.Report.Verdicts {
+			mark := "ok"
+			if !v.Pass {
+				mark = "FAIL"
+			}
+			fmt.Printf("  test %-2d %-4s statistic=%d threshold=%d %s\n",
+				v.TestID, mark, v.Statistic, v.Threshold, v.Note)
+		}
+		fmt.Printf("  software cost: %s\n", r.Report.Cost.String())
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "otftest: stream ended early: %v\n", err)
+		exit = 2
+	}
+	os.Exit(exit)
+}
+
+func parseVariant(s string) (hwblock.Variant, error) {
+	switch strings.ToLower(s) {
+	case "light":
+		return hwblock.Light, nil
+	case "medium":
+		return hwblock.Medium, nil
+	case "high":
+		return hwblock.High, nil
+	}
+	return 0, fmt.Errorf("unknown variant %q", s)
+}
+
+func fileSource(path string, raw bool) (trng.Source, error) {
+	var data []byte
+	var err error
+	if path == "-" {
+		data, err = io.ReadAll(os.Stdin)
+	} else {
+		data, err = os.ReadFile(path)
+	}
+	if err != nil {
+		return nil, err
+	}
+	var seq *bitstream.Sequence
+	if raw {
+		seq = bitstream.FromBytes(data)
+	} else {
+		seq, err = bitstream.ParseASCII(string(data))
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &sequenceSource{r: bitstream.NewReader(seq)}, nil
+}
+
+// sequenceSource adapts a finite sequence to the Source interface.
+type sequenceSource struct {
+	r *bitstream.Reader
+}
+
+func (s *sequenceSource) Name() string { return "file" }
+
+func (s *sequenceSource) ReadBit() (byte, error) { return s.r.ReadBit() }
+
+func simulatedSource(kind string, p float64, seed int64) (trng.Source, error) {
+	switch strings.ToLower(kind) {
+	case "ideal":
+		return trng.NewIdeal(seed), nil
+	case "biased":
+		return trng.NewBiased(p, seed), nil
+	case "markov":
+		return trng.NewMarkov(p, seed), nil
+	case "ringosc":
+		return trng.NewRingOscillator(100.37, 0.5, seed), nil
+	case "locked":
+		return trng.NewRingOscillator(100.37, 0.001, seed), nil
+	case "stuck":
+		return trng.NewStuckAt(1), nil
+	}
+	return nil, fmt.Errorf("unknown source %q", kind)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "otftest:", err)
+	os.Exit(2)
+}

@@ -1,0 +1,107 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/hwblock"
+)
+
+func TestParseVariant(t *testing.T) {
+	cases := []struct {
+		in   string
+		want hwblock.Variant
+		ok   bool
+	}{
+		{"light", hwblock.Light, true},
+		{"MEDIUM", hwblock.Medium, true},
+		{"High", hwblock.High, true},
+		{"huge", 0, false},
+	}
+	for _, c := range cases {
+		got, err := parseVariant(c.in)
+		if c.ok && (err != nil || got != c.want) {
+			t.Errorf("parseVariant(%q) = %v, %v", c.in, got, err)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("parseVariant(%q) accepted", c.in)
+		}
+	}
+}
+
+func TestSimulatedSource(t *testing.T) {
+	for _, kind := range []string{"ideal", "biased", "markov", "ringosc", "locked", "stuck"} {
+		src, err := simulatedSource(kind, 0.6, 1)
+		if err != nil {
+			t.Errorf("%s: %v", kind, err)
+			continue
+		}
+		if _, err := src.ReadBit(); err != nil {
+			t.Errorf("%s: ReadBit: %v", kind, err)
+		}
+	}
+	if _, err := simulatedSource("nope", 0.5, 1); err == nil {
+		t.Error("unknown source accepted")
+	}
+}
+
+func TestFileSourceASCII(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bits.txt")
+	if err := os.WriteFile(path, []byte("1010\n1100"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	src, err := fileSource(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []byte
+	for i := 0; i < 8; i++ {
+		b, err := src.ReadBit()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, '0'+b)
+	}
+	if string(got) != "10101100" {
+		t.Errorf("read %q", got)
+	}
+	if src.Name() != "file" {
+		t.Errorf("Name = %q", src.Name())
+	}
+}
+
+func TestFileSourceRaw(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bits.bin")
+	if err := os.WriteFile(path, []byte{0xA5}, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	src, err := fileSource(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []byte
+	for i := 0; i < 8; i++ {
+		b, _ := src.ReadBit()
+		got = append(got, '0'+b)
+	}
+	if string(got) != "10100101" {
+		t.Errorf("raw read %q", got)
+	}
+}
+
+func TestFileSourceBadContent(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.txt")
+	if err := os.WriteFile(path, []byte("10x01"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fileSource(path, false); err == nil {
+		t.Error("invalid ASCII accepted")
+	}
+	if _, err := fileSource(filepath.Join(dir, "missing.txt"), false); err == nil {
+		t.Error("missing file accepted")
+	}
+}

@@ -1,0 +1,56 @@
+// Command tablegen regenerates the paper's tables and figures from the
+// implemented system.
+//
+// Usage:
+//
+//	tablegen -all
+//	tablegen -table III
+//	tablegen -fig 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/tables"
+)
+
+func main() {
+	table := flag.String("table", "", "regenerate one table: I, II, III or IV")
+	fig := flag.String("fig", "", "regenerate one figure: 1, 2 or 3")
+	all := flag.Bool("all", false, "regenerate everything")
+	flag.Parse()
+
+	emit := map[string]func() string{
+		"I": tables.TableI, "II": tables.TableII,
+		"III": tables.TableIII, "IV": tables.TableIV,
+		"A1": tables.TableA1, "A2": tables.TableA2, "A1fig": tables.FigA1,
+		"1": tables.Fig1, "2": tables.Fig2, "3": tables.Fig3,
+	}
+
+	switch {
+	case *all:
+		for _, k := range []string{"I", "II", "III", "IV", "A1", "A2", "A1fig", "1", "2", "3"} {
+			fmt.Println(emit[k]())
+			fmt.Println()
+		}
+	case *table != "":
+		f, ok := emit[*table]
+		if !ok || *table == "1" || *table == "2" || *table == "3" {
+			fmt.Fprintf(os.Stderr, "tablegen: unknown table %q (want I, II, III or IV)\n", *table)
+			os.Exit(2)
+		}
+		fmt.Println(f())
+	case *fig != "":
+		f, ok := emit[*fig]
+		if !ok || len(*fig) > 1 {
+			fmt.Fprintf(os.Stderr, "tablegen: unknown figure %q (want 1, 2 or 3)\n", *fig)
+			os.Exit(2)
+		}
+		fmt.Println(f())
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,85 @@
+// Command trngsim generates TRNG bit streams with configurable defect and
+// attack models, for feeding into otftest or external test suites.
+//
+// Usage:
+//
+//	trngsim -source ringosc -bits 65536 > healthy.txt
+//	trngsim -source ringosc -bits 1048576 -attack lock -onset 500000 > attacked.txt
+//	trngsim -source biased -p 0.52 -bits 65536 -raw > biased.bin
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/trng"
+)
+
+func main() {
+	source := flag.String("source", "ideal", "ideal, biased, markov, ringosc, drift, stuck")
+	p := flag.Float64("p", 0.6, "bias / stickiness parameter")
+	bits := flag.Int("bits", 65536, "number of bits to emit")
+	seed := flag.Int64("seed", 1, "seed")
+	attack := flag.String("attack", "", "optional attack: lock (oscillator lock-in), cut (wire cut)")
+	onset := flag.Int("onset", 0, "bit index where the attack begins")
+	raw := flag.Bool("raw", false, "emit packed bytes instead of ASCII")
+	width := flag.Int("width", 64, "ASCII line width (0 = single line)")
+	flag.Parse()
+
+	src, err := build(*source, *p, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	if *attack != "" {
+		var bad trng.Source
+		switch strings.ToLower(*attack) {
+		case "lock":
+			bad = trng.NewRingOscillator(100.37, 0.001, *seed+1)
+		case "cut":
+			bad = trng.NewStuckAt(0)
+		default:
+			fatal(fmt.Errorf("unknown attack %q", *attack))
+		}
+		src = trng.NewSwitchAt(src, bad, *onset)
+	}
+
+	seq := trng.Read(src, *bits)
+	out := bufio.NewWriter(os.Stdout)
+	defer out.Flush()
+	if *raw {
+		if _, err := out.Write(seq.PackBytes()); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if err := seq.WriteASCII(out, *width); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintln(out)
+}
+
+func build(kind string, p float64, seed int64) (trng.Source, error) {
+	switch strings.ToLower(kind) {
+	case "ideal":
+		return trng.NewIdeal(seed), nil
+	case "biased":
+		return trng.NewBiased(p, seed), nil
+	case "markov":
+		return trng.NewMarkov(p, seed), nil
+	case "ringosc":
+		return trng.NewRingOscillator(100.37, 0.5, seed), nil
+	case "drift":
+		return trng.NewDrift(0.5, p, 1<<20, seed), nil
+	case "stuck":
+		return trng.NewStuckAt(1), nil
+	}
+	return nil, fmt.Errorf("unknown source %q", kind)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "trngsim:", err)
+	os.Exit(2)
+}

@@ -1,0 +1,86 @@
+// Package repro reproduces "Embedded HW/SW Platform for On-the-Fly Testing
+// of True Random Number Generators" (Yang, Rožić, Mentens, Dehaene,
+// Verbauwhede — DATE 2015) as a Go library.
+//
+// The public surface is a thin facade over the internal packages:
+//
+//   - NewMonitor / Monitor: the on-the-fly testing platform (internal/core)
+//   - Designs / NewDesign / NewCustomDesign: the hardware testing-block
+//     configurations of the paper's Table III (internal/hwblock)
+//   - The re-exported source models of internal/trng
+//   - ReferenceSuite: the full 15-test NIST SP800-22 reference suite
+//     (internal/nist)
+//
+// The benchmark harness in bench_test.go regenerates every table and
+// figure of the paper's evaluation; see DESIGN.md for the experiment index
+// and EXPERIMENTS.md for the measured-vs-published results.
+package repro
+
+import (
+	"repro/internal/bitstream"
+	"repro/internal/core"
+	"repro/internal/hwblock"
+	"repro/internal/nist"
+	"repro/internal/sweval"
+	"repro/internal/trng"
+)
+
+// Monitor is the on-the-fly TRNG health monitor (see internal/core).
+type Monitor = core.Monitor
+
+// SequenceReport is the outcome of one completed test sequence.
+type SequenceReport = core.SequenceReport
+
+// Design describes one hardware testing-block configuration.
+type Design = hwblock.Config
+
+// Variant is a feature level (Light, Medium, High).
+type Variant = hwblock.Variant
+
+// The paper's feature levels.
+const (
+	Light  = hwblock.Light
+	Medium = hwblock.Medium
+	High   = hwblock.High
+)
+
+// Source is a bit-producing entropy source model.
+type Source = trng.Source
+
+// DefaultAlpha is the NIST-recommended default level of significance.
+const DefaultAlpha = nist.DefaultAlpha
+
+// NewDesign returns one of the paper's eight design points (n in
+// {128, 65536, 1048576} × {Light, Medium, High}; n=128 has no High).
+func NewDesign(n int, v Variant) (Design, error) { return hwblock.NewConfig(n, v) }
+
+// NewCustomDesign builds a design with a caller-chosen power-of-two
+// sequence length and test subset — the paper's future-work extension.
+func NewCustomDesign(name string, n int, tests []int) (Design, error) {
+	return hwblock.NewCustomConfig(name, n, tests)
+}
+
+// Designs returns all eight published design points.
+func Designs() []Design { return hwblock.AllConfigs() }
+
+// NewMonitor builds an on-the-fly monitor for a design at level of
+// significance alpha.
+func NewMonitor(d Design, alpha float64, opts ...sweval.Option) (*Monitor, error) {
+	return core.NewMonitor(d, alpha, opts...)
+}
+
+// NewIdealSource returns an unbiased, independent bit source.
+func NewIdealSource(seed int64) Source { return trng.NewIdeal(seed) }
+
+// NewRingOscillatorSource returns the elementary ring-oscillator TRNG
+// model (ratio ≈ 100.37 and jitterRMS ≥ 0.3 are healthy).
+func NewRingOscillatorSource(ratio, jitterRMS float64, seed int64) *trng.RingOscillator {
+	return trng.NewRingOscillator(ratio, jitterRMS, seed)
+}
+
+// ReferenceSuite returns the full 15-test NIST SP800-22 reference software
+// suite.
+func ReferenceSuite() []nist.Test { return nist.Suite() }
+
+// ReadBits drains n bits from a source into a packed sequence.
+func ReadBits(src Source, n int) *bitstream.Sequence { return trng.Read(src, n) }

@@ -1,0 +1,73 @@
+package repro_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+// ExampleNewMonitor shows the basic monitoring loop: a design point, a
+// source, and per-sequence verdicts.
+func ExampleNewMonitor() {
+	design, err := repro.NewDesign(128, repro.Light)
+	if err != nil {
+		log.Fatal(err)
+	}
+	monitor, err := repro.NewMonitor(design, 0.01)
+	if err != nil {
+		log.Fatal(err)
+	}
+	reports, err := monitor.Watch(repro.NewIdealSource(7), 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range reports {
+		fmt.Printf("sequence %d pass=%v\n", r.Index, r.Report.Pass())
+	}
+	// Output:
+	// sequence 0 pass=true
+	// sequence 1 pass=true
+	// sequence 2 pass=true
+}
+
+// ExampleNewCustomDesign shows the future-work extension: a caller-chosen
+// sequence length and test subset.
+func ExampleNewCustomDesign() {
+	design, err := repro.NewCustomDesign("compact", 2048, []int{1, 3, 13})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(design.Name, design.N, design.Tests)
+	// Output:
+	// compact 2048 [1 3 13]
+}
+
+// ExampleDesigns enumerates the paper's Table III design points.
+func ExampleDesigns() {
+	for _, d := range repro.Designs() {
+		fmt.Println(d.Name, len(d.Tests))
+	}
+	// Output:
+	// n128-light 5
+	// n128-medium 7
+	// n65536-light 5
+	// n65536-medium 6
+	// n65536-high 9
+	// n1048576-light 5
+	// n1048576-medium 6
+	// n1048576-high 9
+}
+
+// ExampleReferenceSuite runs one reference test directly.
+func ExampleReferenceSuite() {
+	suite := repro.ReferenceSuite()
+	s := repro.ReadBits(repro.NewIdealSource(1), 4096)
+	r, err := suite[0].Run(s) // test 1: Frequency (Monobit)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(r.TestID, r.Name, r.Pass(0.01))
+	// Output:
+	// 1 Frequency (Monobit) true
+}

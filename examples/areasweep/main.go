@@ -1,0 +1,67 @@
+// Area sweep: enumerate the paper's eight design points, print their
+// resource/feature trade-off (Table III's engineering content), and pick
+// the richest design that fits a slice budget — the selection a designer
+// integrating the monitor into an FPGA system would make.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"repro"
+	"repro/internal/hwblock"
+	"repro/internal/hwsim"
+)
+
+func testList(tests []int) string {
+	parts := make([]string, len(tests))
+	for i, t := range tests {
+		parts[i] = fmt.Sprint(t)
+	}
+	return strings.Join(parts, ",")
+}
+
+func main() {
+	const sliceBudget = 250
+
+	fmt.Printf("%-18s %-22s %7s %6s %6s %7s %8s\n",
+		"design", "tests", "slices", "FF", "LUT", "GE", "fmax")
+	var best *hwblock.Config
+	var bestTests int
+	for _, design := range repro.Designs() {
+		design := design
+		block, err := hwblock.New(design)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fpga := hwsim.EstimateFPGA(block.Netlist())
+		asic := hwsim.EstimateASIC(block.Netlist())
+		fmt.Printf("%-18s %-22s %7d %6d %6d %7d %5.0fMHz\n",
+			design.Name, testList(design.Tests), fpga.Slices, fpga.FFs, fpga.LUTs, asic.GE, fpga.FmaxMHz)
+		if fpga.Slices <= sliceBudget && len(design.Tests) >= bestTests {
+			best = &design
+			bestTests = len(design.Tests)
+		}
+	}
+	if best == nil {
+		fmt.Printf("\nno design fits %d slices\n", sliceBudget)
+		return
+	}
+	fmt.Printf("\nunder a %d-slice budget, pick %s (%d tests)\n",
+		sliceBudget, best.Name, len(best.Tests))
+
+	// The future-work extension: a custom design point between the
+	// published ones.
+	custom, err := repro.NewCustomDesign("custom-16k", 16384, []int{1, 2, 3, 4, 11, 12, 13})
+	if err != nil {
+		log.Fatal(err)
+	}
+	block, err := hwblock.New(custom)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fpga := hwsim.EstimateFPGA(block.Netlist())
+	fmt.Printf("custom 16384-bit design with serial/ApEn: %d slices, %d FF, %.0f MHz\n",
+		fpga.Slices, fpga.FFs, fpga.FmaxMHz)
+}

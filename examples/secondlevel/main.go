@@ -1,0 +1,78 @@
+// Second-level evaluation: SP800-22 §4 prescribes how to judge a generator
+// from a *batch* of sequences — the proportion of passing sequences must
+// sit in a confidence interval around 1−α and the P-values must be uniform.
+// This example runs the reference suite's frequency and serial tests over
+// 80 sequences from two generators (one healthy, one with a subtle
+// correlation defect below the single-sequence detection threshold) and
+// shows the batch-level analysis separating them.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/nist"
+	"repro/internal/trng"
+)
+
+func evaluate(name string, make func(seed int64) trng.Source) {
+	const (
+		sequences = 80
+		bits      = 16384
+		alpha     = 0.01
+	)
+	var freqPass, serialPass []bool
+	var freqP, serialP []float64
+	for i := 0; i < sequences; i++ {
+		s := trng.Read(make(int64(i)), bits)
+		fr, err := nist.Frequency(s)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sr, err := nist.Serial(s, 4)
+		if err != nil {
+			log.Fatal(err)
+		}
+		freqPass = append(freqPass, fr.Pass(alpha))
+		serialPass = append(serialPass, sr.Pass(alpha))
+		freqP = append(freqP, fr.MinP())
+		serialP = append(serialP, sr.MinP())
+	}
+	fmt.Printf("\n%s (%d sequences x %d bits):\n", name, sequences, bits)
+	for _, row := range []struct {
+		test   string
+		passes []bool
+		ps     []float64
+	}{
+		{"frequency", freqPass, freqP},
+		{"serial", serialPass, serialP},
+	} {
+		prop, err := nist.Proportion(row.passes, alpha)
+		if err != nil {
+			log.Fatal(err)
+		}
+		unif, err := nist.Uniformity(row.ps)
+		if err != nil {
+			log.Fatal(err)
+		}
+		verdict := "ACCEPT"
+		if !prop.OK || !unif.OK {
+			verdict = "REJECT"
+		}
+		fmt.Printf("  %-10s proportion %.3f (need [%.3f, %.3f]) uniformity PT=%.4f -> %s\n",
+			row.test, prop.Proportion, prop.Low, prop.High, unif.PT, verdict)
+	}
+}
+
+func main() {
+	evaluate("healthy ring oscillator", func(seed int64) trng.Source {
+		return trng.NewRingOscillator(100.37, 1.0, 1000+seed)
+	})
+	// Stickiness 0.52: each single 16384-bit sequence usually passes the
+	// serial test (the defect is ~1.3σ per sequence), but across 80
+	// sequences the P-value distribution is visibly skewed — the
+	// "long term statistical weakness" case for slow tests.
+	evaluate("weakly correlated source (stick=0.52)", func(seed int64) trng.Source {
+		return trng.NewMarkov(0.52, 2000+seed)
+	})
+}

@@ -1,0 +1,142 @@
+package area
+
+import (
+	"fmt"
+
+	"repro/internal/hwblock"
+	"repro/internal/hwsim"
+)
+
+// Ablation quantifies one of the paper's §III-C area tricks by building the
+// design *without* it and measuring the growth.
+type Ablation struct {
+	// Trick names the sharing technique being ablated.
+	Trick string
+	// Description says what the design carries instead.
+	Description string
+	// BaseSlices is the unified design's footprint.
+	BaseSlices int
+	// AblatedSlices is the footprint without the trick.
+	AblatedSlices int
+	// DeltaSlices = AblatedSlices − BaseSlices: what the trick saves.
+	DeltaSlices int
+}
+
+// Ablations measures all four tricks on the given design. Each ablation
+// instantiates a fresh unified block and adds the hardware the trick
+// eliminates, then re-runs the area estimator.
+func Ablations(cfg hwblock.Config) ([]Ablation, error) {
+	base, err := hwblock.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	baseSlices := hwsim.EstimateFPGA(base.Netlist()).Slices
+	n := uint64(cfg.N)
+	var out []Ablation
+
+	add := func(trick, desc string, build func(nl *hwsim.Netlist) error) error {
+		b, err := hwblock.New(cfg)
+		if err != nil {
+			return err
+		}
+		if err := build(b.Netlist()); err != nil {
+			return err
+		}
+		slices := hwsim.EstimateFPGA(b.Netlist()).Slices
+		out = append(out, Ablation{
+			Trick:         trick,
+			Description:   desc,
+			BaseSlices:    baseSlices,
+			AblatedSlices: slices,
+			DeltaSlices:   slices - baseSlices,
+		})
+		return nil
+	}
+
+	// Trick 1: omitting the redundant ones counter (tests 1 and 3 derive
+	// N_ones from the cusum counter's final value).
+	if err := add("omit-ones-counter",
+		"dedicated N_ones counter for tests 1 and 3",
+		func(nl *hwsim.Netlist) error {
+			hwsim.NewCounter(nl, "ablate_ones", n)
+			return nil
+		}); err != nil {
+		return nil, err
+	}
+
+	// Trick 2: block detection from the global bit counter (tests 2, 4,
+	// 7, 8 would otherwise each carry a block-length counter).
+	if err := add("block-detection",
+		"per-test block boundary counters instead of global-counter bits",
+		func(nl *hwsim.Netlist) error {
+			p := cfg.Params
+			if cfg.Has(2) {
+				hwsim.NewCounter(nl, "ablate_blk2", uint64(p.BlockFrequencyM))
+			}
+			if cfg.Has(4) {
+				hwsim.NewCounter(nl, "ablate_blk4", uint64(p.LongestRunM))
+			}
+			if cfg.Has(7) {
+				hwsim.NewCounter(nl, "ablate_blk7", uint64(cfg.N/p.NonOverlappingN))
+			}
+			if cfg.Has(8) {
+				hwsim.NewCounter(nl, "ablate_blk8", uint64(p.OverlappingM))
+			}
+			return nil
+		}); err != nil {
+		return nil, err
+	}
+
+	// Trick 3: unified serial/ApEn implementation (test 12 would
+	// otherwise duplicate the m- and (m−1)-bit pattern banks).
+	if cfg.Has(11) && cfg.Has(12) {
+		if err := add("unified-apen",
+			"duplicated pattern-counter banks for the approximate-entropy test",
+			func(nl *hwsim.Netlist) error {
+				m := cfg.Params.SerialM
+				hwsim.NewCounterBank(nl, "ablate_nu_m", 1<<uint(m), n)
+				hwsim.NewCounterBank(nl, "ablate_nu_m1", 1<<uint(m-1), n)
+				return nil
+			}); err != nil {
+			return nil, err
+		}
+	}
+
+	// Trick 4: the shared pattern shift register (tests 7, 8, 11, 12
+	// would otherwise each carry their own).
+	consumers := 0
+	for _, id := range []int{7, 8, 11} {
+		if cfg.Has(id) {
+			consumers++
+		}
+	}
+	if consumers > 1 {
+		if err := add("shared-shift-register",
+			"one pattern shift register per consuming test",
+			func(nl *hwsim.Netlist) error {
+				if cfg.Has(7) {
+					hwsim.NewShiftReg(nl, "ablate_sr7", cfg.Params.TemplateM)
+				}
+				if cfg.Has(8) {
+					hwsim.NewShiftReg(nl, "ablate_sr8", cfg.Params.TemplateM)
+				}
+				// The shared register already serves one consumer; only
+				// the extras count, so drop one of the additions when
+				// the serial test is also present.
+				if cfg.Has(11) && !cfg.Has(7) && !cfg.Has(8) {
+					return fmt.Errorf("area: unreachable shift-register ablation")
+				}
+				return nil
+			}); err != nil {
+			return nil, err
+		}
+	}
+
+	// Sanity: every ablation must cost area, never save it.
+	for _, a := range out {
+		if a.DeltaSlices < 0 {
+			return nil, fmt.Errorf("area: ablation %q saved %d slices — model inconsistency", a.Trick, -a.DeltaSlices)
+		}
+	}
+	return out, nil
+}

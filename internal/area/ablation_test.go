@@ -1,0 +1,78 @@
+package area
+
+import (
+	"testing"
+
+	"repro/internal/hwblock"
+)
+
+func TestAblationsHighVariant(t *testing.T) {
+	cfg, err := hwblock.NewConfig(65536, hwblock.High)
+	if err != nil {
+		t.Fatal(err)
+	}
+	abls, err := Ablations(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(abls) != 4 {
+		t.Fatalf("got %d ablations, want 4 on the high variant", len(abls))
+	}
+	names := map[string]bool{}
+	for _, a := range abls {
+		names[a.Trick] = true
+		if a.DeltaSlices < 0 {
+			t.Errorf("%s: negative saving %d", a.Trick, a.DeltaSlices)
+		}
+		if a.AblatedSlices != a.BaseSlices+a.DeltaSlices {
+			t.Errorf("%s: inconsistent accounting", a.Trick)
+		}
+		t.Logf("%-24s +%d slices without it (%d -> %d)", a.Trick, a.DeltaSlices, a.BaseSlices, a.AblatedSlices)
+	}
+	for _, want := range []string{"omit-ones-counter", "block-detection", "unified-apen", "shared-shift-register"} {
+		if !names[want] {
+			t.Errorf("missing ablation %q", want)
+		}
+	}
+}
+
+func TestAblationsUnifiedApEnIsTheBigWin(t *testing.T) {
+	// Duplicating the pattern banks is by far the most expensive
+	// alternative — the paper's unified-implementation trick carries the
+	// largest share of the saving.
+	cfg, err := hwblock.NewConfig(65536, hwblock.High)
+	if err != nil {
+		t.Fatal(err)
+	}
+	abls, err := Ablations(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var apen, rest int
+	for _, a := range abls {
+		if a.Trick == "unified-apen" {
+			apen = a.DeltaSlices
+		} else if a.DeltaSlices > rest {
+			rest = a.DeltaSlices
+		}
+	}
+	if apen <= rest {
+		t.Errorf("unified-apen saves %d slices, not dominant over %d", apen, rest)
+	}
+}
+
+func TestAblationsLightVariant(t *testing.T) {
+	// The light variant has no template or serial tests: only the first
+	// two tricks apply.
+	cfg, err := hwblock.NewConfig(128, hwblock.Light)
+	if err != nil {
+		t.Fatal(err)
+	}
+	abls, err := Ablations(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(abls) != 2 {
+		t.Fatalf("got %d ablations, want 2 on the light variant", len(abls))
+	}
+}

@@ -1,0 +1,94 @@
+package area
+
+import (
+	"testing"
+
+	"repro/internal/hwblock"
+	"repro/internal/hwsim"
+	"repro/internal/nist"
+)
+
+func TestBuildIndividualAllSuitableTests(t *testing.T) {
+	p := nist.RecommendedParams(65536)
+	for _, id := range []int{1, 2, 3, 4, 7, 8, 11, 12, 13} {
+		ib, err := BuildIndividual(id, 65536, p)
+		if err != nil {
+			t.Fatalf("test %d: %v", id, err)
+		}
+		est := hwsim.EstimateFPGA(ib.Netlist)
+		if est.Slices <= 0 || est.FFs <= 0 {
+			t.Errorf("test %d: empty netlist (%+v)", id, est)
+		}
+	}
+}
+
+func TestBuildIndividualRejectsUnsuitable(t *testing.T) {
+	p := nist.RecommendedParams(65536)
+	for _, id := range []int{5, 6, 9, 10, 14, 15} {
+		if _, err := BuildIndividual(id, 65536, p); err == nil {
+			t.Errorf("test %d accepted (marked No in Table I)", id)
+		}
+	}
+}
+
+func TestUnifiedSavesSlices(t *testing.T) {
+	// The paper's Table IV: the unified implementation uses ~20 % fewer
+	// slices than the sum of individual implementations ([13] reports
+	// 256 vs the unified 168 at n=65536).
+	cfg, err := hwblock.NewConfig(65536, hwblock.Medium)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmp, err := Compare(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("individual %d slices vs unified %d slices (saving %.0f%%)",
+		cmp.IndividualSlices, cmp.UnifiedSlices, 100*cmp.Saving)
+	if cmp.UnifiedSlices >= cmp.IndividualSlices {
+		t.Errorf("unified design (%d slices) not smaller than individual sum (%d)",
+			cmp.UnifiedSlices, cmp.IndividualSlices)
+	}
+	if cmp.Saving < 0.10 {
+		t.Errorf("saving %.1f%% below the paper's ~20%% band", 100*cmp.Saving)
+	}
+}
+
+func TestSavingsHoldAcrossVariants(t *testing.T) {
+	for _, cfg := range hwblock.AllConfigs() {
+		cmp, err := Compare(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", cfg.Name, err)
+		}
+		if cmp.Saving <= 0 {
+			t.Errorf("%s: unified design larger than individual sum (%d vs %d)",
+				cfg.Name, cmp.UnifiedSlices, cmp.IndividualSlices)
+		}
+	}
+}
+
+func TestIndividualDuplicatesSharedResources(t *testing.T) {
+	// Each individual block carries its own global bit counter; the
+	// unified design has exactly one. Verify the structural story behind
+	// the saving: summed FFs of individual blocks exceed the unified FFs.
+	cfg, err := hwblock.NewConfig(65536, hwblock.Medium)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := hwblock.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unifiedFF := b.Netlist().Total().FFs
+	sumFF := 0
+	for _, id := range cfg.Tests {
+		ib, err := BuildIndividual(id, cfg.N, cfg.Params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sumFF += ib.Netlist.Total().FFs
+	}
+	if sumFF <= unifiedFF {
+		t.Errorf("individual FFs %d not larger than unified %d", sumFF, unifiedFF)
+	}
+}

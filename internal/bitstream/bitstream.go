@@ -1,0 +1,232 @@
+// Package bitstream provides packed binary sequences and streaming access
+// to them. It is the common currency between the TRNG models, the hardware
+// testing block and the reference NIST test suite: sources produce a
+// Sequence (or a Reader), consumers walk it bit by bit.
+package bitstream
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Sequence is a packed sequence of bits. Bit i of the sequence is stored in
+// word i/64 at position i%64 (LSB-first), so appending is cheap and the
+// packed form round-trips through binary encodings without reordering.
+type Sequence struct {
+	words []uint64
+	n     int
+}
+
+// New returns an empty sequence with capacity for n bits.
+func New(n int) *Sequence {
+	if n < 0 {
+		n = 0
+	}
+	return &Sequence{words: make([]uint64, 0, (n+63)/64)}
+}
+
+// FromBits builds a sequence from a slice of 0/1 values. Any non-zero byte
+// counts as a one, matching the convention of the NIST reference code.
+func FromBits(bits []byte) *Sequence {
+	s := New(len(bits))
+	for _, b := range bits {
+		s.AppendBit(b & 1)
+	}
+	return s
+}
+
+// FromBytes builds a sequence of 8*len(data) bits, consuming each byte
+// MSB-first (the order used by the SP800-22 reference data files).
+func FromBytes(data []byte) *Sequence {
+	s := New(8 * len(data))
+	for _, b := range data {
+		for i := 7; i >= 0; i-- {
+			s.AppendBit((b >> uint(i)) & 1)
+		}
+	}
+	return s
+}
+
+// ParseASCII builds a sequence from a string of '0' and '1' characters.
+// Whitespace is ignored; any other character is an error.
+func ParseASCII(text string) (*Sequence, error) {
+	s := New(len(text))
+	for i, r := range text {
+		switch r {
+		case '0':
+			s.AppendBit(0)
+		case '1':
+			s.AppendBit(1)
+		case ' ', '\t', '\n', '\r':
+		default:
+			return nil, fmt.Errorf("bitstream: invalid character %q at offset %d", r, i)
+		}
+	}
+	return s, nil
+}
+
+// Len reports the number of bits in the sequence.
+func (s *Sequence) Len() int { return s.n }
+
+// AppendBit appends a single bit (only the least significant bit of b is
+// used).
+func (s *Sequence) AppendBit(b byte) {
+	if s.n%64 == 0 {
+		s.words = append(s.words, 0)
+	}
+	if b&1 != 0 {
+		s.words[s.n/64] |= 1 << uint(s.n%64)
+	}
+	s.n++
+}
+
+// Bit returns bit i as 0 or 1. It panics if i is out of range, mirroring
+// slice indexing.
+func (s *Sequence) Bit(i int) byte {
+	if i < 0 || i >= s.n {
+		panic(fmt.Sprintf("bitstream: index %d out of range [0,%d)", i, s.n))
+	}
+	return byte(s.words[i/64]>>uint(i%64)) & 1
+}
+
+// Bits expands the sequence into a fresh slice of 0/1 bytes.
+func (s *Sequence) Bits() []byte {
+	out := make([]byte, s.n)
+	for i := 0; i < s.n; i++ {
+		out[i] = s.Bit(i)
+	}
+	return out
+}
+
+// Slice returns the sub-sequence [from, to) as a new Sequence.
+func (s *Sequence) Slice(from, to int) *Sequence {
+	if from < 0 || to > s.n || from > to {
+		panic(fmt.Sprintf("bitstream: slice bounds [%d:%d) out of range [0,%d)", from, to, s.n))
+	}
+	out := New(to - from)
+	for i := from; i < to; i++ {
+		out.AppendBit(s.Bit(i))
+	}
+	return out
+}
+
+// Ones counts the ones in the whole sequence.
+func (s *Sequence) Ones() int {
+	ones := 0
+	for i, w := range s.words {
+		if i == len(s.words)-1 && s.n%64 != 0 {
+			w &= (1 << uint(s.n%64)) - 1
+		}
+		ones += popcount(w)
+	}
+	return ones
+}
+
+func popcount(w uint64) int {
+	n := 0
+	for w != 0 {
+		w &= w - 1
+		n++
+	}
+	return n
+}
+
+// String renders the sequence as a '0'/'1' string. Intended for tests and
+// small sequences; it allocates n bytes.
+func (s *Sequence) String() string {
+	var b strings.Builder
+	b.Grow(s.n)
+	for i := 0; i < s.n; i++ {
+		b.WriteByte('0' + s.Bit(i))
+	}
+	return b.String()
+}
+
+// Reader yields the bits of a sequence in order. It implements BitReader.
+type Reader struct {
+	s   *Sequence
+	pos int
+}
+
+// NewReader returns a Reader positioned at the first bit of s.
+func NewReader(s *Sequence) *Reader { return &Reader{s: s} }
+
+// ErrEndOfStream is returned by ReadBit when the underlying source is
+// exhausted.
+var ErrEndOfStream = errors.New("bitstream: end of stream")
+
+// ReadBit returns the next bit, or ErrEndOfStream past the end.
+func (r *Reader) ReadBit() (byte, error) {
+	if r.pos >= r.s.Len() {
+		return 0, ErrEndOfStream
+	}
+	b := r.s.Bit(r.pos)
+	r.pos++
+	return b, nil
+}
+
+// Remaining reports how many bits are left to read.
+func (r *Reader) Remaining() int { return r.s.Len() - r.pos }
+
+// BitReader is the minimal interface the platform consumes bits through.
+// TRNG models and sequence readers both implement it.
+type BitReader interface {
+	// ReadBit returns the next bit (0 or 1). It returns ErrEndOfStream
+	// when the source can produce no more bits.
+	ReadBit() (byte, error)
+}
+
+// ReadAll drains up to n bits from r into a Sequence. It stops early at end
+// of stream without error; other errors are propagated.
+func ReadAll(r BitReader, n int) (*Sequence, error) {
+	s := New(n)
+	for i := 0; i < n; i++ {
+		b, err := r.ReadBit()
+		if err == ErrEndOfStream {
+			return s, nil
+		}
+		if err != nil {
+			return s, err
+		}
+		s.AppendBit(b)
+	}
+	return s, nil
+}
+
+// WriteASCII writes the sequence as '0'/'1' characters with a newline every
+// lineWidth bits (0 disables wrapping).
+func (s *Sequence) WriteASCII(w io.Writer, lineWidth int) error {
+	buf := make([]byte, 0, 4096)
+	for i := 0; i < s.n; i++ {
+		buf = append(buf, '0'+s.Bit(i))
+		if lineWidth > 0 && (i+1)%lineWidth == 0 {
+			buf = append(buf, '\n')
+		}
+		if len(buf) >= 4096 {
+			if _, err := w.Write(buf); err != nil {
+				return err
+			}
+			buf = buf[:0]
+		}
+	}
+	if len(buf) > 0 {
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// PackBytes packs the sequence MSB-first into bytes, the inverse of
+// FromBytes. The final partial byte, if any, is zero-padded on the right.
+func (s *Sequence) PackBytes() []byte {
+	out := make([]byte, (s.n+7)/8)
+	for i := 0; i < s.n; i++ {
+		if s.Bit(i) != 0 {
+			out[i/8] |= 1 << uint(7-i%8)
+		}
+	}
+	return out
+}

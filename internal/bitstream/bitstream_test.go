@@ -1,0 +1,425 @@
+package bitstream
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestAppendAndBit(t *testing.T) {
+	s := New(0)
+	pattern := []byte{1, 0, 1, 1, 0, 0, 1, 0, 1, 1, 1, 0}
+	for _, b := range pattern {
+		s.AppendBit(b)
+	}
+	if s.Len() != len(pattern) {
+		t.Fatalf("Len = %d, want %d", s.Len(), len(pattern))
+	}
+	for i, want := range pattern {
+		if got := s.Bit(i); got != want {
+			t.Errorf("Bit(%d) = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestAppendCrossesWordBoundary(t *testing.T) {
+	s := New(0)
+	for i := 0; i < 200; i++ {
+		s.AppendBit(byte(i % 2))
+	}
+	for i := 0; i < 200; i++ {
+		if got := s.Bit(i); got != byte(i%2) {
+			t.Fatalf("Bit(%d) = %d, want %d", i, got, i%2)
+		}
+	}
+}
+
+func TestFromBitsRoundTrip(t *testing.T) {
+	bits := []byte{0, 1, 1, 0, 1}
+	s := FromBits(bits)
+	if got := s.Bits(); !bytes.Equal(got, bits) {
+		t.Errorf("Bits() = %v, want %v", got, bits)
+	}
+}
+
+func TestFromBitsTreatsNonZeroAsOne(t *testing.T) {
+	s := FromBits([]byte{0, 2, 3, 4, 1})
+	// Only the LSB counts: 2&1=0, 3&1=1, 4&1=0.
+	want := []byte{0, 0, 1, 0, 1}
+	if got := s.Bits(); !bytes.Equal(got, want) {
+		t.Errorf("Bits() = %v, want %v", got, want)
+	}
+}
+
+func TestFromBytesMSBFirst(t *testing.T) {
+	s := FromBytes([]byte{0xA5}) // 10100101
+	want := "10100101"
+	if got := s.String(); got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestPackBytesInverseOfFromBytes(t *testing.T) {
+	data := []byte{0xDE, 0xAD, 0xBE, 0xEF, 0x01}
+	s := FromBytes(data)
+	if got := s.PackBytes(); !bytes.Equal(got, data) {
+		t.Errorf("PackBytes() = %x, want %x", got, data)
+	}
+}
+
+func TestPackBytesPadsPartialByte(t *testing.T) {
+	s := FromBits([]byte{1, 1, 1})
+	if got := s.PackBytes(); !bytes.Equal(got, []byte{0xE0}) {
+		t.Errorf("PackBytes() = %x, want e0", got)
+	}
+}
+
+func TestParseASCII(t *testing.T) {
+	s, err := ParseASCII("1100 1010\n01")
+	if err != nil {
+		t.Fatalf("ParseASCII: %v", err)
+	}
+	if got := s.String(); got != "1100101001" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestParseASCIIRejectsGarbage(t *testing.T) {
+	if _, err := ParseASCII("10102"); err == nil {
+		t.Error("ParseASCII accepted invalid character")
+	}
+}
+
+func TestOnes(t *testing.T) {
+	cases := []struct {
+		bits string
+		want int
+	}{
+		{"", 0},
+		{"0", 0},
+		{"1", 1},
+		{"1111", 4},
+		{"10101", 3},
+	}
+	for _, c := range cases {
+		s, err := ParseASCII(c.bits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := s.Ones(); got != c.want {
+			t.Errorf("Ones(%q) = %d, want %d", c.bits, got, c.want)
+		}
+	}
+}
+
+func TestOnesLargeRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	s := New(0)
+	want := 0
+	for i := 0; i < 10_000; i++ {
+		b := byte(rng.Intn(2))
+		want += int(b)
+		s.AppendBit(b)
+	}
+	if got := s.Ones(); got != want {
+		t.Errorf("Ones = %d, want %d", got, want)
+	}
+}
+
+func TestSlice(t *testing.T) {
+	s, _ := ParseASCII("0110100110010110")
+	sub := s.Slice(4, 12)
+	if got := sub.String(); got != "10011001" {
+		t.Errorf("Slice(4,12) = %q", got)
+	}
+}
+
+func TestSlicePanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Slice out of range did not panic")
+		}
+	}()
+	s := FromBits([]byte{1, 0})
+	s.Slice(1, 3)
+}
+
+func TestBitPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Bit out of range did not panic")
+		}
+	}()
+	FromBits([]byte{1}).Bit(1)
+}
+
+func TestReader(t *testing.T) {
+	s, _ := ParseASCII("101")
+	r := NewReader(s)
+	var got []byte
+	for {
+		b, err := r.ReadBit()
+		if err == ErrEndOfStream {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, b)
+	}
+	if !bytes.Equal(got, []byte{1, 0, 1}) {
+		t.Errorf("read %v", got)
+	}
+	if r.Remaining() != 0 {
+		t.Errorf("Remaining = %d after drain", r.Remaining())
+	}
+}
+
+func TestReadAllStopsAtEndOfStream(t *testing.T) {
+	s, _ := ParseASCII("1010")
+	got, err := ReadAll(NewReader(s), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 4 {
+		t.Errorf("ReadAll length = %d, want 4", got.Len())
+	}
+}
+
+func TestReadAllHonoursLimit(t *testing.T) {
+	s, _ := ParseASCII("111111")
+	got, err := ReadAll(NewReader(s), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 3 {
+		t.Errorf("ReadAll length = %d, want 3", got.Len())
+	}
+}
+
+func TestWriteASCII(t *testing.T) {
+	s, _ := ParseASCII("11110000")
+	var buf bytes.Buffer
+	if err := s.WriteASCII(&buf, 4); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.String(); got != "1111\n0000\n" {
+		t.Errorf("WriteASCII = %q", got)
+	}
+}
+
+func TestWriteASCIINoWrap(t *testing.T) {
+	s, _ := ParseASCII("1010")
+	var buf bytes.Buffer
+	if err := s.WriteASCII(&buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != "1010" {
+		t.Errorf("WriteASCII = %q", buf.String())
+	}
+}
+
+func TestRuns(t *testing.T) {
+	cases := []struct {
+		bits string
+		want int
+	}{
+		{"", 0},
+		{"0", 1},
+		{"1", 1},
+		{"01", 2},
+		{"0011", 2},
+		{"1001101011", 7}, // SP800-22 runs-test example (V_n = 7)
+	}
+	for _, c := range cases {
+		s, _ := ParseASCII(c.bits)
+		if got := s.Runs(); got != c.want {
+			t.Errorf("Runs(%q) = %d, want %d", c.bits, got, c.want)
+		}
+	}
+}
+
+func TestLongestRunOfOnes(t *testing.T) {
+	cases := []struct {
+		bits string
+		want int
+	}{
+		{"", 0},
+		{"000", 0},
+		{"010", 1},
+		{"0110111", 3},
+		{"1111", 4},
+	}
+	for _, c := range cases {
+		s, _ := ParseASCII(c.bits)
+		if got := s.LongestRunOfOnes(); got != c.want {
+			t.Errorf("LongestRunOfOnes(%q) = %d, want %d", c.bits, got, c.want)
+		}
+	}
+}
+
+func TestBlockOnes(t *testing.T) {
+	s, _ := ParseASCII("0110011010") // SP800-22 block-frequency example, M=3
+	got := s.BlockOnes(3)
+	want := []int{2, 1, 2} // blocks 011, 001, 101; trailing "0" dropped
+	if len(got) != len(want) {
+		t.Fatalf("BlockOnes = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("block %d: %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestBlockLongestRuns(t *testing.T) {
+	s, _ := ParseASCII("11011010") // blocks of 4: 1101 -> 2, 1010 -> 1
+	got := s.BlockLongestRuns(4)
+	if got[0] != 2 || got[1] != 1 {
+		t.Errorf("BlockLongestRuns = %v", got)
+	}
+}
+
+func TestPatternCountsOverlappingWrapAround(t *testing.T) {
+	// SP800-22 serial-test example: 0011011101, n=10, m=3.
+	// ν_000=0 ν_001=1 ν_010=1 ν_011=2 ν_100=1 ν_101=2 ν_110=2 ν_111=1.
+	s, _ := ParseASCII("0011011101")
+	got := s.PatternCountsOverlapping(3)
+	want := []int{0, 1, 1, 2, 1, 2, 2, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("count[%03b] = %d, want %d", i, got[i], want[i])
+		}
+	}
+	total := 0
+	for _, c := range got {
+		total += c
+	}
+	if total != s.Len() {
+		t.Errorf("pattern counts sum to %d, want n=%d", total, s.Len())
+	}
+}
+
+func TestCountTemplateNonOverlapping(t *testing.T) {
+	// SP800-22 test-7 example: block 1010010010, template 001 -> W = 2.
+	s, _ := ParseASCII("1010010010")
+	if got := s.CountTemplateNonOverlapping(0b001, 3, 0, s.Len()); got != 2 {
+		t.Errorf("W = %d, want 2", got)
+	}
+}
+
+func TestCountTemplateNonOverlappingSkipsAfterHit(t *testing.T) {
+	// 111111: non-overlapping 11 occurs 3 times, overlapping 5 times.
+	s, _ := ParseASCII("111111")
+	if got := s.CountTemplateNonOverlapping(0b11, 2, 0, s.Len()); got != 3 {
+		t.Errorf("non-overlapping = %d, want 3", got)
+	}
+	if got := s.CountTemplateOverlapping(0b11, 2, 0, s.Len()); got != 5 {
+		t.Errorf("overlapping = %d, want 5", got)
+	}
+}
+
+func TestRandomWalk(t *testing.T) {
+	// SP800-22 cusum example: 1011010111 -> S runs 1,0,1,2,1,2,1,2,3,4.
+	s, _ := ParseASCII("1011010111")
+	sMax, sMin, sFinal := s.RandomWalk()
+	if sMax != 4 || sMin != 0 || sFinal != 4 {
+		t.Errorf("RandomWalk = (%d,%d,%d), want (4,0,4)", sMax, sMin, sFinal)
+	}
+}
+
+func TestRandomWalkNegative(t *testing.T) {
+	s, _ := ParseASCII("0001")
+	sMax, sMin, sFinal := s.RandomWalk()
+	if sMax != 0 || sMin != -3 || sFinal != -2 {
+		t.Errorf("RandomWalk = (%d,%d,%d), want (0,-3,-2)", sMax, sMin, sFinal)
+	}
+}
+
+// Property: Ones + number of zeros = n, and walk final = 2*ones - n.
+func TestWalkConsistentWithOnes(t *testing.T) {
+	f := func(raw []byte) bool {
+		s := FromBits(raw)
+		_, _, final := s.RandomWalk()
+		return final == 2*s.Ones()-s.Len()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: pattern counts for m sum to n (wrap-around makes every position
+// contribute exactly one pattern).
+func TestPatternCountsSumProperty(t *testing.T) {
+	f := func(raw []byte, mRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		m := int(mRaw)%4 + 1
+		s := FromBits(raw)
+		total := 0
+		for _, c := range s.PatternCountsOverlapping(m) {
+			total += c
+		}
+		return total == s.Len()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: String round-trips through ParseASCII.
+func TestStringParseRoundTrip(t *testing.T) {
+	f := func(raw []byte) bool {
+		s := FromBits(raw)
+		back, err := ParseASCII(s.String())
+		if err != nil {
+			return false
+		}
+		return back.String() == s.String()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: runs count equals 1 + number of adjacent unequal pairs.
+func TestRunsProperty(t *testing.T) {
+	f := func(raw []byte) bool {
+		s := FromBits(raw)
+		if s.Len() == 0 {
+			return s.Runs() == 0
+		}
+		transitions := 0
+		for i := 1; i < s.Len(); i++ {
+			if s.Bit(i) != s.Bit(i-1) {
+				transitions++
+			}
+		}
+		return s.Runs() == transitions+1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBlockOnesPanicsOnZeroM(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("BlockOnes(0) did not panic")
+		}
+	}()
+	FromBits([]byte{1}).BlockOnes(0)
+}
+
+func TestStringLarge(t *testing.T) {
+	s := New(0)
+	for i := 0; i < 1000; i++ {
+		s.AppendBit(1)
+	}
+	if got := s.String(); got != strings.Repeat("1", 1000) {
+		t.Error("String() of all-ones sequence is wrong")
+	}
+}

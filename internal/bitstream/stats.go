@@ -1,0 +1,169 @@
+package bitstream
+
+// This file holds whole-sequence statistics helpers. They are the "batch"
+// counterparts of the bit-serial hardware engines in internal/hwblock and
+// are used by tests to cross-check that serial and batch computation agree.
+
+// Runs counts the total number of runs in the sequence: maximal blocks of
+// consecutive equal bits. The empty sequence has zero runs.
+func (s *Sequence) Runs() int {
+	if s.n == 0 {
+		return 0
+	}
+	runs := 1
+	for i := 1; i < s.n; i++ {
+		if s.Bit(i) != s.Bit(i-1) {
+			runs++
+		}
+	}
+	return runs
+}
+
+// LongestRunOfOnes returns the length of the longest run of ones in the
+// sequence (0 if there are none).
+func (s *Sequence) LongestRunOfOnes() int {
+	longest, cur := 0, 0
+	for i := 0; i < s.n; i++ {
+		if s.Bit(i) == 1 {
+			cur++
+			if cur > longest {
+				longest = cur
+			}
+		} else {
+			cur = 0
+		}
+	}
+	return longest
+}
+
+// BlockOnes returns the number of ones in each consecutive block of m bits.
+// Trailing bits that do not fill a block are discarded, as in SP800-22.
+func (s *Sequence) BlockOnes(m int) []int {
+	if m <= 0 {
+		panic("bitstream: block length must be positive")
+	}
+	nBlocks := s.n / m
+	out := make([]int, nBlocks)
+	for b := 0; b < nBlocks; b++ {
+		ones := 0
+		for i := b * m; i < (b+1)*m; i++ {
+			ones += int(s.Bit(i))
+		}
+		out[b] = ones
+	}
+	return out
+}
+
+// BlockLongestRuns returns the longest run of ones within each consecutive
+// block of m bits.
+func (s *Sequence) BlockLongestRuns(m int) []int {
+	if m <= 0 {
+		panic("bitstream: block length must be positive")
+	}
+	nBlocks := s.n / m
+	out := make([]int, nBlocks)
+	for b := 0; b < nBlocks; b++ {
+		longest, cur := 0, 0
+		for i := b * m; i < (b+1)*m; i++ {
+			if s.Bit(i) == 1 {
+				cur++
+				if cur > longest {
+					longest = cur
+				}
+			} else {
+				cur = 0
+			}
+		}
+		out[b] = longest
+	}
+	return out
+}
+
+// PatternCountsOverlapping counts every overlapping m-bit pattern with
+// cyclic wrap-around (the sequence is extended by its own first m-1 bits),
+// exactly as the serial and approximate-entropy tests require. The returned
+// slice has 2^m entries indexed by the pattern value read MSB-first.
+func (s *Sequence) PatternCountsOverlapping(m int) []int {
+	if m <= 0 || m > 16 {
+		panic("bitstream: pattern length out of range")
+	}
+	counts := make([]int, 1<<uint(m))
+	if s.n == 0 {
+		return counts
+	}
+	for i := 0; i < s.n; i++ {
+		v := 0
+		for j := 0; j < m; j++ {
+			v = v<<1 | int(s.Bit((i+j)%s.n))
+		}
+		counts[v]++
+	}
+	return counts
+}
+
+// CountTemplateNonOverlapping counts non-overlapping occurrences of the
+// m-bit template tpl (given MSB-first) in the window [from, to): the scan
+// advances by m after a hit and by 1 otherwise, per NIST test 7.
+func (s *Sequence) CountTemplateNonOverlapping(tpl uint32, m, from, to int) int {
+	count := 0
+	i := from
+	for i <= to-m {
+		match := true
+		for j := 0; j < m; j++ {
+			want := byte(tpl>>uint(m-1-j)) & 1
+			if s.Bit(i+j) != want {
+				match = false
+				break
+			}
+		}
+		if match {
+			count++
+			i += m
+		} else {
+			i++
+		}
+	}
+	return count
+}
+
+// CountTemplateOverlapping counts overlapping occurrences of the m-bit
+// template tpl in the window [from, to): the scan always advances by 1,
+// per NIST test 8.
+func (s *Sequence) CountTemplateOverlapping(tpl uint32, m, from, to int) int {
+	count := 0
+	for i := from; i <= to-m; i++ {
+		match := true
+		for j := 0; j < m; j++ {
+			want := byte(tpl>>uint(m-1-j)) & 1
+			if s.Bit(i+j) != want {
+				match = false
+				break
+			}
+		}
+		if match {
+			count++
+		}
+	}
+	return count
+}
+
+// RandomWalk returns the extrema and final value of the ±1 random walk
+// S_k = Σ (2·bit_i − 1), the values the cumulative-sums hardware tracks.
+// For the empty sequence all three are zero.
+func (s *Sequence) RandomWalk() (sMax, sMin, sFinal int) {
+	sum := 0
+	for i := 0; i < s.n; i++ {
+		if s.Bit(i) == 1 {
+			sum++
+		} else {
+			sum--
+		}
+		if sum > sMax {
+			sMax = sum
+		}
+		if sum < sMin {
+			sMin = sum
+		}
+	}
+	return sMax, sMin, sum
+}

@@ -1,0 +1,63 @@
+package core
+
+import "fmt"
+
+// AlarmPolicy turns per-sequence verdicts into an operational alarm the way
+// AIS-31-class evaluations prescribe: a single failing sequence is a
+// "noise alarm" (expected to occur at rate ≈ α·tests on a healthy source)
+// and triggers a retest; only Threshold consecutive failing sequences latch
+// the failure alarm that takes the TRNG out of service. This keeps the
+// false-alarm rate of the deployed monitor near α^Threshold per sequence
+// while barely delaying the detection of genuine defects (which fail every
+// sequence).
+type AlarmPolicy struct {
+	// Threshold is the number of consecutive failing sequences that latch
+	// the alarm (AIS-31 uses retest-once semantics, Threshold = 2).
+	Threshold int
+
+	consecutive int
+	latched     bool
+	noiseAlarms int
+	total       int
+}
+
+// NewAlarmPolicy returns a policy latching after threshold consecutive
+// failures.
+func NewAlarmPolicy(threshold int) (*AlarmPolicy, error) {
+	if threshold < 1 {
+		return nil, fmt.Errorf("core: alarm threshold %d must be ≥ 1", threshold)
+	}
+	return &AlarmPolicy{Threshold: threshold}, nil
+}
+
+// Observe folds one sequence report into the policy and reports whether the
+// failure alarm is (now) latched.
+func (a *AlarmPolicy) Observe(r *SequenceReport) bool {
+	a.total++
+	if r.Report.Pass() {
+		a.consecutive = 0
+		return a.latched
+	}
+	a.consecutive++
+	a.noiseAlarms++
+	if a.consecutive >= a.Threshold {
+		a.latched = true
+	}
+	return a.latched
+}
+
+// Latched reports whether the failure alarm has fired.
+func (a *AlarmPolicy) Latched() bool { return a.latched }
+
+// NoiseAlarms returns the number of failing sequences observed (including
+// those that latched).
+func (a *AlarmPolicy) NoiseAlarms() int { return a.noiseAlarms }
+
+// Sequences returns the number of sequences observed.
+func (a *AlarmPolicy) Sequences() int { return a.total }
+
+// Reset clears the latch and counters (a serviced restart).
+func (a *AlarmPolicy) Reset() {
+	a.consecutive, a.noiseAlarms, a.total = 0, 0, 0
+	a.latched = false
+}

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/hwblock"
+	"repro/internal/sweval"
+	"repro/internal/trng"
+)
+
+// fakeReport builds a SequenceReport whose Pass() is the given value.
+func fakeReport(pass bool) *SequenceReport {
+	rep := &sweval.Report{}
+	if !pass {
+		rep.Verdicts = append(rep.Verdicts, sweval.Verdict{TestID: 1, Pass: false})
+	} else {
+		rep.Verdicts = append(rep.Verdicts, sweval.Verdict{TestID: 1, Pass: true})
+	}
+	return &SequenceReport{Report: rep}
+}
+
+func TestAlarmPolicyLatchesOnConsecutiveFailures(t *testing.T) {
+	a, err := NewAlarmPolicy(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Observe(fakeReport(false)) {
+		t.Error("latched after a single failure with threshold 2")
+	}
+	if !a.Observe(fakeReport(false)) {
+		t.Error("did not latch after two consecutive failures")
+	}
+	// The latch is sticky.
+	if !a.Observe(fakeReport(true)) {
+		t.Error("latch cleared by a passing sequence")
+	}
+}
+
+func TestAlarmPolicyRetestClearsStreak(t *testing.T) {
+	a, err := NewAlarmPolicy(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Observe(fakeReport(false))
+	a.Observe(fakeReport(true)) // successful retest
+	a.Observe(fakeReport(false))
+	if a.Latched() {
+		t.Error("non-consecutive failures latched the alarm")
+	}
+	if a.NoiseAlarms() != 2 {
+		t.Errorf("NoiseAlarms = %d, want 2", a.NoiseAlarms())
+	}
+	if a.Sequences() != 3 {
+		t.Errorf("Sequences = %d, want 3", a.Sequences())
+	}
+}
+
+func TestAlarmPolicyThresholdOne(t *testing.T) {
+	a, err := NewAlarmPolicy(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Observe(fakeReport(false)) {
+		t.Error("threshold 1 did not latch on first failure")
+	}
+}
+
+func TestAlarmPolicyValidation(t *testing.T) {
+	if _, err := NewAlarmPolicy(0); err == nil {
+		t.Error("threshold 0 accepted")
+	}
+}
+
+func TestAlarmPolicyReset(t *testing.T) {
+	a, _ := NewAlarmPolicy(1)
+	a.Observe(fakeReport(false))
+	a.Reset()
+	if a.Latched() || a.NoiseAlarms() != 0 || a.Sequences() != 0 {
+		t.Error("reset did not clear policy state")
+	}
+}
+
+func TestAlarmPolicyEndToEndHealthySource(t *testing.T) {
+	// A healthy source with retest-once semantics: over 40 sequences the
+	// failure alarm must not latch even if a chance noise alarm occurs.
+	m := newMonitor(t, 128, hwblock.Light, 0.01)
+	policy, err := NewAlarmPolicy(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reps, err := m.Watch(trng.NewIdeal(11), 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range reps {
+		policy.Observe(&reps[i])
+	}
+	if policy.Latched() {
+		t.Errorf("failure alarm latched on a healthy source (%d noise alarms in %d sequences)",
+			policy.NoiseAlarms(), policy.Sequences())
+	}
+}
+
+func TestAlarmPolicyEndToEndDefectiveSource(t *testing.T) {
+	// A genuinely defective source fails every sequence: the latch fires
+	// on the second one.
+	m := newMonitor(t, 128, hwblock.Light, 0.01)
+	policy, err := NewAlarmPolicy(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reps, err := m.Watch(trng.NewBiased(0.8, 12), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	latchedAt := -1
+	for i := range reps {
+		if policy.Observe(&reps[i]) && latchedAt < 0 {
+			latchedAt = i
+		}
+	}
+	if latchedAt != 1 {
+		t.Errorf("latched at sequence %d, want 1", latchedAt)
+	}
+}

@@ -1,0 +1,174 @@
+// Package core is the platform of the paper's Fig. 1: it couples a TRNG
+// (or any bit source) to a hardware testing block and the embedded
+// software evaluator, and runs them the way the paper prescribes — the
+// hardware always on, digesting every bit the TRNG produces, with the
+// software checking the counters at each sequence boundary. There is no
+// single alarm wire: the monitor's verdict is a set of per-test decisions
+// derived from transmitted counter values, which is the paper's defense
+// against probing attacks on an alarm signal.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/hwblock"
+	"repro/internal/sweval"
+	"repro/internal/trng"
+)
+
+// SequenceReport is the outcome of one completed test sequence.
+type SequenceReport struct {
+	// Index is the sequence number since the monitor started (0-based).
+	Index int
+	// StartBit is the absolute index of the sequence's first bit.
+	StartBit int64
+	// Report is the software evaluation of the hardware counters.
+	Report *sweval.Report
+}
+
+// Monitor is an on-the-fly TRNG health monitor: one hardware testing block
+// plus one software evaluator, fed bit by bit.
+type Monitor struct {
+	block *hwblock.Block
+	eval  *sweval.Evaluator
+	cv    *sweval.CriticalValues
+
+	seq      int
+	bitsSeen int64
+	history  []SequenceReport
+	// KeepHistory bounds the retained reports (0 = keep everything).
+	KeepHistory int
+}
+
+// NewMonitor builds a monitor for the given design at level of
+// significance alpha.
+func NewMonitor(cfg hwblock.Config, alpha float64, opts ...sweval.Option) (*Monitor, error) {
+	block, err := hwblock.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	cv, err := sweval.NewCriticalValues(cfg, alpha, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return &Monitor{
+		block: block,
+		eval:  sweval.NewEvaluator(cv),
+		cv:    cv,
+	}, nil
+}
+
+// Config returns the monitored design.
+func (m *Monitor) Config() hwblock.Config { return m.block.Config() }
+
+// Block exposes the hardware testing block (for area reporting and
+// register-file inspection).
+func (m *Monitor) Block() *hwblock.Block { return m.block }
+
+// Alpha returns the configured level of significance.
+func (m *Monitor) Alpha() float64 { return m.cv.Alpha }
+
+// SetAlpha re-derives the critical values at a new level of significance —
+// the flexibility the HW/SW split buys: the hardware is untouched.
+func (m *Monitor) SetAlpha(alpha float64, opts ...sweval.Option) error {
+	cv, err := sweval.NewCriticalValues(m.block.Config(), alpha, opts...)
+	if err != nil {
+		return err
+	}
+	m.cv = cv
+	m.eval = sweval.NewEvaluator(cv)
+	return nil
+}
+
+// Feed clocks one bit into the hardware. When the bit completes a
+// sequence, the software evaluation runs and its report is returned;
+// otherwise the report is nil. The hardware is immediately reset so the
+// next sequence starts on the following bit — the tests stay active the
+// whole time the TRNG runs, as [14] requires.
+func (m *Monitor) Feed(bit byte) (*SequenceReport, error) {
+	if err := m.block.Clock(bit); err != nil {
+		return nil, err
+	}
+	m.bitsSeen++
+	if !m.block.Done() {
+		return nil, nil
+	}
+	rep, err := m.eval.Evaluate(m.block)
+	if err != nil {
+		return nil, err
+	}
+	sr := SequenceReport{
+		Index:    m.seq,
+		StartBit: m.bitsSeen - int64(m.block.Config().N),
+		Report:   rep,
+	}
+	m.seq++
+	m.history = append(m.history, sr)
+	if m.KeepHistory > 0 && len(m.history) > m.KeepHistory {
+		m.history = m.history[len(m.history)-m.KeepHistory:]
+	}
+	m.block.Reset()
+	return &sr, nil
+}
+
+// Watch drains bits from the source until sequences complete sequences
+// have been evaluated, returning their reports.
+func (m *Monitor) Watch(src trng.Source, sequences int) ([]SequenceReport, error) {
+	var out []SequenceReport
+	for len(out) < sequences {
+		bit, err := src.ReadBit()
+		if err != nil {
+			return out, fmt.Errorf("core: source failed after %d bits: %w", m.bitsSeen, err)
+		}
+		rep, err := m.Feed(bit)
+		if err != nil {
+			return out, err
+		}
+		if rep != nil {
+			out = append(out, *rep)
+		}
+	}
+	return out, nil
+}
+
+// History returns the retained sequence reports.
+func (m *Monitor) History() []SequenceReport { return m.history }
+
+// BitsSeen reports the total number of bits consumed.
+func (m *Monitor) BitsSeen() int64 { return m.bitsSeen }
+
+// DetectionResult describes when a monitor first flagged a defect.
+type DetectionResult struct {
+	// Detected reports whether any sequence failed.
+	Detected bool
+	// SequenceIndex is the first failing sequence (valid if Detected).
+	SequenceIndex int
+	// LatencyBits is the number of bits from the defect onset to the end
+	// of the first failing sequence.
+	LatencyBits int64
+	// FailedTests are the tests that flagged in the first failing
+	// sequence.
+	FailedTests []int
+}
+
+// DetectionLatency measures how quickly the monitor detects a defect that
+// begins at bit onsetBit of the source's stream: it runs the monitor for at
+// most maxSequences and reports the first failure.
+func (m *Monitor) DetectionLatency(src trng.Source, onsetBit int64, maxSequences int) (DetectionResult, error) {
+	for i := 0; i < maxSequences; i++ {
+		reps, err := m.Watch(src, 1)
+		if err != nil {
+			return DetectionResult{}, err
+		}
+		r := reps[0]
+		if !r.Report.Pass() {
+			return DetectionResult{
+				Detected:      true,
+				SequenceIndex: r.Index,
+				LatencyBits:   m.bitsSeen - onsetBit,
+				FailedTests:   r.Report.Failed(),
+			}, nil
+		}
+	}
+	return DetectionResult{}, nil
+}

@@ -1,0 +1,65 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/hwblock"
+	"repro/internal/trng"
+)
+
+// PowerPoint is the measured detection power of the monitor against one
+// defect severity: the fraction of trials in which the first monitored
+// sequence already fails, and which tests do the detecting.
+type PowerPoint struct {
+	// Severity is the defect parameter (bias, stickiness, jitter …).
+	Severity float64
+	// DetectionRate is the fraction of trials whose first sequence
+	// failed.
+	DetectionRate float64
+	// MeanFailingTests is the mean number of failing tests per detected
+	// trial.
+	MeanFailingTests float64
+	// TestHits counts, per test, in how many trials it fired.
+	TestHits map[int]int
+}
+
+// PowerSweep measures single-sequence detection power across defect
+// severities. makeSource builds the defective source for a severity and a
+// trial seed; trials sequences are monitored per severity (each trial uses
+// a fresh monitor, so trials are independent).
+func PowerSweep(cfg hwblock.Config, alpha float64, severities []float64, trials int,
+	makeSource func(severity float64, seed int64) trng.Source) ([]PowerPoint, error) {
+	if trials < 1 {
+		return nil, fmt.Errorf("core: need at least one trial")
+	}
+	var out []PowerPoint
+	for _, sev := range severities {
+		pt := PowerPoint{Severity: sev, TestHits: make(map[int]int)}
+		detected := 0
+		failSum := 0
+		for trial := 0; trial < trials; trial++ {
+			m, err := NewMonitor(cfg, alpha)
+			if err != nil {
+				return nil, err
+			}
+			reps, err := m.Watch(makeSource(sev, int64(trial)), 1)
+			if err != nil {
+				return nil, err
+			}
+			failed := reps[0].Report.Failed()
+			if len(failed) > 0 {
+				detected++
+				failSum += len(failed)
+				for _, id := range failed {
+					pt.TestHits[id]++
+				}
+			}
+		}
+		pt.DetectionRate = float64(detected) / float64(trials)
+		if detected > 0 {
+			pt.MeanFailingTests = float64(failSum) / float64(detected)
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}

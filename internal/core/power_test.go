@@ -1,0 +1,77 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/hwblock"
+	"repro/internal/trng"
+)
+
+func TestPowerSweepBiasMonotone(t *testing.T) {
+	cfg, err := hwblock.NewConfig(65536, hwblock.Light)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts, err := PowerSweep(cfg, 0.01, []float64{0.50, 0.51, 0.53, 0.56}, 8,
+		func(sev float64, seed int64) trng.Source {
+			return trng.NewBiased(sev, seed*31+int64(sev*1000))
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Detection power must climb from ≈ α·tests at severity 0.50 to 1 at
+	// 0.56 (|S| ≈ 2·0.06·65536/... = 7864 vs the ~660 bound).
+	if pts[0].DetectionRate > 0.5 {
+		t.Errorf("false-alarm rate %.2f at severity 0.50 is far above alpha", pts[0].DetectionRate)
+	}
+	if pts[len(pts)-1].DetectionRate != 1 {
+		t.Errorf("detection rate %.2f at severity 0.56, want 1.0", pts[len(pts)-1].DetectionRate)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].DetectionRate < pts[i-1].DetectionRate-0.25 {
+			t.Errorf("power not (weakly) monotone: %.2f after %.2f",
+				pts[i].DetectionRate, pts[i-1].DetectionRate)
+		}
+	}
+}
+
+func TestPowerSweepAttributesTheRightTests(t *testing.T) {
+	cfg, err := hwblock.NewConfig(65536, hwblock.High)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A strongly sticky Markov source: the runs and serial tests must be
+	// among the detectors; the monobit test should mostly stay quiet
+	// (the source is balanced).
+	pts, err := PowerSweep(cfg, 0.01, []float64{0.65}, 6,
+		func(sev float64, seed int64) trng.Source {
+			return trng.NewMarkov(sev, seed*17+1)
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt := pts[0]
+	if pt.DetectionRate != 1 {
+		t.Fatalf("sticky source detected in %.0f%% of trials, want all", 100*pt.DetectionRate)
+	}
+	if pt.TestHits[3] == 0 {
+		t.Error("runs test never fired on a sticky source")
+	}
+	if pt.TestHits[11] == 0 {
+		t.Error("serial test never fired on a sticky source")
+	}
+	if pt.TestHits[1] > pt.TestHits[3] {
+		t.Errorf("monobit fired more often (%d) than runs (%d) on a balanced defect",
+			pt.TestHits[1], pt.TestHits[3])
+	}
+}
+
+func TestPowerSweepValidation(t *testing.T) {
+	cfg, err := hwblock.NewConfig(128, hwblock.Light)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := PowerSweep(cfg, 0.01, []float64{0.5}, 0, nil); err == nil {
+		t.Error("zero trials accepted")
+	}
+}

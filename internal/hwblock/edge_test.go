@@ -1,0 +1,186 @@
+package hwblock
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/bitstream"
+)
+
+// feedPattern runs a 128-bit sequence built by gen(i) through the medium
+// design and cross-checks every serial counter against the batch
+// computation — the degenerate inputs exercise the wrap-around finalize
+// path hardest.
+func feedPattern(t *testing.T, name string, gen func(i int) byte) {
+	t.Helper()
+	cfg, err := NewConfig(128, Medium)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := bitstream.New(128)
+	for i := 0; i < 128; i++ {
+		s.AppendBit(gen(i))
+	}
+	b, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Run(bitstream.NewReader(s)); err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []int{4, 3, 2} {
+		want := s.PatternCountsOverlapping(m)
+		for pat := 0; pat < 1<<uint(m); pat++ {
+			nm := fmt.Sprintf("SERIAL_NU%d_%0*b", m, m, pat)
+			got, _, err := b.RegFile().ReadValue(nm)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if int(got) != want[pat] {
+				t.Errorf("%s: %s = %d, want %d", name, nm, got, want[pat])
+			}
+		}
+	}
+	// Walk and runs cross-checks on the same degenerate input.
+	wMax, wMin, wFin := s.RandomWalk()
+	if got, _, _ := b.RegFile().ReadValue("S_MAX"); int(got)-128 != wMax {
+		t.Errorf("%s: S_MAX = %d, want %d", name, int(got)-128, wMax)
+	}
+	if got, _, _ := b.RegFile().ReadValue("S_MIN"); int(got)-128 != wMin {
+		t.Errorf("%s: S_MIN = %d, want %d", name, int(got)-128, wMin)
+	}
+	if got, _, _ := b.RegFile().ReadValue("S_FINAL"); int(got)-128 != wFin {
+		t.Errorf("%s: S_FINAL = %d, want %d", name, int(got)-128, wFin)
+	}
+	if got, _, _ := b.RegFile().ReadValue("N_RUNS"); int(got) != s.Runs() {
+		t.Errorf("%s: N_RUNS = %d, want %d", name, got, s.Runs())
+	}
+}
+
+func TestDegenerateAllZeros(t *testing.T) {
+	feedPattern(t, "all-zeros", func(i int) byte { return 0 })
+}
+
+func TestDegenerateAllOnes(t *testing.T) {
+	feedPattern(t, "all-ones", func(i int) byte { return 1 })
+}
+
+func TestDegenerateAlternating(t *testing.T) {
+	feedPattern(t, "alternating", func(i int) byte { return byte(i % 2) })
+}
+
+func TestDegeneratePeriodThree(t *testing.T) {
+	// Period 3 does not divide the pattern widths — the cyclic counts are
+	// nontrivial.
+	feedPattern(t, "period-3", func(i int) byte { return byte(i % 3 % 2) })
+}
+
+func TestDegenerateSingleOne(t *testing.T) {
+	feedPattern(t, "single-one", func(i int) byte {
+		if i == 77 {
+			return 1
+		}
+		return 0
+	})
+}
+
+func TestDegenerateOneAtBoundaries(t *testing.T) {
+	// Ones at the first and last position stress the wrap-around feed.
+	feedPattern(t, "boundary-ones", func(i int) byte {
+		if i == 0 || i == 127 {
+			return 1
+		}
+		return 0
+	})
+}
+
+func TestTemplateHitAcrossBlockBoundaryIgnored(t *testing.T) {
+	// A template occurrence straddling a block boundary must not count:
+	// place 000000001 so it crosses the boundary between blocks 0 and 1
+	// of the non-overlapping engine (block length 8192 at n=65536).
+	cfg, err := NewConfig(65536, Medium)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := bitstream.New(65536)
+	for i := 0; i < 65536; i++ {
+		// All ones except a window of zeros right before the boundary:
+		// bits 8184..8191 are 0, bit 8192 is 1 → the 9-bit window
+		// 000000001 ends at 8192, straddling the boundary.
+		if i >= 8184 && i <= 8191 {
+			s.AppendBit(0)
+		} else {
+			s.AppendBit(1)
+		}
+	}
+	b, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Run(bitstream.NewReader(s)); err != nil {
+		t.Fatal(err)
+	}
+	// Batch count within block 1 alone (the window must be inside the
+	// block): the straddling occurrence is not counted by either side.
+	for i := 0; i < 8; i++ {
+		want := s.CountTemplateNonOverlapping(cfg.Params.TemplateB, 9, i*8192, (i+1)*8192)
+		got, _, err := b.RegFile().ReadValue(fmt.Sprintf("NO_W_%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int(got) != want {
+			t.Errorf("NO_W_%d = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestGlobalBitsCounterTracksProgress(t *testing.T) {
+	cfg, err := NewConfig(128, Light)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if err := b.Clock(1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, _, err := b.RegFile().ReadValue("GLOBAL_BITS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 100 {
+		t.Errorf("GLOBAL_BITS = %d, want 100", got)
+	}
+}
+
+func TestCustomConfigBlockLengthsDivideN(t *testing.T) {
+	for _, n := range []int{64, 256, 1024, 4096, 32768} {
+		cfg, err := NewCustomConfig(fmt.Sprintf("c%d", n), n, []int{1, 2, 3, 4, 13})
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if n%cfg.Params.BlockFrequencyM != 0 {
+			t.Errorf("n=%d: block frequency M=%d does not divide n", n, cfg.Params.BlockFrequencyM)
+		}
+		if n%cfg.Params.LongestRunM != 0 {
+			t.Errorf("n=%d: longest run M=%d does not divide n", n, cfg.Params.LongestRunM)
+		}
+		// The design must instantiate and absorb a sequence.
+		b, err := New(cfg)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		for i := 0; i < n; i++ {
+			if err := b.Clock(byte(i & 1)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if !b.Done() {
+			t.Errorf("n=%d: block not done", n)
+		}
+	}
+}

@@ -1,0 +1,204 @@
+package hwblock
+
+import (
+	"fmt"
+
+	"repro/internal/hwsim"
+)
+
+// Signed walk values are exposed through the register file in offset-binary
+// form (value + N), so every register read is unsigned; the software
+// subtracts N after reassembly. offsetWidth is the width of such a field.
+func offsetWidth(n int) int {
+	w := 1
+	for (uint64(2*n))>>uint(w) != 0 {
+		w++
+	}
+	return w
+}
+
+// walkEngine implements the hardware half of test 13 (cumulative sums): an
+// up/down counter tracking the ±1 random walk plus min/max registers. Its
+// final value also yields N_ones = (S_final + N)/2, which is why no
+// separate ones counter exists anywhere in the block (the paper's "omitting
+// a redundant counter").
+type walkEngine struct {
+	n   int
+	s   *hwsim.UpDownCounter
+	ext *hwsim.MinMaxTracker
+}
+
+func newWalkEngine(b *Block, n int) *walkEngine {
+	e := &walkEngine{
+		n:   n,
+		s:   hwsim.NewUpDownCounter(b.nl, "cusum_s", uint64(n)),
+		ext: hwsim.NewMinMaxTracker(b.nl, "cusum_ext", uint64(n)),
+	}
+	w := offsetWidth(n)
+	b.rf.Add("S_MAX", 13, w, func() uint64 { return uint64(e.ext.Max() + int64(n)) })
+	b.rf.Add("S_MIN", 13, w, func() uint64 { return uint64(e.ext.Min() + int64(n)) })
+	b.rf.Add("S_FINAL", 13, w, func() uint64 { return uint64(e.s.Value() + int64(n)) })
+	return e
+}
+
+func (e *walkEngine) clock(bit byte) {
+	if bit == 1 {
+		e.s.Inc()
+	} else {
+		e.s.Dec()
+	}
+	e.ext.Update(e.s.Value())
+}
+
+// runsEngine implements the hardware half of test 3: a previous-bit
+// register and a runs counter. N_ones comes from the walk engine.
+type runsEngine struct {
+	runs *hwsim.Counter
+	prev *hwsim.Register
+}
+
+func newRunsEngine(b *Block, n int) *runsEngine {
+	e := &runsEngine{
+		runs: hwsim.NewCounter(b.nl, "runs", uint64(n)),
+		prev: hwsim.NewRegister(b.nl, "runs_prev", 1),
+	}
+	b.rf.Add("N_RUNS", 3, e.runs.Width(), func() uint64 { return e.runs.Value() })
+	return e
+}
+
+func (e *runsEngine) clock(bit byte, t int) {
+	if t == 0 || byte(e.prev.Value()) != bit {
+		e.runs.Inc()
+	}
+	e.prev.Load(uint64(bit))
+}
+
+func (e *runsEngine) resetLocal() {}
+
+// blockFreqEngine implements the hardware half of test 2: one ones counter
+// for the current block and a register bank holding the completed blocks'
+// counts ε_1..ε_N. Block boundaries are bits of the global counter (M is a
+// power of two).
+type blockFreqEngine struct {
+	m, nBlocks int
+	eps        *hwsim.Counter
+	bank       []*hwsim.Register
+	cur        int
+}
+
+func newBlockFreqEngine(b *Block, m, nBlocks int) *blockFreqEngine {
+	e := &blockFreqEngine{
+		m:       m,
+		nBlocks: nBlocks,
+		eps:     hwsim.NewCounter(b.nl, "bf_eps", uint64(m)),
+	}
+	e.bank = make([]*hwsim.Register, nBlocks)
+	for i := range e.bank {
+		i := i
+		e.bank[i] = hwsim.NewRegister(b.nl, fmt.Sprintf("bf_eps_%d", i), uint64(m))
+		b.rf.Add(fmt.Sprintf("BF_EPS_%d", i), 2, e.bank[i].Width(),
+			func() uint64 { return e.bank[i].Value() })
+	}
+	return e
+}
+
+func (e *blockFreqEngine) clock(bit byte, t int) {
+	if bit == 1 {
+		e.eps.Inc()
+	}
+	if (t+1)%e.m == 0 { // block boundary: a global-counter bit edge
+		if e.cur < e.nBlocks {
+			e.bank[e.cur].Load(e.eps.Value())
+			e.cur++
+		}
+		e.eps.Reset()
+	}
+}
+
+func (e *blockFreqEngine) resetLocal() { e.cur = 0 }
+
+// longestRunEngine implements the hardware half of test 4: a saturating
+// current-run counter, a per-block maximum tracker, and one class counter
+// per longest-run class. Saturating at the top class bound keeps the run
+// counter narrow regardless of M — runs longer than "≥hi" all land in the
+// same class.
+type longestRunEngine struct {
+	m       int
+	lo, hi  int
+	run     *hwsim.Counter // saturating at hi
+	blkMax  *hwsim.MaxTracker
+	classes *hwsim.CounterBank
+}
+
+func newLongestRunEngine(b *Block, m, nBlocks int) (*longestRunEngine, error) {
+	lo, hi, err := longestRunBounds(m)
+	if err != nil {
+		return nil, err
+	}
+	e := &longestRunEngine{
+		m:       m,
+		lo:      lo,
+		hi:      hi,
+		run:     hwsim.NewCounter(b.nl, "lr_run", uint64(hi)),
+		blkMax:  hwsim.NewMaxTracker(b.nl, "lr_max", uint64(hi)),
+		classes: hwsim.NewCounterBank(b.nl, "lr_class", hi-lo+1, uint64(nBlocks)),
+	}
+	for i := 0; i < e.classes.Len(); i++ {
+		i := i
+		b.rf.Add(fmt.Sprintf("LR_NU_%d", i), 4, widthOf(uint64(nBlocks)),
+			func() uint64 { return e.classes.Value(i) })
+	}
+	return e, nil
+}
+
+// longestRunBounds mirrors nist.LongestRunClassBounds; duplicated here so
+// the hardware package does not depend on the reference suite's internals
+// beyond the shared parameter struct.
+func longestRunBounds(m int) (lo, hi int, err error) {
+	switch {
+	case m < 8:
+		return 0, 0, fmt.Errorf("hwblock: longest-run block length %d too small", m)
+	case m < 128:
+		return 1, 4, nil
+	case m < 6272:
+		return 4, 9, nil
+	default:
+		return 10, 16, nil
+	}
+}
+
+func widthOf(max uint64) int {
+	w := 1
+	for max>>uint(w) != 0 {
+		w++
+	}
+	return w
+}
+
+func (e *longestRunEngine) clock(bit byte, t int) {
+	if bit == 1 {
+		if e.run.Value() < uint64(e.hi) { // saturate
+			e.run.Inc()
+		}
+	} else {
+		e.run.Reset()
+	}
+	e.blkMax.Update(e.run.Value())
+	if (t+1)%e.m == 0 {
+		longest := int(e.blkMax.Max())
+		class := 0
+		switch {
+		case longest <= e.lo:
+			class = 0
+		case longest >= e.hi:
+			class = e.hi - e.lo
+		default:
+			class = longest - e.lo
+		}
+		e.classes.Inc(class)
+		e.blkMax.Clear()
+		e.run.Reset()
+	}
+}
+
+func (e *longestRunEngine) resetLocal() {}

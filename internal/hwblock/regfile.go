@@ -1,0 +1,129 @@
+package hwblock
+
+import (
+	"fmt"
+	"sort"
+)
+
+// AddressBits is the width of the register-file address, fixed by the
+// paper's memory-mapped interface ("a 7-bit address is used as a select
+// signal").
+const AddressBits = 7
+
+// WordBits is the data-bus width; the software platform is a 16-bit
+// architecture.
+const WordBits = 16
+
+// Entry is one named value exposed through the register file. Values wider
+// than 16 bits occupy consecutive word addresses, least significant word
+// first.
+type Entry struct {
+	// Name is the value's symbolic name (e.g. "S_MAX", "SERIAL_NU4_0011").
+	Name string
+	// TestID is the SP800-22 test the value belongs to (0 for
+	// infrastructure such as the global bit counter).
+	TestID int
+	// Addr is the first word address.
+	Addr int
+	// Width is the value width in bits.
+	Width int
+	// Words is the number of 16-bit words the value occupies.
+	Words int
+
+	read func() uint64
+}
+
+// RegFile is the memory-mapped output interface: a big multiplexer over all
+// counter values, addressed by word.
+type RegFile struct {
+	entries []Entry
+	byName  map[string]int
+	words   int
+}
+
+// NewRegFile returns an empty register file.
+func NewRegFile() *RegFile {
+	return &RegFile{byName: make(map[string]int)}
+}
+
+// Add exposes a value through the register file, assigning it the next free
+// word-aligned address range. The read callback samples the live hardware
+// value.
+func (rf *RegFile) Add(name string, testID, width int, read func() uint64) {
+	if _, dup := rf.byName[name]; dup {
+		panic(fmt.Sprintf("hwblock: duplicate register %q", name))
+	}
+	words := (width + WordBits - 1) / WordBits
+	e := Entry{Name: name, TestID: testID, Addr: rf.words, Width: width, Words: words, read: read}
+	rf.byName[name] = len(rf.entries)
+	rf.entries = append(rf.entries, e)
+	rf.words += words
+}
+
+// Words reports the total number of addressable words.
+func (rf *RegFile) Words() int { return rf.words }
+
+// CheckAddressSpace verifies the map fits the 7-bit address space.
+func (rf *RegFile) CheckAddressSpace() error {
+	if rf.words > 1<<AddressBits {
+		return fmt.Errorf("hwblock: register file needs %d words, exceeds the %d-word (7-bit) address space",
+			rf.words, 1<<AddressBits)
+	}
+	return nil
+}
+
+// ReadWord returns the 16-bit word at the given address — the raw bus
+// transaction the microcontroller performs. Reading an unmapped address
+// returns 0, like a real bus with a default mux leg.
+func (rf *RegFile) ReadWord(addr int) uint16 {
+	if addr < 0 || addr >= rf.words {
+		return 0
+	}
+	// Binary search over entries by address.
+	i := sort.Search(len(rf.entries), func(i int) bool {
+		return rf.entries[i].Addr+rf.entries[i].Words > addr
+	})
+	e := rf.entries[i]
+	shift := uint((addr - e.Addr) * WordBits)
+	return uint16(e.read() >> shift)
+}
+
+// Lookup finds an entry by name.
+func (rf *RegFile) Lookup(name string) (Entry, bool) {
+	i, ok := rf.byName[name]
+	if !ok {
+		return Entry{}, false
+	}
+	return rf.entries[i], true
+}
+
+// ReadValue reads a full named value by issuing one bus read per word and
+// reassembling, returning the value and the number of bus reads performed
+// (the quantity the paper's READ instruction count measures).
+func (rf *RegFile) ReadValue(name string) (value uint64, busReads int, err error) {
+	e, ok := rf.Lookup(name)
+	if !ok {
+		return 0, 0, fmt.Errorf("hwblock: no register named %q", name)
+	}
+	for w := 0; w < e.Words; w++ {
+		value |= uint64(rf.ReadWord(e.Addr+w)) << uint(w*WordBits)
+	}
+	if e.Width < 64 {
+		value &= 1<<uint(e.Width) - 1
+	}
+	return value, e.Words, nil
+}
+
+// Entries returns all entries in address order.
+func (rf *RegFile) Entries() []Entry { return rf.entries }
+
+// EntriesForTest returns the entries belonging to one test.
+func (rf *RegFile) EntriesForTest(testID int) []Entry {
+	var out []Entry
+	for _, e := range rf.entries {
+		if e.TestID == testID {
+			out = append(out, e)
+		}
+	}
+	return out
+}

@@ -1,0 +1,134 @@
+// Package hwsim is a structural register-transfer-level simulation
+// substrate: the primitives the paper's hardware testing block is built
+// from (counters, up/down counters, registers, shift registers,
+// comparators, max-trackers) with bit-exact per-clock behaviour and a
+// structural inventory.
+//
+// Every primitive registers itself in a Netlist when constructed. The
+// netlist is both the simulation container and the input to the area and
+// timing model (area.go), which maps the same inventory a synthesis tool
+// would see onto Spartan-6 slice/FF/LUT counts, a maximum clock frequency
+// estimate, and an ASIC gate-equivalent count — reproducing the resource
+// rows of the paper's Table III at the level of shape and trend.
+package hwsim
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Resources is the structural footprint of one primitive.
+type Resources struct {
+	// FFs is the number of flip-flops (storage bits).
+	FFs int
+	// LUTs is the estimated number of 6-input LUTs for the primitive's
+	// combinational logic (increment/compare/mux structures).
+	LUTs int
+}
+
+// Add accumulates r2 into r.
+func (r *Resources) Add(r2 Resources) {
+	r.FFs += r2.FFs
+	r.LUTs += r2.LUTs
+}
+
+// Primitive is anything that occupies hardware resources.
+type Primitive interface {
+	// PrimName identifies the primitive instance within its netlist.
+	PrimName() string
+	// Resources reports the primitive's structural footprint.
+	Resources() Resources
+	// Reset returns the primitive to its power-on state.
+	Reset()
+}
+
+// Netlist is an inventory of primitives plus interconnect-level metadata
+// the area model needs (output mux width).
+type Netlist struct {
+	name  string
+	prims []Primitive
+	// muxWords is the number of 16-bit words selectable through the
+	// memory-mapped output multiplexer; the paper notes this interface
+	// "contributes significantly to the overall area".
+	muxWords int
+}
+
+// NewNetlist returns an empty netlist with the given design name.
+func NewNetlist(name string) *Netlist {
+	return &Netlist{name: name}
+}
+
+// Name returns the design name.
+func (nl *Netlist) Name() string { return nl.name }
+
+// add registers a primitive; construction helpers call it.
+func (nl *Netlist) add(p Primitive) {
+	nl.prims = append(nl.prims, p)
+}
+
+// AddPrimitive registers an externally defined primitive (e.g. the
+// structural decision units of the individual-implementation baselines).
+func (nl *Netlist) AddPrimitive(p Primitive) { nl.add(p) }
+
+// SetMuxWords declares how many 16-bit words the output multiplexer
+// exposes.
+func (nl *Netlist) SetMuxWords(n int) { nl.muxWords = n }
+
+// MuxWords reports the declared output multiplexer width.
+func (nl *Netlist) MuxWords() int { return nl.muxWords }
+
+// Reset resets every primitive in the netlist.
+func (nl *Netlist) Reset() {
+	for _, p := range nl.prims {
+		p.Reset()
+	}
+}
+
+// Total sums the resources of all primitives (excluding the output mux,
+// which the area model accounts separately from MuxWords).
+func (nl *Netlist) Total() Resources {
+	var t Resources
+	for _, p := range nl.prims {
+		t.Add(p.Resources())
+	}
+	return t
+}
+
+// Primitives returns the registered primitives in construction order.
+func (nl *Netlist) Primitives() []Primitive { return nl.prims }
+
+// MaxCounterWidth returns the widest counter-like primitive in the
+// netlist; the carry chain of that counter dominates the sequential
+// critical path in the timing model.
+func (nl *Netlist) MaxCounterWidth() int {
+	w := 0
+	for _, p := range nl.prims {
+		if c, ok := p.(interface{ CounterWidth() int }); ok {
+			if cw := c.CounterWidth(); cw > w {
+				w = cw
+			}
+		}
+	}
+	return w
+}
+
+// Describe renders a per-primitive resource table, grouped by instance
+// name, for the Fig. 2 structural dump.
+func (nl *Netlist) Describe() string {
+	type row struct {
+		name string
+		res  Resources
+	}
+	rows := make([]row, 0, len(nl.prims))
+	for _, p := range nl.prims {
+		rows = append(rows, row{p.PrimName(), p.Resources()})
+	}
+	sort.SliceStable(rows, func(i, j int) bool { return rows[i].name < rows[j].name })
+	out := fmt.Sprintf("design %s (%d primitives, %d mux words)\n", nl.name, len(nl.prims), nl.muxWords)
+	for _, r := range rows {
+		out += fmt.Sprintf("  %-40s FF=%-4d LUT=%-4d\n", r.name, r.res.FFs, r.res.LUTs)
+	}
+	t := nl.Total()
+	out += fmt.Sprintf("  %-40s FF=%-4d LUT=%-4d\n", "TOTAL (pre-mux)", t.FFs, t.LUTs)
+	return out
+}

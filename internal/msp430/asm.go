@@ -1,0 +1,488 @@
+package msp430
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// This file is a small two-pass assembler for the MSP430 instruction set,
+// sufficient for the evaluation firmware: labels, the core mnemonics plus
+// the common emulated ones, decimal/hex immediates, and the .org / .word
+// directives.
+
+// Program is an assembled firmware image.
+type Program struct {
+	// Origin is the load address of the image.
+	Origin uint16
+	// Words is the image contents.
+	Words []uint16
+	// Labels maps label names to addresses.
+	Labels map[string]uint16
+}
+
+// Entry returns the address of the given label, or the origin if absent.
+func (p *Program) Entry(label string) uint16 {
+	if a, ok := p.Labels[label]; ok {
+		return a
+	}
+	return p.Origin
+}
+
+type operand struct {
+	mode int // matches As encoding; dst accepts 0 and 1 only
+	reg  int
+	ext  uint16 // extension word (index, immediate, absolute address)
+	// hasExt reports whether ext occupies an extension word; immediates
+	// via the constant generators do not.
+	hasExt bool
+}
+
+type asmInst struct {
+	line    int
+	label   string
+	mnem    string
+	byteOp  bool
+	ops     []string
+	addr    uint16
+	words   []uint16
+	isWord  bool // .word directive
+	wordVal uint16
+}
+
+var regNames = map[string]int{
+	"r0": 0, "pc": 0, "r1": 1, "sp": 1, "r2": 2, "sr": 2, "r3": 3, "cg": 3,
+	"r4": 4, "r5": 5, "r6": 6, "r7": 7, "r8": 8, "r9": 9, "r10": 10,
+	"r11": 11, "r12": 12, "r13": 13, "r14": 14, "r15": 15,
+}
+
+var fmt1Opcodes = map[string]uint16{
+	"mov": opMOV, "add": opADD, "addc": opADDC, "subc": opSUBC, "sub": opSUB,
+	"cmp": opCMP, "dadd": opDADD, "bit": opBIT, "bic": opBIC, "bis": opBIS,
+	"xor": opXOR, "and": opAND,
+}
+
+var fmt2Opcodes = map[string]uint16{
+	"rrc": op2RRC, "swpb": op2SWPB, "rra": op2RRA, "sxt": op2SXT,
+	"push": op2PUSH, "call": op2CALL,
+}
+
+var jumpConds = map[string]uint16{
+	"jne": jNE, "jnz": jNE, "jeq": jEQ, "jz": jEQ, "jnc": jNC, "jlo": jNC,
+	"jc": jC, "jhs": jC, "jn": jN, "jge": jGE, "jl": jL, "jmp": jMP,
+}
+
+// Assemble translates source text into a Program. Syntax:
+//
+//	; comment
+//	label:  mov   #0x1234, r4     ; immediates: #dec, #0xhex, #label
+//	        add.b @r5+, 2(r6)     ; indexed, indirect, autoincrement
+//	        mov   &0x0180, r7     ; absolute
+//	        jne   label
+//	        .org  0x4400
+//	        .word 0xBEEF
+//
+// Emulated mnemonics: nop, ret, pop, br, clr, inc, incd, dec, decd, tst,
+// clrc, setc, rla, inv.
+func Assemble(src string) (*Program, error) {
+	insts, err := parse(src)
+	if err != nil {
+		return nil, err
+	}
+
+	labels := make(map[string]uint16)
+	// Pass 1: assign addresses. Instruction size depends only on operand
+	// syntax, not on label values, so one sizing pass suffices.
+	origin := uint16(0x4400)
+	addr := origin
+	originSet := false
+	for i := range insts {
+		in := &insts[i]
+		if in.mnem == ".org" {
+			v, err := parseNum(in.ops[0], nil)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %v", in.line, err)
+			}
+			addr = uint16(v)
+			if !originSet {
+				origin = addr
+				originSet = true
+			}
+		}
+		if in.label != "" {
+			if _, dup := labels[in.label]; dup {
+				return nil, fmt.Errorf("line %d: duplicate label %q", in.line, in.label)
+			}
+			labels[in.label] = addr
+		}
+		in.addr = addr
+		size, err := instSize(in)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %v", in.line, err)
+		}
+		addr += uint16(2 * size)
+	}
+
+	// Pass 2: encode.
+	var words []uint16
+	cur := origin
+	emit := func(in *asmInst, ws ...uint16) {
+		for cur < in.addr {
+			words = append(words, 0)
+			cur += 2
+		}
+		words = append(words, ws...)
+		cur += uint16(2 * len(ws))
+	}
+	for i := range insts {
+		in := &insts[i]
+		ws, err := encode(in, labels)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %v", in.line, err)
+		}
+		if len(ws) > 0 {
+			emit(in, ws...)
+		}
+	}
+	return &Program{Origin: origin, Words: words, Labels: labels}, nil
+}
+
+func parse(src string) ([]asmInst, error) {
+	var out []asmInst
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := raw
+		if i := strings.IndexByte(line, ';'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		in := asmInst{line: lineNo + 1}
+		if i := strings.IndexByte(line, ':'); i >= 0 && !strings.ContainsAny(line[:i], " \t(") {
+			in.label = strings.ToLower(strings.TrimSpace(line[:i]))
+			line = strings.TrimSpace(line[i+1:])
+		}
+		if line == "" {
+			out = append(out, in)
+			continue
+		}
+		fields := strings.SplitN(line, " ", 2)
+		mnem := strings.ToLower(fields[0])
+		if strings.HasSuffix(mnem, ".b") {
+			in.byteOp = true
+			mnem = strings.TrimSuffix(mnem, ".b")
+		} else {
+			mnem = strings.TrimSuffix(mnem, ".w")
+		}
+		in.mnem = mnem
+		if len(fields) > 1 {
+			for _, o := range strings.Split(fields[1], ",") {
+				in.ops = append(in.ops, strings.TrimSpace(o))
+			}
+		}
+		out = append(out, in)
+	}
+	return out, nil
+}
+
+// parseNum parses #-less numeric or label operands.
+func parseNum(s string, labels map[string]uint16) (int64, error) {
+	s = strings.TrimSpace(s)
+	neg := false
+	if strings.HasPrefix(s, "-") {
+		neg = true
+		s = s[1:]
+	}
+	var v int64
+	var err error
+	if strings.HasPrefix(strings.ToLower(s), "0x") {
+		v, err = strconv.ParseInt(s[2:], 16, 64)
+	} else if s != "" && s[0] >= '0' && s[0] <= '9' {
+		v, err = strconv.ParseInt(s, 10, 64)
+	} else {
+		if labels == nil {
+			return 0, fmt.Errorf("forward label %q not allowed here", s)
+		}
+		a, ok := labels[strings.ToLower(s)]
+		if !ok {
+			return 0, fmt.Errorf("undefined label %q", s)
+		}
+		v = int64(a)
+	}
+	if err != nil {
+		return 0, err
+	}
+	if neg {
+		v = -v
+	}
+	return v, nil
+}
+
+// parseOperandSyntax classifies an operand string without resolving labels
+// (for sizing): returns mode, reg, whether an extension word is needed.
+func parseOperandSyntax(s string) (mode, reg int, hasExt bool, err error) {
+	s = strings.TrimSpace(s)
+	ls := strings.ToLower(s)
+	if r, ok := regNames[ls]; ok {
+		return 0, r, false, nil
+	}
+	switch {
+	case strings.HasPrefix(s, "#"):
+		// Constant-generator immediates take no extension word; decide
+		// at encode time. For sizing, assume an extension word unless
+		// the literal is one of the CG constants.
+		body := s[1:]
+		if v, err2 := parseNum(body, nil); err2 == nil {
+			if isCGConst(v) {
+				m, r := cgEncoding(v)
+				return m, r, false, nil
+			}
+		}
+		return 3, PC, true, nil // @PC+ immediate
+	case strings.HasPrefix(s, "&"):
+		return 1, SR, true, nil // absolute
+	case strings.HasPrefix(s, "@"):
+		body := ls[1:]
+		if strings.HasSuffix(body, "+") {
+			r, ok := regNames[strings.TrimSuffix(body, "+")]
+			if !ok {
+				return 0, 0, false, fmt.Errorf("bad register in %q", s)
+			}
+			return 3, r, false, nil
+		}
+		r, ok := regNames[body]
+		if !ok {
+			return 0, 0, false, fmt.Errorf("bad register in %q", s)
+		}
+		return 2, r, false, nil
+	case strings.HasSuffix(ls, ")") && strings.Contains(ls, "("):
+		i := strings.Index(ls, "(")
+		r, ok := regNames[strings.TrimSuffix(ls[i+1:], ")")]
+		if !ok {
+			return 0, 0, false, fmt.Errorf("bad register in %q", s)
+		}
+		return 1, r, true, nil
+	default:
+		return 0, 0, false, fmt.Errorf("cannot parse operand %q", s)
+	}
+}
+
+func isCGConst(v int64) bool {
+	switch v {
+	case 0, 1, 2, 4, 8, -1:
+		return true
+	}
+	return false
+}
+
+// cgEncoding returns the As/reg pair generating the constant.
+func cgEncoding(v int64) (mode, reg int) {
+	switch v {
+	case 4:
+		return 2, SR
+	case 8:
+		return 3, SR
+	case 0:
+		return 0, CG
+	case 1:
+		return 1, CG
+	case 2:
+		return 2, CG
+	default: // -1
+		return 3, CG
+	}
+}
+
+// resolveOperand fully resolves an operand, including labels.
+func resolveOperand(s string, labels map[string]uint16) (operand, error) {
+	mode, reg, hasExt, err := parseOperandSyntax(s)
+	if err != nil {
+		return operand{}, err
+	}
+	op := operand{mode: mode, reg: reg, hasExt: hasExt}
+	if !hasExt {
+		return op, nil
+	}
+	s = strings.TrimSpace(s)
+	switch {
+	case strings.HasPrefix(s, "#"):
+		v, err := parseNum(s[1:], labels)
+		if err != nil {
+			return operand{}, err
+		}
+		op.ext = uint16(v)
+	case strings.HasPrefix(s, "&"):
+		v, err := parseNum(s[1:], labels)
+		if err != nil {
+			return operand{}, err
+		}
+		op.ext = uint16(v)
+	default: // X(Rn)
+		i := strings.Index(s, "(")
+		v, err := parseNum(s[:i], labels)
+		if err != nil {
+			return operand{}, err
+		}
+		op.ext = uint16(v)
+	}
+	return op, nil
+}
+
+// expandEmulated rewrites emulated mnemonics into core ones.
+func expandEmulated(in *asmInst) error {
+	switch in.mnem {
+	case "nop":
+		in.mnem, in.ops = "mov", []string{"r3", "r3"}
+	case "ret":
+		in.mnem, in.ops = "mov", []string{"@sp+", "pc"}
+	case "pop":
+		if len(in.ops) != 1 {
+			return fmt.Errorf("pop needs one operand")
+		}
+		in.mnem, in.ops = "mov", []string{"@sp+", in.ops[0]}
+	case "br":
+		if len(in.ops) != 1 {
+			return fmt.Errorf("br needs one operand")
+		}
+		in.mnem, in.ops = "mov", []string{in.ops[0], "pc"}
+	case "clr":
+		in.mnem, in.ops = "mov", []string{"#0", in.ops[0]}
+	case "inc":
+		in.mnem, in.ops = "add", []string{"#1", in.ops[0]}
+	case "incd":
+		in.mnem, in.ops = "add", []string{"#2", in.ops[0]}
+	case "dec":
+		in.mnem, in.ops = "sub", []string{"#1", in.ops[0]}
+	case "decd":
+		in.mnem, in.ops = "sub", []string{"#2", in.ops[0]}
+	case "tst":
+		in.mnem, in.ops = "cmp", []string{"#0", in.ops[0]}
+	case "clrc":
+		in.mnem, in.ops = "bic", []string{"#1", "sr"}
+	case "setc":
+		in.mnem, in.ops = "bis", []string{"#1", "sr"}
+	case "rla":
+		in.mnem, in.ops = "add", []string{in.ops[0], in.ops[0]}
+	case "rlc":
+		in.mnem, in.ops = "addc", []string{in.ops[0], in.ops[0]}
+	case "inv":
+		in.mnem, in.ops = "xor", []string{"#-1", in.ops[0]}
+	}
+	return nil
+}
+
+// instSize returns the instruction's size in words.
+func instSize(in *asmInst) (int, error) {
+	if in.mnem == "" {
+		return 0, nil
+	}
+	if in.mnem == ".org" {
+		return 0, nil
+	}
+	if in.mnem == ".word" {
+		return len(in.ops), nil
+	}
+	if err := expandEmulated(in); err != nil {
+		return 0, err
+	}
+	if _, ok := jumpConds[in.mnem]; ok {
+		return 1, nil
+	}
+	if in.mnem == "reti" {
+		return 1, nil
+	}
+	size := 1
+	for _, o := range in.ops {
+		_, _, hasExt, err := parseOperandSyntax(o)
+		if err != nil {
+			return 0, err
+		}
+		if hasExt {
+			size++
+		}
+	}
+	return size, nil
+}
+
+// encode produces the instruction's words (labels resolved).
+func encode(in *asmInst, labels map[string]uint16) ([]uint16, error) {
+	switch in.mnem {
+	case "", ".org":
+		return nil, nil
+	case ".word":
+		var ws []uint16
+		for _, o := range in.ops {
+			v, err := parseNum(o, labels)
+			if err != nil {
+				return nil, err
+			}
+			ws = append(ws, uint16(v))
+		}
+		return ws, nil
+	case "reti":
+		return []uint16{0x1300}, nil
+	}
+	if cond, ok := jumpConds[in.mnem]; ok {
+		if len(in.ops) != 1 {
+			return nil, fmt.Errorf("%s needs one target", in.mnem)
+		}
+		target, err := parseNum(in.ops[0], labels)
+		if err != nil {
+			return nil, err
+		}
+		off := (int(target) - int(in.addr) - 2) / 2
+		if off < -512 || off > 511 {
+			return nil, fmt.Errorf("jump target out of range (offset %d words)", off)
+		}
+		return []uint16{0x2000 | cond<<10 | uint16(off)&0x3FF}, nil
+	}
+	if code, ok := fmt1Opcodes[in.mnem]; ok {
+		if len(in.ops) != 2 {
+			return nil, fmt.Errorf("%s needs two operands", in.mnem)
+		}
+		src, err := resolveOperand(in.ops[0], labels)
+		if err != nil {
+			return nil, err
+		}
+		dst, err := resolveOperand(in.ops[1], labels)
+		if err != nil {
+			return nil, err
+		}
+		if dst.mode > 1 {
+			return nil, fmt.Errorf("destination %q must be register or indexed", in.ops[1])
+		}
+		w := code<<12 | uint16(src.reg)<<8 | uint16(dst.mode)<<7 |
+			uint16(src.mode)<<4 | uint16(dst.reg)
+		if in.byteOp {
+			w |= 0x40
+		}
+		ws := []uint16{w}
+		if src.hasExt {
+			ws = append(ws, src.ext)
+		}
+		if dst.hasExt {
+			ws = append(ws, dst.ext)
+		}
+		return ws, nil
+	}
+	if code, ok := fmt2Opcodes[in.mnem]; ok {
+		if len(in.ops) != 1 {
+			return nil, fmt.Errorf("%s needs one operand", in.mnem)
+		}
+		op, err := resolveOperand(in.ops[0], labels)
+		if err != nil {
+			return nil, err
+		}
+		w := 0x1000 | code<<7 | uint16(op.mode)<<4 | uint16(op.reg)
+		if in.byteOp {
+			w |= 0x40
+		}
+		ws := []uint16{w}
+		if op.hasExt {
+			ws = append(ws, op.ext)
+		}
+		return ws, nil
+	}
+	return nil, fmt.Errorf("unknown mnemonic %q", in.mnem)
+}

@@ -1,0 +1,302 @@
+// Package msp430 implements an openMSP430-style 16-bit CPU: the three
+// MSP430 instruction formats (two-operand, single-operand, jump), the seven
+// addressing modes with the R2/R3 constant generators, byte/word operation,
+// a cycle-count model following the family user's guide, and a peripheral
+// bus. The paper evaluates its software routines on an openMSP430 soft
+// core ("we utilize openMSP430 as the hardware platform to evaluate our
+// design"); this package plays that role for the Table IV latency
+// comparison, executing the evaluation firmware against the memory-mapped
+// hardware testing block.
+package msp430
+
+import "fmt"
+
+// Register aliases.
+const (
+	PC = 0 // program counter
+	SP = 1 // stack pointer
+	SR = 2 // status register / constant generator 1
+	CG = 3 // constant generator 2
+)
+
+// Status-register flag bits.
+const (
+	FlagC      = 1 << 0 // carry
+	FlagZ      = 1 << 1 // zero
+	FlagN      = 1 << 2 // negative
+	FlagCPUOff = 1 << 4 // CPUOFF: halts the core (used as "done")
+	FlagV      = 1 << 8 // overflow
+)
+
+// Peripheral is a word-addressed device on the CPU bus.
+type Peripheral interface {
+	// ReadWord returns the word at the device-relative address.
+	ReadWord(addr uint16) uint16
+	// WriteWord stores a word at the device-relative address.
+	WriteWord(addr uint16, v uint16)
+}
+
+type mapping struct {
+	base, size uint16
+	dev        Peripheral
+}
+
+// CPU is one MSP430 core with 64 KiB of unified memory.
+type CPU struct {
+	regs   [16]uint16
+	mem    [65536]byte
+	periph []mapping
+	cycles int64
+	halted bool
+}
+
+// New returns a CPU with zeroed memory, PC at 0 and SP at 0.
+func New() *CPU { return &CPU{} }
+
+// MapPeripheral attaches a device at [base, base+size) in the address
+// space. Accesses there bypass RAM. Size and base must be even.
+func (c *CPU) MapPeripheral(base, size uint16, dev Peripheral) error {
+	if base%2 != 0 || size%2 != 0 || size == 0 {
+		return fmt.Errorf("msp430: peripheral window %#x+%#x not word-aligned", base, size)
+	}
+	c.periph = append(c.periph, mapping{base: base, size: size, dev: dev})
+	return nil
+}
+
+func (c *CPU) findPeriph(addr uint16) (Peripheral, uint16, bool) {
+	for _, m := range c.periph {
+		if addr >= m.base && addr < m.base+m.size {
+			return m.dev, addr - m.base, true
+		}
+	}
+	return nil, 0, false
+}
+
+// ReadWord reads a word from memory or a peripheral (even address).
+func (c *CPU) ReadWord(addr uint16) uint16 {
+	addr &^= 1
+	if dev, off, ok := c.findPeriph(addr); ok {
+		return dev.ReadWord(off)
+	}
+	return uint16(c.mem[addr]) | uint16(c.mem[addr+1])<<8
+}
+
+// WriteWord writes a word to memory or a peripheral.
+func (c *CPU) WriteWord(addr uint16, v uint16) {
+	addr &^= 1
+	if dev, off, ok := c.findPeriph(addr); ok {
+		dev.WriteWord(off, v)
+		return
+	}
+	c.mem[addr] = byte(v)
+	c.mem[addr+1] = byte(v >> 8)
+}
+
+// LoadByte reads a byte.
+func (c *CPU) LoadByte(addr uint16) byte {
+	if dev, off, ok := c.findPeriph(addr); ok {
+		w := dev.ReadWord(off &^ 1)
+		if addr%2 == 1 {
+			return byte(w >> 8)
+		}
+		return byte(w)
+	}
+	return c.mem[addr]
+}
+
+// StoreByte writes a byte.
+func (c *CPU) StoreByte(addr uint16, v byte) {
+	if dev, off, ok := c.findPeriph(addr); ok {
+		w := dev.ReadWord(off &^ 1)
+		if addr%2 == 1 {
+			w = w&0x00FF | uint16(v)<<8
+		} else {
+			w = w&0xFF00 | uint16(v)
+		}
+		dev.WriteWord(off&^1, w)
+		return
+	}
+	c.mem[addr] = v
+}
+
+// LoadImage copies words into memory starting at addr.
+func (c *CPU) LoadImage(addr uint16, words []uint16) {
+	for i, w := range words {
+		c.WriteWord(addr+uint16(2*i), w)
+	}
+}
+
+// Reg returns register r.
+func (c *CPU) Reg(r int) uint16 { return c.regs[r] }
+
+// SetReg sets register r. Writing PC clears its LSB.
+func (c *CPU) SetReg(r int, v uint16) {
+	if r == PC {
+		v &^= 1
+	}
+	c.regs[r] = v
+}
+
+// Cycles returns the cycles consumed so far.
+func (c *CPU) Cycles() int64 { return c.cycles }
+
+// Halted reports whether CPUOFF has been set.
+func (c *CPU) Halted() bool { return c.halted }
+
+// Reset clears cycles and the halted latch (registers and memory are left
+// to the caller).
+func (c *CPU) Reset() {
+	c.cycles = 0
+	c.halted = false
+}
+
+// flag helpers ---------------------------------------------------------------
+
+func (c *CPU) setFlag(mask uint16, on bool) {
+	if on {
+		c.regs[SR] |= mask
+	} else {
+		c.regs[SR] &^= mask
+	}
+}
+
+func (c *CPU) flag(mask uint16) bool { return c.regs[SR]&mask != 0 }
+
+// setNZ sets N and Z from a result of the given width.
+func (c *CPU) setNZ(res uint32, byteOp bool) {
+	if byteOp {
+		c.setFlag(FlagN, res&0x80 != 0)
+		c.setFlag(FlagZ, res&0xFF == 0)
+	} else {
+		c.setFlag(FlagN, res&0x8000 != 0)
+		c.setFlag(FlagZ, res&0xFFFF == 0)
+	}
+}
+
+// Step executes one instruction and returns the cycles it took.
+func (c *CPU) Step() (int, error) {
+	if c.halted {
+		return 0, fmt.Errorf("msp430: CPU halted")
+	}
+	op := c.fetch()
+	var cyc int
+	var err error
+	switch {
+	case op&0xE000 == 0x2000: // jump format
+		cyc = c.execJump(op)
+	case op&0xFC00 == 0x1000: // single-operand format
+		cyc, err = c.execFormat2(op)
+	case op >= 0x4000: // two-operand format
+		cyc, err = c.execFormat1(op)
+	default:
+		err = fmt.Errorf("msp430: illegal opcode %#04x at %#04x", op, c.regs[PC]-2)
+	}
+	if err != nil {
+		return 0, err
+	}
+	c.cycles += int64(cyc)
+	if c.regs[SR]&FlagCPUOff != 0 {
+		c.halted = true
+	}
+	return cyc, nil
+}
+
+// Run executes until the CPU halts (CPUOFF) or maxSteps instructions have
+// retired.
+func (c *CPU) Run(maxSteps int) error {
+	for i := 0; i < maxSteps; i++ {
+		if c.halted {
+			return nil
+		}
+		if _, err := c.Step(); err != nil {
+			return err
+		}
+	}
+	if !c.halted {
+		return fmt.Errorf("msp430: did not halt within %d steps", maxSteps)
+	}
+	return nil
+}
+
+func (c *CPU) fetch() uint16 {
+	w := c.ReadWord(c.regs[PC])
+	c.regs[PC] += 2
+	return w
+}
+
+// operand resolution ----------------------------------------------------------
+
+// srcOperand resolves a source operand; returns the value, a writeback
+// address (for format II destinations), whether the operand is a register,
+// and the extra cycles consumed.
+func (c *CPU) srcOperand(as, reg int, byteOp bool) (val uint32, addr uint16, isReg bool, extra int) {
+	switch as {
+	case 0: // register direct / CG #0
+		if reg == CG {
+			return 0, 0, false, 0
+		}
+		v := uint32(c.regs[reg])
+		if byteOp {
+			v &= 0xFF
+		}
+		return v, 0, true, 0
+	case 1: // indexed / symbolic / absolute / CG #1
+		switch reg {
+		case CG:
+			return 1, 0, false, 0
+		case SR: // absolute &ADDR
+			a := c.fetch()
+			return c.load(a, byteOp), a, false, 2
+		default:
+			x := c.fetch()
+			a := c.regs[reg] + x
+			return c.load(a, byteOp), a, false, 2
+		}
+	case 2: // indirect / CG
+		switch reg {
+		case SR:
+			return 4, 0, false, 0
+		case CG:
+			return 2, 0, false, 0
+		default:
+			a := c.regs[reg]
+			return c.load(a, byteOp), a, false, 1
+		}
+	default: // indirect autoincrement / immediate / CG
+		switch reg {
+		case SR:
+			return 8, 0, false, 0
+		case CG:
+			if byteOp {
+				return 0xFF, 0, false, 0
+			}
+			return 0xFFFF, 0, false, 0
+		case PC: // immediate #N
+			return uint32(c.fetch()), 0, false, 1
+		default:
+			a := c.regs[reg]
+			v := c.load(a, byteOp)
+			if byteOp {
+				c.regs[reg] += 1
+			} else {
+				c.regs[reg] += 2
+			}
+			return v, a, false, 1
+		}
+	}
+}
+
+func (c *CPU) load(addr uint16, byteOp bool) uint32 {
+	if byteOp {
+		return uint32(c.LoadByte(addr))
+	}
+	return uint32(c.ReadWord(addr))
+}
+
+func (c *CPU) store(addr uint16, v uint32, byteOp bool) {
+	if byteOp {
+		c.StoreByte(addr, byte(v))
+	} else {
+		c.WriteWord(addr, uint16(v))
+	}
+}

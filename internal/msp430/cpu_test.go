@@ -1,0 +1,432 @@
+package msp430
+
+import (
+	"strings"
+	"testing"
+)
+
+// run assembles src, loads it, points PC at the origin and runs to halt.
+func run(t *testing.T, src string) *CPU {
+	t.Helper()
+	prog, err := Assemble(src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	c := New()
+	c.LoadImage(prog.Origin, prog.Words)
+	c.SetReg(PC, prog.Origin)
+	c.SetReg(SP, 0x2400)
+	if err := c.Run(100000); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return c
+}
+
+const halt = "\n bis #0x10, sr\n" // set CPUOFF
+
+func TestMovImmediate(t *testing.T) {
+	c := run(t, "mov #0x1234, r4"+halt)
+	if c.Reg(4) != 0x1234 {
+		t.Errorf("r4 = %#x, want 0x1234", c.Reg(4))
+	}
+}
+
+func TestAddSetsCarryAndOverflow(t *testing.T) {
+	c := run(t, `
+ mov #0xFFFF, r4
+ add #1, r4
+`+halt)
+	if c.Reg(4) != 0 {
+		t.Errorf("r4 = %#x, want 0", c.Reg(4))
+	}
+	if !c.flag(FlagC) || !c.flag(FlagZ) {
+		t.Error("C/Z not set on 0xFFFF+1")
+	}
+
+	c = run(t, `
+ mov #0x7FFF, r4
+ add #1, r4
+`+halt)
+	if !c.flag(FlagV) || !c.flag(FlagN) {
+		t.Error("V/N not set on 0x7FFF+1")
+	}
+}
+
+func TestSubAndCmp(t *testing.T) {
+	c := run(t, `
+ mov #5, r4
+ sub #3, r4
+`+halt)
+	if c.Reg(4) != 2 {
+		t.Errorf("r4 = %d, want 2", c.Reg(4))
+	}
+	if !c.flag(FlagC) {
+		t.Error("C clear after no-borrow subtract")
+	}
+	c = run(t, `
+ mov #3, r4
+ cmp #5, r4
+`+halt)
+	if c.Reg(4) != 3 {
+		t.Error("cmp modified its destination")
+	}
+	if c.flag(FlagC) {
+		t.Error("C set after borrowing compare")
+	}
+	if !c.flag(FlagN) {
+		t.Error("N clear after negative compare result")
+	}
+}
+
+func TestAddcChainsCarry(t *testing.T) {
+	// 32-bit add: 0x0001FFFF + 1 = 0x00020000.
+	c := run(t, `
+ mov #0xFFFF, r4   ; low
+ mov #1, r5        ; high
+ add #1, r4
+ addc #0, r5
+`+halt)
+	if c.Reg(4) != 0 || c.Reg(5) != 2 {
+		t.Errorf("result = %#x:%#x, want 2:0", c.Reg(5), c.Reg(4))
+	}
+}
+
+func TestLogicalOps(t *testing.T) {
+	c := run(t, `
+ mov #0xF0F0, r4
+ and #0xFF00, r4
+ mov #0x000F, r5
+ bis #0xF000, r5
+ mov #0xFFFF, r6
+ bic #0x00FF, r6
+ mov #0xAAAA, r7
+ xor #0xFFFF, r7
+`+halt)
+	if c.Reg(4) != 0xF000 {
+		t.Errorf("and: %#x", c.Reg(4))
+	}
+	if c.Reg(5) != 0xF00F {
+		t.Errorf("bis: %#x", c.Reg(5))
+	}
+	if c.Reg(6) != 0xFF00 {
+		t.Errorf("bic: %#x", c.Reg(6))
+	}
+	if c.Reg(7) != 0x5555 {
+		t.Errorf("xor: %#x", c.Reg(7))
+	}
+}
+
+func TestByteOperations(t *testing.T) {
+	c := run(t, `
+ mov #0x1234, r4
+ mov.b #0xFF, r4   ; byte write clears the high byte
+ mov #0x2200, r5
+ mov.b #0xAB, 0(r5)
+ mov.b 0(r5), r6
+`+halt)
+	if c.Reg(4) != 0x00FF {
+		t.Errorf("byte mov to register: %#x, want 0x00FF", c.Reg(4))
+	}
+	if c.Reg(6) != 0xAB {
+		t.Errorf("byte round-trip through memory: %#x", c.Reg(6))
+	}
+}
+
+func TestIndexedAndIndirect(t *testing.T) {
+	c := run(t, `
+ mov #0x1111, &0x2200
+ mov #0x2222, &0x2202
+ mov #0x2200, r5
+ mov @r5+, r6
+ mov @r5, r7
+ mov #0x2200, r9
+ mov 2(r9), r8
+`+halt)
+	if c.Reg(6) != 0x1111 {
+		t.Errorf("@r5+ = %#x", c.Reg(6))
+	}
+	if c.Reg(5) != 0x2202 {
+		t.Errorf("autoincrement left r5 = %#x", c.Reg(5))
+	}
+	if c.Reg(7) != 0x2222 {
+		t.Errorf("@r5 = %#x", c.Reg(7))
+	}
+	if c.Reg(8) != 0x2222 {
+		t.Errorf("2(r9) = %#x", c.Reg(8))
+	}
+}
+
+func TestJumpsAndLoop(t *testing.T) {
+	// Sum 1..10 with a loop.
+	c := run(t, `
+ clr r4
+ mov #10, r5
+loop:
+ add r5, r4
+ dec r5
+ jnz loop
+`+halt)
+	if c.Reg(4) != 55 {
+		t.Errorf("sum = %d, want 55", c.Reg(4))
+	}
+}
+
+func TestConditionalJumps(t *testing.T) {
+	c := run(t, `
+ mov #5, r4
+ cmp #5, r4
+ jeq equal
+ mov #0xBAD, r15
+ jmp done
+equal:
+ mov #0x600D, r15
+done:
+`+halt)
+	if c.Reg(15) != 0x600D {
+		t.Errorf("r15 = %#x", c.Reg(15))
+	}
+}
+
+func TestSignedJumps(t *testing.T) {
+	c := run(t, `
+ mov #0xFFFE, r4   ; -2
+ cmp #1, r4        ; -2 - 1 -> negative
+ jl less
+ mov #1, r15
+ jmp done
+less:
+ mov #2, r15
+done:
+`+halt)
+	if c.Reg(15) != 2 {
+		t.Errorf("jl did not take the signed branch: r15 = %d", c.Reg(15))
+	}
+}
+
+func TestPushPopCallRet(t *testing.T) {
+	c := run(t, `
+ mov #0x1234, r4
+ push r4
+ clr r4
+ pop r5
+ call #sub
+ jmp done
+sub:
+ mov #0xCAFE, r6
+ ret
+done:
+`+halt)
+	if c.Reg(5) != 0x1234 {
+		t.Errorf("push/pop: r5 = %#x", c.Reg(5))
+	}
+	if c.Reg(6) != 0xCAFE {
+		t.Errorf("call/ret: r6 = %#x", c.Reg(6))
+	}
+}
+
+func TestShiftsAndRotates(t *testing.T) {
+	c := run(t, `
+ mov #0x8001, r4
+ clrc
+ rrc r4            ; 0x4000, C=1
+ mov #0x8000, r5
+ rra r5            ; arithmetic: 0xC000
+ mov #0x1234, r6
+ swpb r6           ; 0x3412
+ mov #0x0080, r7
+ sxt r7            ; 0xFF80
+ mov #1, r8
+ rla r8            ; 2
+`+halt)
+	if c.Reg(4) != 0x4000 {
+		t.Errorf("rrc: %#x", c.Reg(4))
+	}
+	if c.Reg(5) != 0xC000 {
+		t.Errorf("rra: %#x", c.Reg(5))
+	}
+	if c.Reg(6) != 0x3412 {
+		t.Errorf("swpb: %#x", c.Reg(6))
+	}
+	if c.Reg(7) != 0xFF80 {
+		t.Errorf("sxt: %#x", c.Reg(7))
+	}
+	if c.Reg(8) != 2 {
+		t.Errorf("rla: %#x", c.Reg(8))
+	}
+}
+
+func TestConstantGenerators(t *testing.T) {
+	// Constants 0,1,2,4,8,-1 use the constant generators and take no
+	// extension word: the whole program below assembles to one word per
+	// instruction (plus the final bis which uses #0x10 — a real
+	// immediate).
+	src := `
+ mov #0, r4
+ mov #1, r5
+ mov #2, r6
+ mov #4, r7
+ mov #8, r8
+ mov #-1, r9
+`
+	prog, err := Assemble(src + halt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Words) != 6+2 {
+		t.Errorf("program is %d words, want 8 (CG immediates must be one word)", len(prog.Words))
+	}
+	c := run(t, src+halt)
+	want := []uint16{0, 1, 2, 4, 8, 0xFFFF}
+	for i, w := range want {
+		if c.Reg(4+i) != w {
+			t.Errorf("r%d = %#x, want %#x", 4+i, c.Reg(4+i), w)
+		}
+	}
+}
+
+func TestCycleCounts(t *testing.T) {
+	cases := []struct {
+		src  string
+		want int64
+	}{
+		{"mov r4, r5", 1},
+		{"mov #0x1234, r5", 2},
+		{"mov @r4, r5", 2},
+		{"mov @r4+, r5", 2},
+		{"mov 2(r4), r5", 3},
+		{"mov r4, 2(r5)", 4},
+		{"mov 2(r4), 2(r5)", 6},
+		{"jmp next\nnext: nop", 3}, // jump (2) + nop (1)
+		{"push r4", 3},
+	}
+	for _, tc := range cases {
+		prog, err := Assemble(tc.src + halt)
+		if err != nil {
+			t.Fatalf("%q: %v", tc.src, err)
+		}
+		c := New()
+		c.LoadImage(prog.Origin, prog.Words)
+		c.SetReg(PC, prog.Origin)
+		c.SetReg(SP, 0x2400)
+		c.SetReg(4, 0x2300)
+		c.SetReg(5, 0x2310)
+		// Execute only the instructions before the halt sequence.
+		steps := strings.Count(strings.TrimSpace(tc.src), "\n") + 1
+		for i := 0; i < steps; i++ {
+			if _, err := c.Step(); err != nil {
+				t.Fatalf("%q: %v", tc.src, err)
+			}
+		}
+		if c.Cycles() != tc.want {
+			t.Errorf("%q: %d cycles, want %d", tc.src, c.Cycles(), tc.want)
+		}
+	}
+}
+
+func TestDadd(t *testing.T) {
+	c := run(t, `
+ clrc
+ mov #0x0199, r4
+ dadd #0x0001, r4
+`+halt)
+	if c.Reg(4) != 0x0200 {
+		t.Errorf("dadd: %#x, want 0x0200 (BCD)", c.Reg(4))
+	}
+}
+
+func TestHaltViaCPUOff(t *testing.T) {
+	c := run(t, halt)
+	if !c.Halted() {
+		t.Error("CPUOFF did not halt")
+	}
+	if _, err := c.Step(); err == nil {
+		t.Error("step after halt succeeded")
+	}
+}
+
+func TestMultiplierPeripheral(t *testing.T) {
+	c := New()
+	mul := &Multiplier{}
+	if err := c.MapPeripheral(0x0130, 0x10, mul); err != nil {
+		t.Fatal(err)
+	}
+	prog, err := Assemble(`
+ mov #1234, &0x0130  ; MPY
+ mov #5678, &0x0138  ; OP2 triggers
+ mov &0x013A, r4     ; RESLO
+ mov &0x013C, r5     ; RESHI
+` + halt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.LoadImage(prog.Origin, prog.Words)
+	c.SetReg(PC, prog.Origin)
+	if err := c.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	want := uint32(1234 * 5678)
+	got := uint32(c.Reg(4)) | uint32(c.Reg(5))<<16
+	if got != want {
+		t.Errorf("multiplier: %d, want %d", got, want)
+	}
+}
+
+func TestMultiplierSigned(t *testing.T) {
+	mul := &Multiplier{}
+	mul.WriteWord(MulMPYS, 0xFFFE) // -2
+	mul.WriteWord(MulOP2, 3)
+	res := int32(uint32(mul.ReadWord(MulRESLO)) | uint32(mul.ReadWord(MulRESHI))<<16)
+	if res != -6 {
+		t.Errorf("signed multiply: %d, want -6", res)
+	}
+}
+
+func TestAssemblerErrors(t *testing.T) {
+	bad := []string{
+		"frobnicate r4",
+		"mov r4",
+		"mov r4, @r5",        // indirect destination is illegal
+		"jmp nowhere",        // undefined label
+		"dup: nop\ndup: nop", // duplicate label
+	}
+	for _, src := range bad {
+		if _, err := Assemble(src); err == nil {
+			t.Errorf("assembled invalid source %q", src)
+		}
+	}
+}
+
+func TestWordDirectiveAndLabels(t *testing.T) {
+	prog, err := Assemble(`
+ .org 0x5000
+table: .word 0x0102, 0x0304
+entry: mov #table, r4
+ mov @r4+, r5
+ mov @r4, r6
+` + halt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Origin != 0x5000 {
+		t.Errorf("origin = %#x", prog.Origin)
+	}
+	c := New()
+	c.LoadImage(prog.Origin, prog.Words)
+	c.SetReg(PC, prog.Entry("entry"))
+	if err := c.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	if c.Reg(5) != 0x0102 || c.Reg(6) != 0x0304 {
+		t.Errorf("table reads: %#x %#x", c.Reg(5), c.Reg(6))
+	}
+}
+
+func TestPeripheralAlignmentValidation(t *testing.T) {
+	c := New()
+	if err := c.MapPeripheral(0x0131, 2, &Multiplier{}); err == nil {
+		t.Error("odd base accepted")
+	}
+	if err := c.MapPeripheral(0x0130, 0, &Multiplier{}); err == nil {
+		t.Error("zero size accepted")
+	}
+}

@@ -1,0 +1,295 @@
+package msp430
+
+import "fmt"
+
+// Two-operand (format I) opcodes, [15:12].
+const (
+	opMOV  = 0x4
+	opADD  = 0x5
+	opADDC = 0x6
+	opSUBC = 0x7
+	opSUB  = 0x8
+	opCMP  = 0x9
+	opDADD = 0xA
+	opBIT  = 0xB
+	opBIC  = 0xC
+	opBIS  = 0xD
+	opXOR  = 0xE
+	opAND  = 0xF
+)
+
+// execFormat1 executes a two-operand instruction.
+func (c *CPU) execFormat1(op uint16) (int, error) {
+	opcode := int(op >> 12)
+	sreg := int(op>>8) & 0xF
+	ad := int(op>>7) & 1
+	byteOp := op&0x40 != 0
+	as := int(op>>4) & 3
+	dreg := int(op) & 0xF
+
+	src, _, srcIsReg, srcExtra := c.srcOperand(as, sreg, byteOp)
+	_ = srcIsReg
+
+	// Destination resolution.
+	var dst uint32
+	var dstAddr uint16
+	dstIsReg := ad == 0
+	dstExtra := 0
+	if dstIsReg {
+		dst = uint32(c.regs[dreg])
+		if byteOp {
+			dst &= 0xFF
+		}
+	} else {
+		x := c.fetch()
+		if dreg == SR { // absolute
+			dstAddr = x
+		} else {
+			dstAddr = c.regs[dreg] + x
+		}
+		dst = c.load(dstAddr, byteOp)
+		dstExtra = 3
+	}
+
+	width := uint32(0x10000)
+	signBit := uint32(0x8000)
+	if byteOp {
+		width = 0x100
+		signBit = 0x80
+	}
+
+	var res uint32
+	write := true
+	switch opcode {
+	case opMOV:
+		res = src
+	case opADD, opADDC:
+		carry := uint32(0)
+		if opcode == opADDC && c.flag(FlagC) {
+			carry = 1
+		}
+		full := dst + src + carry
+		res = full % width
+		c.setNZ(res, byteOp)
+		c.setFlag(FlagC, full >= width)
+		c.setFlag(FlagV, (dst&signBit) == (src&signBit) && (res&signBit) != (dst&signBit))
+	case opSUB, opSUBC, opCMP:
+		carry := uint32(1)
+		if opcode == opSUBC && !c.flag(FlagC) {
+			carry = 0
+		}
+		full := dst + (src ^ (width - 1)) + carry
+		res = full % width
+		c.setNZ(res, byteOp)
+		c.setFlag(FlagC, full >= width)
+		c.setFlag(FlagV, (dst&signBit) != (src&signBit) && (res&signBit) == (src&signBit))
+		if opcode == opCMP {
+			write = false
+		}
+	case opDADD:
+		// BCD addition, nibble by nibble.
+		carry := uint32(0)
+		if c.flag(FlagC) {
+			carry = 1
+		}
+		nibbles := 4
+		if byteOp {
+			nibbles = 2
+		}
+		res = 0
+		for i := 0; i < nibbles; i++ {
+			d := (dst>>(4*i))&0xF + (src>>(4*i))&0xF + carry
+			carry = 0
+			if d > 9 {
+				d -= 10
+				carry = 1
+			}
+			res |= d << (4 * i)
+		}
+		c.setNZ(res, byteOp)
+		c.setFlag(FlagC, carry != 0)
+	case opBIT, opAND:
+		res = dst & src
+		c.setNZ(res, byteOp)
+		c.setFlag(FlagC, res != 0)
+		c.setFlag(FlagV, false)
+		if opcode == opBIT {
+			write = false
+		}
+	case opBIC:
+		res = dst &^ src
+	case opBIS:
+		res = dst | src
+	case opXOR:
+		res = dst ^ src
+		c.setNZ(res, byteOp)
+		c.setFlag(FlagC, res != 0)
+		c.setFlag(FlagV, dst&signBit != 0 && src&signBit != 0)
+	default:
+		return 0, fmt.Errorf("msp430: bad format-I opcode %#x", opcode)
+	}
+
+	if write {
+		if dstIsReg {
+			if byteOp {
+				c.SetReg(dreg, uint16(res&0xFF))
+			} else {
+				c.SetReg(dreg, uint16(res))
+			}
+		} else {
+			c.store(dstAddr, res, byteOp)
+		}
+	}
+
+	cyc := 1 + srcExtra + dstExtra
+	if write && dstIsReg && dreg == PC {
+		cyc++ // branches through PC cost one extra cycle
+	}
+	return cyc, nil
+}
+
+// Single-operand (format II) opcodes, [9:7].
+const (
+	op2RRC  = 0
+	op2SWPB = 1
+	op2RRA  = 2
+	op2SXT  = 3
+	op2PUSH = 4
+	op2CALL = 5
+	op2RETI = 6
+)
+
+// execFormat2 executes a single-operand instruction.
+func (c *CPU) execFormat2(op uint16) (int, error) {
+	opcode := int(op>>7) & 7
+	byteOp := op&0x40 != 0
+	as := int(op>>4) & 3
+	reg := int(op) & 0xF
+
+	if opcode == op2RETI {
+		sr := c.ReadWord(c.regs[SP])
+		c.regs[SP] += 2
+		pc := c.ReadWord(c.regs[SP])
+		c.regs[SP] += 2
+		c.regs[SR] = sr
+		c.SetReg(PC, pc)
+		return 5, nil
+	}
+
+	val, addr, isReg, extra := c.srcOperand(as, reg, byteOp)
+
+	width := uint32(0x10000)
+	signBit := uint32(0x8000)
+	if byteOp {
+		width = 0x100
+		signBit = 0x80
+	}
+
+	writeBack := func(res uint32) {
+		if isReg {
+			if byteOp {
+				c.SetReg(reg, uint16(res&0xFF))
+			} else {
+				c.SetReg(reg, uint16(res))
+			}
+		} else {
+			c.store(addr, res, byteOp)
+		}
+	}
+
+	switch opcode {
+	case op2RRC:
+		carryIn := uint32(0)
+		if c.flag(FlagC) {
+			carryIn = signBit
+		}
+		c.setFlag(FlagC, val&1 != 0)
+		res := val>>1 | carryIn
+		c.setNZ(res, byteOp)
+		c.setFlag(FlagV, false)
+		writeBack(res)
+		return 1 + extra + memRMWExtra(isReg), nil
+	case op2RRA:
+		c.setFlag(FlagC, val&1 != 0)
+		res := val >> 1
+		if val&signBit != 0 {
+			res |= signBit
+		}
+		c.setNZ(res, byteOp)
+		c.setFlag(FlagV, false)
+		writeBack(res)
+		return 1 + extra + memRMWExtra(isReg), nil
+	case op2SWPB:
+		res := (val>>8 | val<<8) % width
+		writeBack(res)
+		return 1 + extra + memRMWExtra(isReg), nil
+	case op2SXT:
+		res := val & 0xFF
+		if res&0x80 != 0 {
+			res |= 0xFF00
+		}
+		c.setNZ(res, false)
+		c.setFlag(FlagC, res != 0)
+		c.setFlag(FlagV, false)
+		writeBack(res)
+		return 1 + extra + memRMWExtra(isReg), nil
+	case op2PUSH:
+		c.regs[SP] -= 2
+		c.WriteWord(c.regs[SP], uint16(val))
+		return 3 + extra, nil
+	case op2CALL:
+		c.regs[SP] -= 2
+		c.WriteWord(c.regs[SP], c.regs[PC])
+		c.SetReg(PC, uint16(val))
+		return 4 + extra, nil
+	}
+	return 0, fmt.Errorf("msp430: bad format-II opcode %#x", opcode)
+}
+
+func memRMWExtra(isReg bool) int {
+	if isReg {
+		return 0
+	}
+	return 2 // read-modify-write to memory
+}
+
+// Jump conditions, [12:10].
+const (
+	jNE = 0
+	jEQ = 1
+	jNC = 2
+	jC  = 3
+	jN  = 4
+	jGE = 5
+	jL  = 6
+	jMP = 7
+)
+
+// execJump executes a conditional jump. All jumps take 2 cycles.
+func (c *CPU) execJump(op uint16) int {
+	cond := int(op>>10) & 7
+	off := int16(op<<6) >> 6 // sign-extend 10 bits
+	take := false
+	switch cond {
+	case jNE:
+		take = !c.flag(FlagZ)
+	case jEQ:
+		take = c.flag(FlagZ)
+	case jNC:
+		take = !c.flag(FlagC)
+	case jC:
+		take = c.flag(FlagC)
+	case jN:
+		take = c.flag(FlagN)
+	case jGE:
+		take = c.flag(FlagN) == c.flag(FlagV)
+	case jL:
+		take = c.flag(FlagN) != c.flag(FlagV)
+	case jMP:
+		take = true
+	}
+	if take {
+		c.SetReg(PC, uint16(int32(c.regs[PC])+int32(off)*2))
+	}
+	return 2
+}

@@ -1,0 +1,309 @@
+package msp430
+
+import "testing"
+
+// This file exercises the corners of the instruction set that the
+// evaluation firmware leans on: multi-word arithmetic flag chains, byte
+// read-modify-write on memory, signed/unsigned comparison branches, and
+// the subtler flag semantics.
+
+func TestSubcBorrowChain(t *testing.T) {
+	// 32-bit subtraction 0x00020000 − 0x00000001 = 0x0001FFFF using
+	// SUB/SUBC: the low subtract borrows, SUBC must honour it.
+	c := run(t, `
+ clr r4            ; low of A
+ mov #2, r5        ; high of A
+ sub #1, r4
+ subc #0, r5
+`+halt)
+	if c.Reg(4) != 0xFFFF || c.Reg(5) != 1 {
+		t.Errorf("result = %#x:%#x, want 1:0xFFFF", c.Reg(5), c.Reg(4))
+	}
+}
+
+func TestCmpCarrySemantics(t *testing.T) {
+	// MSP430 CMP sets C when no borrow occurs (dst >= src, unsigned).
+	c := run(t, `
+ mov #5, r4
+ cmp #5, r4        ; equal: C set, Z set
+`+halt)
+	if !c.flag(FlagC) || !c.flag(FlagZ) {
+		t.Error("equal compare must set C and Z")
+	}
+	c = run(t, `
+ mov #4, r4
+ cmp #5, r4        ; dst < src: borrow, C clear
+`+halt)
+	if c.flag(FlagC) {
+		t.Error("borrowing compare must clear C")
+	}
+}
+
+func TestSubOverflowFlag(t *testing.T) {
+	// 0x8000 − 1 overflows signed (−32768 − 1).
+	c := run(t, `
+ mov #0x8000, r4
+ sub #1, r4
+`+halt)
+	if !c.flag(FlagV) {
+		t.Error("V clear after signed overflow in SUB")
+	}
+	if c.Reg(4) != 0x7FFF {
+		t.Errorf("result %#x", c.Reg(4))
+	}
+}
+
+func TestByteRMWOnMemory(t *testing.T) {
+	// add.b to a memory byte must not clobber the neighbouring byte.
+	c := run(t, `
+ mov #0x1234, &0x2200
+ mov #0x2200, r5
+ add.b #1, 0(r5)
+ mov &0x2200, r6
+`+halt)
+	if c.Reg(6) != 0x1235 {
+		t.Errorf("memory word = %#x, want 0x1235", c.Reg(6))
+	}
+}
+
+func TestByteOpsClearHighByteInRegister(t *testing.T) {
+	c := run(t, `
+ mov #0xFFFF, r4
+ add.b #1, r4      ; byte result 0x00, carry set, high byte cleared
+`+halt)
+	if c.Reg(4) != 0 {
+		t.Errorf("r4 = %#x, want 0", c.Reg(4))
+	}
+	if !c.flag(FlagC) || !c.flag(FlagZ) {
+		t.Error("byte add must set C and Z here")
+	}
+}
+
+func TestBitInstructionLeavesDst(t *testing.T) {
+	c := run(t, `
+ mov #0xF0F0, r4
+ bit #0x0F0F, r4   ; result zero, Z set, dst untouched
+`+halt)
+	if c.Reg(4) != 0xF0F0 {
+		t.Error("BIT modified its destination")
+	}
+	if !c.flag(FlagZ) {
+		t.Error("BIT did not set Z on zero intersection")
+	}
+	if c.flag(FlagC) {
+		t.Error("BIT must clear C when the result is zero (C = ~Z)")
+	}
+}
+
+func TestAndSetsCarryNotZero(t *testing.T) {
+	c := run(t, `
+ mov #0x00F0, r4
+ and #0x0010, r4
+`+halt)
+	if c.Reg(4) != 0x0010 {
+		t.Errorf("and result %#x", c.Reg(4))
+	}
+	if !c.flag(FlagC) {
+		t.Error("AND with nonzero result must set C")
+	}
+}
+
+func TestXorOverflowWhenBothNegative(t *testing.T) {
+	c := run(t, `
+ mov #0x8001, r4
+ xor #0x8010, r4
+`+halt)
+	if !c.flag(FlagV) {
+		t.Error("XOR of two negative operands must set V")
+	}
+	if c.Reg(4) != 0x0011 {
+		t.Errorf("xor result %#x", c.Reg(4))
+	}
+}
+
+func TestRRCRotatesThroughCarry(t *testing.T) {
+	c := run(t, `
+ setc
+ mov #0x0000, r4
+ rrc r4            ; carry rotates into the MSB
+`+halt)
+	if c.Reg(4) != 0x8000 {
+		t.Errorf("rrc = %#x, want 0x8000", c.Reg(4))
+	}
+}
+
+func TestJGEvsJC(t *testing.T) {
+	// Signed: 0x8000 (−32768) < 1, so JGE must not take; unsigned: C is
+	// set (no borrow: 0x8000 >= 1), so JC takes.
+	c := run(t, `
+ mov #0x8000, r4
+ cmp #1, r4
+ jge signed_ge
+ mov #1, r14
+ jmp next
+signed_ge:
+ mov #2, r14
+next:
+ cmp #1, r4
+ jc unsigned_ge
+ mov #1, r15
+ jmp done
+unsigned_ge:
+ mov #2, r15
+done:
+`+halt)
+	if c.Reg(14) != 1 {
+		t.Errorf("signed branch wrong: r14 = %d", c.Reg(14))
+	}
+	if c.Reg(15) != 2 {
+		t.Errorf("unsigned branch wrong: r15 = %d", c.Reg(15))
+	}
+}
+
+func TestPushAutoincrementSP(t *testing.T) {
+	c := run(t, `
+ mov #0x1111, r4
+ mov #0x2222, r5
+ push r4
+ push r5
+ pop r6
+ pop r7
+`+halt)
+	if c.Reg(6) != 0x2222 || c.Reg(7) != 0x1111 {
+		t.Errorf("stack order wrong: %#x %#x", c.Reg(6), c.Reg(7))
+	}
+	if c.Reg(SP) != 0x2400 {
+		t.Errorf("SP = %#x after balanced push/pop", c.Reg(SP))
+	}
+}
+
+func TestCallIndirect(t *testing.T) {
+	c := run(t, `
+ mov #target, r10
+ call r10
+ jmp done
+target:
+ mov #0xFEED, r4
+ ret
+done:
+`+halt)
+	if c.Reg(4) != 0xFEED {
+		t.Errorf("indirect call failed: r4 = %#x", c.Reg(4))
+	}
+}
+
+func TestNestedCalls(t *testing.T) {
+	c := run(t, `
+ call #outer
+ jmp done
+outer:
+ call #inner
+ add #1, r4
+ ret
+inner:
+ mov #10, r4
+ ret
+done:
+`+halt)
+	if c.Reg(4) != 11 {
+		t.Errorf("nested calls: r4 = %d, want 11", c.Reg(4))
+	}
+}
+
+func TestSymbolicImmediateLabels(t *testing.T) {
+	// #label immediates resolve to the label's address.
+	prog, err := Assemble(`
+ .org 0x5000
+data: .word 0xABCD
+entry:
+ mov #data, r4
+ mov @r4, r5
+` + halt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New()
+	c.LoadImage(prog.Origin, prog.Words)
+	c.SetReg(PC, prog.Entry("entry"))
+	if err := c.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if c.Reg(5) != 0xABCD {
+		t.Errorf("r5 = %#x", c.Reg(5))
+	}
+}
+
+func TestRETI(t *testing.T) {
+	// Hand-build an interrupt frame: push PC then SR, RETI must restore
+	// both.
+	c := New()
+	prog, err := Assemble(`
+ .org 0x4400
+entry:
+ mov #0x2400, r1
+ push #after       ; return PC
+ push #0x0003      ; saved SR (C and Z set)
+ reti
+ mov #0xBAD, r15   ; skipped
+after:
+ mov #0x600D, r14
+ bis #0x10, sr
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.LoadImage(prog.Origin, prog.Words)
+	c.SetReg(PC, prog.Entry("entry"))
+	if err := c.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if c.Reg(14) != 0x600D || c.Reg(15) == 0xBAD {
+		t.Errorf("RETI did not return correctly: r14=%#x r15=%#x", c.Reg(14), c.Reg(15))
+	}
+}
+
+func TestIllegalOpcodeReported(t *testing.T) {
+	c := New()
+	c.WriteWord(0x4400, 0x0000) // opcode 0 is illegal
+	c.SetReg(PC, 0x4400)
+	if _, err := c.Step(); err == nil {
+		t.Error("illegal opcode executed without error")
+	}
+}
+
+func TestSwpbByteOrder(t *testing.T) {
+	c := run(t, `
+ mov #0xBEEF, r4
+ swpb r4
+`+halt)
+	if c.Reg(4) != 0xEFBE {
+		t.Errorf("swpb = %#x", c.Reg(4))
+	}
+}
+
+func TestNegativeIndexedAddressing(t *testing.T) {
+	c := run(t, `
+ mov #0x1234, &0x2200
+ mov #0x2202, r5
+ mov -2(r5), r6
+`+halt)
+	if c.Reg(6) != 0x1234 {
+		t.Errorf("negative index read %#x", c.Reg(6))
+	}
+}
+
+func TestAutoincrementByteMode(t *testing.T) {
+	// @Rn+ in byte mode advances by 1, not 2.
+	c := run(t, `
+ mov #0x2211, &0x2200
+ mov #0x2200, r5
+ mov.b @r5+, r6
+ mov.b @r5+, r7
+`+halt)
+	if c.Reg(6) != 0x11 || c.Reg(7) != 0x22 {
+		t.Errorf("byte autoincrement read %#x %#x", c.Reg(6), c.Reg(7))
+	}
+	if c.Reg(5) != 0x2202 {
+		t.Errorf("r5 = %#x after two byte reads", c.Reg(5))
+	}
+}

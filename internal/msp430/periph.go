@@ -1,0 +1,87 @@
+package msp430
+
+import "repro/internal/hwblock"
+
+// Multiplier is the MSP430 hardware multiplier peripheral (the openMSP430's
+// optional 16×16 multiplier): write the first operand to MPY (unsigned) or
+// MPYS (signed), write the second to OP2 to trigger, read the 32-bit result
+// from RESLO/RESHI. The evaluation firmware uses it for the squaring
+// operations of the block-frequency and longest-run routines.
+type Multiplier struct {
+	op1    uint16
+	signed bool
+	resLo  uint16
+	resHi  uint16
+}
+
+// Multiplier register offsets (relative to the mapping base; the standard
+// part maps it at 0x0130).
+const (
+	MulMPY   = 0x0 // unsigned first operand
+	MulMPYS  = 0x2 // signed first operand
+	MulOP2   = 0x8 // second operand; writing triggers the multiply
+	MulRESLO = 0xA // result bits 15..0
+	MulRESHI = 0xC // result bits 31..16
+)
+
+// ReadWord implements Peripheral.
+func (m *Multiplier) ReadWord(addr uint16) uint16 {
+	switch addr {
+	case MulMPY, MulMPYS:
+		return m.op1
+	case MulRESLO:
+		return m.resLo
+	case MulRESHI:
+		return m.resHi
+	}
+	return 0
+}
+
+// WriteWord implements Peripheral.
+func (m *Multiplier) WriteWord(addr uint16, v uint16) {
+	switch addr {
+	case MulMPY:
+		m.op1 = v
+		m.signed = false
+	case MulMPYS:
+		m.op1 = v
+		m.signed = true
+	case MulOP2:
+		if m.signed {
+			res := int32(int16(m.op1)) * int32(int16(v))
+			m.resLo = uint16(res)
+			m.resHi = uint16(uint32(res) >> 16)
+		} else {
+			res := uint32(m.op1) * uint32(v)
+			m.resLo = uint16(res)
+			m.resHi = uint16(res >> 16)
+		}
+	}
+}
+
+// TestingBlockPort adapts a hardware testing block's register file to the
+// CPU bus: word address w of the peripheral window reads register-file word
+// w — the memory-mapped interface of the paper's Fig. 2, with the CPU
+// driving the 7-bit select address.
+type TestingBlockPort struct {
+	rf *hwblock.RegFile
+}
+
+// NewTestingBlockPort wraps a register file.
+func NewTestingBlockPort(rf *hwblock.RegFile) *TestingBlockPort {
+	return &TestingBlockPort{rf: rf}
+}
+
+// ReadWord implements Peripheral.
+func (p *TestingBlockPort) ReadWord(addr uint16) uint16 {
+	return p.rf.ReadWord(int(addr / 2))
+}
+
+// WriteWord implements Peripheral: the testing block is read-only; writes
+// are dropped, as on the real bus.
+func (p *TestingBlockPort) WriteWord(addr uint16, v uint16) {}
+
+// WindowSize returns the number of bytes the port occupies.
+func (p *TestingBlockPort) WindowSize() uint16 {
+	return uint16(2 * p.rf.Words())
+}

@@ -1,0 +1,79 @@
+package nist
+
+import (
+	"fmt"
+
+	"repro/internal/bitstream"
+)
+
+// BatchResult aggregates one test's outcomes over a batch of sequences and
+// its §4 suite-level verdicts.
+type BatchResult struct {
+	// TestID and Name identify the test.
+	TestID int
+	Name   string
+	// Sequences is the number of sequences the test ran on (inapplicable
+	// sequences are excluded).
+	Sequences int
+	// Proportion is the pass-proportion analysis (nil if fewer than two
+	// applicable sequences).
+	Proportion *ProportionResult
+	// Uniformity is the P-value uniformity analysis (nil if fewer than
+	// ten applicable sequences).
+	Uniformity *UniformityResult
+}
+
+// OK reports whether the generator is accepted for this test: both
+// available suite-level criteria pass.
+func (b *BatchResult) OK() bool {
+	if b.Proportion != nil && !b.Proportion.OK {
+		return false
+	}
+	if b.Uniformity != nil && !b.Uniformity.OK {
+		return false
+	}
+	return true
+}
+
+// RunBatch executes the given tests over every sequence and applies the
+// SP800-22 §4 suite-level criteria per test. Tests returning
+// ErrNotApplicable on a sequence skip that sequence; other errors abort.
+func RunBatch(tests []Test, sequences []*bitstream.Sequence, alpha float64) ([]BatchResult, error) {
+	if len(sequences) < 2 {
+		return nil, fmt.Errorf("nist: batch needs at least 2 sequences")
+	}
+	var out []BatchResult
+	for _, tc := range tests {
+		br := BatchResult{TestID: tc.ID, Name: tc.Name}
+		var passes []bool
+		var ps []float64
+		for _, s := range sequences {
+			r, err := tc.Run(s)
+			if err == ErrNotApplicable {
+				continue
+			}
+			if err != nil {
+				return nil, fmt.Errorf("nist: batch test %d: %w", tc.ID, err)
+			}
+			passes = append(passes, r.Pass(alpha))
+			ps = append(ps, r.MinP())
+		}
+		br.Sequences = len(passes)
+		if len(passes) >= 2 {
+			pr, err := Proportion(passes, alpha)
+			if err != nil {
+				return nil, err
+			}
+			br.Proportion = pr
+		}
+		if len(ps) >= 10 {
+			ur, err := Uniformity(ps)
+			if err != nil {
+				return nil, err
+			}
+			br.Uniformity = ur
+		}
+		out = append(out, br)
+	}
+	return out, nil
+}

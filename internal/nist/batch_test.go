@@ -1,0 +1,103 @@
+package nist
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bitstream"
+)
+
+// quickTests is a fast subset for batch testing.
+func quickTests() []Test {
+	var out []Test
+	for _, tc := range Suite() {
+		switch tc.ID {
+		case 1, 3, 11, 13:
+			out = append(out, tc)
+		}
+	}
+	return out
+}
+
+func TestRunBatchAcceptsIdealGenerator(t *testing.T) {
+	var seqs []*bitstream.Sequence
+	for i := 0; i < 30; i++ {
+		seqs = append(seqs, randomSeq(4096, int64(5000+i)))
+	}
+	results, err := RunBatch(quickTests(), seqs, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("got %d batch results", len(results))
+	}
+	for _, br := range results {
+		if br.Sequences != 30 {
+			t.Errorf("test %d ran on %d sequences", br.TestID, br.Sequences)
+		}
+		if !br.OK() {
+			t.Errorf("test %d rejected the ideal generator (prop %.3f, PT %.4g)",
+				br.TestID, br.Proportion.Proportion, br.Uniformity.PT)
+		}
+	}
+}
+
+func TestRunBatchRejectsCorrelatedGenerator(t *testing.T) {
+	// A mildly sticky Markov generator (stick = 0.55): often passes a
+	// single 4096-bit sequence, but the batch criteria reject it via the
+	// serial/runs P-value distribution.
+	var seqs []*bitstream.Sequence
+	for i := 0; i < 30; i++ {
+		rng := rand.New(rand.NewSource(int64(6000 + i)))
+		s := bitstream.New(4096)
+		b := byte(0)
+		for s.Len() < 4096 {
+			if rng.Float64() >= 0.55 {
+				b ^= 1
+			}
+			s.AppendBit(b)
+		}
+		seqs = append(seqs, s)
+	}
+	results, err := RunBatch(quickTests(), seqs, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rejected := false
+	for _, br := range results {
+		if !br.OK() {
+			rejected = true
+		}
+	}
+	if !rejected {
+		t.Error("batch criteria accepted a structurally correlated generator")
+	}
+}
+
+func TestRunBatchHandlesInapplicableTests(t *testing.T) {
+	// Random excursions is inapplicable on short sequences: the batch
+	// must skip them gracefully.
+	var excursions []Test
+	for _, tc := range Suite() {
+		if tc.ID == 14 {
+			excursions = append(excursions, tc)
+		}
+	}
+	seqs := []*bitstream.Sequence{randomSeq(2048, 1), randomSeq(2048, 2)}
+	results, err := RunBatch(excursions, seqs, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Sequences != 0 {
+		t.Errorf("excursions ran on %d short sequences, want 0", results[0].Sequences)
+	}
+	if !results[0].OK() {
+		t.Error("no-data batch should be vacuously OK")
+	}
+}
+
+func TestRunBatchValidation(t *testing.T) {
+	if _, err := RunBatch(quickTests(), nil, 0.01); err == nil {
+		t.Error("empty batch accepted")
+	}
+}

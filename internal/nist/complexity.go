@@ -1,0 +1,110 @@
+package nist
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/bitstream"
+	"repro/internal/specfunc"
+)
+
+// linearComplexityProbs are the class probabilities for the T statistic
+// classes (≤−2.5, …, >2.5) from SP800-22 §3.10.
+var linearComplexityProbs = []float64{0.010417, 0.03125, 0.125, 0.5, 0.25, 0.0625, 0.020833}
+
+// LinearComplexity runs test 10, the Linear Complexity test (SP800-22
+// §2.10), with block length m (the standard recommends 500 ≤ m ≤ 5000).
+// Each block's linear complexity L_i is found with Berlekamp-Massey; the
+// centered statistic T_i = (−1)^m (L_i − μ) + 2/9 is classified into seven
+// classes and χ² (6 degrees of freedom) compares against the asymptotic
+// class probabilities.
+//
+// Marked "No" in the paper's Table I: Berlekamp-Massey needs O(m) bit
+// storage and O(m²) operations per block — not a counters-and-comparators
+// workload.
+func LinearComplexity(s *bitstream.Sequence, m int) (*Result, error) {
+	if m < 8 {
+		return nil, fmt.Errorf("nist: linear complexity: block length %d too small", m)
+	}
+	n := s.Len()
+	nBlocks := n / m
+	if nBlocks < 1 {
+		return nil, ErrTooShort
+	}
+	r := newResult(10, "Linear Complexity", nBlocks*m)
+	mf := float64(m)
+	sign := 1.0
+	if m%2 == 1 {
+		sign = -1
+	}
+	mu := mf/2 + (9+(-sign))/36 - (mf/3+2.0/9)/math.Pow(2, mf)
+	counts := make([]int, 7)
+	block := make([]byte, m)
+	for b := 0; b < nBlocks; b++ {
+		for i := 0; i < m; i++ {
+			block[i] = s.Bit(b*m + i)
+		}
+		l := berlekampMassey(block)
+		t := sign*(float64(l)-mu) + 2.0/9
+		switch {
+		case t <= -2.5:
+			counts[0]++
+		case t <= -1.5:
+			counts[1]++
+		case t <= -0.5:
+			counts[2]++
+		case t <= 0.5:
+			counts[3]++
+		case t <= 1.5:
+			counts[4]++
+		case t <= 2.5:
+			counts[5]++
+		default:
+			counts[6]++
+		}
+	}
+	chi2 := 0.0
+	for i, c := range counts {
+		e := float64(nBlocks) * linearComplexityProbs[i]
+		chi2 += sq(float64(c)-e) / e
+	}
+	p, err := specfunc.Igamc(3, chi2/2)
+	if err != nil {
+		return nil, err
+	}
+	r.Stats["chi2"] = chi2
+	r.Stats["mu"] = mu
+	r.Stats["blocks"] = float64(nBlocks)
+	r.addP("p", p)
+	return r, nil
+}
+
+// berlekampMassey returns the linear complexity (shortest LFSR length) of
+// the bit sequence over GF(2).
+func berlekampMassey(s []byte) int {
+	n := len(s)
+	c := make([]byte, n)
+	b := make([]byte, n)
+	t := make([]byte, n)
+	c[0], b[0] = 1, 1
+	l, m := 0, -1
+	for i := 0; i < n; i++ {
+		// Discrepancy d = s[i] + Σ_{j=1..l} c[j]·s[i−j].
+		d := s[i]
+		for j := 1; j <= l; j++ {
+			d ^= c[j] & s[i-j]
+		}
+		if d == 1 {
+			copy(t, c)
+			for j := 0; j+i-m < n; j++ {
+				c[j+i-m] ^= b[j]
+			}
+			if l <= i/2 {
+				l = i + 1 - l
+				m = i
+				copy(b, t)
+			}
+		}
+	}
+	return l
+}

@@ -1,0 +1,77 @@
+package nist
+
+import (
+	"math"
+
+	"repro/internal/bitstream"
+	"repro/internal/specfunc"
+)
+
+// CumulativeSums runs test 13, the Cumulative Sums (Cusum) test (SP800-22
+// §2.13), in both modes. Forward mode uses z = max_k |S_k| of the ±1 random
+// walk; backward mode uses the walk over the reversed sequence, whose
+// maximum equals max(S_final − S_min, S_max − S_final) — exactly the values
+// the paper's hardware up/down counter records (Table II), so no second
+// pass over the bits is needed.
+func CumulativeSums(s *bitstream.Sequence) (*Result, error) {
+	n := s.Len()
+	if n < 2 {
+		return nil, ErrTooShort
+	}
+	r := newResult(13, "Cumulative Sums", n)
+	sMax, sMin, sFinal := s.RandomWalk()
+	zF := sMax
+	if -sMin > zF {
+		zF = -sMin
+	}
+	zB := sFinal - sMin
+	if sMax-sFinal > zB {
+		zB = sMax - sFinal
+	}
+	r.Stats["s_max"] = float64(sMax)
+	r.Stats["s_min"] = float64(sMin)
+	r.Stats["s_final"] = float64(sFinal)
+	r.Stats["z_forward"] = float64(zF)
+	r.Stats["z_backward"] = float64(zB)
+	r.addP("p_forward", CusumPValue(zF, n))
+	r.addP("p_backward", CusumPValue(zB, n))
+	return r, nil
+}
+
+// CusumPValue evaluates the SP800-22 §2.13 P-value for maximum excursion z
+// over n steps. It is exported so the embedded software's critical-value
+// precomputation (internal/sweval) can invert it.
+func CusumPValue(z, n int) float64 {
+	if z <= 0 {
+		// A zero maximum excursion is impossible for n ≥ 1 except for
+		// the degenerate all-balanced walk prefix; it means wildly
+		// non-random input under this statistic's usage, report 0.
+		return 0
+	}
+	zf := float64(z)
+	nf := float64(n)
+	sqrtN := math.Sqrt(nf)
+
+	sum1 := 0.0
+	lo := int(math.Ceil((-nf/zf + 1) / 4))
+	hi := int(math.Floor((nf/zf - 1) / 4))
+	for k := lo; k <= hi; k++ {
+		kk := float64(k)
+		sum1 += specfunc.NormalCDF((4*kk+1)*zf/sqrtN) - specfunc.NormalCDF((4*kk-1)*zf/sqrtN)
+	}
+	sum2 := 0.0
+	lo = int(math.Ceil((-nf/zf - 3) / 4))
+	hi = int(math.Floor((nf/zf - 1) / 4))
+	for k := lo; k <= hi; k++ {
+		kk := float64(k)
+		sum2 += specfunc.NormalCDF((4*kk+3)*zf/sqrtN) - specfunc.NormalCDF((4*kk+1)*zf/sqrtN)
+	}
+	p := 1 - sum1 + sum2
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	return p
+}

@@ -1,0 +1,47 @@
+package nist
+
+import (
+	"math"
+
+	"repro/internal/bitstream"
+	"repro/internal/specfunc"
+)
+
+// DFT runs test 6, the Discrete Fourier Transform (Spectral) test
+// (SP800-22 §2.6, rev1a formulation). The ±1-mapped sequence is Fourier
+// transformed; under H₀, 95 % of the peak magnitudes |S_j| for
+// j = 0..n/2−1 fall below T = √(n·ln(1/0.05)). The statistic
+// d = (N₁ − N₀)/√(n·0.95·0.05/4) is asymptotically standard normal and
+// P = erfc(|d|/√2).
+//
+// This test is marked "No" in the paper's Table I: the full transform needs
+// O(n) storage and O(n log n) multiplications, far beyond the counters-and-
+// comparators hardware budget.
+func DFT(s *bitstream.Sequence) (*Result, error) {
+	n := s.Len()
+	if n < 16 {
+		return nil, ErrTooShort
+	}
+	r := newResult(6, "Discrete Fourier Transform (Spectral)", n)
+	x := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x[i] = 2*float64(s.Bit(i)) - 1
+	}
+	re, im := dft(x)
+	threshold := math.Sqrt(float64(n) * math.Log(1/0.05))
+	n0 := 0.95 * float64(n) / 2
+	n1 := 0
+	for j := 0; j < n/2; j++ {
+		if math.Hypot(re[j], im[j]) < threshold {
+			n1++
+		}
+	}
+	d := (float64(n1) - n0) / math.Sqrt(float64(n)*0.95*0.05/4)
+	p := specfunc.Erfc(math.Abs(d) / math.Sqrt2)
+	r.Stats["threshold"] = threshold
+	r.Stats["n0"] = n0
+	r.Stats["n1"] = float64(n1)
+	r.Stats["d"] = d
+	r.addP("p", p)
+	return r, nil
+}

@@ -1,0 +1,174 @@
+package nist
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file computes, exactly, the null distributions that SP800-22 ships
+// as tables. Computing them instead of copying them lets the platform use
+// arbitrary (in particular power-of-two) block lengths, which is the
+// foundation of the paper's block-detection trick and of its future-work
+// item "allowing the software to select the test parameters".
+
+// longestRunCDF returns P(longest run of ones in an m-bit ideal random
+// block ≤ k), evaluated by dynamic programming over the length of the
+// trailing run of ones (states 0..k, absorbing failure past k).
+func longestRunCDF(m, k int) float64 {
+	if k < 0 {
+		return 0
+	}
+	if k >= m {
+		return 1
+	}
+	// state[r] = probability the block so far is legal and ends in a run
+	// of exactly r ones.
+	state := make([]float64, k+1)
+	next := make([]float64, k+1)
+	state[0] = 1
+	for i := 0; i < m; i++ {
+		for r := range next {
+			next[r] = 0
+		}
+		var total float64
+		for r, p := range state {
+			if p == 0 {
+				continue
+			}
+			// Next bit is 0: run resets.
+			next[0] += p / 2
+			// Next bit is 1: run extends; exceeding k kills the path.
+			if r+1 <= k {
+				next[r+1] += p / 2
+			}
+			total += p
+		}
+		_ = total
+		state, next = next, state
+	}
+	sum := 0.0
+	for _, p := range state {
+		sum += p
+	}
+	return sum
+}
+
+// LongestRunClassProbs returns the probabilities of the longest-run classes
+// {≤lo, lo+1, …, hi−1, ≥hi} for an m-bit block. The returned slice has
+// hi−lo+1 entries summing to 1.
+func LongestRunClassProbs(m, lo, hi int) ([]float64, error) {
+	if lo < 0 || hi <= lo || m <= 0 {
+		return nil, fmt.Errorf("nist: invalid longest-run classes lo=%d hi=%d m=%d", lo, hi, m)
+	}
+	probs := make([]float64, hi-lo+1)
+	prev := longestRunCDF(m, lo)
+	probs[0] = prev
+	for v := lo + 1; v < hi; v++ {
+		cdf := longestRunCDF(m, v)
+		probs[v-lo] = cdf - prev
+		prev = cdf
+	}
+	probs[len(probs)-1] = 1 - prev
+	return probs, nil
+}
+
+// kmpAutomaton builds the deterministic matching automaton for the m-bit
+// template tpl (MSB-first): next[state][bit] is the new match length after
+// consuming bit. Reaching state m is an occurrence; overlapping scanning
+// continues from the failure state of m.
+func kmpAutomaton(tpl uint32, m int) (next [][2]int) {
+	pat := make([]byte, m)
+	for i := 0; i < m; i++ {
+		pat[i] = byte(tpl>>uint(m-1-i)) & 1
+	}
+	// Failure function.
+	fail := make([]int, m+1)
+	for i := 1; i < m; i++ {
+		j := fail[i]
+		for j > 0 && pat[i] != pat[j] {
+			j = fail[j]
+		}
+		if pat[i] == pat[j] {
+			j++
+		}
+		fail[i+1] = j
+	}
+	next = make([][2]int, m+1)
+	for st := 0; st <= m; st++ {
+		for b := 0; b <= 1; b++ {
+			j := st
+			if j == m {
+				j = fail[m]
+			}
+			for j > 0 && byte(b) != pat[j] {
+				j = fail[j]
+			}
+			if byte(b) == pat[j] {
+				j++
+			}
+			next[st][b] = j
+		}
+	}
+	return next
+}
+
+// OverlappingTemplateClassProbs returns the probabilities that an m-bit
+// template occurs (with overlap) exactly 0, 1, …, K−1, or ≥K times in a
+// blockLen-bit ideal random block, via dynamic programming over the KMP
+// matching automaton. The returned slice has K+1 entries summing to 1.
+func OverlappingTemplateClassProbs(tpl uint32, m, blockLen, k int) ([]float64, error) {
+	if m <= 0 || m > 31 || blockLen < m || k < 1 {
+		return nil, fmt.Errorf("nist: invalid overlapping-template parameters m=%d M=%d K=%d", m, blockLen, k)
+	}
+	auto := kmpAutomaton(tpl, m)
+	nStates := m + 1
+	// dp[state*(k+1) + count] with count capped at k.
+	dp := make([]float64, nStates*(k+1))
+	nxt := make([]float64, nStates*(k+1))
+	dp[0] = 1
+	for i := 0; i < blockLen; i++ {
+		for j := range nxt {
+			nxt[j] = 0
+		}
+		for st := 0; st < nStates; st++ {
+			for c := 0; c <= k; c++ {
+				p := dp[st*(k+1)+c]
+				if p == 0 {
+					continue
+				}
+				for b := 0; b <= 1; b++ {
+					ns := auto[st][b]
+					nc := c
+					if ns == m && nc < k {
+						nc++
+					}
+					nxt[ns*(k+1)+nc] += p / 2
+				}
+			}
+		}
+		dp, nxt = nxt, dp
+	}
+	probs := make([]float64, k+1)
+	for st := 0; st < nStates; st++ {
+		for c := 0; c <= k; c++ {
+			probs[c] += dp[st*(k+1)+c]
+		}
+	}
+	return probs, nil
+}
+
+// RankProbs returns P(rank = r) for a random rows×cols binary matrix over
+// GF(2), using the standard product formula.
+func RankProbs(rows, cols, r int) float64 {
+	if r < 0 || r > rows || r > cols {
+		return 0
+	}
+	// log2 of the probability to avoid underflow in intermediates.
+	exp := float64(r*(cols+rows-r) - rows*cols)
+	prod := 1.0
+	for i := 0; i < r; i++ {
+		prod *= (1 - math.Pow(2, float64(i-cols))) * (1 - math.Pow(2, float64(i-rows))) /
+			(1 - math.Pow(2, float64(i-r)))
+	}
+	return math.Pow(2, exp) * prod
+}

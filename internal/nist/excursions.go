@@ -1,0 +1,149 @@
+package nist
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/bitstream"
+	"repro/internal/specfunc"
+)
+
+// walkCycles derives the random-walk cycles of the sequence: the ±1 partial
+// sums split at every return to zero (with a final implicit return). It
+// returns the per-cycle visit counts for the states −4..−1, 1..4 (test 14)
+// and the total visit counts for −9..9 (test 15), along with the number of
+// cycles J.
+func walkCycles(s *bitstream.Sequence) (perCycle [][]int, totals map[int]int, cycles int) {
+	totals = make(map[int]int)
+	cur := make([]int, 8) // visit counts for states -4..-1,1..4 in this cycle
+	flush := func() {
+		perCycle = append(perCycle, cur)
+		cur = make([]int, 8)
+		cycles++
+	}
+	sum := 0
+	started := false
+	for i := 0; i < s.Len(); i++ {
+		if s.Bit(i) == 1 {
+			sum++
+		} else {
+			sum--
+		}
+		started = true
+		if sum == 0 {
+			flush()
+			continue
+		}
+		if sum >= -9 && sum <= 9 {
+			totals[sum]++
+		}
+		if sum >= -4 && sum <= 4 {
+			cur[stateIndex(sum)]++
+		}
+	}
+	if started && sum != 0 {
+		// The final partial cycle counts as one cycle per SP800-22.
+		flush()
+	}
+	return perCycle, totals, cycles
+}
+
+// stateIndex maps a nonzero state in -4..4 to an index 0..7.
+func stateIndex(x int) int {
+	if x < 0 {
+		return x + 4 // -4..-1 -> 0..3
+	}
+	return x + 3 // 1..4 -> 4..7
+}
+
+// excursionsPi returns π_k(x): the probability that state x is visited
+// exactly k times in one cycle (k capped at 5 meaning "≥5" for k=5),
+// from SP800-22 §3.14.
+func excursionsPi(x, k int) float64 {
+	ax := math.Abs(float64(x))
+	switch {
+	case k == 0:
+		return 1 - 1/(2*ax)
+	case k < 5:
+		return 1 / (4 * ax * ax) * math.Pow(1-1/(2*ax), float64(k-1))
+	default:
+		return 1 / (2 * ax) * math.Pow(1-1/(2*ax), 4)
+	}
+}
+
+// RandomExcursions runs test 14, the Random Excursions test (SP800-22
+// §2.14). The walk is cut into J zero-to-zero cycles; for each state
+// x ∈ {−4..−1, 1..4} the number of cycles visiting x exactly 0..4 or ≥5
+// times is compared by χ² (5 degrees of freedom) against the exact cycle
+// visit distribution. Requires J ≥ max(0.005√n, 500) to be applicable.
+//
+// Marked "No" in the paper's Table I: per-cycle, per-state class counters
+// (48 of them) plus the applicability bookkeeping exceed the monitor's
+// area budget, and the test is undefined until enough cycles are seen.
+func RandomExcursions(s *bitstream.Sequence) (*Result, error) {
+	n := s.Len()
+	if n < 128 {
+		return nil, ErrTooShort
+	}
+	perCycle, _, j := walkCycles(s)
+	limit := math.Max(0.005*math.Sqrt(float64(n)), 500)
+	r := newResult(14, "Random Excursions", n)
+	r.Stats["J"] = float64(j)
+	if float64(j) < limit {
+		return r, ErrNotApplicable
+	}
+	for _, x := range []int{-4, -3, -2, -1, 1, 2, 3, 4} {
+		// counts[k] = number of cycles in which x was visited exactly k
+		// times (k=5 means ≥5).
+		var counts [6]int
+		for _, cyc := range perCycle {
+			v := cyc[stateIndex(x)]
+			if v > 5 {
+				v = 5
+			}
+			counts[v]++
+		}
+		chi2 := 0.0
+		for k, c := range counts {
+			e := float64(j) * excursionsPi(x, k)
+			chi2 += sq(float64(c)-e) / e
+		}
+		p, err := specfunc.Igamc(2.5, chi2/2)
+		if err != nil {
+			return nil, err
+		}
+		r.Stats[fmt.Sprintf("chi2_x%+d", x)] = chi2
+		r.addP(fmt.Sprintf("x=%+d", x), p)
+	}
+	return r, nil
+}
+
+// RandomExcursionsVariant runs test 15, the Random Excursions Variant test
+// (SP800-22 §2.15). For each state x ∈ {−9..−1, 1..9}, the total number of
+// visits ξ(x) across the whole walk satisfies
+// P = erfc(|ξ(x) − J| / √(2J(4|x| − 2))). Same applicability condition on J
+// as test 14.
+func RandomExcursionsVariant(s *bitstream.Sequence) (*Result, error) {
+	n := s.Len()
+	if n < 128 {
+		return nil, ErrTooShort
+	}
+	_, totals, j := walkCycles(s)
+	limit := math.Max(0.005*math.Sqrt(float64(n)), 500)
+	r := newResult(15, "Random Excursions Variant", n)
+	r.Stats["J"] = float64(j)
+	if float64(j) < limit {
+		return r, ErrNotApplicable
+	}
+	for x := -9; x <= 9; x++ {
+		if x == 0 {
+			continue
+		}
+		xi := float64(totals[x])
+		den := math.Sqrt(2 * float64(j) * (4*math.Abs(float64(x)) - 2))
+		p := specfunc.Erfc(math.Abs(xi-float64(j)) / den)
+		r.Stats[fmt.Sprintf("xi_x%+d", x)] = xi
+		r.addP(fmt.Sprintf("x=%+d", x), p)
+	}
+	return r, nil
+}

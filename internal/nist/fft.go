@@ -1,0 +1,119 @@
+package nist
+
+import "math"
+
+// This file implements the discrete Fourier transform used by test 6.
+// Power-of-two lengths use an iterative radix-2 Cooley-Tukey FFT; other
+// lengths use Bluestein's chirp-z algorithm on top of it, so the test works
+// for any sequence length (the SP800-22 worked examples use n=10 and n=100).
+
+// fftRadix2 transforms re/im in place; len(re) must be a power of two.
+func fftRadix2(re, im []float64) {
+	n := len(re)
+	if n&(n-1) != 0 {
+		panic("nist: fftRadix2 requires power-of-two length")
+	}
+	// Bit-reversal permutation.
+	for i, j := 0, 0; i < n; i++ {
+		if i < j {
+			re[i], re[j] = re[j], re[i]
+			im[i], im[j] = im[j], im[i]
+		}
+		bit := n >> 1
+		for ; j&bit != 0; bit >>= 1 {
+			j ^= bit
+		}
+		j |= bit
+	}
+	for size := 2; size <= n; size <<= 1 {
+		ang := -2 * math.Pi / float64(size)
+		wRe, wIm := math.Cos(ang), math.Sin(ang)
+		for start := 0; start < n; start += size {
+			curRe, curIm := 1.0, 0.0
+			for k := 0; k < size/2; k++ {
+				a, b := start+k, start+k+size/2
+				tRe := re[b]*curRe - im[b]*curIm
+				tIm := re[b]*curIm + im[b]*curRe
+				re[b] = re[a] - tRe
+				im[b] = im[a] - tIm
+				re[a] += tRe
+				im[a] += tIm
+				curRe, curIm = curRe*wRe-curIm*wIm, curRe*wIm+curIm*wRe
+			}
+		}
+	}
+}
+
+// ifftRadix2 is the inverse transform (including the 1/n scaling).
+func ifftRadix2(re, im []float64) {
+	n := len(re)
+	for i := range im {
+		im[i] = -im[i]
+	}
+	fftRadix2(re, im)
+	for i := range re {
+		re[i] /= float64(n)
+		im[i] = -im[i] / float64(n)
+	}
+}
+
+// dft returns the complex DFT of the real input x, as parallel re/im
+// slices of length len(x).
+func dft(x []float64) (re, im []float64) {
+	n := len(x)
+	if n == 0 {
+		return nil, nil
+	}
+	if n&(n-1) == 0 {
+		re = append([]float64(nil), x...)
+		im = make([]float64, n)
+		fftRadix2(re, im)
+		return re, im
+	}
+	return bluestein(x)
+}
+
+// bluestein evaluates the length-n DFT via the chirp-z transform using a
+// power-of-two FFT of length ≥ 2n−1.
+func bluestein(x []float64) (re, im []float64) {
+	n := len(x)
+	m := 1
+	for m < 2*n-1 {
+		m <<= 1
+	}
+	// chirp[k] = exp(-iπk²/n)
+	chRe := make([]float64, n)
+	chIm := make([]float64, n)
+	for k := 0; k < n; k++ {
+		// k² mod 2n keeps the angle accurate for large k.
+		kk := (k * k) % (2 * n)
+		ang := -math.Pi * float64(kk) / float64(n)
+		chRe[k], chIm[k] = math.Cos(ang), math.Sin(ang)
+	}
+	aRe := make([]float64, m)
+	aIm := make([]float64, m)
+	for k := 0; k < n; k++ {
+		aRe[k] = x[k] * chRe[k]
+		aIm[k] = x[k] * chIm[k]
+	}
+	bRe := make([]float64, m)
+	bIm := make([]float64, m)
+	bRe[0], bIm[0] = chRe[0], -chIm[0]
+	for k := 1; k < n; k++ {
+		bRe[k], bIm[k] = chRe[k], -chIm[k]
+		bRe[m-k], bIm[m-k] = chRe[k], -chIm[k]
+	}
+	fftRadix2(aRe, aIm)
+	fftRadix2(bRe, bIm)
+	for i := 0; i < m; i++ {
+		aRe[i], aIm[i] = aRe[i]*bRe[i]-aIm[i]*bIm[i], aRe[i]*bIm[i]+aIm[i]*bRe[i]
+	}
+	ifftRadix2(aRe, aIm)
+	re = make([]float64, n)
+	im = make([]float64, n)
+	for k := 0; k < n; k++ {
+		re[k] = aRe[k]*chRe[k] - aIm[k]*chIm[k]
+		im[k] = aRe[k]*chIm[k] + aIm[k]*chRe[k]
+	}
+	return re, im
+}

@@ -1,0 +1,176 @@
+package nist
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/bitstream"
+	"repro/internal/specfunc"
+)
+
+// Frequency runs test 1, the Frequency (Monobit) test (SP800-22 §2.1).
+// The statistic is s_obs = |Σ(2ε_i − 1)| / √n; under H₀ it is asymptotically
+// half-normal, and P = erfc(s_obs/√2).
+//
+// Hardware/software split (paper Table II): hardware supplies N_ones (in the
+// unified design derived from the cusum up/down counter's final value);
+// software performs only comparison operations against a precomputed bound.
+func Frequency(s *bitstream.Sequence) (*Result, error) {
+	n := s.Len()
+	if n < 1 {
+		return nil, ErrTooShort
+	}
+	r := newResult(1, "Frequency (Monobit)", n)
+	ones := s.Ones()
+	sn := 2*ones - n
+	sObs := math.Abs(float64(sn)) / math.Sqrt(float64(n))
+	p := specfunc.Erfc(sObs / math.Sqrt2)
+	r.Stats["n_ones"] = float64(ones)
+	r.Stats["s_n"] = float64(sn)
+	r.Stats["s_obs"] = sObs
+	r.addP("p", p)
+	return r, nil
+}
+
+// BlockFrequency runs test 2, the Frequency test within a Block (SP800-22
+// §2.2) with block length m. χ² = 4m Σ (π_i − 1/2)² over the N = n/m
+// blocks, and P = igamc(N/2, χ²/2).
+//
+// HW/SW split: hardware supplies the per-block ones counts ε_1..ε_N;
+// software computes Σ (ε_i − m/2)², which equals m/4 · χ²/... — in integer
+// form 4/m · Σ(ε_i − m/2)² = χ² (exact when m is even, in particular for
+// the power-of-two block lengths the platform uses).
+func BlockFrequency(s *bitstream.Sequence, m int) (*Result, error) {
+	n := s.Len()
+	if m < 2 {
+		return nil, fmt.Errorf("nist: block frequency: invalid block length %d", m)
+	}
+	nBlocks := n / m
+	if nBlocks < 1 {
+		return nil, ErrTooShort
+	}
+	r := newResult(2, "Frequency within a Block", nBlocks*m)
+	chi2 := 0.0
+	for _, ones := range s.BlockOnes(m) {
+		d := float64(ones)/float64(m) - 0.5
+		chi2 += d * d
+	}
+	chi2 *= 4 * float64(m)
+	p, err := specfunc.Igamc(float64(nBlocks)/2, chi2/2)
+	if err != nil {
+		return nil, err
+	}
+	r.Stats["chi2"] = chi2
+	r.Stats["blocks"] = float64(nBlocks)
+	r.Stats["m"] = float64(m)
+	r.addP("p", p)
+	return r, nil
+}
+
+// Runs runs test 3, the Runs test (SP800-22 §2.3). With π = N_ones/n, the
+// test first requires |π − 1/2| < 2/√n (otherwise the monobit test has
+// already failed and P is reported as 0); then with V_n the total number of
+// runs, P = erfc(|V_n − 2nπ(1−π)| / (2√(2n) π(1−π))).
+//
+// HW/SW split: hardware supplies N_ones and N_runs; software performs only
+// comparisons — the acceptance interval for N_runs is precomputed per
+// N_ones interval (see internal/sweval).
+func Runs(s *bitstream.Sequence) (*Result, error) {
+	n := s.Len()
+	if n < 2 {
+		return nil, ErrTooShort
+	}
+	r := newResult(3, "Runs", n)
+	ones := s.Ones()
+	pi := float64(ones) / float64(n)
+	runs := s.Runs()
+	r.Stats["n_ones"] = float64(ones)
+	r.Stats["v_n"] = float64(runs)
+	r.Stats["pi"] = pi
+	if math.Abs(pi-0.5) >= 2/math.Sqrt(float64(n)) {
+		// Frequency precondition failed: the runs test is defined to
+		// report non-randomness immediately.
+		r.Stats["precondition"] = 0
+		r.addP("p", 0)
+		return r, nil
+	}
+	r.Stats["precondition"] = 1
+	num := math.Abs(float64(runs) - 2*float64(n)*pi*(1-pi))
+	den := 2 * math.Sqrt(2*float64(n)) * pi * (1 - pi)
+	p := specfunc.Erfc(num / den)
+	r.addP("p", p)
+	return r, nil
+}
+
+// LongestRunOfOnes runs test 4, the test for the Longest Run of Ones in a
+// Block (SP800-22 §2.4) with block length m. The longest run in each block
+// is classified into K+1 classes; χ² compares the class counts ν_i against
+// the exact class probabilities π_i (computed, not table-copied — see
+// LongestRunClassProbs), and P = igamc(K/2, χ²/2).
+//
+// HW/SW split: hardware supplies the class counts ν_i; software computes
+// Σ ν_i²/(Nπ_i) − N (an algebraically identical form needing one multiply
+// and one reciprocal constant per class).
+func LongestRunOfOnes(s *bitstream.Sequence, m int) (*Result, error) {
+	n := s.Len()
+	lo, hi, err := LongestRunClassBounds(m)
+	if err != nil {
+		return nil, err
+	}
+	nBlocks := n / m
+	if nBlocks < 4 {
+		return nil, ErrTooShort
+	}
+	r := newResult(4, "Longest Run of Ones in a Block", nBlocks*m)
+	probs, err := LongestRunClassProbs(m, lo, hi)
+	if err != nil {
+		return nil, err
+	}
+	counts := make([]int, hi-lo+1)
+	for _, longest := range s.BlockLongestRuns(m) {
+		switch {
+		case longest <= lo:
+			counts[0]++
+		case longest >= hi:
+			counts[len(counts)-1]++
+		default:
+			counts[longest-lo]++
+		}
+	}
+	chi2 := 0.0
+	for i, c := range counts {
+		e := float64(nBlocks) * probs[i]
+		d := float64(c) - e
+		chi2 += d * d / e
+	}
+	k := len(counts) - 1
+	p, err := specfunc.Igamc(float64(k)/2, chi2/2)
+	if err != nil {
+		return nil, err
+	}
+	r.Stats["chi2"] = chi2
+	r.Stats["blocks"] = float64(nBlocks)
+	r.Stats["m"] = float64(m)
+	for i, c := range counts {
+		r.Stats[fmt.Sprintf("nu_%d", i)] = float64(c)
+	}
+	r.addP("p", p)
+	return r, nil
+}
+
+// LongestRunClassBounds returns the class boundaries (lo = "≤lo" class,
+// hi = "≥hi" class) SP800-22 prescribes for block length m, extended to the
+// power-of-two block lengths the platform uses (8192 gets the same K=6
+// classes as the standard's 10⁴).
+func LongestRunClassBounds(m int) (lo, hi int, err error) {
+	switch {
+	case m < 8:
+		return 0, 0, fmt.Errorf("nist: longest run: block length %d too small", m)
+	case m < 128:
+		return 1, 4, nil // classes ≤1, 2, 3, ≥4 (K=3)
+	case m < 6272:
+		return 4, 9, nil // classes ≤4 … ≥9 (K=5)
+	default:
+		return 10, 16, nil // classes ≤10 … ≥16 (K=6)
+	}
+}

@@ -1,0 +1,184 @@
+package nist
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitstream"
+)
+
+// This file property-tests the algebraic identities the HW/SW split relies
+// on — if any of them broke, the shared-counter tricks would silently
+// compute the wrong statistics.
+
+// Cyclic pattern counts telescope: ν_{m−1}[y] = ν_m[y·2] + ν_m[y·2+1]
+// (every (m−1)-bit window is the prefix of exactly one m-bit cyclic
+// window). This identity is why the ApEn test can reuse the serial
+// counters and why the hardware only decodes one shift register.
+func TestPatternCountTelescoping(t *testing.T) {
+	f := func(raw []byte) bool {
+		if len(raw) < 8 {
+			return true
+		}
+		s := bitstream.FromBits(raw)
+		for m := 2; m <= 4; m++ {
+			wide := s.PatternCountsOverlapping(m)
+			narrow := s.PatternCountsOverlapping(m - 1)
+			for y := 0; y < 1<<uint(m-1); y++ {
+				if narrow[y] != wide[2*y]+wide[2*y+1] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// N_ones = (S_final + n)/2 — the omitted-counter identity.
+func TestOnesFromWalkIdentity(t *testing.T) {
+	f := func(raw []byte) bool {
+		s := bitstream.FromBits(raw)
+		_, _, fin := s.RandomWalk()
+		return (fin+s.Len())%2 == 0 && (fin+s.Len())/2 == s.Ones()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// The per-block ones counts sum to the global count over the covered
+// prefix — the block-frequency registers carry no information loss.
+func TestBlockOnesSumIdentity(t *testing.T) {
+	f := func(raw []byte, mRaw uint8) bool {
+		if len(raw) < 4 {
+			return true
+		}
+		m := int(mRaw)%7 + 2
+		s := bitstream.FromBits(raw)
+		blocks := s.BlockOnes(m)
+		sum := 0
+		for _, b := range blocks {
+			sum += b
+		}
+		covered := len(blocks) * m
+		return sum == s.Slice(0, covered).Ones()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// ψ²_m is non-negative and ∇ψ² = ψ²_m − ψ²_{m−1} is non-negative (a
+// standard property of the serial statistics; the embedded integer
+// statistic n·∇ψ² relies on it to stay unsigned-comparable).
+func TestPsiSquaredMonotone(t *testing.T) {
+	f := func(raw []byte) bool {
+		if len(raw) < 16 {
+			return true
+		}
+		s := bitstream.FromBits(raw)
+		psi2 := psiSquared(s, 2)
+		psi3 := psiSquared(s, 3)
+		psi4 := psiSquared(s, 4)
+		const eps = 1e-9
+		return psi2 >= -eps && psi3 >= psi2-eps && psi4 >= psi3-eps
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// The serial test's integer statistics match the floating-point ψ² path:
+// n·∇ψ² = 2^m·Σν_m² − 2^{m−1}·Σν_{m−1}².
+func TestSerialIntegerFormIdentity(t *testing.T) {
+	f := func(raw []byte) bool {
+		if len(raw) < 16 {
+			return true
+		}
+		s := bitstream.FromBits(raw)
+		n := float64(s.Len())
+		m := 4
+		sum := func(w int) (q int64) {
+			for _, c := range s.PatternCountsOverlapping(w) {
+				q += int64(c) * int64(c)
+			}
+			return q
+		}
+		x1 := int64(1<<uint(m))*sum(m) - int64(1<<uint(m-1))*sum(m-1)
+		del := psiSquared(s, m) - psiSquared(s, m-1)
+		return math.Abs(float64(x1)-n*del) < 1e-6*(1+math.Abs(float64(x1)))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Cusum backward statistic from recorded extrema equals the direct
+// reversed-walk maximum — the identity that saves the hardware a second
+// pass.
+func TestCusumBackwardIdentity(t *testing.T) {
+	f := func(raw []byte) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		s := bitstream.FromBits(raw)
+		sMax, sMin, sFin := s.RandomWalk()
+		zb := sFin - sMin
+		if sMax-sFin > zb {
+			zb = sMax - sFin
+		}
+		// Direct computation on the reversed sequence.
+		rev := bitstream.New(s.Len())
+		for i := s.Len() - 1; i >= 0; i-- {
+			rev.AppendBit(s.Bit(i))
+		}
+		rMax, rMin, _ := rev.RandomWalk()
+		zDirect := rMax
+		if -rMin > zDirect {
+			zDirect = -rMin
+		}
+		return zb == zDirect
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Longest-run classification is invariant under counter saturation at the
+// top class bound — the hardware's narrow saturating counter trick.
+func TestLongestRunSaturationInvariance(t *testing.T) {
+	f := func(raw []byte) bool {
+		if len(raw) < 16 {
+			return true
+		}
+		s := bitstream.FromBits(raw)
+		const m, lo, hi = 8, 1, 4
+		for _, longest := range s.BlockLongestRuns(m) {
+			saturated := longest
+			if saturated > hi {
+				saturated = hi
+			}
+			classify := func(v int) int {
+				switch {
+				case v <= lo:
+					return 0
+				case v >= hi:
+					return hi - lo
+				default:
+					return v - lo
+				}
+			}
+			if classify(longest) != classify(saturated) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,929 @@
+package nist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/bitstream"
+)
+
+// seq parses a 0/1 string, failing the test on malformed input.
+func seq(t *testing.T, bits string) *bitstream.Sequence {
+	t.Helper()
+	s, err := bitstream.ParseASCII(bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// randomSeq returns n pseudorandom bits from a fixed seed. A good PRNG
+// passes the suite at any reasonable α, making it a stand-in for the ideal
+// source in correctness tests.
+func randomSeq(n int, seedVal int64) *bitstream.Sequence {
+	rng := rand.New(rand.NewSource(seedVal))
+	s := bitstream.New(n)
+	var word uint64
+	for i := 0; i < n; i++ {
+		if i%32 == 0 {
+			word = uint64(rng.Uint32())
+		}
+		s.AppendBit(byte(word >> uint(i%32) & 1))
+	}
+	return s
+}
+
+// biasedSeq returns n bits that are 1 with probability p.
+func biasedSeq(n int, p float64, seedVal int64) *bitstream.Sequence {
+	rng := rand.New(rand.NewSource(seedVal))
+	s := bitstream.New(n)
+	for i := 0; i < n; i++ {
+		b := byte(0)
+		if rng.Float64() < p {
+			b = 1
+		}
+		s.AppendBit(b)
+	}
+	return s
+}
+
+func wantP(t *testing.T, r *Result, name string, want, tol float64) {
+	t.Helper()
+	for _, p := range r.PValues {
+		if p.Name == name {
+			if math.Abs(p.Value-want) > tol {
+				t.Errorf("%s: P[%s] = %.6f, want %.6f", r.Name, name, p.Value, want)
+			}
+			return
+		}
+	}
+	t.Errorf("%s: no P-value named %q", r.Name, name)
+}
+
+// --- Test 1: Frequency -----------------------------------------------------
+
+func TestFrequencyExample(t *testing.T) {
+	// SP800-22 §2.1.8: ε = 1011010101, n = 10 → P = 0.527089.
+	r, err := Frequency(seq(t, "1011010101"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantP(t, r, "p", 0.527089, 1e-6)
+	if r.Stats["s_n"] != 2 {
+		t.Errorf("s_n = %g, want 2", r.Stats["s_n"])
+	}
+}
+
+func TestFrequencyConstructedAnchor(t *testing.T) {
+	// Any 100-bit sequence with 58 ones has |S| = 16, s_obs = 1.6 and
+	// P = erfc(1.6/√2) = 0.109599 — the value SP800-22 §2.1.8 reports for
+	// the first 100 digits of e (which also have |S| = 16).
+	s := bitstream.New(100)
+	for i := 0; i < 100; i++ {
+		if i < 58 {
+			s.AppendBit(1)
+		} else {
+			s.AppendBit(0)
+		}
+	}
+	r, err := Frequency(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantP(t, r, "p", 0.109599, 1e-6)
+}
+
+func TestFrequencyRejectsBias(t *testing.T) {
+	r, err := Frequency(biasedSeq(4096, 0.6, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Pass(0.01) {
+		t.Errorf("frequency test passed a 60%% biased source (P = %g)", r.MinP())
+	}
+}
+
+func TestFrequencyEmpty(t *testing.T) {
+	if _, err := Frequency(bitstream.New(0)); err != ErrTooShort {
+		t.Errorf("err = %v, want ErrTooShort", err)
+	}
+}
+
+// --- Test 2: Block frequency ------------------------------------------------
+
+func TestBlockFrequencyExample(t *testing.T) {
+	// SP800-22 §2.2.8: ε = 0110011010, M = 3 → χ² = 1, P = 0.801252.
+	r, err := BlockFrequency(seq(t, "0110011010"), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.Stats["chi2"]-1) > 1e-12 {
+		t.Errorf("chi2 = %g, want 1", r.Stats["chi2"])
+	}
+	wantP(t, r, "p", 0.801252, 1e-6)
+}
+
+func TestBlockFrequencyConstructedAnchor(t *testing.T) {
+	// Blocks 1111100000 repeated 10 times with M = 10: every block has
+	// π_i = 1/2 so χ² = 0 and P = igamc(5, 0) = 1.
+	s := bitstream.New(100)
+	for b := 0; b < 10; b++ {
+		for i := 0; i < 10; i++ {
+			if i < 5 {
+				s.AppendBit(1)
+			} else {
+				s.AppendBit(0)
+			}
+		}
+	}
+	r, err := BlockFrequency(s, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Stats["chi2"] != 0 {
+		t.Errorf("chi2 = %g, want 0", r.Stats["chi2"])
+	}
+	wantP(t, r, "p", 1, 1e-12)
+}
+
+func TestBlockFrequencyRejectsClusteredBias(t *testing.T) {
+	// Alternating all-ones / all-zeros blocks: globally balanced but each
+	// block is maximally biased.
+	s := bitstream.New(4096)
+	for i := 0; i < 4096; i++ {
+		s.AppendBit(byte(i / 128 % 2))
+	}
+	r, err := BlockFrequency(s, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Pass(0.01) {
+		t.Error("block frequency passed clustered bias")
+	}
+}
+
+func TestBlockFrequencyInvalidM(t *testing.T) {
+	if _, err := BlockFrequency(randomSeq(64, 1), 1); err == nil {
+		t.Error("M=1 accepted")
+	}
+}
+
+// --- Test 3: Runs ------------------------------------------------------------
+
+func TestRunsExample(t *testing.T) {
+	// SP800-22 §2.3.8: ε = 1001101011, n = 10 → V = 7, P = 0.147232.
+	r, err := Runs(seq(t, "1001101011"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Stats["v_n"] != 7 {
+		t.Errorf("v_n = %g, want 7", r.Stats["v_n"])
+	}
+	wantP(t, r, "p", 0.147232, 1e-6)
+}
+
+func TestRunsBalancedIdealRunCount(t *testing.T) {
+	// A balanced sequence whose run count equals the expectation
+	// 2nπ(1−π) = n/2 gets P = erfc(0) = 1.
+	s := seq(t, "11001100110011001100") // n=20, ones=10, runs=10
+	r, err := Runs(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Stats["v_n"] != 10 {
+		t.Fatalf("v_n = %g, want 10", r.Stats["v_n"])
+	}
+	wantP(t, r, "p", 1, 1e-12)
+}
+
+func TestRunsPreconditionFailure(t *testing.T) {
+	// Heavy bias: the frequency precondition fails, P must be 0.
+	s := bitstream.New(100)
+	for i := 0; i < 100; i++ {
+		s.AppendBit(1)
+	}
+	r, err := Runs(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.MinP() != 0 {
+		t.Errorf("P = %g, want 0 on precondition failure", r.MinP())
+	}
+}
+
+func TestRunsRejectsAlternating(t *testing.T) {
+	s := bitstream.New(1024)
+	for i := 0; i < 1024; i++ {
+		s.AppendBit(byte(i % 2))
+	}
+	r, err := Runs(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Pass(0.01) {
+		t.Error("runs test passed 0101... sequence")
+	}
+}
+
+// --- Test 4: Longest run of ones ---------------------------------------------
+
+func TestLongestRunClassProbsM8(t *testing.T) {
+	// SP800-22 §3.4 table for M=8: π = {0.2148, 0.3672, 0.2305, 0.1875}.
+	probs, err := LongestRunClassProbs(8, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0.2148, 0.3672, 0.2305, 0.1875}
+	for i := range want {
+		if math.Abs(probs[i]-want[i]) > 5e-5 {
+			t.Errorf("pi[%d] = %.6f, want %.4f", i, probs[i], want[i])
+		}
+	}
+}
+
+func TestLongestRunClassProbsM128(t *testing.T) {
+	// SP800-22 §3.4 table for M=128: π = {0.1174, 0.2430, 0.2493, 0.1752,
+	// 0.1027, 0.1124}.
+	probs, err := LongestRunClassProbs(128, 4, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tolerance 1e-4: the publication's table is rounded to 4 digits and
+	// itself carries ~1-in-the-4th-digit rounding slack.
+	want := []float64{0.1174, 0.2430, 0.2493, 0.1752, 0.1027, 0.1124}
+	for i := range want {
+		if math.Abs(probs[i]-want[i]) > 1e-4 {
+			t.Errorf("pi[%d] = %.6f, want %.4f", i, probs[i], want[i])
+		}
+	}
+}
+
+func TestLongestRunClassProbsSumToOne(t *testing.T) {
+	for _, m := range []int{8, 128, 8192} {
+		lo, hi, err := LongestRunClassBounds(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		probs, err := LongestRunClassProbs(m, lo, hi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum := 0.0
+		for _, p := range probs {
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("M=%d: class probabilities sum to %g", m, sum)
+		}
+	}
+}
+
+func TestLongestRunExample(t *testing.T) {
+	// SP800-22 §2.4.8: the 128-bit example with M=8 → ν = {4,9,3,0},
+	// χ² = 4.882457, P = 0.180609.
+	r, err := LongestRunOfOnes(seq(t, longestRun128), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []float64{4, 9, 3, 0} {
+		got := r.Stats[keyNu(i)]
+		if got != want {
+			t.Errorf("nu_%d = %g, want %g", i, got, want)
+		}
+	}
+	if math.Abs(r.Stats["chi2"]-4.882457) > 1e-3 {
+		t.Errorf("chi2 = %g, want 4.882457", r.Stats["chi2"])
+	}
+	wantP(t, r, "p", 0.180609, 1e-4)
+}
+
+func TestLongestRunPassesRandom(t *testing.T) {
+	r, err := LongestRunOfOnes(randomSeq(65536, 3), 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Pass(0.001) {
+		t.Errorf("longest-run rejected good PRNG (P = %g)", r.MinP())
+	}
+}
+
+func TestLongestRunRejectsNoLongRuns(t *testing.T) {
+	// A source that never emits more than two consecutive ones.
+	rng := rand.New(rand.NewSource(9))
+	s := bitstream.New(65536)
+	run := 0
+	for i := 0; i < 65536; i++ {
+		b := byte(rng.Intn(2))
+		if b == 1 && run >= 2 {
+			b = 0
+		}
+		if b == 1 {
+			run++
+		} else {
+			run = 0
+		}
+		s.AppendBit(b)
+	}
+	r, err := LongestRunOfOnes(s, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Pass(0.01) {
+		t.Error("longest-run passed run-limited source")
+	}
+}
+
+func keyNu(i int) string { return "nu_" + string(rune('0'+i)) }
+
+// --- Test 5: Rank -------------------------------------------------------------
+
+func TestRankProbs32(t *testing.T) {
+	// Known values for 32x32: P(full) ≈ 0.2888, P(31) ≈ 0.5776,
+	// P(≤30) ≈ 0.1336.
+	pFull := RankProbs(32, 32, 32)
+	pM1 := RankProbs(32, 32, 31)
+	if math.Abs(pFull-0.2888) > 1e-4 {
+		t.Errorf("P(rank=32) = %.6f, want 0.2888", pFull)
+	}
+	if math.Abs(pM1-0.5776) > 1e-4 {
+		t.Errorf("P(rank=31) = %.6f, want 0.5776", pM1)
+	}
+	if math.Abs(1-pFull-pM1-0.1336) > 1e-4 {
+		t.Errorf("P(rank<=30) = %.6f, want 0.1336", 1-pFull-pM1)
+	}
+}
+
+func TestGF2RankIdentity(t *testing.T) {
+	// The 4x4 identity matrix, row-major: rank 4.
+	s := seq(t, "1000010000100001")
+	if got := gf2Rank(s, 0, 4, 4); got != 4 {
+		t.Errorf("rank = %d, want 4", got)
+	}
+}
+
+func TestGF2RankSingular(t *testing.T) {
+	// Rows 1110, 1110, 0001, 0000: the duplicate row and zero row leave
+	// rank 2.
+	s := seq(t, "11101110"+"0001"+"0000")
+	if got := gf2Rank(s, 0, 4, 4); got != 2 {
+		t.Errorf("rank = %d, want 2", got)
+	}
+	// All zeros.
+	z := bitstream.New(16)
+	for i := 0; i < 16; i++ {
+		z.AppendBit(0)
+	}
+	if got := gf2Rank(z, 0, 4, 4); got != 0 {
+		t.Errorf("rank of zero matrix = %d, want 0", got)
+	}
+}
+
+func TestRankPassesRandom(t *testing.T) {
+	r, err := Rank(randomSeq(1024*128, 5), 32, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Pass(0.001) {
+		t.Errorf("rank test rejected good PRNG (P = %g)", r.MinP())
+	}
+}
+
+func TestRankRejectsLowRankSource(t *testing.T) {
+	// Repeat each 32-bit row 32 times: every matrix has rank 1.
+	rng := rand.New(rand.NewSource(11))
+	s := bitstream.New(1024 * 64)
+	for m := 0; m < 64; m++ {
+		row := rng.Uint32()
+		for i := 0; i < 32; i++ {
+			for j := 31; j >= 0; j-- {
+				s.AppendBit(byte(row >> uint(j) & 1))
+			}
+		}
+	}
+	r, err := Rank(s, 32, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Pass(0.01) {
+		t.Error("rank test passed rank-1 matrices")
+	}
+}
+
+// --- Test 6: DFT ----------------------------------------------------------------
+
+func TestDFTPassesRandom(t *testing.T) {
+	r, err := DFT(randomSeq(4096, 13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Pass(0.001) {
+		t.Errorf("DFT rejected good PRNG (P = %g)", r.MinP())
+	}
+}
+
+func TestDFTRejectsPeriodic(t *testing.T) {
+	// Strong periodic component: period-8 square wave.
+	s := bitstream.New(4096)
+	for i := 0; i < 4096; i++ {
+		s.AppendBit(byte(i / 4 % 2))
+	}
+	r, err := DFT(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Pass(0.01) {
+		t.Error("DFT passed a square wave")
+	}
+}
+
+func TestDFTNonPowerOfTwoLength(t *testing.T) {
+	// Exercises the Bluestein path.
+	r, err := DFT(randomSeq(1000, 17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Pass(0.001) {
+		t.Errorf("DFT (Bluestein) rejected good PRNG (P = %g)", r.MinP())
+	}
+}
+
+func TestFFTMatchesNaiveDFT(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for _, n := range []int{8, 16, 10, 12, 100} {
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.Float64()*2 - 1
+		}
+		re, im := dft(x)
+		for k := 0; k < n; k++ {
+			var wr, wi float64
+			for t2 := 0; t2 < n; t2++ {
+				ang := -2 * math.Pi * float64(k) * float64(t2) / float64(n)
+				wr += x[t2] * math.Cos(ang)
+				wi += x[t2] * math.Sin(ang)
+			}
+			if math.Abs(re[k]-wr) > 1e-8 || math.Abs(im[k]-wi) > 1e-8 {
+				t.Fatalf("n=%d k=%d: dft=(%g,%g), naive=(%g,%g)", n, k, re[k], im[k], wr, wi)
+			}
+		}
+	}
+}
+
+// --- Test 7: Non-overlapping templates ---------------------------------------
+
+func TestNonOverlappingTemplateExample(t *testing.T) {
+	// SP800-22 §2.7.8: ε = 10100100101110010110, B = 001, m = 3, N = 2,
+	// M = 10 → W1 = 2, W2 = 1, χ² = 2.133333, P = 0.344154.
+	r, err := NonOverlappingTemplate(seq(t, "10100100101110010110"), 0b001, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Stats["W_1"] != 2 || r.Stats["W_2"] != 1 {
+		t.Errorf("W = (%g, %g), want (2, 1)", r.Stats["W_1"], r.Stats["W_2"])
+	}
+	if math.Abs(r.Stats["chi2"]-2.133333) > 1e-5 {
+		t.Errorf("chi2 = %g, want 2.133333", r.Stats["chi2"])
+	}
+	wantP(t, r, "p", 0.344154, 1e-5)
+}
+
+func TestNonOverlappingTemplatePassesRandom(t *testing.T) {
+	r, err := NonOverlappingTemplate(randomSeq(65536, 29), 0b000000001, 9, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Pass(0.001) {
+		t.Errorf("template test rejected good PRNG (P = %g)", r.MinP())
+	}
+}
+
+func TestNonOverlappingTemplateRejectsStuffedPattern(t *testing.T) {
+	// Inject the template far more often than chance.
+	rng := rand.New(rand.NewSource(31))
+	s := bitstream.New(65536)
+	for s.Len() < 65536-16 {
+		if rng.Float64() < 0.05 {
+			for _, b := range []byte{0, 0, 0, 0, 0, 0, 0, 0, 1} {
+				s.AppendBit(b)
+			}
+		} else {
+			s.AppendBit(byte(rng.Intn(2)))
+		}
+	}
+	for s.Len() < 65536 {
+		s.AppendBit(byte(rng.Intn(2)))
+	}
+	r, err := NonOverlappingTemplate(s, 0b000000001, 9, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Pass(0.01) {
+		t.Error("template test passed pattern-stuffed source")
+	}
+}
+
+// --- Test 8: Overlapping templates ---------------------------------------------
+
+func TestOverlappingTemplateClassProbsM1032(t *testing.T) {
+	// SP800-22 §3.8 (rev1a, corrected by Hamano): for m=9, M=1032, K=5 the
+	// class probabilities are approximately
+	// {0.364091, 0.185659, 0.139381, 0.100571, 0.070432, 0.139865}.
+	probs, err := OverlappingTemplateClassProbs(0x1FF, 9, 1032, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0.364091, 0.185659, 0.139381, 0.100571, 0.070432, 0.139865}
+	for i := range want {
+		if math.Abs(probs[i]-want[i]) > 2e-3 {
+			t.Errorf("pi[%d] = %.6f, want %.6f", i, probs[i], want[i])
+		}
+	}
+}
+
+func TestOverlappingTemplateClassProbsSumToOne(t *testing.T) {
+	probs, err := OverlappingTemplateClassProbs(0x1FF, 9, 1024, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, p := range probs {
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("probabilities sum to %g", sum)
+	}
+}
+
+func TestOverlappingTemplatePassesRandom(t *testing.T) {
+	r, err := OverlappingTemplate(randomSeq(65536, 37), 9, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Pass(0.001) {
+		t.Errorf("overlapping template rejected good PRNG (P = %g)", r.MinP())
+	}
+}
+
+func TestOverlappingTemplateRejectsLongOnes(t *testing.T) {
+	// A source with frequent long runs of ones.
+	rng := rand.New(rand.NewSource(41))
+	s := bitstream.New(65536)
+	for s.Len() < 65536-16 {
+		if rng.Float64() < 0.03 {
+			for i := 0; i < 12; i++ {
+				s.AppendBit(1)
+			}
+		} else {
+			s.AppendBit(byte(rng.Intn(2)))
+		}
+	}
+	for s.Len() < 65536 {
+		s.AppendBit(0)
+	}
+	r, err := OverlappingTemplate(s, 9, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Pass(0.01) {
+		t.Error("overlapping template passed long-run-rich source")
+	}
+}
+
+// --- Test 9: Universal -----------------------------------------------------------
+
+func TestUniversalWithParamsPassesRandom(t *testing.T) {
+	// L=6, Q=640: needs n >= 6*(640+K) — use a modest K.
+	r, err := UniversalWithParams(randomSeq(6*(640+2560), 43), 6, 640)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Pass(0.001) {
+		t.Errorf("universal rejected good PRNG (P = %g)", r.MinP())
+	}
+}
+
+func TestUniversalRejectsRepetition(t *testing.T) {
+	// A short repeating pattern compresses perfectly.
+	s := bitstream.New(6 * 3200)
+	for i := 0; i < 6*3200; i++ {
+		s.AppendBit(byte(i % 3 % 2))
+	}
+	r, err := UniversalWithParams(s, 6, 640)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Pass(0.01) {
+		t.Error("universal passed a repeating pattern")
+	}
+}
+
+func TestUniversalLSelection(t *testing.T) {
+	if l := universalL(387840); l != 6 {
+		t.Errorf("universalL(387840) = %d, want 6", l)
+	}
+	if l := universalL(1048576); l != 7 {
+		t.Errorf("universalL(2^20) = %d, want 7", l)
+	}
+	if l := universalL(1000); l != 0 {
+		t.Errorf("universalL(1000) = %d, want 0", l)
+	}
+}
+
+// --- Test 10: Linear complexity ----------------------------------------------------
+
+func TestBerlekampMassey(t *testing.T) {
+	cases := []struct {
+		bits string
+		want int
+	}{
+		{"0001", 4},          // 000...1 needs an LFSR as long as the prefix of zeros + 1
+		{"1101011110001", 4}, // SP800-22 §2.10.8 example: L = 4
+		{"0000", 0},
+		{"1111", 1},
+		{"101010", 2},
+	}
+	for _, c := range cases {
+		s := seq(t, c.bits)
+		if got := berlekampMassey(s.Bits()); got != c.want {
+			t.Errorf("BM(%q) = %d, want %d", c.bits, got, c.want)
+		}
+	}
+}
+
+func TestLinearComplexityPassesRandom(t *testing.T) {
+	r, err := LinearComplexity(randomSeq(500*40, 47), 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Pass(0.001) {
+		t.Errorf("linear complexity rejected good PRNG (P = %g)", r.MinP())
+	}
+}
+
+func TestLinearComplexityRejectsLFSR(t *testing.T) {
+	// Bits from a short LFSR have constant low complexity.
+	var state uint16 = 0xACE1
+	s := bitstream.New(500 * 40)
+	for i := 0; i < 500*40; i++ {
+		b := byte(state & 1)
+		feedback := (state ^ state>>2 ^ state>>3 ^ state>>5) & 1
+		state = state>>1 | feedback<<15
+		s.AppendBit(b)
+	}
+	r, err := LinearComplexity(s, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Pass(0.01) {
+		t.Error("linear complexity passed an LFSR source")
+	}
+}
+
+// --- Tests 11 & 12: Serial, Approximate entropy -------------------------------------
+
+func TestSerialExample(t *testing.T) {
+	// SP800-22 §2.11.8: ε = 0011011101, m = 3 → ψ²₃ = 2.8, ∇ψ² = 1.6,
+	// ∇²ψ² = 0.8, P1 = 0.808792, P2 = 0.670320.
+	r, err := Serial(seq(t, "0011011101"), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.Stats["psi2_m"]-2.8) > 1e-9 {
+		t.Errorf("psi2_m = %g, want 2.8", r.Stats["psi2_m"])
+	}
+	if math.Abs(r.Stats["del1"]-1.6) > 1e-9 {
+		t.Errorf("del1 = %g, want 1.6", r.Stats["del1"])
+	}
+	if math.Abs(r.Stats["del2"]-0.8) > 1e-9 {
+		t.Errorf("del2 = %g, want 0.8", r.Stats["del2"])
+	}
+	wantP(t, r, "p1", 0.808792, 1e-6)
+	wantP(t, r, "p2", 0.670320, 1e-6)
+}
+
+func TestSerialPassesRandom(t *testing.T) {
+	r, err := Serial(randomSeq(65536, 53), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Pass(0.001) {
+		t.Errorf("serial rejected good PRNG (P = %g)", r.MinP())
+	}
+}
+
+func TestSerialRejectsMarkovSource(t *testing.T) {
+	// Strongly sticky Markov chain: P(next == current) = 0.8.
+	rng := rand.New(rand.NewSource(59))
+	s := bitstream.New(65536)
+	b := byte(0)
+	for i := 0; i < 65536; i++ {
+		if rng.Float64() > 0.8 {
+			b ^= 1
+		}
+		s.AppendBit(b)
+	}
+	r, err := Serial(s, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Pass(0.01) {
+		t.Error("serial passed a sticky Markov source")
+	}
+}
+
+func TestApproximateEntropyExample(t *testing.T) {
+	// SP800-22 §2.12.8: ε = 0100110101, m = 3 → ApEn ≈ 0.502193 off the
+	// χ² = 0.502193 track; the published P-value is 0.261961.
+	r, err := ApproximateEntropy(seq(t, "0100110101"), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantP(t, r, "p", 0.261961, 1e-4)
+}
+
+func TestApproximateEntropyPassesRandom(t *testing.T) {
+	r, err := ApproximateEntropy(randomSeq(65536, 61), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Pass(0.001) {
+		t.Errorf("ApEn rejected good PRNG (P = %g)", r.MinP())
+	}
+}
+
+func TestApproximateEntropyRejectsPeriodic(t *testing.T) {
+	s := bitstream.New(4096)
+	for i := 0; i < 4096; i++ {
+		s.AppendBit(byte(i % 2))
+	}
+	r, err := ApproximateEntropy(s, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Pass(0.01) {
+		t.Error("ApEn passed 0101... sequence")
+	}
+}
+
+// --- Test 13: Cumulative sums ---------------------------------------------------------
+
+func TestCusumExample(t *testing.T) {
+	// SP800-22 §2.13.8: ε = 1011010111, n = 10 → z = 4 (forward),
+	// P = 0.4116588.
+	r, err := CumulativeSums(seq(t, "1011010111"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Stats["z_forward"] != 4 {
+		t.Errorf("z_forward = %g, want 4", r.Stats["z_forward"])
+	}
+	wantP(t, r, "p_forward", 0.4116588, 1e-6)
+}
+
+func TestCusumForwardBackwardSymmetry(t *testing.T) {
+	// Reversing the sequence swaps the forward and backward statistics.
+	s := randomSeq(4096, 97)
+	rev := bitstream.New(s.Len())
+	for i := s.Len() - 1; i >= 0; i-- {
+		rev.AppendBit(s.Bit(i))
+	}
+	rf, err := CumulativeSums(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := CumulativeSums(rev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rf.Stats["z_forward"] != rb.Stats["z_backward"] ||
+		rf.Stats["z_backward"] != rb.Stats["z_forward"] {
+		t.Errorf("z statistics not swapped under reversal: fwd=(%g,%g) rev=(%g,%g)",
+			rf.Stats["z_forward"], rf.Stats["z_backward"],
+			rb.Stats["z_forward"], rb.Stats["z_backward"])
+	}
+}
+
+func TestCusumPassesRandom(t *testing.T) {
+	r, err := CumulativeSums(randomSeq(65536, 67))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Pass(0.001) {
+		t.Errorf("cusum rejected good PRNG (P = %g)", r.MinP())
+	}
+}
+
+func TestCusumRejectsDrift(t *testing.T) {
+	r, err := CumulativeSums(biasedSeq(65536, 0.52, 71))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Pass(0.01) {
+		t.Error("cusum passed a drifting source")
+	}
+}
+
+// --- Tests 14 & 15: Random excursions ---------------------------------------------------
+
+func TestRandomExcursionsApplicability(t *testing.T) {
+	// Too few cycles: all-ones sequence has no zero crossings.
+	s := bitstream.New(2048)
+	for i := 0; i < 2048; i++ {
+		s.AppendBit(1)
+	}
+	if _, err := RandomExcursions(s); err != ErrNotApplicable {
+		t.Errorf("err = %v, want ErrNotApplicable", err)
+	}
+	if _, err := RandomExcursionsVariant(s); err != ErrNotApplicable {
+		t.Errorf("variant err = %v, want ErrNotApplicable", err)
+	}
+}
+
+func TestRandomExcursionsPassesRandom(t *testing.T) {
+	// Seed 79 yields J = 1093 cycles, comfortably above the 500-cycle
+	// applicability bound (J has enormous variance across seeds).
+	r, err := RandomExcursions(randomSeq(1<<20, 79))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.PValues) != 8 {
+		t.Fatalf("got %d P-values, want 8", len(r.PValues))
+	}
+	if !r.Pass(0.001) {
+		t.Errorf("random excursions rejected good PRNG (P = %g)", r.MinP())
+	}
+}
+
+func TestRandomExcursionsVariantPassesRandom(t *testing.T) {
+	r, err := RandomExcursionsVariant(randomSeq(1<<20, 79))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.PValues) != 18 {
+		t.Fatalf("got %d P-values, want 18", len(r.PValues))
+	}
+	if !r.Pass(0.001) {
+		t.Errorf("variant rejected good PRNG (P = %g)", r.MinP())
+	}
+}
+
+func TestExcursionsPiSumsToOne(t *testing.T) {
+	for _, x := range []int{-4, -1, 1, 4} {
+		sum := 0.0
+		for k := 0; k <= 5; k++ {
+			sum += excursionsPi(x, k)
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("x=%d: pi sums to %g", x, sum)
+		}
+	}
+}
+
+// --- Suite-level --------------------------------------------------------------------------
+
+func TestSuiteOrderAndSuitability(t *testing.T) {
+	suite := Suite()
+	if len(suite) != 15 {
+		t.Fatalf("suite has %d tests, want 15", len(suite))
+	}
+	// Paper Table I: tests 1,2,3,4,7,8,11,12,13 are HW-suitable.
+	suitable := map[int]bool{1: true, 2: true, 3: true, 4: true, 7: true,
+		8: true, 11: true, 12: true, 13: true}
+	for i, tc := range suite {
+		if tc.ID != i+1 {
+			t.Errorf("suite[%d].ID = %d, want %d", i, tc.ID, i+1)
+		}
+		if tc.HWSuitable != suitable[tc.ID] {
+			t.Errorf("test %d HWSuitable = %v, want %v", tc.ID, tc.HWSuitable, suitable[tc.ID])
+		}
+	}
+}
+
+func TestSuiteRunsOnRandomInput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-suite run is slow")
+	}
+	s := randomSeq(1<<20, 83)
+	for _, tc := range Suite() {
+		r, err := tc.Run(s)
+		if err == ErrNotApplicable {
+			// Tests 14/15 are legitimately inapplicable when the walk
+			// produces too few cycles.
+			continue
+		}
+		if err != nil {
+			t.Errorf("test %d (%s): %v", tc.ID, tc.Name, err)
+			continue
+		}
+		if !r.Pass(0.0001) {
+			t.Errorf("test %d (%s) rejected good PRNG: P = %g", tc.ID, tc.Name, r.MinP())
+		}
+	}
+}
+
+// longestRun128 is the 128-bit example sequence from SP800-22 §2.4.8.
+const longestRun128 = "11001100000101010110110001001100" +
+	"11100000000000100100110101010001" +
+	"00010011110101101000000011010111" +
+	"11001100111001101101100010110010"

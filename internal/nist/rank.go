@@ -1,0 +1,105 @@
+package nist
+
+import (
+	"fmt"
+
+	"repro/internal/bitstream"
+	"repro/internal/specfunc"
+)
+
+// Rank runs test 5, the Binary Matrix Rank test (SP800-22 §2.5), with
+// rows×cols matrices (the standard uses 32×32). The sequence is cut into
+// N = n/(rows·cols) matrices filled row-major; each matrix's GF(2) rank is
+// classified as full, full−1, or lower, and χ² (2 degrees of freedom)
+// compares the class counts against the exact rank distribution.
+//
+// This test is marked "No" in the paper's Table I: the hardware would need
+// to store a full rows×cols bit matrix and software would need Gaussian
+// elimination — both incompatible with a compact on-the-fly monitor.
+func Rank(s *bitstream.Sequence, rows, cols int) (*Result, error) {
+	if rows < 2 || cols < 2 {
+		return nil, fmt.Errorf("nist: rank: invalid matrix size %dx%d", rows, cols)
+	}
+	n := s.Len()
+	perMatrix := rows * cols
+	nMatrices := n / perMatrix
+	if nMatrices < 1 {
+		return nil, ErrTooShort
+	}
+	r := newResult(5, "Binary Matrix Rank", nMatrices*perMatrix)
+	full := rows
+	if cols < full {
+		full = cols
+	}
+	var cFull, cFull1, cLower int
+	for i := 0; i < nMatrices; i++ {
+		rank := gf2Rank(s, i*perMatrix, rows, cols)
+		switch rank {
+		case full:
+			cFull++
+		case full - 1:
+			cFull1++
+		default:
+			cLower++
+		}
+	}
+	pFull := RankProbs(rows, cols, full)
+	pFull1 := RankProbs(rows, cols, full-1)
+	pLower := 1 - pFull - pFull1
+	nm := float64(nMatrices)
+	chi2 := sq(float64(cFull)-nm*pFull)/(nm*pFull) +
+		sq(float64(cFull1)-nm*pFull1)/(nm*pFull1) +
+		sq(float64(cLower)-nm*pLower)/(nm*pLower)
+	p, err := specfunc.Igamc(1, chi2/2)
+	if err != nil {
+		return nil, err
+	}
+	r.Stats["chi2"] = chi2
+	r.Stats["full"] = float64(cFull)
+	r.Stats["full_minus_1"] = float64(cFull1)
+	r.Stats["lower"] = float64(cLower)
+	r.Stats["matrices"] = float64(nMatrices)
+	r.addP("p", p)
+	return r, nil
+}
+
+func sq(x float64) float64 { return x * x }
+
+// gf2Rank computes the rank over GF(2) of the rows×cols matrix whose bits
+// start at offset in s, filled row-major. Rows are held as uint64 words
+// (cols ≤ 64 is all the suite needs).
+func gf2Rank(s *bitstream.Sequence, offset, rows, cols int) int {
+	if cols > 64 {
+		panic("nist: gf2Rank supports at most 64 columns")
+	}
+	m := make([]uint64, rows)
+	for i := 0; i < rows; i++ {
+		var row uint64
+		for j := 0; j < cols; j++ {
+			row = row<<1 | uint64(s.Bit(offset+i*cols+j))
+		}
+		m[i] = row
+	}
+	rank := 0
+	for col := cols - 1; col >= 0 && rank < rows; col-- {
+		mask := uint64(1) << uint(col)
+		pivot := -1
+		for i := rank; i < rows; i++ {
+			if m[i]&mask != 0 {
+				pivot = i
+				break
+			}
+		}
+		if pivot < 0 {
+			continue
+		}
+		m[rank], m[pivot] = m[pivot], m[rank]
+		for i := 0; i < rows; i++ {
+			if i != rank && m[i]&mask != 0 {
+				m[i] ^= m[rank]
+			}
+		}
+		rank++
+	}
+	return rank
+}

@@ -1,0 +1,103 @@
+package nist
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/specfunc"
+)
+
+// This file implements the suite-level interpretation of SP800-22 §4:
+// given many sequences from one generator, (1) the proportion of passing
+// sequences must lie inside a confidence interval around 1−α, and (2) the
+// P-values themselves must be uniform on [0,1), checked with a χ² test
+// over ten bins. The repository uses it to validate the source models and
+// to measure the platform's false-alarm behaviour.
+
+// ProportionResult is the pass-proportion analysis of one test across a
+// batch of sequences.
+type ProportionResult struct {
+	// Sequences is the batch size.
+	Sequences int
+	// Passed is the number of sequences the test accepted.
+	Passed int
+	// Proportion is Passed/Sequences.
+	Proportion float64
+	// Low and High bound the acceptable proportion:
+	// (1−α) ± 3·√(α(1−α)/k).
+	Low, High float64
+	// OK reports whether the proportion is inside the interval.
+	OK bool
+}
+
+// Proportion evaluates the §4.2.1 pass-proportion criterion for a batch of
+// per-sequence pass verdicts at level alpha.
+func Proportion(passes []bool, alpha float64) (*ProportionResult, error) {
+	k := len(passes)
+	if k < 2 {
+		return nil, fmt.Errorf("nist: proportion analysis needs at least 2 sequences")
+	}
+	if alpha <= 0 || alpha >= 1 {
+		return nil, fmt.Errorf("nist: invalid alpha %g", alpha)
+	}
+	passed := 0
+	for _, p := range passes {
+		if p {
+			passed++
+		}
+	}
+	phat := 1 - alpha
+	margin := 3 * math.Sqrt(alpha*(1-alpha)/float64(k))
+	r := &ProportionResult{
+		Sequences:  k,
+		Passed:     passed,
+		Proportion: float64(passed) / float64(k),
+		Low:        phat - margin,
+		High:       phat + margin,
+	}
+	r.OK = r.Proportion >= r.Low && r.Proportion <= r.High
+	return r, nil
+}
+
+// UniformityResult is the P-value uniformity analysis.
+type UniformityResult struct {
+	// Bins holds the P-value histogram over ten equal bins.
+	Bins [10]int
+	// Chi2 is the χ² statistic over the bins (9 degrees of freedom).
+	Chi2 float64
+	// PT is the uniformity P-value, igamc(9/2, χ²/2).
+	PT float64
+	// OK reports PT ≥ 0.0001, the §4.2.2 criterion.
+	OK bool
+}
+
+// Uniformity evaluates the §4.2.2 P-value uniformity criterion.
+func Uniformity(pvalues []float64) (*UniformityResult, error) {
+	k := len(pvalues)
+	if k < 10 {
+		return nil, fmt.Errorf("nist: uniformity analysis needs at least 10 P-values")
+	}
+	r := &UniformityResult{}
+	for _, p := range pvalues {
+		bin := int(p * 10)
+		if bin > 9 {
+			bin = 9
+		}
+		if bin < 0 {
+			bin = 0
+		}
+		r.Bins[bin]++
+	}
+	expect := float64(k) / 10
+	for _, c := range r.Bins {
+		d := float64(c) - expect
+		r.Chi2 += d * d / expect
+	}
+	pt, err := specfunc.Igamc(4.5, r.Chi2/2)
+	if err != nil {
+		return nil, err
+	}
+	r.PT = pt
+	r.OK = pt >= 0.0001
+	return r, nil
+}

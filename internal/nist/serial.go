@@ -1,0 +1,113 @@
+package nist
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/bitstream"
+	"repro/internal/specfunc"
+)
+
+// psiSquared computes ψ²_m = (2^m/n) Σ ν² − n over the overlapping m-bit
+// pattern counts (with wrap-around). ψ²_0 and ψ²_{-1} are defined as 0.
+func psiSquared(s *bitstream.Sequence, m int) float64 {
+	if m <= 0 {
+		return 0
+	}
+	n := float64(s.Len())
+	sum := 0.0
+	for _, c := range s.PatternCountsOverlapping(m) {
+		sum += float64(c) * float64(c)
+	}
+	return math.Pow(2, float64(m))/n*sum - n
+}
+
+// Serial runs test 11, the Serial test (SP800-22 §2.11), with pattern
+// length m. It computes ∇ψ²_m = ψ²_m − ψ²_{m−1} and
+// ∇²ψ²_m = ψ²_m − 2ψ²_{m−1} + ψ²_{m−2}, giving two P-values:
+// P1 = igamc(2^{m−2}, ∇ψ²/2) and P2 = igamc(2^{m−3}, ∇²ψ²/2).
+//
+// HW/SW split (paper Table II): hardware supplies the 2^m + 2^{m−1} + 2^{m−2}
+// pattern counters (ν for m-, (m−1)- and (m−2)-bit patterns); software does
+// the squaring/summing. This is the paper's second contribution — the first
+// hardware implementation of this test suitable for on-the-fly use.
+func Serial(s *bitstream.Sequence, m int) (*Result, error) {
+	n := s.Len()
+	if m < 2 {
+		return nil, fmt.Errorf("nist: serial: pattern length %d too small", m)
+	}
+	if n <= m+2 {
+		return nil, ErrTooShort
+	}
+	r := newResult(11, "Serial", n)
+	psiM := psiSquared(s, m)
+	psiM1 := psiSquared(s, m-1)
+	psiM2 := psiSquared(s, m-2)
+	del1 := psiM - psiM1
+	del2 := psiM - 2*psiM1 + psiM2
+	p1, err := specfunc.Igamc(math.Pow(2, float64(m-2)), del1/2)
+	if err != nil {
+		return nil, err
+	}
+	p2, err := specfunc.Igamc(math.Pow(2, float64(m-3)), del2/2)
+	if err != nil {
+		return nil, err
+	}
+	r.Stats["psi2_m"] = psiM
+	r.Stats["psi2_m1"] = psiM1
+	r.Stats["psi2_m2"] = psiM2
+	r.Stats["del1"] = del1
+	r.Stats["del2"] = del2
+	r.addP("p1", p1)
+	r.addP("p2", p2)
+	return r, nil
+}
+
+// ApproximateEntropy runs test 12, the Approximate Entropy test (SP800-22
+// §2.12), with block length m. φ_m = Σ (ν_i/n)·ln(ν_i/n) over overlapping
+// m-bit patterns (with wrap-around); ApEn(m) = φ_m − φ_{m+1};
+// χ² = 2n[ln 2 − ApEn(m)] and P = igamc(2^{m−1}, χ²/2).
+//
+// HW/SW split: the hardware counters are the same ν used by the serial test
+// (the paper's "unified implementation" trick — test 12 adds no hardware);
+// the software evaluates x·log(x) with a 32-segment piece-wise-linear
+// approximation (Fig. 3), implemented in internal/sweval.
+func ApproximateEntropy(s *bitstream.Sequence, m int) (*Result, error) {
+	n := s.Len()
+	if m < 1 {
+		return nil, fmt.Errorf("nist: approximate entropy: block length %d too small", m)
+	}
+	if n <= m+2 {
+		return nil, ErrTooShort
+	}
+	r := newResult(12, "Approximate Entropy", n)
+	phi := func(mm int) float64 {
+		sum := 0.0
+		for _, c := range s.PatternCountsOverlapping(mm) {
+			if c == 0 {
+				continue
+			}
+			f := float64(c) / float64(n)
+			sum += f * math.Log(f)
+		}
+		return sum
+	}
+	phiM := phi(m)
+	phiM1 := phi(m + 1)
+	apen := phiM - phiM1
+	chi2 := 2 * float64(n) * (math.Ln2 - apen)
+	if chi2 < 0 {
+		// Guard against tiny negative round-off for degenerate inputs.
+		chi2 = 0
+	}
+	p, err := specfunc.Igamc(math.Pow(2, float64(m-1)), chi2/2)
+	if err != nil {
+		return nil, err
+	}
+	r.Stats["phi_m"] = phiM
+	r.Stats["phi_m1"] = phiM1
+	r.Stats["apen"] = apen
+	r.Stats["chi2"] = chi2
+	r.addP("p", p)
+	return r, nil
+}

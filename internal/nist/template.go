@@ -1,0 +1,106 @@
+package nist
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/bitstream"
+	"repro/internal/specfunc"
+)
+
+// NonOverlappingTemplate runs test 7, the Non-overlapping Template Matching
+// test (SP800-22 §2.7), for one m-bit template tpl (MSB-first) over nBlocks
+// blocks of length M = n/nBlocks. W_i counts non-overlapping occurrences in
+// block i; under H₀, W_i ≈ Normal(μ, σ²) with μ = (M−m+1)/2^m and
+// σ² = M(1/2^m − (2m−1)/2^{2m}); χ² = Σ (W_i − μ)²/σ² and
+// P = igamc(N/2, χ²/2).
+//
+// HW/SW split (paper Table II): hardware supplies W_1..W_N; software
+// computes Σ (2^m W_i − μ·2^m)² — an all-integer form for the power-of-two
+// parameters the platform uses.
+func NonOverlappingTemplate(s *bitstream.Sequence, tpl uint32, m, nBlocks int) (*Result, error) {
+	n := s.Len()
+	if m < 2 || m > 21 {
+		return nil, fmt.Errorf("nist: non-overlapping template: invalid template length %d", m)
+	}
+	if nBlocks < 1 {
+		return nil, fmt.Errorf("nist: non-overlapping template: invalid block count %d", nBlocks)
+	}
+	blockLen := n / nBlocks
+	if blockLen < m {
+		return nil, ErrTooShort
+	}
+	r := newResult(7, "Non-overlapping Template Matching", blockLen*nBlocks)
+	mu := float64(blockLen-m+1) / math.Pow(2, float64(m))
+	sigma2 := float64(blockLen) * (1/math.Pow(2, float64(m)) - float64(2*m-1)/math.Pow(2, float64(2*m)))
+	chi2 := 0.0
+	for b := 0; b < nBlocks; b++ {
+		w := s.CountTemplateNonOverlapping(tpl, m, b*blockLen, (b+1)*blockLen)
+		d := float64(w) - mu
+		chi2 += d * d / sigma2
+		r.Stats[fmt.Sprintf("W_%d", b+1)] = float64(w)
+	}
+	p, err := specfunc.Igamc(float64(nBlocks)/2, chi2/2)
+	if err != nil {
+		return nil, err
+	}
+	r.Stats["chi2"] = chi2
+	r.Stats["mu"] = mu
+	r.Stats["sigma2"] = sigma2
+	r.addP("p", p)
+	return r, nil
+}
+
+// OverlappingTemplateK is the number of non-collapsed occurrence classes in
+// test 8 (classes 0..K−1 and ≥K), as prescribed by SP800-22.
+const OverlappingTemplateK = 5
+
+// OverlappingTemplate runs test 8, the Overlapping Template Matching test
+// (SP800-22 §2.8), with the all-ones m-bit template over blocks of length
+// blockLen. Each block is classified by its overlapping occurrence count
+// into classes 0,1,…,K−1,≥K; χ² compares class counts against exact class
+// probabilities (computed by DP over the matching automaton rather than the
+// publication's asymptotic series) and P = igamc(K/2, χ²/2).
+//
+// HW/SW split: hardware supplies the class counters ν_0..ν_K; software
+// computes Σ ν_i²·(1/π_i)-style products with precomputed constants.
+func OverlappingTemplate(s *bitstream.Sequence, m, blockLen int) (*Result, error) {
+	n := s.Len()
+	if m < 2 || m > 31 {
+		return nil, fmt.Errorf("nist: overlapping template: invalid template length %d", m)
+	}
+	nBlocks := n / blockLen
+	if nBlocks < 1 || blockLen < m {
+		return nil, ErrTooShort
+	}
+	tpl := uint32(1<<uint(m)) - 1 // all ones
+	r := newResult(8, "Overlapping Template Matching", nBlocks*blockLen)
+	k := OverlappingTemplateK
+	probs, err := OverlappingTemplateClassProbs(tpl, m, blockLen, k)
+	if err != nil {
+		return nil, err
+	}
+	counts := make([]int, k+1)
+	for b := 0; b < nBlocks; b++ {
+		c := s.CountTemplateOverlapping(tpl, m, b*blockLen, (b+1)*blockLen)
+		if c > k {
+			c = k
+		}
+		counts[c]++
+	}
+	chi2 := 0.0
+	for i, c := range counts {
+		e := float64(nBlocks) * probs[i]
+		d := float64(c) - e
+		chi2 += d * d / e
+		r.Stats[fmt.Sprintf("nu_%d", i)] = float64(c)
+	}
+	p, err := specfunc.Igamc(float64(k)/2, chi2/2)
+	if err != nil {
+		return nil, err
+	}
+	r.Stats["chi2"] = chi2
+	r.Stats["blocks"] = float64(nBlocks)
+	r.addP("p", p)
+	return r, nil
+}

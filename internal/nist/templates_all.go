@@ -1,0 +1,67 @@
+package nist
+
+import (
+	"fmt"
+
+	"repro/internal/bitstream"
+)
+
+// This file adds the full-template-set form of the non-overlapping template
+// test. SP800-22 runs test 7 once per *aperiodic* (non-periodic) template —
+// 148 templates for m = 9; the hardware monitor checks a single fixed
+// template, so the full sweep is the software reference the platform's
+// choice is validated against.
+
+// NonPeriodicTemplates enumerates the aperiodic templates of length m in
+// ascending numeric order (MSB-first encoding). A template B is aperiodic
+// if no proper prefix of B is also a suffix (no self-overlap): shifted
+// copies of B cannot overlap each other.
+func NonPeriodicTemplates(m int) ([]uint32, error) {
+	if m < 2 || m > 21 {
+		return nil, fmt.Errorf("nist: template length %d out of range", m)
+	}
+	var out []uint32
+	for b := uint32(0); b < 1<<uint(m); b++ {
+		if isAperiodic(b, m) {
+			out = append(out, b)
+		}
+	}
+	return out, nil
+}
+
+// isAperiodic reports whether the m-bit template has no nontrivial border
+// (prefix that equals a suffix).
+func isAperiodic(b uint32, m int) bool {
+	for k := 1; k < m; k++ {
+		// Compare the (m−k)-bit prefix with the (m−k)-bit suffix.
+		prefix := b >> uint(k)
+		suffix := b & (1<<uint(m-k) - 1)
+		if prefix == suffix {
+			return false
+		}
+	}
+	return true
+}
+
+// NonOverlappingTemplateAll runs test 7 for every aperiodic template of
+// length m, returning one result whose P-values are indexed by template.
+// This is the publication's full form of the test; it is far too large for
+// the on-the-fly monitor (148 engines for m = 9) — quantifying that is part
+// of the Table I evidence.
+func NonOverlappingTemplateAll(s *bitstream.Sequence, m, nBlocks int) (*Result, error) {
+	tpls, err := NonPeriodicTemplates(m)
+	if err != nil {
+		return nil, err
+	}
+	n := s.Len()
+	r := newResult(7, "Non-overlapping Template Matching (all templates)", n)
+	for _, tpl := range tpls {
+		one, err := NonOverlappingTemplate(s, tpl, m, nBlocks)
+		if err != nil {
+			return nil, err
+		}
+		r.addP(fmt.Sprintf("B=%0*b", m, tpl), one.MinP())
+	}
+	r.Stats["templates"] = float64(len(tpls))
+	return r, nil
+}

@@ -1,0 +1,113 @@
+package nist
+
+import (
+	"math"
+
+	"repro/internal/bitstream"
+	"repro/internal/specfunc"
+)
+
+// universalConstants holds Maurer's expectedValue and variance for block
+// length L (SP800-22 §2.9 Table). Indexed by L = 6..16.
+var universalConstants = map[int]struct{ expected, variance float64 }{
+	6:  {5.2177052, 2.954},
+	7:  {6.1962507, 3.125},
+	8:  {7.1836656, 3.238},
+	9:  {8.1764248, 3.311},
+	10: {9.1723243, 3.356},
+	11: {10.170032, 3.384},
+	12: {11.168765, 3.401},
+	13: {12.168070, 3.410},
+	14: {13.167693, 3.416},
+	15: {14.167488, 3.419},
+	16: {15.167379, 3.421},
+}
+
+// universalL picks the block length SP800-22 prescribes for n bits.
+func universalL(n int) int {
+	thresholds := []struct{ n, l int }{
+		{1059061760, 16}, {496435200, 15}, {231669760, 14},
+		{107560960, 13}, {49643520, 12}, {22753280, 11},
+		{10342400, 10}, {4654080, 9}, {2068480, 8},
+		{904960, 7}, {387840, 6},
+	}
+	for _, t := range thresholds {
+		if n >= t.n {
+			return t.l
+		}
+	}
+	return 0
+}
+
+// Universal runs test 9, Maurer's "Universal Statistical" test (SP800-22
+// §2.9). The sequence is split into L-bit blocks: Q = 10·2^L initialization
+// blocks prime a last-occurrence table, then the test sum accumulates
+// log₂(distance since the current block's last occurrence) over the
+// remaining K blocks. The statistic f_n is compared against Maurer's
+// expected value with a finite-size corrected standard deviation.
+//
+// Marked "No" in the paper's Table I: the last-occurrence table alone is
+// 2^L words of storage — orders of magnitude beyond the monitor's budget.
+func Universal(s *bitstream.Sequence) (*Result, error) {
+	n := s.Len()
+	l := universalL(n)
+	if l == 0 {
+		return nil, ErrTooShort
+	}
+	return UniversalWithParams(s, l, 10*(1<<uint(l)))
+}
+
+// UniversalWithParams runs test 9 with explicit block length l and
+// initialization block count q, for testing and for short-sequence
+// experimentation (SP800-22 only defines constants for l in 6..16).
+func UniversalWithParams(s *bitstream.Sequence, l, q int) (*Result, error) {
+	n := s.Len()
+	cst, ok := universalConstants[l]
+	if !ok {
+		return nil, ErrNotApplicable
+	}
+	nBlocks := n / l
+	k := nBlocks - q
+	if k < 1 {
+		return nil, ErrTooShort
+	}
+	r := newResult(9, "Maurer's Universal Statistical", nBlocks*l)
+	last := make([]int, 1<<uint(l))
+	for i := range last {
+		last[i] = -1
+	}
+	block := func(i int) int {
+		v := 0
+		for j := 0; j < l; j++ {
+			v = v<<1 | int(s.Bit(i*l+j))
+		}
+		return v
+	}
+	for i := 0; i < q; i++ {
+		last[block(i)] = i
+	}
+	sum := 0.0
+	for i := q; i < nBlocks; i++ {
+		b := block(i)
+		if last[b] < 0 {
+			// Block never seen during initialization: distance is the
+			// full index + 1 by the convention of the reference code.
+			sum += math.Log2(float64(i + 1))
+		} else {
+			sum += math.Log2(float64(i - last[b]))
+		}
+		last[b] = i
+	}
+	fn := sum / float64(k)
+	c := 0.7 - 0.8/float64(l) + (4+32/float64(l))*math.Pow(float64(k), -3/float64(l))/15
+	sigma := c * math.Sqrt(cst.variance/float64(k))
+	p := specfunc.Erfc(math.Abs(fn-cst.expected) / (math.Sqrt2 * sigma))
+	r.Stats["f_n"] = fn
+	r.Stats["expected"] = cst.expected
+	r.Stats["sigma"] = sigma
+	r.Stats["L"] = float64(l)
+	r.Stats["Q"] = float64(q)
+	r.Stats["K"] = float64(k)
+	r.addP("p", p)
+	return r, nil
+}

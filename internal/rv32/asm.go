@@ -1,0 +1,465 @@
+package rv32
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// A small two-pass RV32 assembler covering the subset the evaluation
+// firmware needs: labels, the base integer instructions, MUL/MULHU, the
+// li/mv/j/ret/nop pseudo-instructions and the .org/.word directives.
+
+// Program is an assembled image.
+type Program struct {
+	Origin uint32
+	Words  []uint32
+	Labels map[string]uint32
+}
+
+// Entry returns a label's address (or the origin).
+func (p *Program) Entry(label string) uint32 {
+	if a, ok := p.Labels[label]; ok {
+		return a
+	}
+	return p.Origin
+}
+
+type inst struct {
+	line  int
+	label string
+	mnem  string
+	ops   []string
+	addr  uint32
+	size  int // words
+}
+
+var regAliases = map[string]int{
+	"zero": 0, "ra": 1, "sp": 2, "gp": 3, "tp": 4,
+	"t0": 5, "t1": 6, "t2": 7, "s0": 8, "fp": 8, "s1": 9,
+	"a0": 10, "a1": 11, "a2": 12, "a3": 13, "a4": 14, "a5": 15,
+	"a6": 16, "a7": 17, "s2": 18, "s3": 19, "s4": 20, "s5": 21,
+	"s6": 22, "s7": 23, "s8": 24, "s9": 25, "s10": 26, "s11": 27,
+	"t3": 28, "t4": 29, "t5": 30, "t6": 31,
+}
+
+func parseReg(s string) (int, error) {
+	s = strings.ToLower(strings.TrimSpace(s))
+	if r, ok := regAliases[s]; ok {
+		return r, nil
+	}
+	if strings.HasPrefix(s, "x") {
+		n, err := strconv.Atoi(s[1:])
+		if err == nil && n >= 0 && n < 32 {
+			return n, nil
+		}
+	}
+	return 0, fmt.Errorf("rv32: bad register %q", s)
+}
+
+func parseImm(s string, labels map[string]uint32) (int32, error) {
+	s = strings.TrimSpace(s)
+	neg := strings.HasPrefix(s, "-")
+	body := strings.TrimPrefix(s, "-")
+	var v int64
+	var err error
+	if strings.HasPrefix(strings.ToLower(body), "0x") {
+		v, err = strconv.ParseInt(body[2:], 16, 64)
+	} else if body != "" && body[0] >= '0' && body[0] <= '9' {
+		v, err = strconv.ParseInt(body, 10, 64)
+	} else {
+		if labels == nil {
+			return 0, fmt.Errorf("rv32: label %q not allowed here", s)
+		}
+		a, ok := labels[strings.ToLower(body)]
+		if !ok {
+			return 0, fmt.Errorf("rv32: undefined label %q", body)
+		}
+		v = int64(a)
+	}
+	if err != nil {
+		return 0, err
+	}
+	if neg {
+		v = -v
+	}
+	return int32(v), nil
+}
+
+// parseMem parses "off(reg)" operands.
+func parseMem(s string, labels map[string]uint32) (off int32, reg int, err error) {
+	i := strings.Index(s, "(")
+	j := strings.LastIndex(s, ")")
+	if i < 0 || j < i {
+		return 0, 0, fmt.Errorf("rv32: bad memory operand %q", s)
+	}
+	offStr := strings.TrimSpace(s[:i])
+	if offStr == "" {
+		offStr = "0"
+	}
+	off, err = parseImm(offStr, labels)
+	if err != nil {
+		return 0, 0, err
+	}
+	reg, err = parseReg(s[i+1 : j])
+	return off, reg, err
+}
+
+// Assemble translates source into a Program. One instruction per line;
+// `li` with a large constant expands to LUI+ADDI (always two words for
+// non-zero-upper constants, one word otherwise — sizing is deterministic).
+func Assemble(src string) (*Program, error) {
+	var insts []inst
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := raw
+		if i := strings.IndexAny(line, "#;"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		in := inst{line: lineNo + 1}
+		if i := strings.IndexByte(line, ':'); i >= 0 && !strings.ContainsAny(line[:i], " \t(") {
+			in.label = strings.ToLower(strings.TrimSpace(line[:i]))
+			line = strings.TrimSpace(line[i+1:])
+		}
+		if line != "" {
+			fields := strings.SplitN(line, " ", 2)
+			in.mnem = strings.ToLower(fields[0])
+			if len(fields) > 1 {
+				for _, o := range strings.Split(fields[1], ",") {
+					in.ops = append(in.ops, strings.TrimSpace(o))
+				}
+			}
+		}
+		insts = append(insts, in)
+	}
+
+	// Pass 1: sizes and labels.
+	labels := make(map[string]uint32)
+	origin := uint32(0x1000)
+	originSet := false
+	addr := origin
+	for i := range insts {
+		in := &insts[i]
+		switch in.mnem {
+		case ".org":
+			v, err := parseImm(in.ops[0], nil)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %v", in.line, err)
+			}
+			addr = uint32(v)
+			if !originSet {
+				origin = addr
+				originSet = true
+			}
+		case ".word":
+			in.size = len(in.ops)
+		case "":
+			in.size = 0
+		case "li":
+			// li expands to LUI+ADDI when the constant needs the upper
+			// bits, else a single ADDI. Size depends only on the
+			// operand's text: numeric literals size by value; label
+			// operands always take the two-word form (label addresses
+			// exceed the 12-bit immediate range).
+			if len(in.ops) != 2 {
+				return nil, fmt.Errorf("line %d: li needs 2 operands", in.line)
+			}
+			if v, err := parseImm(in.ops[1], nil); err == nil {
+				if v >= -2048 && v < 2048 {
+					in.size = 1
+				} else {
+					in.size = 2
+				}
+			} else {
+				in.size = 2
+			}
+		default:
+			in.size = 1
+		}
+		if in.label != "" {
+			if _, dup := labels[in.label]; dup {
+				return nil, fmt.Errorf("line %d: duplicate label %q", in.line, in.label)
+			}
+			labels[in.label] = addr
+		}
+		in.addr = addr
+		addr += uint32(4 * in.size)
+	}
+
+	// Pass 2: encode.
+	var words []uint32
+	cur := origin
+	emit := func(in *inst, ws ...uint32) {
+		for cur < in.addr {
+			words = append(words, 0)
+			cur += 4
+		}
+		words = append(words, ws...)
+		cur += uint32(4 * len(ws))
+	}
+	for i := range insts {
+		in := &insts[i]
+		ws, err := encode(in, labels)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %v", in.line, err)
+		}
+		if len(ws) > 0 {
+			emit(in, ws...)
+		}
+	}
+	return &Program{Origin: origin, Words: words, Labels: labels}, nil
+}
+
+func encR(funct7 uint32, rs2, rs1 int, funct3 uint32, rd int, opcode uint32) uint32 {
+	return funct7<<25 | uint32(rs2)<<20 | uint32(rs1)<<15 | funct3<<12 | uint32(rd)<<7 | opcode
+}
+
+func encI(imm int32, rs1 int, funct3 uint32, rd int, opcode uint32) (uint32, error) {
+	if imm < -2048 || imm > 2047 {
+		return 0, fmt.Errorf("rv32: I-immediate %d out of range", imm)
+	}
+	return uint32(imm)&0xFFF<<20 | uint32(rs1)<<15 | funct3<<12 | uint32(rd)<<7 | opcode, nil
+}
+
+func encS(imm int32, rs2, rs1 int, funct3 uint32) (uint32, error) {
+	if imm < -2048 || imm > 2047 {
+		return 0, fmt.Errorf("rv32: S-immediate %d out of range", imm)
+	}
+	u := uint32(imm) & 0xFFF
+	return u>>5<<25 | uint32(rs2)<<20 | uint32(rs1)<<15 | funct3<<12 | (u&0x1F)<<7 | 0x23, nil
+}
+
+func encB(imm int32, rs2, rs1 int, funct3 uint32) (uint32, error) {
+	if imm < -4096 || imm > 4095 || imm%2 != 0 {
+		return 0, fmt.Errorf("rv32: branch offset %d out of range", imm)
+	}
+	u := uint32(imm)
+	return (u>>12&1)<<31 | (u>>5&0x3F)<<25 | uint32(rs2)<<20 | uint32(rs1)<<15 |
+		funct3<<12 | (u>>1&0xF)<<8 | (u>>11&1)<<7 | 0x63, nil
+}
+
+func encJ(imm int32, rd int) (uint32, error) {
+	if imm < -(1<<20) || imm >= 1<<20 || imm%2 != 0 {
+		return 0, fmt.Errorf("rv32: jump offset %d out of range", imm)
+	}
+	u := uint32(imm)
+	return (u>>20&1)<<31 | (u>>1&0x3FF)<<21 | (u>>11&1)<<20 | (u>>12&0xFF)<<12 |
+		uint32(rd)<<7 | 0x6F, nil
+}
+
+var rOps = map[string][3]uint32{ // funct7, funct3, opcode(0x33)
+	"add": {0, 0, 0x33}, "sub": {0x20, 0, 0x33}, "sll": {0, 1, 0x33},
+	"slt": {0, 2, 0x33}, "sltu": {0, 3, 0x33}, "xor": {0, 4, 0x33},
+	"srl": {0, 5, 0x33}, "sra": {0x20, 5, 0x33}, "or": {0, 6, 0x33},
+	"and": {0, 7, 0x33}, "mul": {1, 0, 0x33}, "mulhu": {1, 3, 0x33},
+}
+
+var iOps = map[string]uint32{ // funct3 for opcode 0x13
+	"addi": 0, "slti": 2, "sltiu": 3, "xori": 4, "ori": 6, "andi": 7,
+}
+
+var branchOps = map[string]uint32{
+	"beq": 0, "bne": 1, "blt": 4, "bge": 5, "bltu": 6, "bgeu": 7,
+}
+
+func encode(in *inst, labels map[string]uint32) ([]uint32, error) {
+	switch in.mnem {
+	case "", ".org":
+		return nil, nil
+	case ".word":
+		var ws []uint32
+		for _, o := range in.ops {
+			v, err := parseImm(o, labels)
+			if err != nil {
+				return nil, err
+			}
+			ws = append(ws, uint32(v))
+		}
+		return ws, nil
+	case "nop":
+		return []uint32{0x00000013}, nil // addi x0, x0, 0
+	case "ebreak":
+		return []uint32{0x00100073}, nil
+	case "mv":
+		rd, err := parseReg(in.ops[0])
+		if err != nil {
+			return nil, err
+		}
+		rs, err := parseReg(in.ops[1])
+		if err != nil {
+			return nil, err
+		}
+		w, _ := encI(0, rs, 0, rd, 0x13)
+		return []uint32{w}, nil
+	case "li":
+		rd, err := parseReg(in.ops[0])
+		if err != nil {
+			return nil, err
+		}
+		v, err := parseImm(in.ops[1], labels)
+		if err != nil {
+			return nil, err
+		}
+		// The sizing pass reserved two words for label operands even if
+		// the resolved value would fit an ADDI; emit the two-word form
+		// whenever two words were reserved to keep addresses stable.
+		if in.size == 1 {
+			w, _ := encI(v, 0, 0, rd, 0x13)
+			return []uint32{w}, nil
+		}
+		upper := (uint32(v) + 0x800) & 0xFFFFF000
+		lower := int32(uint32(v) - upper)
+		lui := upper | uint32(rd)<<7 | 0x37
+		addi, _ := encI(lower, rd, 0, rd, 0x13)
+		return []uint32{lui, addi}, nil
+	case "j":
+		target, err := parseImm(in.ops[0], labels)
+		if err != nil {
+			return nil, err
+		}
+		w, err := encJ(target-int32(in.addr), 0)
+		if err != nil {
+			return nil, err
+		}
+		return []uint32{w}, nil
+	case "jal":
+		rd, err := parseReg(in.ops[0])
+		if err != nil {
+			return nil, err
+		}
+		target, err := parseImm(in.ops[1], labels)
+		if err != nil {
+			return nil, err
+		}
+		w, err := encJ(target-int32(in.addr), rd)
+		if err != nil {
+			return nil, err
+		}
+		return []uint32{w}, nil
+	case "jalr":
+		rd, err := parseReg(in.ops[0])
+		if err != nil {
+			return nil, err
+		}
+		off, rs, err := parseMem(in.ops[1], labels)
+		if err != nil {
+			return nil, err
+		}
+		w, err := encI(off, rs, 0, rd, 0x67)
+		if err != nil {
+			return nil, err
+		}
+		return []uint32{w}, nil
+	case "ret":
+		w, _ := encI(0, 1, 0, 0, 0x67) // jalr x0, 0(ra)
+		return []uint32{w}, nil
+	case "lw", "lhu", "lbu":
+		rd, err := parseReg(in.ops[0])
+		if err != nil {
+			return nil, err
+		}
+		off, rs, err := parseMem(in.ops[1], labels)
+		if err != nil {
+			return nil, err
+		}
+		f3 := map[string]uint32{"lw": 2, "lhu": 5, "lbu": 4}[in.mnem]
+		w, err := encI(off, rs, f3, rd, 0x03)
+		if err != nil {
+			return nil, err
+		}
+		return []uint32{w}, nil
+	case "sw":
+		rs2, err := parseReg(in.ops[0])
+		if err != nil {
+			return nil, err
+		}
+		off, rs1, err := parseMem(in.ops[1], labels)
+		if err != nil {
+			return nil, err
+		}
+		w, err := encS(off, rs2, rs1, 2)
+		if err != nil {
+			return nil, err
+		}
+		return []uint32{w}, nil
+	case "slli", "srli", "srai":
+		rd, err := parseReg(in.ops[0])
+		if err != nil {
+			return nil, err
+		}
+		rs, err := parseReg(in.ops[1])
+		if err != nil {
+			return nil, err
+		}
+		sh, err := parseImm(in.ops[2], nil)
+		if err != nil || sh < 0 || sh > 31 {
+			return nil, fmt.Errorf("rv32: bad shift amount %q", in.ops[2])
+		}
+		f3 := uint32(1)
+		f7 := uint32(0)
+		if in.mnem != "slli" {
+			f3 = 5
+			if in.mnem == "srai" {
+				f7 = 0x20
+			}
+		}
+		return []uint32{encR(f7, int(sh), rs, f3, rd, 0x13)}, nil
+	}
+	if f3, ok := iOps[in.mnem]; ok {
+		rd, err := parseReg(in.ops[0])
+		if err != nil {
+			return nil, err
+		}
+		rs, err := parseReg(in.ops[1])
+		if err != nil {
+			return nil, err
+		}
+		imm, err := parseImm(in.ops[2], nil)
+		if err != nil {
+			return nil, err
+		}
+		w, err := encI(imm, rs, f3, rd, 0x13)
+		if err != nil {
+			return nil, err
+		}
+		return []uint32{w}, nil
+	}
+	if spec, ok := rOps[in.mnem]; ok {
+		rd, err := parseReg(in.ops[0])
+		if err != nil {
+			return nil, err
+		}
+		rs1, err := parseReg(in.ops[1])
+		if err != nil {
+			return nil, err
+		}
+		rs2, err := parseReg(in.ops[2])
+		if err != nil {
+			return nil, err
+		}
+		return []uint32{encR(spec[0], rs2, rs1, spec[1], rd, spec[2])}, nil
+	}
+	if f3, ok := branchOps[in.mnem]; ok {
+		rs1, err := parseReg(in.ops[0])
+		if err != nil {
+			return nil, err
+		}
+		rs2, err := parseReg(in.ops[1])
+		if err != nil {
+			return nil, err
+		}
+		target, err := parseImm(in.ops[2], labels)
+		if err != nil {
+			return nil, err
+		}
+		w, err := encB(target-int32(in.addr), rs2, rs1, f3)
+		if err != nil {
+			return nil, err
+		}
+		return []uint32{w}, nil
+	}
+	return nil, fmt.Errorf("rv32: unknown mnemonic %q", in.mnem)
+}

@@ -1,0 +1,315 @@
+// Package rv32 implements a compact RV32IM-subset CPU — a stand-in for the
+// 32-bit open-core processors the paper's future work proposes evaluating
+// the software routines on ("testing the software implementations on
+// different types of micro-controllers and open-core processors"). The
+// same evaluation firmware, regenerated for this core by
+// internal/firmware, quantifies the paper's expectation that "on 32-bit or
+// 64-bit platforms, considerably lower latency could be achieved".
+//
+// Supported instructions: the RV32I base integer set (LUI, AUIPC, JAL,
+// JALR, branches, loads/stores, ALU immediate/register) plus MUL from the
+// M extension. The cycle model is a simple in-order core: 1 cycle per
+// instruction, +1 for loads and taken branches/jumps, +2 for MUL.
+package rv32
+
+import "fmt"
+
+// CPU is one RV32 hart with a small word-addressed memory and a peripheral
+// bus compatible with the testing-block port.
+type CPU struct {
+	regs   [32]uint32
+	pc     uint32
+	mem    []byte
+	periph []mapping
+	cycles int64
+	halted bool
+}
+
+// Peripheral is a word-addressed device (32-bit bus; the testing-block
+// port's 16-bit words are zero-extended).
+type Peripheral interface {
+	ReadWord(addr uint32) uint32
+	WriteWord(addr uint32, v uint32)
+}
+
+type mapping struct {
+	base, size uint32
+	dev        Peripheral
+}
+
+// MemSize is the RAM size in bytes.
+const MemSize = 1 << 20
+
+// New returns a CPU with zeroed registers and memory.
+func New() *CPU { return &CPU{mem: make([]byte, MemSize)} }
+
+// MapPeripheral attaches a device at [base, base+size).
+func (c *CPU) MapPeripheral(base, size uint32, dev Peripheral) error {
+	if base%4 != 0 || size%4 != 0 || size == 0 {
+		return fmt.Errorf("rv32: peripheral window %#x+%#x not word-aligned", base, size)
+	}
+	c.periph = append(c.periph, mapping{base: base, size: size, dev: dev})
+	return nil
+}
+
+func (c *CPU) findPeriph(addr uint32) (Peripheral, uint32, bool) {
+	for _, m := range c.periph {
+		if addr >= m.base && addr < m.base+m.size {
+			return m.dev, addr - m.base, true
+		}
+	}
+	return nil, 0, false
+}
+
+// ReadWord reads a 32-bit word (addr must be 4-aligned for RAM).
+func (c *CPU) ReadWord(addr uint32) uint32 {
+	if dev, off, ok := c.findPeriph(addr); ok {
+		return dev.ReadWord(off)
+	}
+	a := addr % MemSize
+	return uint32(c.mem[a]) | uint32(c.mem[a+1])<<8 | uint32(c.mem[a+2])<<16 | uint32(c.mem[a+3])<<24
+}
+
+// WriteWord writes a 32-bit word.
+func (c *CPU) WriteWord(addr uint32, v uint32) {
+	if dev, off, ok := c.findPeriph(addr); ok {
+		dev.WriteWord(off, v)
+		return
+	}
+	a := addr % MemSize
+	c.mem[a] = byte(v)
+	c.mem[a+1] = byte(v >> 8)
+	c.mem[a+2] = byte(v >> 16)
+	c.mem[a+3] = byte(v >> 24)
+}
+
+// Reg returns register x<r> (x0 always reads 0).
+func (c *CPU) Reg(r int) uint32 {
+	if r == 0 {
+		return 0
+	}
+	return c.regs[r]
+}
+
+// SetReg writes register x<r> (writes to x0 are discarded).
+func (c *CPU) SetReg(r int, v uint32) {
+	if r != 0 {
+		c.regs[r] = v
+	}
+}
+
+// PC returns the program counter.
+func (c *CPU) PC() uint32 { return c.pc }
+
+// SetPC sets the program counter.
+func (c *CPU) SetPC(v uint32) { c.pc = v &^ 3 }
+
+// Cycles returns consumed cycles.
+func (c *CPU) Cycles() int64 { return c.cycles }
+
+// Halted reports whether the core has executed EBREAK (the firmware's
+// "done" signal).
+func (c *CPU) Halted() bool { return c.halted }
+
+// LoadImage copies words into memory starting at addr.
+func (c *CPU) LoadImage(addr uint32, words []uint32) {
+	for i, w := range words {
+		c.WriteWord(addr+uint32(4*i), w)
+	}
+}
+
+// Step executes one instruction.
+func (c *CPU) Step() error {
+	if c.halted {
+		return fmt.Errorf("rv32: halted")
+	}
+	inst := c.ReadWord(c.pc)
+	nextPC := c.pc + 4
+	cyc := 1
+
+	opcode := inst & 0x7F
+	rd := int(inst >> 7 & 0x1F)
+	funct3 := inst >> 12 & 0x7
+	rs1 := int(inst >> 15 & 0x1F)
+	rs2 := int(inst >> 20 & 0x1F)
+	funct7 := inst >> 25
+
+	immI := int32(inst) >> 20
+	immS := int32(inst&0xFE000000)>>20 | int32(inst>>7&0x1F)
+	immB := int32(inst&0x80000000)>>19 | int32(inst&0x80)<<4 |
+		int32(inst>>20&0x7E0) | int32(inst>>7&0x1E)
+	immU := int32(inst & 0xFFFFF000)
+	immJ := int32(inst&0x80000000)>>11 | int32(inst&0xFF000) |
+		int32(inst>>9&0x800) | int32(inst>>20&0x7FE)
+
+	a := c.Reg(rs1)
+	b := c.Reg(rs2)
+
+	switch opcode {
+	case 0x37: // LUI
+		c.SetReg(rd, uint32(immU))
+	case 0x17: // AUIPC
+		c.SetReg(rd, c.pc+uint32(immU))
+	case 0x6F: // JAL
+		c.SetReg(rd, nextPC)
+		nextPC = c.pc + uint32(immJ)
+		cyc = 2
+	case 0x67: // JALR
+		c.SetReg(rd, nextPC)
+		nextPC = (a + uint32(immI)) &^ 1
+		cyc = 2
+	case 0x63: // branches
+		take := false
+		switch funct3 {
+		case 0:
+			take = a == b
+		case 1:
+			take = a != b
+		case 4:
+			take = int32(a) < int32(b)
+		case 5:
+			take = int32(a) >= int32(b)
+		case 6:
+			take = a < b
+		case 7:
+			take = a >= b
+		default:
+			return fmt.Errorf("rv32: bad branch funct3 %d at %#x", funct3, c.pc)
+		}
+		if take {
+			nextPC = c.pc + uint32(immB)
+			cyc = 2
+		}
+	case 0x03: // loads
+		addr := a + uint32(immI)
+		cyc = 2
+		switch funct3 {
+		case 2: // LW
+			c.SetReg(rd, c.ReadWord(addr))
+		case 4: // LBU
+			w := c.ReadWord(addr &^ 3)
+			c.SetReg(rd, w>>(8*(addr%4))&0xFF)
+		case 5: // LHU
+			w := c.ReadWord(addr &^ 3)
+			c.SetReg(rd, w>>(8*(addr%4))&0xFFFF)
+		default:
+			return fmt.Errorf("rv32: unsupported load funct3 %d at %#x", funct3, c.pc)
+		}
+	case 0x23: // stores
+		addr := a + uint32(immS)
+		switch funct3 {
+		case 2: // SW
+			c.WriteWord(addr, b)
+		default:
+			return fmt.Errorf("rv32: unsupported store funct3 %d at %#x", funct3, c.pc)
+		}
+	case 0x13: // ALU immediate
+		switch funct3 {
+		case 0: // ADDI
+			c.SetReg(rd, a+uint32(immI))
+		case 2: // SLTI
+			if int32(a) < immI {
+				c.SetReg(rd, 1)
+			} else {
+				c.SetReg(rd, 0)
+			}
+		case 3: // SLTIU
+			if a < uint32(immI) {
+				c.SetReg(rd, 1)
+			} else {
+				c.SetReg(rd, 0)
+			}
+		case 4: // XORI
+			c.SetReg(rd, a^uint32(immI))
+		case 6: // ORI
+			c.SetReg(rd, a|uint32(immI))
+		case 7: // ANDI
+			c.SetReg(rd, a&uint32(immI))
+		case 1: // SLLI
+			c.SetReg(rd, a<<(inst>>20&0x1F))
+		case 5:
+			sh := inst >> 20 & 0x1F
+			if funct7&0x20 != 0 { // SRAI
+				c.SetReg(rd, uint32(int32(a)>>sh))
+			} else { // SRLI
+				c.SetReg(rd, a>>sh)
+			}
+		}
+	case 0x33: // ALU register
+		if funct7 == 1 { // M extension
+			switch funct3 {
+			case 0: // MUL
+				c.SetReg(rd, a*b)
+				cyc = 3
+			case 3: // MULHU
+				c.SetReg(rd, uint32(uint64(a)*uint64(b)>>32))
+				cyc = 3
+			default:
+				return fmt.Errorf("rv32: unsupported M funct3 %d at %#x", funct3, c.pc)
+			}
+		} else {
+			switch funct3 {
+			case 0:
+				if funct7&0x20 != 0 {
+					c.SetReg(rd, a-b)
+				} else {
+					c.SetReg(rd, a+b)
+				}
+			case 1: // SLL
+				c.SetReg(rd, a<<(b&0x1F))
+			case 2: // SLT
+				if int32(a) < int32(b) {
+					c.SetReg(rd, 1)
+				} else {
+					c.SetReg(rd, 0)
+				}
+			case 3: // SLTU
+				if a < b {
+					c.SetReg(rd, 1)
+				} else {
+					c.SetReg(rd, 0)
+				}
+			case 4:
+				c.SetReg(rd, a^b)
+			case 5:
+				if funct7&0x20 != 0 { // SRA
+					c.SetReg(rd, uint32(int32(a)>>(b&0x1F)))
+				} else {
+					c.SetReg(rd, a>>(b&0x1F))
+				}
+			case 6:
+				c.SetReg(rd, a|b)
+			case 7:
+				c.SetReg(rd, a&b)
+			}
+		}
+	case 0x73: // SYSTEM: EBREAK halts
+		if inst == 0x00100073 {
+			c.halted = true
+		} else {
+			return fmt.Errorf("rv32: unsupported system instruction %#x at %#x", inst, c.pc)
+		}
+	default:
+		return fmt.Errorf("rv32: illegal instruction %#08x at %#x", inst, c.pc)
+	}
+
+	c.pc = nextPC
+	c.cycles += int64(cyc)
+	return nil
+}
+
+// Run executes until EBREAK or maxSteps.
+func (c *CPU) Run(maxSteps int) error {
+	for i := 0; i < maxSteps; i++ {
+		if c.halted {
+			return nil
+		}
+		if err := c.Step(); err != nil {
+			return err
+		}
+	}
+	if !c.halted {
+		return fmt.Errorf("rv32: did not halt within %d steps", maxSteps)
+	}
+	return nil
+}

@@ -1,0 +1,460 @@
+package rv32
+
+import "testing"
+
+func run(t *testing.T, src string) *CPU {
+	t.Helper()
+	prog, err := Assemble(src + "\n ebreak\n")
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	c := New()
+	c.LoadImage(prog.Origin, prog.Words)
+	c.SetPC(prog.Origin)
+	c.SetReg(2, 0x8000) // sp
+	if err := c.Run(100000); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return c
+}
+
+func TestLiSmallAndLarge(t *testing.T) {
+	c := run(t, `
+ li t0, 42
+ li t1, -7
+ li t2, 0x12345
+ li t3, 0xFFFF8000
+`)
+	if c.Reg(5) != 42 {
+		t.Errorf("t0 = %d", c.Reg(5))
+	}
+	if c.Reg(6) != 0xFFFFFFF9 {
+		t.Errorf("t1 = %#x", c.Reg(6))
+	}
+	if c.Reg(7) != 0x12345 {
+		t.Errorf("t2 = %#x", c.Reg(7))
+	}
+	if c.Reg(28) != 0xFFFF8000 {
+		t.Errorf("t3 = %#x", c.Reg(28))
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	c := run(t, `
+ li a0, 100
+ li a1, 42
+ add a2, a0, a1
+ sub a3, a0, a1
+ mul a4, a0, a1
+ xor a5, a0, a1
+`)
+	if c.Reg(12) != 142 || c.Reg(13) != 58 || c.Reg(14) != 4200 {
+		t.Errorf("arith: %d %d %d", c.Reg(12), c.Reg(13), c.Reg(14))
+	}
+	if c.Reg(15) != 100^42 {
+		t.Errorf("xor: %d", c.Reg(15))
+	}
+}
+
+func TestMulhu(t *testing.T) {
+	c := run(t, `
+ li a0, 0x10000
+ li a1, 0x10000
+ mulhu a2, a0, a1
+ mul a3, a0, a1
+`)
+	if c.Reg(12) != 1 || c.Reg(13) != 0 {
+		t.Errorf("0x10000² = %#x:%#x, want 1:0", c.Reg(12), c.Reg(13))
+	}
+}
+
+func TestShifts(t *testing.T) {
+	c := run(t, `
+ li a0, 0x80000000
+ srli a1, a0, 4
+ srai a2, a0, 4
+ li a3, 3
+ slli a4, a3, 10
+`)
+	if c.Reg(11) != 0x08000000 {
+		t.Errorf("srli: %#x", c.Reg(11))
+	}
+	if c.Reg(12) != 0xF8000000 {
+		t.Errorf("srai: %#x", c.Reg(12))
+	}
+	if c.Reg(14) != 3<<10 {
+		t.Errorf("slli: %#x", c.Reg(14))
+	}
+}
+
+func TestLoadStore(t *testing.T) {
+	c := run(t, `
+ li t0, 0x2000
+ li t1, 0xDEADBEEF
+ sw t1, 0(t0)
+ lw t2, 0(t0)
+ lhu t3, 0(t0)
+ lbu t4, 3(t0)
+`)
+	if c.Reg(7) != 0xDEADBEEF {
+		t.Errorf("lw: %#x", c.Reg(7))
+	}
+	if c.Reg(28) != 0xBEEF {
+		t.Errorf("lhu: %#x", c.Reg(28))
+	}
+	if c.Reg(29) != 0xDE {
+		t.Errorf("lbu: %#x", c.Reg(29))
+	}
+}
+
+func TestLoopSum(t *testing.T) {
+	c := run(t, `
+ li a0, 0
+ li a1, 10
+loop:
+ add a0, a0, a1
+ addi a1, a1, -1
+ bne a1, zero, loop
+`)
+	if c.Reg(10) != 55 {
+		t.Errorf("sum = %d", c.Reg(10))
+	}
+}
+
+func TestSignedUnsignedBranches(t *testing.T) {
+	c := run(t, `
+ li a0, -1
+ li a1, 1
+ blt a0, a1, signed_ok
+ li a2, 0
+ j next
+signed_ok:
+ li a2, 1
+next:
+ bltu a0, a1, unsigned_lt
+ li a3, 1
+ j done
+unsigned_lt:
+ li a3, 0
+done:
+`)
+	if c.Reg(12) != 1 {
+		t.Error("blt treated -1 as ≥ 1")
+	}
+	if c.Reg(13) != 1 {
+		t.Error("bltu treated 0xFFFFFFFF as < 1")
+	}
+}
+
+func TestCallRet(t *testing.T) {
+	c := run(t, `
+ jal ra, sub
+ j done
+sub:
+ li a0, 77
+ ret
+done:
+ addi a0, a0, 1
+`)
+	if c.Reg(10) != 78 {
+		t.Errorf("call/ret: a0 = %d", c.Reg(10))
+	}
+}
+
+func TestX0AlwaysZero(t *testing.T) {
+	c := run(t, `
+ addi zero, zero, 5
+ add a0, zero, zero
+`)
+	if c.Reg(10) != 0 || c.Reg(0) != 0 {
+		t.Error("x0 is writable")
+	}
+}
+
+func TestCycleModel(t *testing.T) {
+	prog, err := Assemble(`
+ addi a0, zero, 1   ; 1 cycle
+ lw a1, 0(zero)     ; 2 cycles
+ mul a2, a0, a0     ; 3 cycles
+ beq zero, zero, t  ; taken: 2 cycles
+t: ebreak
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New()
+	c.LoadImage(prog.Origin, prog.Words)
+	c.SetPC(prog.Origin)
+	if err := c.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	// 1 + 2 + 3 + 2 + 1 (ebreak) = 9.
+	if c.Cycles() != 9 {
+		t.Errorf("cycles = %d, want 9", c.Cycles())
+	}
+}
+
+func TestPeripheralAccess(t *testing.T) {
+	c := New()
+	dev := &stubDev{}
+	if err := c.MapPeripheral(0x40000, 0x100, dev); err != nil {
+		t.Fatal(err)
+	}
+	prog, err := Assemble(`
+ li t0, 0x40000
+ lw a0, 4(t0)
+ sw a0, 8(t0)
+ ebreak
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.LoadImage(prog.Origin, prog.Words)
+	c.SetPC(prog.Origin)
+	if err := c.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if dev.wroteAddr != 8 || dev.wroteVal != 0x1234 {
+		t.Errorf("peripheral write: addr=%d val=%#x", dev.wroteAddr, dev.wroteVal)
+	}
+}
+
+type stubDev struct {
+	wroteAddr uint32
+	wroteVal  uint32
+}
+
+func (d *stubDev) ReadWord(addr uint32) uint32 { return 0x1234 }
+func (d *stubDev) WriteWord(addr, v uint32)    { d.wroteAddr, d.wroteVal = addr, v }
+
+func TestAssemblerErrors(t *testing.T) {
+	bad := []string{
+		"frobnicate a0",
+		"addi a0, a1, 5000",   // I-imm out of range
+		"beq a0, a1, nowhere", // undefined label
+		"lw a0, a1",           // bad memory operand
+		"slli a0, a1, 99",     // bad shift
+	}
+	for _, src := range bad {
+		if _, err := Assemble(src); err == nil {
+			t.Errorf("assembled invalid source %q", src)
+		}
+	}
+}
+
+func TestIllegalInstruction(t *testing.T) {
+	c := New()
+	c.WriteWord(0x1000, 0xFFFFFFFF)
+	c.SetPC(0x1000)
+	if err := c.Step(); err == nil {
+		t.Error("illegal instruction executed")
+	}
+}
+
+func TestWordDirective(t *testing.T) {
+	prog, err := Assemble(`
+ .org 0x2000
+tbl: .word 0x11, 0x22
+entry:
+ li t0, 0x2000
+ lw a0, 0(t0)
+ lw a1, 4(t0)
+ ebreak
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New()
+	c.LoadImage(prog.Origin, prog.Words)
+	c.SetPC(prog.Entry("entry"))
+	if err := c.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if c.Reg(10) != 0x11 || c.Reg(11) != 0x22 {
+		t.Errorf("table reads: %#x %#x", c.Reg(10), c.Reg(11))
+	}
+}
+
+func TestSetLessThan(t *testing.T) {
+	c := run(t, `
+ li a0, -5
+ li a1, 3
+ slt a2, a0, a1    # signed: -5 < 3 -> 1
+ sltu a3, a0, a1   # unsigned: big < 3 -> 0
+ slti a4, a0, 0    # -5 < 0 -> 1
+ sltiu a5, a1, 10  # 3 < 10 -> 1
+`)
+	if c.Reg(12) != 1 || c.Reg(13) != 0 || c.Reg(14) != 1 || c.Reg(15) != 1 {
+		t.Errorf("slt family: %d %d %d %d", c.Reg(12), c.Reg(13), c.Reg(14), c.Reg(15))
+	}
+}
+
+func TestLogicalImmediates(t *testing.T) {
+	c := run(t, `
+ li a0, 0xFF
+ andi a1, a0, 0x0F
+ ori a2, a0, 0x700
+ xori a3, a0, 0xFF
+`)
+	if c.Reg(11) != 0x0F || c.Reg(12) != 0x7FF || c.Reg(13) != 0 {
+		t.Errorf("logic imm: %#x %#x %#x", c.Reg(11), c.Reg(12), c.Reg(13))
+	}
+}
+
+func TestRegisterLogicAndShifts(t *testing.T) {
+	c := run(t, `
+ li a0, 0xF0F0
+ li a1, 0x0FF0
+ and a2, a0, a1
+ or a3, a0, a1
+ li a4, 4
+ sll a5, a1, a4
+ srl a6, a0, a4
+ li a7, -16
+ sra s2, a7, a4
+ sltu s3, a1, a0
+ slt s4, a7, a1
+`)
+	if c.Reg(12) != 0x00F0 || c.Reg(13) != 0xFFF0 {
+		t.Errorf("and/or: %#x %#x", c.Reg(12), c.Reg(13))
+	}
+	if c.Reg(15) != 0xFF00 || c.Reg(16) != 0x0F0F {
+		t.Errorf("sll/srl: %#x %#x", c.Reg(15), c.Reg(16))
+	}
+	if c.Reg(18) != 0xFFFFFFFF {
+		t.Errorf("sra: %#x", c.Reg(18))
+	}
+	if c.Reg(19) != 1 || c.Reg(20) != 1 {
+		t.Errorf("sltu/slt reg: %d %d", c.Reg(19), c.Reg(20))
+	}
+}
+
+func TestMoreBranches(t *testing.T) {
+	c := run(t, `
+ li a0, 7
+ li a1, 7
+ beq a0, a1, eq
+ li s2, 0
+ j n1
+eq:
+ li s2, 1
+n1:
+ li a2, 9
+ bge a2, a0, ge
+ li s3, 0
+ j n2
+ge:
+ li s3, 1
+n2:
+ bgeu a0, a2, geu
+ li s4, 1
+ j n3
+geu:
+ li s4, 0
+n3:
+`)
+	if c.Reg(18) != 1 || c.Reg(19) != 1 || c.Reg(20) != 1 {
+		t.Errorf("branches: %d %d %d", c.Reg(18), c.Reg(19), c.Reg(20))
+	}
+}
+
+func TestAuipcEncoding(t *testing.T) {
+	// AUIPC via raw .word: auipc x10, 0x1 at 0x1000 → a0 = 0x1000 + 0x1000.
+	prog, err := Assemble(`
+ .org 0x1000
+ .word 0x00001517
+ ebreak
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New()
+	c.LoadImage(prog.Origin, prog.Words)
+	c.SetPC(prog.Origin)
+	if err := c.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if c.Reg(10) != 0x2000 {
+		t.Errorf("auipc: %#x, want 0x2000", c.Reg(10))
+	}
+}
+
+func TestJalrClearsLSB(t *testing.T) {
+	c := run(t, `
+ li t0, target
+ addi t0, t0, 1    # odd target: JALR must clear bit 0
+ jalr ra, 0(t0)
+ j done
+target:
+ li a0, 5
+ ret
+done:
+`)
+	if c.Reg(10) != 5 {
+		t.Errorf("jalr with odd target: a0 = %d", c.Reg(10))
+	}
+}
+
+func TestStoreToPeripheralAndRAMBoundary(t *testing.T) {
+	c := run(t, `
+ li t0, 0x3000
+ li t1, 0x11223344
+ sw t1, 0(t0)
+ lbu a0, 0(t0)
+ lbu a1, 1(t0)
+ lbu a2, 2(t0)
+ lhu a3, 2(t0)
+`)
+	if c.Reg(10) != 0x44 || c.Reg(11) != 0x33 || c.Reg(12) != 0x22 {
+		t.Errorf("lbu: %#x %#x %#x", c.Reg(10), c.Reg(11), c.Reg(12))
+	}
+	if c.Reg(13) != 0x1122 {
+		t.Errorf("lhu: %#x", c.Reg(13))
+	}
+}
+
+func TestUnsupportedInstructionErrors(t *testing.T) {
+	// LB (funct3=0 load) is unsupported in this subset.
+	c := New()
+	c.WriteWord(0x1000, 0x00000003) // lb x0, 0(x0)
+	c.SetPC(0x1000)
+	if err := c.Step(); err == nil {
+		t.Error("unsupported load accepted")
+	}
+	// SB (funct3=0 store).
+	c2 := New()
+	c2.WriteWord(0x1000, 0x00000023)
+	c2.SetPC(0x1000)
+	if err := c2.Step(); err == nil {
+		t.Error("unsupported store accepted")
+	}
+	// Unsupported SYSTEM.
+	c3 := New()
+	c3.WriteWord(0x1000, 0x00000073) // ecall
+	c3.SetPC(0x1000)
+	if err := c3.Step(); err == nil {
+		t.Error("ecall accepted")
+	}
+}
+
+func TestPeripheralMapValidation(t *testing.T) {
+	c := New()
+	if err := c.MapPeripheral(0x40001, 4, &stubDev{}); err == nil {
+		t.Error("odd base accepted")
+	}
+	if err := c.MapPeripheral(0x40000, 0, &stubDev{}); err == nil {
+		t.Error("zero size accepted")
+	}
+}
+
+func TestBranchOffsetOutOfRange(t *testing.T) {
+	// Build a source where the branch target is > 4 KiB away.
+	src := "beq zero, zero, far\n"
+	for i := 0; i < 1100; i++ {
+		src += " nop\n"
+	}
+	src += "far: ebreak\n"
+	if _, err := Assemble(src); err == nil {
+		t.Error("out-of-range branch accepted")
+	}
+}

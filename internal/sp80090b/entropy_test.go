@@ -1,0 +1,130 @@
+package sp80090b
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/trng"
+)
+
+func TestMCVIdealSourceNearOneBit(t *testing.T) {
+	s := trng.Read(trng.NewIdeal(1), 1<<20)
+	e, err := MostCommonValue(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.MinEntropy < 0.98 {
+		t.Errorf("ideal source MCV min-entropy %.4f, want ≈ 1", e.MinEntropy)
+	}
+}
+
+func TestMCVBiasedSource(t *testing.T) {
+	// p = 0.7: min-entropy ≈ −log2(0.7) = 0.5146 bits/bit.
+	s := trng.Read(trng.NewBiased(0.7, 2), 1<<20)
+	e, err := MostCommonValue(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := -math.Log2(0.7)
+	if math.Abs(e.MinEntropy-want) > 0.01 {
+		t.Errorf("MCV min-entropy %.4f, want ≈ %.4f", e.MinEntropy, want)
+	}
+}
+
+func TestMCVStuckSourceZeroEntropy(t *testing.T) {
+	s := trng.Read(trng.NewStuckAt(1), 4096)
+	e, err := MostCommonValue(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.MinEntropy != 0 {
+		t.Errorf("stuck source min-entropy %.4f, want 0", e.MinEntropy)
+	}
+}
+
+func TestMarkovIdealSource(t *testing.T) {
+	s := trng.Read(trng.NewIdeal(3), 1<<20)
+	e, err := Markov(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.MinEntropy < 0.98 {
+		t.Errorf("ideal source Markov min-entropy %.4f, want ≈ 1", e.MinEntropy)
+	}
+	for a := 0; a < 2; a++ {
+		for b := 0; b < 2; b++ {
+			if math.Abs(e.T[a][b]-0.5) > 0.01 {
+				t.Errorf("T[%d][%d] = %.4f, want ≈ 0.5", a, b, e.T[a][b])
+			}
+		}
+	}
+}
+
+func TestMarkovStickySource(t *testing.T) {
+	// stick = 0.8: the most probable path repeats the same symbol, so the
+	// per-step likelihood approaches 0.8 and the min-entropy
+	// ≈ −log2(0.8) = 0.3219 — far below what the MCV estimate sees
+	// (the source is balanced, so MCV says ≈ 1 bit).
+	s := trng.Read(trng.NewMarkov(0.8, 4), 1<<20)
+	me, err := Markov(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := -math.Log2(0.8)
+	if math.Abs(me.MinEntropy-want) > 0.02 {
+		t.Errorf("Markov min-entropy %.4f, want ≈ %.4f", me.MinEntropy, want)
+	}
+	mcv, err := MostCommonValue(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mcv.MinEntropy < 0.95 {
+		t.Errorf("MCV min-entropy %.4f — should be blind to correlation", mcv.MinEntropy)
+	}
+	if me.MinEntropy >= mcv.MinEntropy {
+		t.Error("Markov estimate should be far below MCV for a sticky source")
+	}
+}
+
+func TestMarkovLockedOscillator(t *testing.T) {
+	// A locked oscillator emits a near-deterministic quasi-periodic
+	// pattern (phase advances 0.37 per sample). Its true min-entropy is
+	// ≈ 0, but a *first-order* Markov model cannot capture memory longer
+	// than one bit, so the estimate only drops to ≈ 0.44 — a documented
+	// limitation of the estimator (and a reason the statistical monitor's
+	// serial/template tests matter: they see the longer structure and
+	// reject the stream outright).
+	ro := trng.NewRingOscillator(100.37, 0.001, 5)
+	s := trng.Read(ro, 1<<18)
+	e, err := Markov(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.MinEntropy > 0.6 {
+		t.Errorf("locked oscillator Markov min-entropy %.4f, want visibly reduced (< 0.6)", e.MinEntropy)
+	}
+	if e.MinEntropy < 0.2 {
+		t.Errorf("Markov min-entropy %.4f unexpectedly low — the first-order model should not see the full structure", e.MinEntropy)
+	}
+}
+
+func TestEntropyEstimatorsShortInput(t *testing.T) {
+	s := trng.Read(trng.NewIdeal(6), 1)
+	if _, err := MostCommonValue(s); err == nil {
+		t.Error("MCV accepted a 1-bit sequence")
+	}
+	if _, err := Markov(s); err == nil {
+		t.Error("Markov accepted a 1-bit sequence")
+	}
+}
+
+func TestMarkovDegenerateAllOnes(t *testing.T) {
+	s := trng.Read(trng.NewStuckAt(1), 1024)
+	e, err := Markov(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.MinEntropy > 0.01 {
+		t.Errorf("all-ones Markov min-entropy %.4f, want ≈ 0", e.MinEntropy)
+	}
+}

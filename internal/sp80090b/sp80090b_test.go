@@ -1,0 +1,263 @@
+package sp80090b
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/hwsim"
+	"repro/internal/trng"
+)
+
+func TestRCTCutoffFullEntropy(t *testing.T) {
+	// H = 1, alpha = 2^-20: C = 1 + 20 = 21 (the standard's worked
+	// binary example).
+	rct, err := NewRepetitionCountTest(1, DefaultAlpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rct.Cutoff() != 21 {
+		t.Errorf("cutoff = %d, want 21", rct.Cutoff())
+	}
+}
+
+func TestRCTCutoffHalfEntropy(t *testing.T) {
+	// H = 0.5: C = 1 + ceil(20/0.5) = 41.
+	rct, err := NewRepetitionCountTest(0.5, DefaultAlpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rct.Cutoff() != 41 {
+		t.Errorf("cutoff = %d, want 41", rct.Cutoff())
+	}
+}
+
+func TestRCTAlarmsOnStuckSource(t *testing.T) {
+	rct, err := NewRepetitionCountTest(1, DefaultAlpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fired := -1
+	for i := 0; i < 100; i++ {
+		if rct.Feed(1) {
+			fired = i
+			break
+		}
+	}
+	if fired != rct.Cutoff()-1 {
+		t.Errorf("alarm at bit %d, want %d (cutoff-1)", fired, rct.Cutoff()-1)
+	}
+}
+
+func TestRCTQuietOnIdealSource(t *testing.T) {
+	rct, err := NewRepetitionCountTest(1, DefaultAlpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := trng.NewIdeal(1)
+	for i := 0; i < 1_000_000; i++ {
+		b, _ := src.ReadBit()
+		rct.Feed(b)
+	}
+	// Expected alarms ≈ 10^6 · 2^-20 ≈ 0.95; more than 5 is wrong.
+	if rct.Alarms() > 5 {
+		t.Errorf("%d alarms on 10^6 ideal bits", rct.Alarms())
+	}
+}
+
+func TestRCTMissesMildBias(t *testing.T) {
+	// A 60% biased source almost never produces 21-bit runs — the RCT is
+	// blind to it (the statistical monitor is not; see the detection
+	// comparison in bench_test.go).
+	rct, err := NewRepetitionCountTest(1, DefaultAlpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := trng.NewBiased(0.6, 2)
+	for i := 0; i < 200_000; i++ {
+		b, _ := src.ReadBit()
+		rct.Feed(b)
+	}
+	if rct.Alarms() > 2 {
+		t.Errorf("RCT unexpectedly alarmed %d times on 60%% bias", rct.Alarms())
+	}
+}
+
+func TestAPTCutoffSane(t *testing.T) {
+	apt, err := NewAdaptiveProportionTest(1, DefaultAlpha, DefaultWindow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// For W=1024, H=1, alpha=2^-20 the standard's cutoff is in the low
+	// 600s (binomial upper tail at 1023 trials).
+	if apt.Cutoff() < 580 || apt.Cutoff() > 650 {
+		t.Errorf("cutoff = %d, outside the plausible band", apt.Cutoff())
+	}
+}
+
+func TestAPTAlarmsOnStuckSource(t *testing.T) {
+	apt, err := NewAdaptiveProportionTest(1, DefaultAlpha, DefaultWindow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fired := -1
+	for i := 0; i < 2*DefaultWindow; i++ {
+		if apt.Feed(0) {
+			fired = i
+			break
+		}
+	}
+	if fired < 0 {
+		t.Fatal("APT never alarmed on a stuck source")
+	}
+	if fired != apt.Cutoff()-1 {
+		t.Errorf("alarm at bit %d, want %d", fired, apt.Cutoff()-1)
+	}
+}
+
+func TestAPTAlarmsOnHeavyBias(t *testing.T) {
+	apt, err := NewAdaptiveProportionTest(1, DefaultAlpha, DefaultWindow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := trng.NewBiased(0.8, 3)
+	alarmed := false
+	for i := 0; i < 100_000 && !alarmed; i++ {
+		b, _ := src.ReadBit()
+		if apt.Feed(b) {
+			alarmed = true
+		}
+	}
+	if !alarmed {
+		t.Error("APT never alarmed on 80% bias")
+	}
+}
+
+func TestAPTQuietOnIdealSource(t *testing.T) {
+	apt, err := NewAdaptiveProportionTest(1, DefaultAlpha, DefaultWindow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := trng.NewIdeal(4)
+	for i := 0; i < 1_000_000; i++ {
+		b, _ := src.ReadBit()
+		apt.Feed(b)
+	}
+	if apt.Alarms() > 5 {
+		t.Errorf("%d alarms on 10^6 ideal bits", apt.Alarms())
+	}
+}
+
+func TestAPTMissesMildBias(t *testing.T) {
+	// 52% bias: the window count centers at ~533, 3.5σ below the ~589
+	// cutoff — the APT stays quiet, while the statistical monitor flags
+	// the same source from a single 65536-bit sequence (|S| ≈ 2600 vs
+	// the ~660 monobit bound). This is the quantitative gap between the
+	// minimal SP800-90B health tests and the paper's monitor.
+	apt, err := NewAdaptiveProportionTest(1, DefaultAlpha, DefaultWindow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := trng.NewBiased(0.52, 5)
+	for i := 0; i < 500_000; i++ {
+		b, _ := src.ReadBit()
+		apt.Feed(b)
+	}
+	if apt.Alarms() > 2 {
+		t.Errorf("APT alarmed %d times on 52%% bias", apt.Alarms())
+	}
+}
+
+func TestBinomialCutoffAgainstDirectSum(t *testing.T) {
+	// Small case checked by brute force: n=20, p=0.5, alpha=0.01.
+	c, err := binomialCutoff(20, 0.5, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tail := func(from int) float64 {
+		sum := 0.0
+		for k := from; k <= 20; k++ {
+			sum += binom(20, k) * math.Pow(0.5, 20)
+		}
+		return sum
+	}
+	if tail(c) > 0.01 {
+		t.Errorf("tail(%d) = %g > alpha", c, tail(c))
+	}
+	if tail(c-1) <= 0.01 {
+		t.Errorf("cutoff %d not minimal", c)
+	}
+}
+
+func binom(n, k int) float64 {
+	lgN, _ := math.Lgamma(float64(n + 1))
+	lgK, _ := math.Lgamma(float64(k + 1))
+	lgNK, _ := math.Lgamma(float64(n - k + 1))
+	return math.Exp(lgN - lgK - lgNK)
+}
+
+func TestParameterValidation(t *testing.T) {
+	if _, err := NewRepetitionCountTest(0, DefaultAlpha); err == nil {
+		t.Error("H=0 accepted")
+	}
+	if _, err := NewRepetitionCountTest(1, 0); err == nil {
+		t.Error("alpha=0 accepted")
+	}
+	if _, err := NewAdaptiveProportionTest(1.5, DefaultAlpha, 1024); err == nil {
+		t.Error("H>1 accepted")
+	}
+	if _, err := NewAdaptiveProportionTest(1, DefaultAlpha, 4); err == nil {
+		t.Error("tiny window accepted")
+	}
+}
+
+func TestResetClearsState(t *testing.T) {
+	rct, _ := NewRepetitionCountTest(1, DefaultAlpha)
+	for i := 0; i < 30; i++ {
+		rct.Feed(1)
+	}
+	rct.Reset()
+	if rct.Alarms() != 0 {
+		t.Error("RCT reset did not clear alarms")
+	}
+	if rct.Feed(1) {
+		t.Error("RCT alarmed immediately after reset")
+	}
+}
+
+func TestHealthBlockAreaIsTiny(t *testing.T) {
+	hb, err := NewHealthBlock(1, DefaultAlpha, DefaultWindow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := hwsim.EstimateFPGA(hb.Netlist())
+	if est.Slices > 30 {
+		t.Errorf("health block needs %d slices — should be far under the 54-slice light monitor", est.Slices)
+	}
+	t.Logf("SP800-90B health block: %d slices, %d FF, %d LUT", est.Slices, est.FFs, est.LUTs)
+}
+
+func TestHealthBlockEndToEnd(t *testing.T) {
+	hb, err := NewHealthBlock(1, DefaultAlpha, DefaultWindow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ideal stream: no alarms.
+	src := trng.NewIdeal(6)
+	for i := 0; i < 100_000; i++ {
+		b, _ := src.ReadBit()
+		hb.Feed(b)
+	}
+	r, a := hb.Alarms()
+	if r > 1 || a > 1 {
+		t.Errorf("alarms on ideal stream: rct=%d apt=%d", r, a)
+	}
+	// Stuck stream: both alarm quickly.
+	hb.Reset()
+	for i := 0; i < 2*DefaultWindow; i++ {
+		hb.Feed(1)
+	}
+	r, a = hb.Alarms()
+	if r == 0 || a == 0 {
+		t.Errorf("stuck stream: rct=%d apt=%d alarms", r, a)
+	}
+}

@@ -1,0 +1,198 @@
+package specfunc
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func approx(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if math.IsNaN(got) || math.Abs(got-want) > tol {
+		t.Errorf("%s = %.12g, want %.12g (tol %g)", name, got, want, tol)
+	}
+}
+
+func TestIgamcKnownValues(t *testing.T) {
+	// Q(1, x) = e^-x exactly; other anchors from chi-square tables.
+	cases := []struct {
+		a, x, want, tol float64
+	}{
+		{1.0, 1.0, math.Exp(-1), 1e-14},
+		{1.0, 5.0, math.Exp(-5), 1e-14},
+		{0.5, 0.5, 0.317310507862914, 1e-12}, // χ²(1) SF at x=1
+		{2.5, 5.0, 0.075235246146512, 1e-12}, // χ²(5) SF at x=10
+		{5.0, 5.0, 0.440493285065212, 1e-12}, // χ²(10) SF at x=10
+	}
+	for _, c := range cases {
+		got, err := Igamc(c.a, c.x)
+		if err != nil {
+			t.Fatalf("Igamc(%g,%g): %v", c.a, c.x, err)
+		}
+		approx(t, "Igamc", got, c.want, c.tol)
+	}
+}
+
+func TestIgamcNISTExamples(t *testing.T) {
+	// SP800-22 worked examples that reduce to igamc:
+	// Block frequency §2.2.4: igamc(3/2, 1/2) ≈ 0.801252.
+	got, err := Igamc(1.5, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "block-frequency example", got, 0.801252, 1e-6)
+
+	// Serial test §2.11.4 example (n=10, m=3): P-value1 = igamc(2, 0.8) and
+	// P-value2 = igamc(1, 0.4). Closed forms: Q(2,x) = (1+x)e^-x,
+	// Q(1,x) = e^-x.
+	got, err = Igamc(2, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "serial example P1", got, 1.8*math.Exp(-0.8), 1e-12)
+	approx(t, "serial example P1 vs NIST", got, 0.808792, 1e-6)
+	got, err = Igamc(1, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "serial example P2", got, math.Exp(-0.4), 1e-12)
+
+	// Closed forms for half-integer and integer a:
+	// Q(1/2, x) = erfc(sqrt(x)); Q(3, x) = (1+x+x²/2)e^-x.
+	got, err = Igamc(0.5, 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "Q(1/2,0.7)", got, math.Erfc(math.Sqrt(0.7)), 1e-12)
+	got, err = Igamc(3, 2.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "Q(3,2.5)", got, (1+2.5+2.5*2.5/2)*math.Exp(-2.5), 1e-12)
+}
+
+func TestIgamcBoundaries(t *testing.T) {
+	if got, err := Igamc(2, 0); err != nil || got != 1 {
+		t.Errorf("Igamc(2,0) = %v, %v; want 1, nil", got, err)
+	}
+	if got, err := Igamc(2, math.Inf(1)); err != nil || got != 0 {
+		t.Errorf("Igamc(2,Inf) = %v, %v; want 0, nil", got, err)
+	}
+}
+
+func TestIgamcDomainErrors(t *testing.T) {
+	for _, c := range []struct{ a, x float64 }{{0, 1}, {-1, 1}, {1, -0.5}, {math.NaN(), 1}, {1, math.NaN()}} {
+		if _, err := Igamc(c.a, c.x); err == nil {
+			t.Errorf("Igamc(%g,%g) accepted invalid input", c.a, c.x)
+		}
+	}
+}
+
+func TestIgamComplement(t *testing.T) {
+	f := func(aRaw, xRaw uint16) bool {
+		a := 0.25 + float64(aRaw%800)/10
+		x := float64(xRaw%2000) / 10
+		p, err1 := Igam(a, x)
+		q, err2 := Igamc(a, x)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return math.Abs(p+q-1) < 1e-10
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIgamcMonotoneInX(t *testing.T) {
+	prev := 1.0
+	for x := 0.0; x <= 50; x += 0.5 {
+		q, err := Igamc(3, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if q > prev+1e-12 {
+			t.Fatalf("Igamc(3,%g) = %g > previous %g: not monotone", x, q, prev)
+		}
+		prev = q
+	}
+}
+
+func TestNormalCDF(t *testing.T) {
+	approx(t, "Phi(0)", NormalCDF(0), 0.5, 1e-15)
+	approx(t, "Phi(1.96)", NormalCDF(1.959963984540054), 0.975, 1e-12)
+	approx(t, "Phi(-1.96)", NormalCDF(-1.959963984540054), 0.025, 1e-12)
+	approx(t, "Phi(3)", NormalCDF(3), 0.9986501019683699, 1e-12)
+}
+
+func TestNormalQuantileInvertsCDF(t *testing.T) {
+	for _, p := range []float64{0.001, 0.005, 0.01, 0.025, 0.1, 0.5, 0.9, 0.975, 0.99, 0.999} {
+		x, err := NormalQuantile(p)
+		if err != nil {
+			t.Fatalf("NormalQuantile(%g): %v", p, err)
+		}
+		approx(t, "Phi(Phi^-1(p))", NormalCDF(x), p, 1e-12)
+	}
+}
+
+func TestNormalQuantileDomain(t *testing.T) {
+	for _, p := range []float64{0, 1, -0.5, 1.5, math.NaN()} {
+		if _, err := NormalQuantile(p); err == nil {
+			t.Errorf("NormalQuantile(%g) accepted invalid input", p)
+		}
+	}
+}
+
+func TestChiSquareSFAgainstTable(t *testing.T) {
+	// Classic chi-square critical values: SF(x, k) = alpha.
+	cases := []struct {
+		x     float64
+		k     int
+		alpha float64
+	}{
+		{3.841, 1, 0.05},
+		{5.991, 2, 0.05},
+		{16.266, 3, 0.001},
+		{21.666, 9, 0.01},
+	}
+	for _, c := range cases {
+		got, err := ChiSquareSF(c.x, c.k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		approx(t, "ChiSquareSF", got, c.alpha, 5e-4)
+	}
+}
+
+func TestChiSquareQuantileInvertsSF(t *testing.T) {
+	for _, k := range []int{1, 2, 5, 9, 63} {
+		for _, alpha := range []float64{0.001, 0.01, 0.05} {
+			x, err := ChiSquareQuantile(alpha, k)
+			if err != nil {
+				t.Fatalf("ChiSquareQuantile(%g,%d): %v", alpha, k, err)
+			}
+			sf, err := ChiSquareSF(x, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			approx(t, "SF(quantile)", sf, alpha, 1e-9)
+		}
+	}
+}
+
+func TestChiSquareQuantileDomain(t *testing.T) {
+	if _, err := ChiSquareQuantile(0.5, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := ChiSquareQuantile(0, 3); err == nil {
+		t.Error("alpha=0 accepted")
+	}
+}
+
+func TestErfcMatchesStdlib(t *testing.T) {
+	for _, x := range []float64{-2, -0.5, 0, 0.3, 1, 4} {
+		if Erfc(x) != math.Erfc(x) {
+			t.Errorf("Erfc(%g) diverges from math.Erfc", x)
+		}
+	}
+}

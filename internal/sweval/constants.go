@@ -1,0 +1,81 @@
+package sweval
+
+// EmbeddedConstants is the exported snapshot of the precomputed critical
+// values, in the form a firmware build would compile into flash. The
+// internal/firmware package bakes these into the MSP430 evaluation routine.
+type EmbeddedConstants struct {
+	// Alpha is the level of significance the constants encode.
+	Alpha float64
+	// MonobitSMax: test 1 fails iff |S_final| > MonobitSMax.
+	MonobitSMax int64
+	// BlockFreqMax: test 2 fails iff Σ(2ε−M)² > BlockFreqMax.
+	BlockFreqMax int64
+	// RunsPreSAbs: test 3 fails outright iff |S_final| ≥ RunsPreSAbs.
+	RunsPreSAbs int64
+	// RunsRows is the interval table of the RunsTable method.
+	RunsRows []RunsRow
+	// LongestRunQ16 are the per-class 1/(Nπ) reciprocals in Q16.
+	LongestRunQ16 []int64
+	// LongestRunMax: test 4 fails iff Σν²·Q16 > LongestRunMax.
+	LongestRunMax int64
+	// CusumZMin: test 13 fails iff max excursion ≥ CusumZMin.
+	CusumZMin int64
+	// NonOvMax: test 7 fails iff Σ(2^m·W − (M−m+1))² > NonOvMax.
+	NonOvMax int64
+	// OverlapQ16 are test 8's per-class 1/(Nπ) reciprocals in Q16.
+	OverlapQ16 []int64
+	// OverlapMax: test 8 fails iff Σν²·Q16 > OverlapMax.
+	OverlapMax int64
+	// SerialMax1/SerialMax2: test 11 fails iff n·∇ψ² > SerialMax1 or
+	// n·∇²ψ² > SerialMax2.
+	SerialMax1 int64
+	SerialMax2 int64
+	// ApEnMinQ16: test 12 fails iff the PWL-evaluated ApEn (Q16) falls
+	// below this.
+	ApEnMinQ16 int64
+	// PWL is the 32-segment x·log(x) table (Q16 slopes/intercepts).
+	PWL []PWLRow
+}
+
+// PWLRow is one segment of the x·log(x) approximation.
+type PWLRow struct {
+	SlopeQ16     int64
+	InterceptQ16 int64
+}
+
+// RunsRow is one row of the runs-test interval table: while
+// |S_final| ≤ SAbsMax, the accepted runs count is [VLo, VHi].
+type RunsRow struct {
+	SAbsMax int64
+	VLo     int64
+	VHi     int64
+}
+
+// Constants exports the precomputed values for firmware generation.
+func (cv *CriticalValues) Constants() EmbeddedConstants {
+	rows := make([]RunsRow, len(cv.runsRows))
+	for i, r := range cv.runsRows {
+		rows[i] = RunsRow{SAbsMax: r.sAbsMax, VLo: r.vLo, VHi: r.vHi}
+	}
+	pwl := make([]PWLRow, PWLSegments)
+	for i := range pwl {
+		pwl[i] = PWLRow{SlopeQ16: cv.pwl.slope[i], InterceptQ16: cv.pwl.intercept[i]}
+	}
+	return EmbeddedConstants{
+		Alpha:         cv.Alpha,
+		MonobitSMax:   cv.monobitSMax,
+		BlockFreqMax:  cv.blockFreqMax,
+		RunsPreSAbs:   cv.runsPreSAbs,
+		RunsRows:      rows,
+		LongestRunQ16: append([]int64(nil), cv.longestRunQ16...),
+		LongestRunMax: cv.longestRunMax,
+		CusumZMin:     cv.cusumZMin,
+		NonOvMax:      cv.nonOvMax,
+		OverlapQ16:    append([]int64(nil), cv.overlapQ16...),
+		OverlapMax:    cv.overlapMax,
+		SerialMax1:    cv.serialMax1,
+		SerialMax2:    cv.serialMax2,
+		ApEnMinQ16:    cv.apenMinQ16,
+		PWL:           pwl,
+	}
+}

@@ -1,0 +1,380 @@
+package sweval
+
+import (
+	"fmt"
+
+	"repro/internal/hwblock"
+)
+
+// Verdict is the outcome of one test's software evaluation.
+type Verdict struct {
+	// TestID is the SP800-22 test number.
+	TestID int
+	// Pass reports whether the randomness hypothesis is accepted at the
+	// critical values' alpha.
+	Pass bool
+	// Statistic is the integer (or Q16 fixed-point) test statistic the
+	// embedded routine computed.
+	Statistic int64
+	// Threshold is the precomputed constant the statistic was compared
+	// against.
+	Threshold int64
+	// Note carries auxiliary detail (e.g. which serial statistic failed).
+	Note string
+}
+
+// Report is the result of one full software evaluation pass over the
+// register file.
+type Report struct {
+	// Verdicts holds one entry per implemented test, ascending by TestID.
+	Verdicts []Verdict
+	// Cost is the total instruction count of the pass, in the paper's
+	// Table III categories.
+	Cost Cost
+	// PerTest breaks the cost down by test (shared reads are charged to
+	// the first consumer, mirroring the paper's shared-counter account).
+	PerTest map[int]Cost
+}
+
+// Pass reports whether every implemented test accepted.
+func (r *Report) Pass() bool {
+	for _, v := range r.Verdicts {
+		if !v.Pass {
+			return false
+		}
+	}
+	return true
+}
+
+// Failed lists the test numbers that rejected.
+func (r *Report) Failed() []int {
+	var out []int
+	for _, v := range r.Verdicts {
+		if !v.Pass {
+			out = append(out, v.TestID)
+		}
+	}
+	return out
+}
+
+// Evaluator runs the embedded software routine: it reads raw counters from
+// a block's register file and turns them into pass/fail verdicts using only
+// metered integer operations against the precomputed critical values. The
+// default word size is 16 bits (the paper's platform); a wider word size
+// meters the same routine on a 32- or 64-bit core. Bus READs always count
+// 16-bit words — the register-file interface width is a hardware property.
+type Evaluator struct {
+	cv       *CriticalValues
+	wordBits int
+}
+
+// NewEvaluator returns an evaluator bound to one set of critical values,
+// metering at the paper's 16-bit word size.
+func NewEvaluator(cv *CriticalValues) *Evaluator {
+	return &Evaluator{cv: cv, wordBits: WordSize16}
+}
+
+// NewEvaluatorWordSize returns an evaluator metering at the given word size
+// (WordSize16, WordSize32 or WordSize64).
+func NewEvaluatorWordSize(cv *CriticalValues, wordBits int) (*Evaluator, error) {
+	switch wordBits {
+	case WordSize16, WordSize32, WordSize64:
+		return &Evaluator{cv: cv, wordBits: wordBits}, nil
+	}
+	return nil, fmt.Errorf("sweval: unsupported word size %d", wordBits)
+}
+
+// newMeter builds a meter at the evaluator's word size.
+func (ev *Evaluator) newMeter() *meter { return &meter{wordBits: ev.wordBits} }
+
+// Evaluate performs one software pass over the block's register file. The
+// block must have absorbed a full sequence.
+func (ev *Evaluator) Evaluate(b *hwblock.Block) (*Report, error) {
+	if !b.Done() {
+		return nil, fmt.Errorf("sweval: hardware block has only seen %d of %d bits", b.BitsSeen(), b.Config().N)
+	}
+	if b.Config().Name != ev.cv.cfg.Name {
+		return nil, fmt.Errorf("sweval: critical values are for design %s, block is %s", ev.cv.cfg.Name, b.Config().Name)
+	}
+	cfg := b.Config()
+	rf := b.RegFile()
+	rep := &Report{PerTest: make(map[int]Cost)}
+	n := int64(cfg.N)
+
+	readVal := func(m *meter, name string) (int64, error) {
+		v, busReads, err := rf.ReadValue(name)
+		if err != nil {
+			return 0, err
+		}
+		m.read(busReads)
+		return int64(v), nil
+	}
+
+	// Shared walk values, charged to test 13 (their home) as in the
+	// paper's unified register map.
+	mWalk := ev.newMeter()
+	sMaxRaw, err := readVal(mWalk, "S_MAX")
+	if err != nil {
+		return nil, err
+	}
+	sMinRaw, err := readVal(mWalk, "S_MIN")
+	if err != nil {
+		return nil, err
+	}
+	sFinRaw, err := readVal(mWalk, "S_FINAL")
+	if err != nil {
+		return nil, err
+	}
+	// Recenter the offset-binary values: S = raw − n.
+	sMax := mWalk.sub(sMaxRaw, n)
+	sMin := mWalk.sub(sMinRaw, n)
+	sFin := mWalk.sub(sFinRaw, n)
+	// The omitted-counter trick: N_ones = raw/2 (raw = S+n = 2·ones).
+	ones := mWalk.shr(sFinRaw, 1)
+	zeros := mWalk.sub(n, ones)
+
+	addVerdict := func(m *meter, v Verdict) {
+		rep.Verdicts = append(rep.Verdicts, v)
+		rep.PerTest[v.TestID] = m.cost
+		rep.Cost.Add(m.cost)
+	}
+
+	for _, id := range cfg.Tests {
+		switch id {
+		case 1:
+			m := ev.newMeter()
+			absS := sFin
+			if m.cmpGreater(0, absS) {
+				absS = m.sub(0, absS)
+			}
+			pass := !m.cmpGreater(absS, ev.cv.monobitSMax)
+			addVerdict(m, Verdict{TestID: 1, Pass: pass, Statistic: absS, Threshold: ev.cv.monobitSMax})
+
+		case 2:
+			m := ev.newMeter()
+			bigM := int64(cfg.Params.BlockFrequencyM)
+			nBlocks := cfg.N / cfg.Params.BlockFrequencyM
+			var d int64
+			for i := 0; i < nBlocks; i++ {
+				eps, err := readVal(m, fmt.Sprintf("BF_EPS_%d", i))
+				if err != nil {
+					return nil, err
+				}
+				dev := m.sub(m.shl(eps, 1), bigM) // 2ε − M
+				d = m.add(d, m.sqr(dev))
+			}
+			pass := !m.cmpGreater(d, ev.cv.blockFreqMax)
+			addVerdict(m, Verdict{TestID: 2, Pass: pass, Statistic: d, Threshold: ev.cv.blockFreqMax})
+
+		case 3:
+			m := ev.newMeter()
+			v, err := readVal(m, "N_RUNS")
+			if err != nil {
+				return nil, err
+			}
+			verdict := ev.evalRuns(m, n, sFin, ones, zeros, v)
+			addVerdict(m, verdict)
+
+		case 4:
+			m := ev.newMeter()
+			nBlocks := int64(cfg.N / cfg.Params.LongestRunM)
+			var sum int64
+			for i := range ev.cv.longestRunQ16 {
+				nu, err := readVal(m, fmt.Sprintf("LR_NU_%d", i))
+				if err != nil {
+					return nil, err
+				}
+				sum = m.add(sum, m.mul(m.sqr(nu), ev.cv.longestRunQ16[i]))
+			}
+			_ = nBlocks
+			pass := !m.cmpGreater(sum, ev.cv.longestRunMax)
+			addVerdict(m, Verdict{TestID: 4, Pass: pass, Statistic: sum, Threshold: ev.cv.longestRunMax})
+
+		case 7:
+			m := ev.newMeter()
+			tm := cfg.Params.TemplateM
+			blockLen := int64(cfg.N / cfg.Params.NonOverlappingN)
+			muScaled := m.sub(blockLen, int64(tm-1)) // μ·2^m = M − m + 1
+			var d int64
+			for i := 0; i < cfg.Params.NonOverlappingN; i++ {
+				w, err := readVal(m, fmt.Sprintf("NO_W_%d", i))
+				if err != nil {
+					return nil, err
+				}
+				dev := m.sub(m.shl(w, uint(tm)), muScaled)
+				d = m.add(d, m.sqr(dev))
+			}
+			pass := !m.cmpGreater(d, ev.cv.nonOvMax)
+			addVerdict(m, Verdict{TestID: 7, Pass: pass, Statistic: d, Threshold: ev.cv.nonOvMax})
+
+		case 8:
+			m := ev.newMeter()
+			var sum int64
+			for i := range ev.cv.overlapQ16 {
+				nu, err := readVal(m, fmt.Sprintf("OV_NU_%d", i))
+				if err != nil {
+					return nil, err
+				}
+				sum = m.add(sum, m.mul(m.sqr(nu), ev.cv.overlapQ16[i]))
+			}
+			pass := !m.cmpGreater(sum, ev.cv.overlapMax)
+			addVerdict(m, Verdict{TestID: 8, Pass: pass, Statistic: sum, Threshold: ev.cv.overlapMax})
+
+		case 11:
+			m := ev.newMeter()
+			sm := cfg.Params.SerialM
+			a, err := ev.sumSquares(m, sm, readVal)
+			if err != nil {
+				return nil, err
+			}
+			a1, err := ev.sumSquares(m, sm-1, readVal)
+			if err != nil {
+				return nil, err
+			}
+			a2, err := ev.sumSquares(m, sm-2, readVal)
+			if err != nil {
+				return nil, err
+			}
+			// n·∇ψ² = 2^m·A_m − 2^{m−1}·A_{m−1}
+			x1 := m.sub(m.shl(a, uint(sm)), m.shl(a1, uint(sm-1)))
+			// n·∇²ψ² = 2^m·A_m − 2^m·A_{m−1} + 2^{m−2}·A_{m−2}
+			x2 := m.add(m.sub(m.shl(a, uint(sm)), m.shl(a1, uint(sm))), m.shl(a2, uint(sm-2)))
+			fail1 := m.cmpGreater(x1, ev.cv.serialMax1)
+			fail2 := m.cmpGreater(x2, ev.cv.serialMax2)
+			note := ""
+			if fail1 {
+				note = "del-psi2"
+			}
+			if fail2 {
+				note += " del2-psi2"
+			}
+			addVerdict(m, Verdict{TestID: 11, Pass: !fail1 && !fail2, Statistic: x1, Threshold: ev.cv.serialMax1, Note: note})
+
+		case 12:
+			m := ev.newMeter()
+			sm := cfg.Params.SerialM
+			// φ_m in Q16 via the PWL table, reusing the serial counters
+			// (m−1 = 3-bit and m = 4-bit banks for SerialM = 4).
+			phi4, err := ev.phiQ16(m, cfg, sm, readVal)
+			if err != nil {
+				return nil, err
+			}
+			phi3, err := ev.phiQ16(m, cfg, sm-1, readVal)
+			if err != nil {
+				return nil, err
+			}
+			apen := m.sub(phi3, phi4)
+			pass := !m.cmpGreater(ev.cv.apenMinQ16, apen)
+			addVerdict(m, Verdict{TestID: 12, Pass: pass, Statistic: apen, Threshold: ev.cv.apenMinQ16})
+
+		case 13:
+			m := mWalk // inherits the shared walk reads
+			// Forward: z = max(S_max, −S_min).
+			zf := sMax
+			negMin := m.sub(0, sMin)
+			if m.cmpGreater(negMin, zf) {
+				zf = negMin
+			}
+			// Backward: z = max(S_final − S_min, S_max − S_final).
+			zb := m.sub(sFin, sMin)
+			alt := m.sub(sMax, sFin)
+			if m.cmpGreater(alt, zb) {
+				zb = alt
+			}
+			failF := !m.cmpGreater(ev.cv.cusumZMin, zf) // zf ≥ zMin
+			failB := !m.cmpGreater(ev.cv.cusumZMin, zb)
+			note := ""
+			if failF {
+				note = "forward"
+			}
+			if failB {
+				note += " backward"
+			}
+			z := zf
+			if zb > z {
+				z = zb
+			}
+			addVerdict(m, Verdict{TestID: 13, Pass: !failF && !failB, Statistic: z, Threshold: ev.cv.cusumZMin, Note: note})
+
+		default:
+			return nil, fmt.Errorf("sweval: no software routine for test %d", id)
+		}
+	}
+	return rep, nil
+}
+
+// evalRuns dispatches on the configured runs-test method.
+func (ev *Evaluator) evalRuns(m *meter, n, sFin, ones, zeros, v int64) Verdict {
+	absS := sFin
+	if m.cmpGreater(0, absS) {
+		absS = m.sub(0, absS)
+	}
+	// Frequency precondition: |S| ≥ 4√n means instant failure.
+	if !m.cmpGreater(ev.cv.runsPreSAbs, absS) {
+		return Verdict{TestID: 3, Pass: false, Statistic: v, Note: "precondition"}
+	}
+	switch ev.cv.runsMethod {
+	case RunsExact:
+		// |n·V − 2·ones·zeros| > (kQ16·ones·zeros) >> 16 ?
+		lhs := m.sub(m.mul(n, v), m.shl(m.mul(ones, zeros), 1))
+		if m.cmpGreater(0, lhs) {
+			lhs = m.sub(0, lhs)
+		}
+		rhs := m.shr(m.mul(ev.cv.runsKQ16, m.mul(ones, zeros)), pwlFracBits)
+		pass := !m.cmpGreater(lhs, rhs)
+		return Verdict{TestID: 3, Pass: pass, Statistic: lhs, Threshold: rhs}
+	default: // RunsTable
+		for _, row := range ev.cv.runsRows {
+			if m.cmpGreater(absS, row.sAbsMax) {
+				continue
+			}
+			failLo := m.cmpGreater(row.vLo, v)
+			failHi := m.cmpGreater(v, row.vHi)
+			return Verdict{TestID: 3, Pass: !failLo && !failHi, Statistic: v, Threshold: row.vHi}
+		}
+		// Beyond the last row (cannot happen when the precondition
+		// passed, kept for safety): reject.
+		return Verdict{TestID: 3, Pass: false, Statistic: v, Note: "table overflow"}
+	}
+}
+
+// sumSquares reads every w-bit serial pattern counter and accumulates Σν².
+func (ev *Evaluator) sumSquares(m *meter, w int, readVal func(*meter, string) (int64, error)) (int64, error) {
+	var sum int64
+	for pat := 0; pat < 1<<uint(w); pat++ {
+		v, err := readVal(m, fmt.Sprintf("SERIAL_NU%d_%0*b", w, w, pat))
+		if err != nil {
+			return 0, err
+		}
+		sum = m.add(sum, m.sqr(v))
+	}
+	return sum, nil
+}
+
+// phiQ16 computes φ_w = Σ (ν/n)·ln(ν/n) in Q16 through the PWL table.
+// n is a power of two, so ν/n in Q16 is a single shift.
+func (ev *Evaluator) phiQ16(m *meter, cfg hwblock.Config, w int, readVal func(*meter, string) (int64, error)) (int64, error) {
+	logN := uint(0)
+	for 1<<logN < cfg.N {
+		logN++
+	}
+	var phi int64
+	for pat := 0; pat < 1<<uint(w); pat++ {
+		name := fmt.Sprintf("SERIAL_NU%d_%0*b", w, w, pat)
+		nu, err := readVal(m, name)
+		if err != nil {
+			return 0, err
+		}
+		if nu == 0 {
+			continue
+		}
+		var xQ16 int64
+		if logN >= pwlFracBits {
+			xQ16 = m.shr(nu, logN-pwlFracBits)
+		} else {
+			xQ16 = m.shl(nu, pwlFracBits-logN)
+		}
+		phi = m.add(phi, ev.cv.pwl.evalQ16(m, xQ16))
+	}
+	return phi, nil
+}

@@ -1,0 +1,137 @@
+package sweval
+
+import "math"
+
+// This file implements the paper's Fig. 3: the function x·log(x) on [0, 1]
+// approximated by 32 piece-wise linear segments, so the approximate-entropy
+// test needs no logarithm on the embedded core — one table access, one
+// multiply and one add per evaluation. The paper reports the approximation
+// error below 3 %.
+
+// PWLSegments is the number of linear segments (Fig. 3).
+const PWLSegments = 32
+
+// pwlFracBits is the fixed-point precision: inputs and outputs are Q16
+// (value · 2^16).
+const pwlFracBits = 16
+
+// pwlScale is the Q16 unit.
+const pwlScale = 1 << pwlFracBits
+
+// XLogXTable holds the per-segment slope/intercept constants in Q16, the
+// constants a real deployment would place in flash. Segment i covers
+// x ∈ [i/32, (i+1)/32); the endpoints are interpolated so the approximation
+// is continuous and exact at the segment boundaries.
+type XLogXTable struct {
+	slope     [PWLSegments]int64 // Q16 slope of x·ln(x) on the segment
+	intercept [PWLSegments]int64 // Q16 intercept
+}
+
+// NewXLogXTable precomputes the segment constants. This runs offline (at
+// firmware build time in a real deployment) and is therefore unmetered.
+func NewXLogXTable() *XLogXTable {
+	t := &XLogXTable{}
+	f := func(x float64) float64 {
+		if x <= 0 {
+			return 0 // lim x→0 x·ln(x) = 0
+		}
+		return x * math.Log(x)
+	}
+	for i := 0; i < PWLSegments; i++ {
+		x0 := float64(i) / PWLSegments
+		x1 := float64(i+1) / PWLSegments
+		y0, y1 := f(x0), f(x1)
+		slope := (y1 - y0) / (x1 - x0)
+		intercept := y0 - slope*x0
+		t.slope[i] = int64(math.Round(slope * pwlScale))
+		t.intercept[i] = int64(math.Round(intercept * pwlScale))
+	}
+	return t
+}
+
+// evalQ16 returns the PWL approximation of x·ln(x) for xQ16 ∈ [0, 2^16],
+// metered as the embedded core would execute it: one LUT access for the
+// segment constants, one multiply, one add, one shift.
+func (t *XLogXTable) evalQ16(m *meter, xQ16 int64) int64 {
+	if xQ16 <= 0 {
+		return 0
+	}
+	seg := xQ16 >> (pwlFracBits - 5) // top 5 bits select one of 32 segments
+	if seg >= PWLSegments {
+		seg = PWLSegments - 1
+	}
+	m.lut()
+	prod := m.mul(t.slope[seg], xQ16)
+	prod = m.shr(prod, pwlFracBits)
+	return m.add(prod, t.intercept[seg])
+}
+
+// EvalFloat evaluates the approximation in floating point — used only for
+// plotting Fig. 3 and for the error-bound verification, never on the
+// embedded path.
+func (t *XLogXTable) EvalFloat(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	if x > 1 {
+		x = 1
+	}
+	seg := int(x * PWLSegments)
+	if seg >= PWLSegments {
+		seg = PWLSegments - 1
+	}
+	return (float64(t.slope[seg])*x + float64(t.intercept[seg])) / pwlScale
+}
+
+// MaxRelativeError scans the approximation against the true function and
+// returns the maximum relative error over [lo, 1] (the relative error is
+// unbounded as x→0 where the function crosses zero, so the scan starts at
+// lo; the paper's "<3 %" claim is over the plotted working range).
+func (t *XLogXTable) MaxRelativeError(lo float64, samples int) float64 {
+	worst := 0.0
+	for i := 0; i <= samples; i++ {
+		x := lo + (1-lo)*float64(i)/float64(samples)
+		truth := x * math.Log(x)
+		if x == 1 || truth == 0 {
+			continue
+		}
+		rel := math.Abs((t.EvalFloat(x) - truth) / truth)
+		if rel > worst {
+			worst = rel
+		}
+	}
+	return worst
+}
+
+// MaxAbsoluteError scans the approximation against the true function and
+// returns the maximum absolute error over [0, 1].
+func (t *XLogXTable) MaxAbsoluteError(samples int) float64 {
+	worst := 0.0
+	for i := 0; i <= samples; i++ {
+		x := float64(i) / float64(samples)
+		truth := 0.0
+		if x > 0 {
+			truth = x * math.Log(x)
+		}
+		abs := math.Abs(t.EvalFloat(x) - truth)
+		if abs > worst {
+			worst = abs
+		}
+	}
+	return worst
+}
+
+// Series returns (x, approx, exact) samples for rendering Fig. 3.
+func (t *XLogXTable) Series(samples int) (xs, approx, exact []float64) {
+	for i := 0; i <= samples; i++ {
+		x := float64(i) / float64(samples)
+		xs = append(xs, x)
+		approx = append(approx, t.EvalFloat(x))
+		if x > 0 {
+			exact = append(exact, x*math.Log(x))
+		} else {
+			exact = append(exact, 0)
+		}
+	}
+	return xs, approx, exact
+}

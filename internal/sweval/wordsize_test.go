@@ -1,0 +1,113 @@
+package sweval
+
+import (
+	"testing"
+
+	"repro/internal/bitstream"
+	"repro/internal/hwblock"
+	"repro/internal/trng"
+)
+
+// TestWiderWordSizeReducesCost reproduces the paper's Table III discussion:
+// "instructions operating on data larger than 16-bit have to be decomposed
+// into several 16-bit operations. We can expect that, on 32-bit or 64-bit
+// platforms, considerably lower latency could be achieved."
+func TestWiderWordSizeReducesCost(t *testing.T) {
+	cfg, err := hwblock.NewConfig(65536, hwblock.High)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := hwblock.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Run(bitstream.NewReader(trng.Read(trng.NewIdeal(1), cfg.N))); err != nil {
+		t.Fatal(err)
+	}
+	cv, err := NewCriticalValues(cfg, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	totals := map[int]int{}
+	var verdicts16 []Verdict
+	for _, wb := range []int{WordSize16, WordSize32, WordSize64} {
+		ev, err := NewEvaluatorWordSize(cv, wb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := ev.Evaluate(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// READ is a bus property and must not change with CPU word size.
+		totals[wb] = rep.Cost.Total() - rep.Cost.Get(OpRead)
+		if wb == WordSize16 {
+			verdicts16 = rep.Verdicts
+		} else {
+			// Decisions are word-size independent.
+			for i, v := range rep.Verdicts {
+				if v.Pass != verdicts16[i].Pass {
+					t.Errorf("word size %d changed test %d's verdict", wb, v.TestID)
+				}
+			}
+		}
+	}
+	if !(totals[WordSize32] < totals[WordSize16]) {
+		t.Errorf("32-bit cost %d not below 16-bit cost %d", totals[WordSize32], totals[WordSize16])
+	}
+	if !(totals[WordSize64] <= totals[WordSize32]) {
+		t.Errorf("64-bit cost %d above 32-bit cost %d", totals[WordSize64], totals[WordSize32])
+	}
+	t.Logf("arithmetic cost by word size: 16-bit=%d 32-bit=%d 64-bit=%d",
+		totals[WordSize16], totals[WordSize32], totals[WordSize64])
+}
+
+func TestReadCostIndependentOfWordSize(t *testing.T) {
+	cfg, err := hwblock.NewConfig(128, hwblock.Light)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := hwblock.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Run(bitstream.NewReader(trng.Read(trng.NewIdeal(2), cfg.N))); err != nil {
+		t.Fatal(err)
+	}
+	cv, err := NewCriticalValues(cfg, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reads []int
+	for _, wb := range []int{WordSize16, WordSize64} {
+		ev, err := NewEvaluatorWordSize(cv, wb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := ev.Evaluate(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reads = append(reads, rep.Cost.Get(OpRead))
+	}
+	if reads[0] != reads[1] {
+		t.Errorf("READ count changed with word size: %d vs %d", reads[0], reads[1])
+	}
+}
+
+func TestInvalidWordSizeRejected(t *testing.T) {
+	cfg, err := hwblock.NewConfig(128, hwblock.Light)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cv, err := NewCriticalValues(cfg, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, wb := range []int{0, 8, 24, 128} {
+		if _, err := NewEvaluatorWordSize(cv, wb); err == nil {
+			t.Errorf("word size %d accepted", wb)
+		}
+	}
+}

@@ -1,0 +1,122 @@
+package tables
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableIContainsAllFifteenTests(t *testing.T) {
+	out := TableI()
+	for _, want := range []string{
+		"Frequency (Monobit)", "Binary Matrix Rank", "Serial",
+		"Random Excursions Variant", "Yes", "No",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table I missing %q", want)
+		}
+	}
+	if strings.Count(out, "\n") < 16 {
+		t.Error("Table I too short")
+	}
+}
+
+func TestTableIIContainsAllNineTests(t *testing.T) {
+	out := TableII()
+	for _, want := range []string{
+		"Frequency (Monobit)", "Cumulative Sums", "Approximate Entropy",
+		"serial test's pattern counters", "READ=",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table II missing %q", want)
+		}
+	}
+}
+
+func TestTableIIIHasEightRowsAndPaperValues(t *testing.T) {
+	rows, err := TableIIIData()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("Table III has %d rows, want 8", len(rows))
+	}
+	// The paper's headline span: 52 to 552 slices.
+	if rows[0].PaperSlices != 52 || rows[len(rows)-1].PaperSlices != 552 {
+		t.Errorf("paper slice anchors wrong: %d..%d", rows[0].PaperSlices, rows[len(rows)-1].PaperSlices)
+	}
+	// Model monotonicity within each length: light < medium (< high).
+	byName := map[string]TableIIIRow{}
+	for _, r := range rows {
+		byName[r.Name] = r
+	}
+	for _, n := range []string{"n65536", "n1048576"} {
+		if !(byName[n+"-light"].Model.Slices < byName[n+"-medium"].Model.Slices &&
+			byName[n+"-medium"].Model.Slices < byName[n+"-high"].Model.Slices) {
+			t.Errorf("%s: model slices not monotone across variants", n)
+		}
+	}
+	// All designs above 100 MHz, as the paper reports.
+	for _, r := range rows {
+		if r.Model.FmaxMHz < 100 {
+			t.Errorf("%s: fmax %.0f below 100 MHz", r.Name, r.Model.FmaxMHz)
+		}
+	}
+	out := TableIII()
+	if !strings.Contains(out, "n1048576-high") || !strings.Contains(out, "ADD") {
+		t.Error("rendered Table III missing expected content")
+	}
+}
+
+func TestTableIVReproducesSavingDirection(t *testing.T) {
+	d, err := TableIVCompute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Comparison.UnifiedSlices >= d.Comparison.IndividualSlices {
+		t.Error("unified design not smaller than individual sum")
+	}
+	if d.SWCycles < 100 || d.SWCycles > 20000 {
+		t.Errorf("SW latency %d cycles implausible", d.SWCycles)
+	}
+	// The paper's conclusion: SW latency far below sequence generation
+	// time.
+	if d.SWCycles >= 65536 {
+		t.Errorf("SW latency %d not below the 65536-cycle generation time", d.SWCycles)
+	}
+	out := TableIV()
+	if !strings.Contains(out, "slice saving") {
+		t.Error("rendered Table IV missing content")
+	}
+}
+
+func TestFiguresRender(t *testing.T) {
+	if f := Fig1(); !strings.Contains(f, "TRNG") || !strings.Contains(f, "HW testing block") {
+		t.Error("Fig 1 missing blocks")
+	}
+	if f := Fig2(); !strings.Contains(f, "serial_nu4") || !strings.Contains(f, "TOTAL") {
+		t.Error("Fig 2 missing netlist content")
+	}
+	f3 := Fig3()
+	if !strings.Contains(f3, "max relative error") {
+		t.Error("Fig 3 missing error bound")
+	}
+	// The <3 % claim should appear reproduced.
+	if !strings.Contains(f3, "paper: <3%") {
+		t.Error("Fig 3 missing paper reference")
+	}
+}
+
+func TestExtensionTablesRender(t *testing.T) {
+	a1 := TableA1()
+	for _, want := range []string{"unified-apen", "omit-ones-counter", "block-detection"} {
+		if !strings.Contains(a1, want) {
+			t.Errorf("Table A1 missing %q", want)
+		}
+	}
+	a2 := TableA2()
+	for _, want := range []string{"RCT+APT", "slices", "52% bias"} {
+		if !strings.Contains(a2, want) {
+			t.Errorf("Table A2 missing %q", want)
+		}
+	}
+}

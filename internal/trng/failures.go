@@ -1,0 +1,135 @@
+package trng
+
+import "math/rand"
+
+// This file models total failures and slow degradations of an entropy
+// source, the two classes the paper's introduction distinguishes: "quick
+// tests for fast detection of the total failure of the entropy source, as
+// well as slow tests for the detection of long term statistical
+// weaknesses".
+
+// StuckAt models a total failure where the output is stuck at a constant
+// level — e.g. the probing attack the paper describes, where the random
+// signal wire is cut or grounded.
+type StuckAt struct {
+	Level byte
+}
+
+// NewStuckAt returns a source stuck at the given level (0 or 1).
+func NewStuckAt(level byte) *StuckAt { return &StuckAt{Level: level & 1} }
+
+// Name implements Source.
+func (s *StuckAt) Name() string { return "stuck-at" }
+
+// ReadBit implements Source.
+func (s *StuckAt) ReadBit() (byte, error) { return s.Level, nil }
+
+// Drift models aging: the bias of the source drifts linearly from its
+// starting value toward EndP over LifetimeBits bits, then stays there.
+type Drift struct {
+	rng          *rand.Rand
+	StartP       float64
+	EndP         float64
+	LifetimeBits int
+	emitted      int
+}
+
+// NewDrift returns an aging source whose P(1) moves from startP to endP
+// over lifetimeBits bits.
+func NewDrift(startP, endP float64, lifetimeBits int, seed int64) *Drift {
+	return &Drift{
+		rng:          rand.New(rand.NewSource(seed)),
+		StartP:       startP,
+		EndP:         endP,
+		LifetimeBits: lifetimeBits,
+	}
+}
+
+// Name implements Source.
+func (s *Drift) Name() string { return "aging-drift" }
+
+// ReadBit implements Source.
+func (s *Drift) ReadBit() (byte, error) {
+	frac := 1.0
+	if s.emitted < s.LifetimeBits {
+		frac = float64(s.emitted) / float64(s.LifetimeBits)
+	}
+	p := s.StartP + (s.EndP-s.StartP)*frac
+	s.emitted++
+	if s.rng.Float64() < p {
+		return 1, nil
+	}
+	return 0, nil
+}
+
+// SwitchAt chains two sources: bits come from Before until switchBit bits
+// have been produced, then from After. It models an attack or failure that
+// begins at a known point in the stream, which is what the on-the-fly
+// detection-latency experiments need.
+type SwitchAt struct {
+	Before    Source
+	After     Source
+	SwitchBit int
+	emitted   int
+}
+
+// NewSwitchAt returns the chained source.
+func NewSwitchAt(before, after Source, switchBit int) *SwitchAt {
+	return &SwitchAt{Before: before, After: after, SwitchBit: switchBit}
+}
+
+// Name implements Source.
+func (s *SwitchAt) Name() string {
+	return s.Before.Name() + "->" + s.After.Name()
+}
+
+// ReadBit implements Source.
+func (s *SwitchAt) ReadBit() (byte, error) {
+	var b byte
+	var err error
+	if s.emitted < s.SwitchBit {
+		b, err = s.Before.ReadBit()
+	} else {
+		b, err = s.After.ReadBit()
+	}
+	s.emitted++
+	return b, err
+}
+
+// Burst models intermittent interference: windows of burstLen bits from the
+// Bad source are injected into the Good stream with probability burstProb
+// at each bit boundary.
+type Burst struct {
+	rng       *rand.Rand
+	Good      Source
+	Bad       Source
+	BurstProb float64
+	BurstLen  int
+	remaining int
+}
+
+// NewBurst returns a bursty source.
+func NewBurst(good, bad Source, burstProb float64, burstLen int, seed int64) *Burst {
+	return &Burst{
+		rng:       rand.New(rand.NewSource(seed)),
+		Good:      good,
+		Bad:       bad,
+		BurstProb: burstProb,
+		BurstLen:  burstLen,
+	}
+}
+
+// Name implements Source.
+func (s *Burst) Name() string { return "bursty(" + s.Good.Name() + "," + s.Bad.Name() + ")" }
+
+// ReadBit implements Source.
+func (s *Burst) ReadBit() (byte, error) {
+	if s.remaining == 0 && s.rng.Float64() < s.BurstProb {
+		s.remaining = s.BurstLen
+	}
+	if s.remaining > 0 {
+		s.remaining--
+		return s.Bad.ReadBit()
+	}
+	return s.Good.ReadBit()
+}

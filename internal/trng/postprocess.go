@@ -1,0 +1,75 @@
+package trng
+
+// This file models the arithmetic post-processing (conditioning) stages
+// real TRNGs place between the raw entropy source and the output. The
+// on-the-fly tests of the paper monitor the *raw* source by design — after
+// good conditioning, even a badly degraded source looks random, which is
+// exactly why AIS-31 requires testing before the conditioning. The
+// experiments use these models to demonstrate that: a biased source fails
+// the monitor raw but passes it after von Neumann correction.
+
+// VonNeumann is the classic de-biasing corrector: raw bits are consumed in
+// pairs; 01 emits 0, 10 emits 1, 00 and 11 emit nothing. The output is
+// exactly unbiased for any i.i.d. input, at the price of an input/output
+// rate of at least 4:1.
+type VonNeumann struct {
+	Raw Source
+}
+
+// NewVonNeumann wraps a raw source with a von Neumann corrector.
+func NewVonNeumann(raw Source) *VonNeumann { return &VonNeumann{Raw: raw} }
+
+// Name implements Source.
+func (v *VonNeumann) Name() string { return "vonneumann(" + v.Raw.Name() + ")" }
+
+// ReadBit implements Source. It consumes raw pairs until one is unequal.
+func (v *VonNeumann) ReadBit() (byte, error) {
+	for {
+		a, err := v.Raw.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		b, err := v.Raw.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		if a != b {
+			return a, nil
+		}
+	}
+}
+
+// XORCompressor reduces bias by XOR-folding k consecutive raw bits into one
+// output bit. For an input bias e = p − 1/2, the output bias has magnitude
+// 2^{k−1}·|e|^k (P(out=1) = (1 − (1−2p)^k)/2) — quadratic suppression at
+// k = 2. Unlike von Neumann it has a fixed rate but only reduces (never
+// removes) bias, and it does nothing against correlation across fold
+// boundaries.
+type XORCompressor struct {
+	Raw    Source
+	Factor int
+}
+
+// NewXORCompressor wraps a raw source with a k-fold XOR compressor.
+func NewXORCompressor(raw Source, k int) *XORCompressor {
+	if k < 2 {
+		k = 2
+	}
+	return &XORCompressor{Raw: raw, Factor: k}
+}
+
+// Name implements Source.
+func (x *XORCompressor) Name() string { return "xor(" + x.Raw.Name() + ")" }
+
+// ReadBit implements Source.
+func (x *XORCompressor) ReadBit() (byte, error) {
+	var out byte
+	for i := 0; i < x.Factor; i++ {
+		b, err := x.Raw.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		out ^= b
+	}
+	return out, nil
+}

@@ -1,0 +1,144 @@
+package trng
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/nist"
+)
+
+func TestVonNeumannRemovesBias(t *testing.T) {
+	// Raw: 70% ones — fails everything. Corrected: unbiased.
+	corrected := NewVonNeumann(NewBiased(0.7, 1))
+	s := Read(corrected, 65536)
+	bias := float64(s.Ones()) / 65536
+	if math.Abs(bias-0.5) > 0.01 {
+		t.Errorf("corrected bias = %.4f, want 0.5", bias)
+	}
+	r, err := nist.Frequency(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Pass(0.001) {
+		t.Errorf("frequency test rejected von-Neumann-corrected source (P=%g)", r.MinP())
+	}
+}
+
+func TestVonNeumannMotivatesRawMonitoring(t *testing.T) {
+	// The AIS-31 rationale: the same defective source passes the tests
+	// after conditioning — so the monitor must tap the raw bits.
+	raw := Read(NewBiased(0.7, 2), 65536)
+	rRaw, err := nist.Frequency(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rRaw.Pass(0.01) {
+		t.Fatal("raw 70% biased source unexpectedly passed")
+	}
+	cooked := Read(NewVonNeumann(NewBiased(0.7, 2)), 65536)
+	rCooked, err := nist.Frequency(cooked)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rCooked.Pass(0.01) {
+		t.Errorf("conditioned source failed (P=%g) — corrector broken", rCooked.MinP())
+	}
+}
+
+func TestVonNeumannOutputIndependent(t *testing.T) {
+	s := Read(NewVonNeumann(NewBiased(0.65, 3)), 65536)
+	r, err := nist.Serial(s, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Pass(0.001) {
+		t.Errorf("serial test rejected von Neumann output (P=%g)", r.MinP())
+	}
+}
+
+func TestXORCompressorSuppressesBias(t *testing.T) {
+	// For input P(1) = p, the XOR-k output satisfies
+	// E[(−1)^out] = (1−2p)^k, i.e. P(out=1) = (1 − (1−2p)^k)/2.
+	// p = 0.6: XOR-2 → 0.48, XOR-4 → 0.4992.
+	for _, c := range []struct {
+		k    int
+		want float64
+	}{
+		{2, 0.48},
+		{4, 0.4992},
+	} {
+		s := Read(NewXORCompressor(NewBiased(0.6, 4), c.k), 200_000)
+		bias := float64(s.Ones()) / 200_000
+		if math.Abs(bias-c.want) > 0.01 {
+			t.Errorf("XOR-%d bias = %.4f, want ≈ %.4f", c.k, bias, c.want)
+		}
+	}
+}
+
+func TestXORCompressorMinimumFactor(t *testing.T) {
+	x := NewXORCompressor(NewIdeal(5), 0)
+	if x.Factor != 2 {
+		t.Errorf("Factor = %d, want clamped to 2", x.Factor)
+	}
+}
+
+func TestPostprocessorNames(t *testing.T) {
+	if got := NewVonNeumann(NewBiased(0.6, 1)).Name(); got != "vonneumann(biased)" {
+		t.Errorf("Name = %q", got)
+	}
+	if got := NewXORCompressor(NewIdeal(1), 2).Name(); got != "xor(ideal)" {
+		t.Errorf("Name = %q", got)
+	}
+}
+
+func TestVonNeumannStuckSourceNeverEmits(t *testing.T) {
+	// A stuck source produces only 00/11 pairs: the corrector emits
+	// nothing. Total failure upstream shows as a stalled corrector — the
+	// monitor on the raw bits sees it immediately instead.
+	v := NewVonNeumann(NewStuckAt(1))
+	done := make(chan struct{})
+	go func() {
+		// Bound the experiment: a real implementation would time out.
+		src := &boundedSource{inner: v, limit: 100000}
+		_, err := src.ReadBit()
+		if err == nil {
+			t.Error("corrector emitted a bit from a stuck source")
+		}
+		close(done)
+	}()
+	<-done
+}
+
+// boundedSource errors after limit raw reads to make the stall observable.
+type boundedSource struct {
+	inner *VonNeumann
+	limit int
+}
+
+func (b *boundedSource) ReadBit() (byte, error) {
+	wrapped := &countingSource{inner: b.inner.Raw, limit: b.limit}
+	v := &VonNeumann{Raw: wrapped}
+	return v.ReadBit()
+}
+
+type countingSource struct {
+	inner Source
+	n     int
+	limit int
+}
+
+func (c *countingSource) Name() string { return c.inner.Name() }
+
+func (c *countingSource) ReadBit() (byte, error) {
+	if c.n >= c.limit {
+		return 0, errStalled
+	}
+	c.n++
+	return c.inner.ReadBit()
+}
+
+var errStalled = &stallError{}
+
+type stallError struct{}
+
+func (*stallError) Error() string { return "trng: raw source stalled the corrector" }

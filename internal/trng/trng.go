@@ -1,0 +1,160 @@
+// Package trng models true random number generators and the failure and
+// attack modes the on-the-fly tests must detect. The paper's evaluation
+// platform monitors a physical TRNG on the same FPGA; here the physical
+// entropy sources are replaced by parametric models that produce the same
+// classes of bit-stream defects — bias, correlation, oscillator lock-in,
+// total failure, slow aging drift — so the detection paths of the platform
+// are exercised end to end.
+//
+// All sources are deterministic functions of their seed, so every
+// experiment in the repository is reproducible.
+package trng
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/bitstream"
+)
+
+// Source is a bit-producing entropy source. Sources never run dry: ReadBit
+// always succeeds (failures are modelled as *bad bits*, not absent bits),
+// so the error is only present to satisfy bitstream.BitReader.
+type Source interface {
+	bitstream.BitReader
+	// Name identifies the source model for reports.
+	Name() string
+}
+
+// Read drains n bits from a source into a sequence.
+func Read(src Source, n int) *bitstream.Sequence {
+	s, _ := bitstream.ReadAll(src, n) // sources never error
+	return s
+}
+
+// Ideal is an unbiased, independent bit source — the H₀ reference. It draws
+// from a seeded PRNG, which is statistically ideal for every test in the
+// suite.
+type Ideal struct {
+	rng *rand.Rand
+}
+
+// NewIdeal returns an ideal source with the given seed.
+func NewIdeal(seed int64) *Ideal {
+	return &Ideal{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Name implements Source.
+func (s *Ideal) Name() string { return "ideal" }
+
+// ReadBit implements Source.
+func (s *Ideal) ReadBit() (byte, error) { return byte(s.rng.Int63() & 1), nil }
+
+// Biased emits ones with a fixed probability p, modelling a TRNG whose
+// comparator threshold or duty cycle has shifted.
+type Biased struct {
+	rng *rand.Rand
+	p   float64
+}
+
+// NewBiased returns a source with P(1) = p.
+func NewBiased(p float64, seed int64) *Biased {
+	return &Biased{rng: rand.New(rand.NewSource(seed)), p: p}
+}
+
+// Name implements Source.
+func (s *Biased) Name() string { return "biased" }
+
+// ReadBit implements Source.
+func (s *Biased) ReadBit() (byte, error) {
+	if s.rng.Float64() < s.p {
+		return 1, nil
+	}
+	return 0, nil
+}
+
+// Markov is a two-state Markov chain: the next bit equals the previous one
+// with probability stick. stick = 0.5 is ideal; stick > 0.5 models
+// bandwidth-limited sampling (correlated bits); stick < 0.5 models an
+// oscillating artefact.
+type Markov struct {
+	rng   *rand.Rand
+	stick float64
+	last  byte
+}
+
+// NewMarkov returns a Markov source with the given persistence probability.
+func NewMarkov(stick float64, seed int64) *Markov {
+	return &Markov{rng: rand.New(rand.NewSource(seed)), stick: stick}
+}
+
+// Name implements Source.
+func (s *Markov) Name() string { return "markov" }
+
+// ReadBit implements Source.
+func (s *Markov) ReadBit() (byte, error) {
+	if s.rng.Float64() >= s.stick {
+		s.last ^= 1
+	}
+	return s.last, nil
+}
+
+// RingOscillator models an elementary ring-oscillator TRNG: a free-running
+// oscillator sampled at a fixed rate, with Gaussian phase jitter
+// accumulating between samples. The output bit is the oscillator's level at
+// the sampling instant.
+//
+// Ratio is the (irrational in practice) ratio of sampling period to
+// oscillator period; JitterRMS is the standard deviation of the phase noise
+// accumulated per sample, in oscillator periods. Large jitter gives full
+// entropy; jitter near zero degenerates into a deterministic pattern — the
+// condition a frequency-injection attack creates.
+//
+// The residual lag-1 correlation of the sampled bits scales like the mod-1
+// discrepancy of the per-sample phase increment, ≈ exp(−2π²·JitterRMS²):
+// at JitterRMS = 0.5 the ~0.7 % residual is reliably caught by the runs
+// and serial tests on 2^20-bit sequences (a realistic weak-entropy
+// condition), while JitterRMS ≥ 0.8 is statistically ideal at every length
+// the platform supports.
+type RingOscillator struct {
+	rng       *rand.Rand
+	phase     float64 // current phase in oscillator periods (mod 1)
+	Ratio     float64
+	JitterRMS float64
+}
+
+// NewRingOscillator returns a ring-oscillator source. Typical healthy
+// values: ratio ≈ 100.37, jitterRMS ≥ 0.8.
+func NewRingOscillator(ratio, jitterRMS float64, seed int64) *RingOscillator {
+	return &RingOscillator{
+		rng:       rand.New(rand.NewSource(seed)),
+		Ratio:     ratio,
+		JitterRMS: jitterRMS,
+	}
+}
+
+// Name implements Source.
+func (s *RingOscillator) Name() string { return "ring-oscillator" }
+
+// ReadBit implements Source.
+func (s *RingOscillator) ReadBit() (byte, error) {
+	s.phase += s.Ratio + s.rng.NormFloat64()*s.JitterRMS
+	s.phase -= math.Floor(s.phase)
+	if s.phase < 0.5 {
+		return 1, nil
+	}
+	return 0, nil
+}
+
+// Lock models a frequency-injection attack on the oscillator (Markettos &
+// Moore, CHES 2009): the oscillator locks to the injected signal, the
+// accumulated jitter collapses, and the output becomes (near-)periodic.
+// residualJitter is the tiny jitter remaining under lock.
+func (s *RingOscillator) Lock(residualJitter float64) {
+	s.JitterRMS = residualJitter
+}
+
+// Unlock restores healthy jitter.
+func (s *RingOscillator) Unlock(jitterRMS float64) {
+	s.JitterRMS = jitterRMS
+}

@@ -1,0 +1,75 @@
+package repro
+
+import "testing"
+
+func TestFacadeDesigns(t *testing.T) {
+	if got := len(Designs()); got != 8 {
+		t.Fatalf("Designs() = %d entries, want 8", got)
+	}
+	d, err := NewDesign(65536, High)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.N != 65536 || len(d.Tests) != 9 {
+		t.Errorf("unexpected design: %+v", d)
+	}
+}
+
+func TestFacadeMonitorEndToEnd(t *testing.T) {
+	d, err := NewDesign(128, Light)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMonitor(d, DefaultAlpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports, err := m.Watch(NewIdealSource(1), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 2 {
+		t.Fatalf("got %d reports", len(reports))
+	}
+}
+
+func TestFacadeCustomDesign(t *testing.T) {
+	d, err := NewCustomDesign("mini", 1024, []int{1, 3, 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMonitor(d, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Watch(NewIdealSource(2), 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeReferenceSuite(t *testing.T) {
+	suite := ReferenceSuite()
+	if len(suite) != 15 {
+		t.Fatalf("ReferenceSuite() = %d tests, want 15", len(suite))
+	}
+	s := ReadBits(NewIdealSource(3), 2048)
+	r, err := suite[0].Run(s) // frequency test
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Pass(0.001) {
+		t.Errorf("frequency test rejected ideal source (P=%g)", r.MinP())
+	}
+}
+
+func TestFacadeRingOscillator(t *testing.T) {
+	ro := NewRingOscillatorSource(100.37, 1.0, 4)
+	s := ReadBits(ro, 4096)
+	if s.Len() != 4096 {
+		t.Fatalf("read %d bits", s.Len())
+	}
+	ones := s.Ones()
+	if ones < 1700 || ones > 2400 {
+		t.Errorf("oscillator badly biased: %d ones of 4096", ones)
+	}
+}
