@@ -1,0 +1,14 @@
+# Mirrors .github/workflows/ci.yml so `make check` locally is the same
+# gate CI runs.
+.PHONY: check vet build test
+
+check: vet build test
+
+vet:
+	go vet ./...
+
+build:
+	go build ./...
+
+test:
+	go test -race ./...

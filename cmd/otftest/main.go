@@ -7,6 +7,14 @@
 //	otftest -n 65536 -variant high -alpha 0.01 -file bits.txt
 //	otftest -n 128 -variant light -source biased -p 0.6 -sequences 10
 //	cat bits.txt | otftest -n 65536 -variant medium -file -
+//
+// Supervision (fault injection and graceful degradation):
+//
+//	otftest -n 128 -variant light -source ideal -sequences 8 -fault-rate 0.01
+//	otftest -n 128 -variant light -source ideal -sequences 8 \
+//	    -stall-after 300 -standby ideal -bit-deadline 50ms
+//	otftest -n 128 -variant light -source ideal -sequences 8 \
+//	    -corrupt-reads 0.05 -verify-readout
 package main
 
 import (
@@ -15,9 +23,11 @@ import (
 	"io"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/bitstream"
 	"repro/internal/core"
+	"repro/internal/faultinject"
 	"repro/internal/hwblock"
 	"repro/internal/trng"
 )
@@ -32,6 +42,13 @@ func main() {
 	p := flag.Float64("p", 0.6, "bias / stickiness parameter for simulated sources")
 	seed := flag.Int64("seed", 1, "seed for simulated sources")
 	sequences := flag.Int("sequences", 1, "number of sequences to evaluate")
+	faultRate := flag.Float64("fault-rate", 0, "inject transient read faults at this per-bit rate (enables supervision)")
+	faultBurst := flag.Int("fault-burst", 1, "length of each injected fault burst, in reads")
+	stallAfter := flag.Int("stall-after", 0, "stall the source after this many bits (enables supervision and the watchdog)")
+	standby := flag.String("standby", "", "standby simulated source for failover (same kinds as -source)")
+	bitDeadline := flag.Duration("bit-deadline", 50*time.Millisecond, "watchdog deadline per bit when supervision is active")
+	corruptReads := flag.Float64("corrupt-reads", 0, "corrupt register-file bus reads at this per-read rate (enables supervision)")
+	verifyReadout := flag.Bool("verify-readout", false, "double-evaluate each sequence and quarantine on readout mismatch")
 	flag.Parse()
 
 	v, err := parseVariant(*variant)
@@ -63,10 +80,41 @@ func main() {
 		fatal(fmt.Errorf("need -file or -source"))
 	}
 
-	reports, err := mon.Watch(src, *sequences)
-	if err != nil && len(reports) == 0 {
-		fatal(err)
+	supervised := *faultRate > 0 || *stallAfter > 0 || *standby != "" ||
+		*corruptReads > 0 || *verifyReadout
+
+	var reports []core.SequenceReport
+	var supRep *core.SupervisorReport
+	var runErr error
+	if supervised {
+		if *faultRate > 0 {
+			src = faultinject.NewFlaky(src, *faultRate, *faultBurst, *seed+1)
+		}
+		if *stallAfter > 0 {
+			src = faultinject.NewStall(src, *stallAfter)
+		}
+		if *corruptReads > 0 {
+			faultinject.CorruptRegFile(mon.Block().RegFile(), *corruptReads, *seed+2)
+		}
+		var sby trng.Source
+		if *standby != "" {
+			if sby, err = simulatedSource(*standby, *p, *seed+3); err != nil {
+				fatal(err)
+			}
+		}
+		sup := core.NewSupervisor(mon, src, sby, core.SupervisorConfig{
+			BitDeadline:   *bitDeadline,
+			VerifyReadout: *verifyReadout,
+		})
+		supRep, runErr = sup.Run(*sequences)
+		reports = supRep.Reports
+	} else {
+		reports, runErr = mon.Watch(src, *sequences)
+		if runErr != nil && len(reports) == 0 {
+			fatal(runErr)
+		}
 	}
+
 	exit := 0
 	for _, r := range reports {
 		status := "PASS"
@@ -86,8 +134,18 @@ func main() {
 		}
 		fmt.Printf("  software cost: %s\n", r.Report.Cost.String())
 	}
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "otftest: stream ended early: %v\n", err)
+	if supRep != nil {
+		fmt.Printf("supervision: condition=%s quarantined=%d retries=%d active=%s\n",
+			supRep.Condition, supRep.Quarantined, supRep.Retries, supRep.ActiveSource)
+		for _, e := range supRep.Events {
+			fmt.Printf("  %s\n", e)
+		}
+		if supRep.Condition == core.SourceFault {
+			exit = 2
+		}
+	}
+	if runErr != nil {
+		fmt.Fprintf(os.Stderr, "otftest: stream ended early: %v\n", runErr)
 		exit = 2
 	}
 	os.Exit(exit)

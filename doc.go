@@ -5,6 +5,8 @@
 // The public surface is a thin facade over the internal packages:
 //
 //   - NewMonitor / Monitor: the on-the-fly testing platform (internal/core)
+//   - NewSupervisor / Supervisor: the operational fault-handling layer —
+//     retry, watchdog, quarantine, failover (internal/core)
 //   - Designs / NewDesign / NewCustomDesign: the hardware testing-block
 //     configurations of the paper's Table III (internal/hwblock)
 //   - The re-exported source models of internal/trng
@@ -67,6 +69,22 @@ func Designs() []Design { return hwblock.AllConfigs() }
 // significance alpha.
 func NewMonitor(d Design, alpha float64, opts ...sweval.Option) (*Monitor, error) {
 	return core.NewMonitor(d, alpha, opts...)
+}
+
+// Supervisor wraps a Monitor with retry, watchdog, quarantine and
+// failover (see internal/core).
+type Supervisor = core.Supervisor
+
+// SupervisorConfig tunes the supervision layer.
+type SupervisorConfig = core.SupervisorConfig
+
+// SupervisorReport is the outcome of one supervised run.
+type SupervisorReport = core.SupervisorReport
+
+// NewSupervisor supervises a monitor over a primary source with an
+// optional (nilable) standby for failover.
+func NewSupervisor(m *Monitor, primary, standby Source, cfg SupervisorConfig) *Supervisor {
+	return core.NewSupervisor(m, primary, standby, cfg)
 }
 
 // NewIdealSource returns an unbiased, independent bit source.

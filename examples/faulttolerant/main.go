@@ -1,0 +1,94 @@
+// Fault-tolerant deployment: the supervision layer around the on-the-fly
+// monitor. The paper's platform assumes the TRNG and the counter readout
+// are infallible; a deployed monitor cannot. This demo walks the three
+// operational failure classes the supervisor absorbs — all reproducible
+// from fixed seeds:
+//
+//  1. a flaky source whose reads fail transiently (retried, run completes)
+//  2. a source that stalls mid-sequence (watchdog trips, the in-flight
+//     sequence is quarantined, the monitor fails over to a standby)
+//  3. corrupted register-file readouts (the doubled evaluation pass
+//     disagrees and the sequence is quarantined instead of being judged
+//     on corrupt counters)
+//
+// Throughout, statistical failures stay distinct from operational ones:
+// the final act fails over onto a standby that turns out to be stuck, and
+// the alarm policy — not the supervisor's fault handling — takes it out of
+// service.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro"
+	"repro/internal/core"
+	"repro/internal/faultinject"
+	"repro/internal/trng"
+)
+
+func newMonitor() *repro.Monitor {
+	design, err := repro.NewDesign(128, repro.Light)
+	if err != nil {
+		log.Fatal(err)
+	}
+	monitor, err := repro.NewMonitor(design, 0.01)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return monitor
+}
+
+func show(rep *core.SupervisorReport, err error) {
+	if err != nil {
+		fmt.Printf("  run ended early: %v\n", err)
+	}
+	fmt.Printf("  condition=%s accepted=%d quarantined=%d retries=%d active=%s\n",
+		rep.Condition, len(rep.Reports), rep.Quarantined, rep.Retries, rep.ActiveSource)
+	for _, e := range rep.Events {
+		fmt.Printf("  %s\n", e)
+	}
+}
+
+func main() {
+	fmt.Println("1. transient read faults: retry-with-backoff absorbs them")
+	flaky := faultinject.NewFlaky(trng.NewIdeal(1), 0.02, 2, 42)
+	sup := repro.NewSupervisor(newMonitor(), flaky, nil, repro.SupervisorConfig{
+		Backoff: time.Microsecond,
+	})
+	show(sup.Run(6))
+	fmt.Printf("  (%d faults injected)\n\n", flaky.Injected())
+
+	fmt.Println("2. stall mid-sequence: watchdog -> quarantine -> failover")
+	stalling := faultinject.NewStall(trng.NewIdeal(2), 300)
+	defer stalling.Release()
+	sup = repro.NewSupervisor(newMonitor(), stalling, trng.NewIdeal(3), repro.SupervisorConfig{
+		BitDeadline: 20 * time.Millisecond,
+	})
+	show(sup.Run(6))
+	fmt.Println()
+
+	fmt.Println("3. corrupted counter readout: doubled evaluation quarantines it")
+	monitor := newMonitor()
+	corr := faultinject.CorruptRegFile(monitor.Block().RegFile(), 0.05, 7)
+	sup = repro.NewSupervisor(monitor, trng.NewIdeal(4), nil, repro.SupervisorConfig{
+		VerifyReadout: true,
+	})
+	show(sup.Run(6))
+	fmt.Printf("  (%d bus reads corrupted)\n\n", corr.Injected())
+
+	fmt.Println("4. failover onto a bad standby: the statistical alarm, not the")
+	fmt.Println("   fault handler, takes the TRNG out of service")
+	stalling2 := faultinject.NewStall(trng.NewIdeal(5), 300)
+	defer stalling2.Release()
+	policy, err := core.NewAlarmPolicy(2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sup = repro.NewSupervisor(newMonitor(), stalling2, trng.NewStuckAt(1), repro.SupervisorConfig{
+		BitDeadline: 20 * time.Millisecond,
+		Policy:      policy,
+	})
+	show(sup.Run(10))
+}

@@ -65,6 +65,73 @@ func TestAlarmPolicyThresholdOne(t *testing.T) {
 	}
 }
 
+func TestAlarmPolicyLatchPersistsThroughPasses(t *testing.T) {
+	// Once latched, no amount of subsequent passing sequences clears the
+	// alarm — only an explicit Reset (a serviced restart) does. The
+	// counters keep counting while latched.
+	a, err := NewAlarmPolicy(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Observe(fakeReport(false))
+	a.Observe(fakeReport(false))
+	if !a.Latched() {
+		t.Fatal("did not latch")
+	}
+	for i := 0; i < 10; i++ {
+		if !a.Observe(fakeReport(true)) {
+			t.Fatalf("latch cleared by pass %d", i)
+		}
+	}
+	if a.Sequences() != 12 {
+		t.Errorf("Sequences = %d, want 12 (observation continues while latched)", a.Sequences())
+	}
+	if a.NoiseAlarms() != 2 {
+		t.Errorf("NoiseAlarms = %d, want 2", a.NoiseAlarms())
+	}
+}
+
+func TestAlarmPolicyResetMidStreak(t *testing.T) {
+	// A Reset in the middle of a failure streak clears the consecutive
+	// counter: the streak does not resume across a serviced restart.
+	a, err := NewAlarmPolicy(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Observe(fakeReport(false))
+	a.Observe(fakeReport(false))
+	a.Reset()
+	a.Observe(fakeReport(false))
+	a.Observe(fakeReport(false))
+	if a.Latched() {
+		t.Error("streak survived Reset: latched after 2+2 split failures with threshold 3")
+	}
+	if a.Observe(fakeReport(false)) != true {
+		t.Error("did not latch after 3 consecutive post-Reset failures")
+	}
+}
+
+func TestAlarmPolicyResetAfterLatchAllowsRelatch(t *testing.T) {
+	a, err := NewAlarmPolicy(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Threshold 1: the very first failure latches immediately.
+	if !a.Observe(fakeReport(false)) {
+		t.Fatal("threshold 1 did not latch on the first failure")
+	}
+	a.Reset()
+	if a.Latched() {
+		t.Fatal("Reset did not clear the latch")
+	}
+	if a.Observe(fakeReport(true)) {
+		t.Error("latched on a passing sequence after Reset")
+	}
+	if !a.Observe(fakeReport(false)) {
+		t.Error("did not re-latch on the next failure after Reset")
+	}
+}
+
 func TestAlarmPolicyValidation(t *testing.T) {
 	if _, err := NewAlarmPolicy(0); err == nil {
 		t.Error("threshold 0 accepted")

@@ -9,12 +9,36 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/hwblock"
 	"repro/internal/sweval"
 	"repro/internal/trng"
 )
+
+// SourceError reports a failed source read. Bit is the absolute offset of
+// the bit that could not be read — equivalently, the number of bits the
+// monitor had consumed when the read failed. It wraps the source's error,
+// so errors.Is(err, trng.ErrTransient) distinguishes retryable faults.
+type SourceError struct {
+	Bit int64
+	Err error
+}
+
+// Error implements error.
+func (e *SourceError) Error() string {
+	return fmt.Sprintf("core: source failed at bit %d: %v", e.Bit, e.Err)
+}
+
+// Unwrap exposes the source's error to errors.Is / errors.As.
+func (e *SourceError) Unwrap() error { return e.Err }
+
+// ErrReadoutMismatch is returned by a verified evaluation pass when two
+// reads of the register file disagree — transmitted counter values were
+// corrupted in flight, so no verdict can be trusted and the sequence must
+// be quarantined.
+var ErrReadoutMismatch = errors.New("core: register readout mismatch between verification passes")
 
 // SequenceReport is the outcome of one completed test sequence.
 type SequenceReport struct {
@@ -86,16 +110,50 @@ func (m *Monitor) SetAlpha(alpha float64, opts ...sweval.Option) error {
 // next sequence starts on the following bit — the tests stay active the
 // whole time the TRNG runs, as [14] requires.
 func (m *Monitor) Feed(bit byte) (*SequenceReport, error) {
-	if err := m.block.Clock(bit); err != nil {
+	done, err := m.clockBit(bit)
+	if err != nil {
 		return nil, err
 	}
-	m.bitsSeen++
-	if !m.block.Done() {
+	if !done {
 		return nil, nil
 	}
+	return m.completeSequence(false)
+}
+
+// clockBit feeds one bit to the hardware without evaluating, reporting
+// whether the bit completed a sequence. It is the lower half of Feed; the
+// Supervisor uses it directly so that a sequence touched by an operational
+// fault can be quarantined before any evaluation runs.
+func (m *Monitor) clockBit(bit byte) (done bool, err error) {
+	if err := m.block.Clock(bit); err != nil {
+		return false, err
+	}
+	m.bitsSeen++
+	return m.block.Done(), nil
+}
+
+// completeSequence evaluates the completed sequence, commits it to the
+// history, and resets the hardware. With verify set, the software pass
+// runs twice over the register file and the two reports are compared
+// field by field: the evaluation is a pure function of the transmitted
+// counter values, so any disagreement means a counter was corrupted in
+// transmission, and the sequence is left uncommitted with
+// ErrReadoutMismatch (the caller quarantines it). This is the
+// software-side defense the paper's distributed-verdict design enables:
+// there is no single alarm wire to probe, and no single bus read to trust.
+func (m *Monitor) completeSequence(verify bool) (*SequenceReport, error) {
 	rep, err := m.eval.Evaluate(m.block)
 	if err != nil {
 		return nil, err
+	}
+	if verify {
+		again, err := m.eval.Evaluate(m.block)
+		if err != nil {
+			return nil, err
+		}
+		if !reportsAgree(rep, again) {
+			return nil, ErrReadoutMismatch
+		}
 	}
 	sr := SequenceReport{
 		Index:    m.seq,
@@ -111,14 +169,36 @@ func (m *Monitor) Feed(bit byte) (*SequenceReport, error) {
 	return &sr, nil
 }
 
-// Watch drains bits from the source until sequences complete sequences
-// have been evaluated, returning their reports.
+// quarantineSequence discards the in-flight (or completed-but-unevaluated)
+// sequence: the hardware is reset without an evaluation and no report is
+// committed. The bits remain counted in BitsSeen.
+func (m *Monitor) quarantineSequence() { m.block.Reset() }
+
+// reportsAgree compares two evaluation passes verdict by verdict.
+func reportsAgree(a, b *sweval.Report) bool {
+	if len(a.Verdicts) != len(b.Verdicts) {
+		return false
+	}
+	for i := range a.Verdicts {
+		va, vb := a.Verdicts[i], b.Verdicts[i]
+		if va.TestID != vb.TestID || va.Pass != vb.Pass || va.Statistic != vb.Statistic {
+			return false
+		}
+	}
+	return true
+}
+
+// Watch drains bits from the source until the requested number of
+// sequences have been evaluated, returning their reports. A failed source
+// read aborts the watch with a *SourceError carrying the bit offset and
+// the already-completed reports; callers that can recover (see
+// Supervisor) inspect it with errors.As.
 func (m *Monitor) Watch(src trng.Source, sequences int) ([]SequenceReport, error) {
 	var out []SequenceReport
 	for len(out) < sequences {
 		bit, err := src.ReadBit()
 		if err != nil {
-			return out, fmt.Errorf("core: source failed after %d bits: %w", m.bitsSeen, err)
+			return out, &SourceError{Bit: m.bitsSeen, Err: err}
 		}
 		rep, err := m.Feed(bit)
 		if err != nil {

@@ -1,0 +1,360 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/bitstream"
+	"repro/internal/faultinject"
+	"repro/internal/hwblock"
+	"repro/internal/trng"
+)
+
+// finiteSource adapts a finite bit sequence: it fails hard (non-transient)
+// when exhausted.
+type finiteSource struct {
+	r *bitstream.Reader
+}
+
+func newFiniteSource(seed int64, n int) *finiteSource {
+	return &finiteSource{r: bitstream.NewReader(trng.Read(trng.NewIdeal(seed), n))}
+}
+
+func (s *finiteSource) Name() string           { return "finite" }
+func (s *finiteSource) ReadBit() (byte, error) { return s.r.ReadBit() }
+
+func TestSupervisorRetriesTransientFaults(t *testing.T) {
+	m := newMonitor(t, 128, hwblock.Light, 0.001)
+	src := trng.NewErratic(trng.NewIdeal(21), 5)
+	var slept []time.Duration
+	sup := NewSupervisor(m, src, nil, SupervisorConfig{
+		Backoff: time.Millisecond,
+		Sleep:   func(d time.Duration) { slept = append(slept, d) },
+	})
+	rep, err := sup.Run(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Reports) != 4 {
+		t.Fatalf("accepted %d sequences, want 4", len(rep.Reports))
+	}
+	if rep.Condition != Degraded {
+		t.Errorf("Condition = %v, want Degraded", rep.Condition)
+	}
+	if rep.Retries != src.Faults() || rep.Retries == 0 {
+		t.Errorf("Retries = %d, source reports %d faults", rep.Retries, src.Faults())
+	}
+	if rep.Quarantined != 0 {
+		t.Errorf("Quarantined = %d on a retryable-only source", rep.Quarantined)
+	}
+	if len(slept) != rep.Retries {
+		t.Errorf("%d backoff sleeps for %d retries", len(slept), rep.Retries)
+	}
+	for _, d := range slept {
+		if d != time.Millisecond {
+			t.Errorf("backoff %v, want 1ms (every fault recovers on the first retry)", d)
+		}
+	}
+	// A retried stream is the inner stream: same verdicts as unsupervised.
+	clean := newMonitor(t, 128, hwblock.Light, 0.001)
+	want, err := clean.Watch(trng.NewIdeal(21), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if !reportsAgree(rep.Reports[i].Report, want[i].Report) {
+			t.Errorf("sequence %d: supervised verdicts diverge from clean run", i)
+		}
+	}
+}
+
+func TestSupervisorRetriesAreReproducible(t *testing.T) {
+	run := func() *SupervisorReport {
+		m := newMonitor(t, 128, hwblock.Light, 0.01)
+		src := faultinject.NewFlaky(trng.NewIdeal(5), 0.02, 2, 77)
+		sup := NewSupervisor(m, src, nil, SupervisorConfig{})
+		rep, err := sup.Run(3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	a, b := run(), run()
+	if a.Retries != b.Retries || a.Quarantined != b.Quarantined || a.Condition != b.Condition {
+		t.Fatalf("seeded runs diverged: %+v vs %+v", a, b)
+	}
+	if a.Retries == 0 {
+		t.Error("flaky source produced no retries")
+	}
+	for i := range a.Reports {
+		if !reportsAgree(a.Reports[i].Report, b.Reports[i].Report) {
+			t.Errorf("sequence %d verdicts diverged between seeded runs", i)
+		}
+	}
+}
+
+func TestSupervisorWatchdogFailsOverOnStall(t *testing.T) {
+	m := newMonitor(t, 128, hwblock.Light, 0.01)
+	stall := faultinject.NewStall(trng.NewIdeal(31), 200) // dies mid-second-sequence
+	defer stall.Release()
+	standby := trng.NewIdeal(32)
+	sup := NewSupervisor(m, stall, standby, SupervisorConfig{
+		BitDeadline: 10 * time.Millisecond,
+	})
+	rep, err := sup.Run(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Condition != FailedOver {
+		t.Errorf("Condition = %v, want FailedOver", rep.Condition)
+	}
+	if len(rep.Reports) != 3 {
+		t.Errorf("accepted %d sequences, want 3", len(rep.Reports))
+	}
+	if rep.Quarantined != 1 {
+		t.Errorf("Quarantined = %d, want 1 (the sequence in flight at the stall)", rep.Quarantined)
+	}
+	if rep.FailoverBit != 200 {
+		t.Errorf("FailoverBit = %d, want 200", rep.FailoverBit)
+	}
+	if rep.ActiveSource != "ideal" {
+		t.Errorf("ActiveSource = %q, want the standby", rep.ActiveSource)
+	}
+	var kinds []EventKind
+	for _, e := range rep.Events {
+		kinds = append(kinds, e.Kind)
+	}
+	want := []EventKind{EventWatchdog, EventQuarantine, EventFailover}
+	if len(kinds) != len(want) {
+		t.Fatalf("events = %v, want kinds %v", rep.Events, want)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Errorf("event %d = %v, want %v", i, kinds[i], want[i])
+		}
+	}
+}
+
+func TestSupervisorSourceFaultWithoutStandby(t *testing.T) {
+	m := newMonitor(t, 128, hwblock.Light, 0.01)
+	sup := NewSupervisor(m, newFiniteSource(4, 200), nil, SupervisorConfig{})
+	rep, err := sup.Run(3)
+	if err == nil {
+		t.Fatal("no error from an exhausted source with no standby")
+	}
+	var se *SourceError
+	if !errors.As(err, &se) {
+		t.Fatalf("error %v is not a *SourceError", err)
+	}
+	if se.Bit != 200 {
+		t.Errorf("SourceError.Bit = %d, want 200", se.Bit)
+	}
+	if errors.Is(err, trng.ErrTransient) {
+		t.Error("end-of-stream classified as transient")
+	}
+	if rep.Condition != SourceFault {
+		t.Errorf("Condition = %v, want SourceFault", rep.Condition)
+	}
+	if len(rep.Reports) != 1 {
+		t.Errorf("partial results: %d sequences, want 1", len(rep.Reports))
+	}
+	if rep.Quarantined != 1 {
+		t.Errorf("Quarantined = %d, want 1", rep.Quarantined)
+	}
+}
+
+func TestSupervisorQuarantinesCorruptReadout(t *testing.T) {
+	run := func() (*SupervisorReport, int) {
+		m := newMonitor(t, 128, hwblock.Light, 0.001)
+		c := faultinject.CorruptRegFile(m.Block().RegFile(), 0.05, 1234)
+		defer c.Detach()
+		sup := NewSupervisor(m, trng.NewIdeal(8), nil, SupervisorConfig{
+			VerifyReadout: true,
+		})
+		rep, err := sup.Run(5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep, c.Injected()
+	}
+	rep, injected := run()
+	if injected == 0 {
+		t.Fatal("corruptor never fired")
+	}
+	if rep.Quarantined == 0 {
+		t.Error("no corrupted readout was quarantined")
+	}
+	if len(rep.Reports) != 5 {
+		t.Errorf("accepted %d sequences, want 5", len(rep.Reports))
+	}
+	if rep.Condition != Degraded {
+		t.Errorf("Condition = %v, want Degraded", rep.Condition)
+	}
+	// Nothing was silently evaluated on corrupt state: every accepted
+	// verdict matches the clean evaluation of the same ideal stream. The
+	// accepted sequences are those whose indices survived quarantine, so
+	// compare by start bit against an unsupervised pass over more
+	// sequences than could ever be consumed.
+	clean := newMonitor(t, 128, hwblock.Light, 0.001)
+	want, err := clean.Watch(trng.NewIdeal(8), 5+rep.Quarantined)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byStart := map[int64]*SequenceReport{}
+	for i := range want {
+		byStart[want[i].StartBit] = &want[i]
+	}
+	for _, r := range rep.Reports {
+		w, ok := byStart[r.StartBit]
+		if !ok {
+			t.Fatalf("accepted sequence at bit %d has no clean counterpart", r.StartBit)
+		}
+		if !reportsAgree(r.Report, w.Report) {
+			t.Errorf("sequence at bit %d: accepted verdicts differ from clean evaluation", r.StartBit)
+		}
+	}
+	// Reproducible from the fixed seeds.
+	again, injectedAgain := run()
+	if again.Quarantined != rep.Quarantined || injectedAgain != injected {
+		t.Errorf("seeded corruption runs diverged: %d/%d vs %d/%d quarantines/injections",
+			again.Quarantined, injectedAgain, rep.Quarantined, injected)
+	}
+}
+
+func TestVerifiedEvaluationDetectsSingleCorruptRead(t *testing.T) {
+	// Deterministic corruption: exactly one bus read (the third of the
+	// first pass) is flipped. The doubled pass must disagree.
+	m := newMonitor(t, 128, hwblock.Light, 0.01)
+	for i := 0; i < 128; i++ {
+		done, err := m.clockBit(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if done && i != 127 {
+			t.Fatal("sequence completed early")
+		}
+	}
+	reads := 0
+	m.Block().RegFile().SetReadFault(func(addr int, w uint16) uint16 {
+		reads++
+		if reads == 3 {
+			return w ^ 0x0010
+		}
+		return w
+	})
+	defer m.Block().RegFile().SetReadFault(nil)
+	if _, err := m.completeSequence(true); !errors.Is(err, ErrReadoutMismatch) {
+		t.Fatalf("verified evaluation returned %v, want ErrReadoutMismatch", err)
+	}
+}
+
+func TestSupervisorQuarantineBreaker(t *testing.T) {
+	m := newMonitor(t, 128, hwblock.Light, 0.01)
+	c := faultinject.CorruptRegFile(m.Block().RegFile(), 0.5, 9)
+	defer c.Detach()
+	sup := NewSupervisor(m, trng.NewIdeal(10), nil, SupervisorConfig{
+		VerifyReadout:   true,
+		QuarantineLimit: 4,
+	})
+	rep, err := sup.Run(3)
+	if err == nil {
+		t.Fatal("permanently corrupt readout did not abort the run")
+	}
+	if !errors.Is(err, ErrReadoutMismatch) {
+		t.Errorf("breaker error %v does not wrap ErrReadoutMismatch", err)
+	}
+	if rep.Condition != SourceFault {
+		t.Errorf("Condition = %v, want SourceFault", rep.Condition)
+	}
+	if rep.Quarantined < 4 {
+		t.Errorf("Quarantined = %d, want >= limit", rep.Quarantined)
+	}
+}
+
+func TestSupervisorStatFailIsDistinct(t *testing.T) {
+	m := newMonitor(t, 128, hwblock.Light, 0.01)
+	policy, err := NewAlarmPolicy(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A statistically broken but operationally flawless source: the
+	// verdict must be StatFail, not any operational condition.
+	sup := NewSupervisor(m, trng.NewBiased(0.9, 13), nil, SupervisorConfig{Policy: policy})
+	rep, err := sup.Run(10)
+	if err != nil {
+		t.Fatalf("a statistical latch is a detection, not an error: %v", err)
+	}
+	if rep.Condition != StatFail {
+		t.Errorf("Condition = %v, want StatFail", rep.Condition)
+	}
+	if len(rep.Reports) != 2 {
+		t.Errorf("run stopped after %d sequences, want 2 (threshold)", len(rep.Reports))
+	}
+	if !policy.Latched() {
+		t.Error("policy not latched")
+	}
+	last := rep.Events[len(rep.Events)-1]
+	if last.Kind != EventAlarmLatched {
+		t.Errorf("final event = %v, want alarm-latched", last)
+	}
+	if rep.Quarantined != 0 || rep.Retries != 0 {
+		t.Errorf("operational counters nonzero on a purely statistical failure: %+v", rep)
+	}
+}
+
+func TestSupervisorHealthyRunIsOK(t *testing.T) {
+	m := newMonitor(t, 128, hwblock.Light, 0.001)
+	policy, err := NewAlarmPolicy(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sup := NewSupervisor(m, trng.NewIdeal(15), trng.NewIdeal(16), SupervisorConfig{
+		BitDeadline:   time.Second,
+		VerifyReadout: true,
+		Policy:        policy,
+	})
+	rep, err := sup.Run(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Condition != OK {
+		t.Errorf("Condition = %v, want OK", rep.Condition)
+	}
+	if len(rep.Reports) != 5 || rep.Quarantined != 0 || rep.Retries != 0 || len(rep.Events) != 0 {
+		t.Errorf("healthy run report: %+v", rep)
+	}
+	if rep.FailoverBit != -1 {
+		t.Errorf("FailoverBit = %d, want -1", rep.FailoverBit)
+	}
+}
+
+func TestSupervisorFailoverThenStatisticalDetection(t *testing.T) {
+	// End to end: the primary stalls, the supervisor fails over — onto a
+	// standby that turns out to be statistically broken. The monitor must
+	// both survive the operational fault and then catch the bad standby.
+	m := newMonitor(t, 128, hwblock.Light, 0.01)
+	stall := faultinject.NewStall(trng.NewIdeal(41), 300)
+	defer stall.Release()
+	policy, err := NewAlarmPolicy(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sup := NewSupervisor(m, stall, trng.NewStuckAt(1), SupervisorConfig{
+		BitDeadline: 10 * time.Millisecond,
+		Policy:      policy,
+	})
+	rep, err := sup.Run(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Condition != StatFail {
+		t.Errorf("Condition = %v, want StatFail (latch outranks failover)", rep.Condition)
+	}
+	if !policy.Latched() {
+		t.Error("stuck standby never latched the alarm")
+	}
+	if rep.FailoverBit != 300 {
+		t.Errorf("FailoverBit = %d, want 300", rep.FailoverBit)
+	}
+}

@@ -1,0 +1,49 @@
+package faultinject
+
+import (
+	"math/rand"
+
+	"repro/internal/hwblock"
+)
+
+// RegCorruptor flips one random bit in scheduled register-file bus reads —
+// the paper's probing/tampering concern applied to the counter
+// transmission path instead of the bit stream. The schedule advances once
+// per bus transaction, so re-reading the same address lands on a
+// different schedule position: that is precisely why a double-read (or a
+// doubled evaluation pass, see core's verified evaluation) detects the
+// corruption — the two transactions are faulted independently and almost
+// never agree on a corrupted value.
+type RegCorruptor struct {
+	rf       *hwblock.RegFile
+	sched    *Schedule
+	rng      *rand.Rand
+	injected int
+}
+
+// CorruptRegFile installs a corruptor on the register file at the given
+// per-read fault rate and returns its handle. Detach restores fault-free
+// reads.
+func CorruptRegFile(rf *hwblock.RegFile, rate float64, seed int64) *RegCorruptor {
+	c := &RegCorruptor{
+		rf:    rf,
+		sched: NewSchedule(rate, 1, seed),
+		rng:   rand.New(rand.NewSource(seed ^ 0x5eed)),
+	}
+	rf.SetReadFault(c.corrupt)
+	return c
+}
+
+func (c *RegCorruptor) corrupt(addr int, word uint16) uint16 {
+	if !c.sched.Next() {
+		return word
+	}
+	c.injected++
+	return word ^ 1<<uint(c.rng.Intn(hwblock.WordBits))
+}
+
+// Injected reports how many bus reads were corrupted.
+func (c *RegCorruptor) Injected() int { return c.injected }
+
+// Detach uninstalls the corruptor from the register file.
+func (c *RegCorruptor) Detach() { c.rf.SetReadFault(nil) }

@@ -1,0 +1,124 @@
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/trng"
+)
+
+// ErrStalled is returned by a released Stall source: the stall window is
+// over but the source is dead — a non-transient failure, so supervisors
+// must fail over rather than retry.
+var ErrStalled = errors.New("faultinject: source stalled")
+
+// Flaky wraps a source with scheduled transient read failures: on a
+// faulted event ReadBit returns an error wrapping trng.ErrTransient and
+// consumes no bit from the inner source, so a retrying reader recovers the
+// inner stream exactly. Unlike trng.Erratic's fixed period, the fault
+// positions come from a seeded Schedule with a configurable rate and burst
+// length — the model of EMI hits or a marginal readout flip-flop.
+type Flaky struct {
+	Inner    trng.Source
+	sched    *Schedule
+	injected int
+}
+
+// NewFlaky wraps inner with transient faults at the given per-read rate,
+// each lasting burst consecutive reads.
+func NewFlaky(inner trng.Source, rate float64, burst int, seed int64) *Flaky {
+	return &Flaky{Inner: inner, sched: NewSchedule(rate, burst, seed)}
+}
+
+// Name implements trng.Source.
+func (f *Flaky) Name() string { return "flaky(" + f.Inner.Name() + ")" }
+
+// ReadBit implements trng.Source.
+func (f *Flaky) ReadBit() (byte, error) {
+	if f.sched.Next() {
+		f.injected++
+		return 0, fmt.Errorf("faultinject: injected read fault %d: %w", f.injected, trng.ErrTransient)
+	}
+	return f.Inner.ReadBit()
+}
+
+// Injected reports how many reads have been faulted.
+func (f *Flaky) Injected() int { return f.injected }
+
+// Stall wraps a source that dies mid-stream: the first StallAfter reads
+// come from the inner source, then every ReadBit blocks until Release is
+// called (and fails with ErrStalled afterwards). This is the fault a
+// per-bit watchdog deadline exists for — the bit never arrives, so no
+// retry budget helps; only a timeout does.
+type Stall struct {
+	Inner      trng.Source
+	StallAfter int
+
+	delivered int
+	release   chan struct{}
+	once      sync.Once
+}
+
+// NewStall returns a source that blocks forever after stallAfter delivered
+// bits. Call Release to unblock stalled readers (they then observe
+// ErrStalled).
+func NewStall(inner trng.Source, stallAfter int) *Stall {
+	return &Stall{Inner: inner, StallAfter: stallAfter, release: make(chan struct{})}
+}
+
+// Name implements trng.Source.
+func (s *Stall) Name() string { return "stall(" + s.Inner.Name() + ")" }
+
+// ReadBit implements trng.Source. Once the stall begins it blocks the
+// calling goroutine until Release; a watchdog on the consumer side is the
+// only way out.
+func (s *Stall) ReadBit() (byte, error) {
+	if s.delivered >= s.StallAfter {
+		<-s.release
+		return 0, ErrStalled
+	}
+	s.delivered++
+	return s.Inner.ReadBit()
+}
+
+// Release unblocks all stalled (and future) reads; they fail with
+// ErrStalled. It is safe to call more than once and from any goroutine.
+func (s *Stall) Release() { s.once.Do(func() { close(s.release) }) }
+
+// BitFlip wraps a source with scheduled silent corruption: faulted reads
+// deliver the inner bit inverted, with no error — the wire between TRNG
+// and testing block picking up noise. The monitor cannot see these faults
+// operationally; only the statistical tests can, and only when the flip
+// rate is high enough to disturb the statistics. That asymmetry is the
+// point: BitFlip measures what the test battery does and does not catch.
+type BitFlip struct {
+	Inner   trng.Source
+	sched   *Schedule
+	flipped int
+}
+
+// NewBitFlip wraps inner, flipping bits at the given per-bit rate with the
+// given burst length.
+func NewBitFlip(inner trng.Source, rate float64, burst int, seed int64) *BitFlip {
+	return &BitFlip{Inner: inner, sched: NewSchedule(rate, burst, seed)}
+}
+
+// Name implements trng.Source.
+func (f *BitFlip) Name() string { return "bitflip(" + f.Inner.Name() + ")" }
+
+// ReadBit implements trng.Source.
+func (f *BitFlip) ReadBit() (byte, error) {
+	b, err := f.Inner.ReadBit()
+	if err != nil {
+		return b, err
+	}
+	if f.sched.Next() {
+		f.flipped++
+		b ^= 1
+	}
+	return b, nil
+}
+
+// Flipped reports how many delivered bits were inverted.
+func (f *BitFlip) Flipped() int { return f.flipped }

@@ -39,6 +39,9 @@ type RegFile struct {
 	entries []Entry
 	byName  map[string]int
 	words   int
+
+	readFault func(addr int, word uint16) uint16
+	busReads  int64
 }
 
 // NewRegFile returns an empty register file.
@@ -72,20 +75,37 @@ func (rf *RegFile) CheckAddressSpace() error {
 	return nil
 }
 
+// SetReadFault installs a hook through which every ReadWord result passes
+// before reaching the caller — the fault-injection seam modelling a
+// corrupted bus transaction (the probing/tampering surface the paper's
+// distributed-verdict design defends against). The hook sees the bus
+// address and the true word and returns the word the "microcontroller"
+// observes. A nil hook restores fault-free transmission.
+func (rf *RegFile) SetReadFault(f func(addr int, word uint16) uint16) { rf.readFault = f }
+
+// BusReads reports the total number of ReadWord transactions performed
+// over the file's lifetime (it is not cleared by a block reset).
+func (rf *RegFile) BusReads() int64 { return rf.busReads }
+
 // ReadWord returns the 16-bit word at the given address — the raw bus
 // transaction the microcontroller performs. Reading an unmapped address
 // returns 0, like a real bus with a default mux leg.
 func (rf *RegFile) ReadWord(addr int) uint16 {
-	if addr < 0 || addr >= rf.words {
-		return 0
+	rf.busReads++
+	var w uint16
+	if addr >= 0 && addr < rf.words {
+		// Binary search over entries by address.
+		i := sort.Search(len(rf.entries), func(i int) bool {
+			return rf.entries[i].Addr+rf.entries[i].Words > addr
+		})
+		e := rf.entries[i]
+		shift := uint((addr - e.Addr) * WordBits)
+		w = uint16(e.read() >> shift)
 	}
-	// Binary search over entries by address.
-	i := sort.Search(len(rf.entries), func(i int) bool {
-		return rf.entries[i].Addr+rf.entries[i].Words > addr
-	})
-	e := rf.entries[i]
-	shift := uint((addr - e.Addr) * WordBits)
-	return uint16(e.read() >> shift)
+	if rf.readFault != nil {
+		w = rf.readFault(addr, w)
+	}
+	return w
 }
 
 // Lookup finds an entry by name.

@@ -1,0 +1,46 @@
+package hwblock
+
+import "testing"
+
+func TestRegFileReadFaultHook(t *testing.T) {
+	rf := NewRegFile()
+	var v uint64 = 0xBEEF
+	rf.Add("X", 0, 16, func() uint64 { return v })
+
+	if got := rf.ReadWord(0); got != 0xBEEF {
+		t.Fatalf("fault-free read = %#x", got)
+	}
+
+	var seenAddr int
+	rf.SetReadFault(func(addr int, word uint16) uint16 {
+		seenAddr = addr
+		return word ^ 0x0001
+	})
+	if got := rf.ReadWord(0); got != 0xBEEE {
+		t.Errorf("faulted read = %#x, want %#x", got, 0xBEEE)
+	}
+	if seenAddr != 0 {
+		t.Errorf("hook saw address %d", seenAddr)
+	}
+	// The hook also covers the unmapped default leg.
+	if got := rf.ReadWord(99); got != 0x0001 {
+		t.Errorf("faulted unmapped read = %#x, want 1", got)
+	}
+
+	rf.SetReadFault(nil)
+	if got := rf.ReadWord(0); got != 0xBEEF {
+		t.Errorf("read after uninstall = %#x", got)
+	}
+}
+
+func TestRegFileBusReadCounter(t *testing.T) {
+	rf := NewRegFile()
+	rf.Add("W", 0, 32, func() uint64 { return 0x12345678 })
+	start := rf.BusReads()
+	if _, busReads, err := rf.ReadValue("W"); err != nil || busReads != 2 {
+		t.Fatalf("ReadValue = %d bus reads, err %v", busReads, err)
+	}
+	if got := rf.BusReads() - start; got != 2 {
+		t.Errorf("BusReads advanced by %d, want 2", got)
+	}
+}

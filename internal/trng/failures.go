@@ -1,12 +1,16 @@
 package trng
 
-import "math/rand"
+import (
+	"fmt"
+	"math/rand"
+)
 
 // This file models total failures and slow degradations of an entropy
 // source, the two classes the paper's introduction distinguishes: "quick
 // tests for fast detection of the total failure of the entropy source, as
 // well as slow tests for the detection of long term statistical
-// weaknesses".
+// weaknesses" — plus the operational failure class neither statistical
+// test sees: reads that fail outright (Erratic).
 
 // StuckAt models a total failure where the output is stuck at a constant
 // level — e.g. the probing attack the paper describes, where the random
@@ -61,6 +65,43 @@ func (s *Drift) ReadBit() (byte, error) {
 	}
 	return 0, nil
 }
+
+// Erratic delivers bits from Inner but fails every Period-th ReadBit call
+// with an error wrapping ErrTransient — a fully deterministic model of a
+// flaky readout path (loose probe, marginal sampling flip-flop). The
+// failed call consumes no bit: a retry after the error returns exactly the
+// bit the failed call would have, so the delivered stream is Inner's
+// stream unchanged and a retrying caller sees no statistical difference.
+type Erratic struct {
+	Inner Source
+	// Period is the call period of the fault: calls Period, 2·Period, …
+	// (1-based) fail. Period ≤ 1 makes every call fail.
+	Period int
+
+	calls  int
+	faults int
+}
+
+// NewErratic returns a source whose every period-th read fails transiently.
+func NewErratic(inner Source, period int) *Erratic {
+	return &Erratic{Inner: inner, Period: period}
+}
+
+// Name implements Source.
+func (s *Erratic) Name() string { return "erratic(" + s.Inner.Name() + ")" }
+
+// ReadBit implements Source.
+func (s *Erratic) ReadBit() (byte, error) {
+	s.calls++
+	if s.Period <= 1 || s.calls%s.Period == 0 {
+		s.faults++
+		return 0, fmt.Errorf("erratic: dropped read %d: %w", s.calls, ErrTransient)
+	}
+	return s.Inner.ReadBit()
+}
+
+// Faults reports how many reads have failed so far.
+func (s *Erratic) Faults() int { return s.faults }
 
 // SwitchAt chains two sources: bits come from Before until switchBit bits
 // have been produced, then from After. It models an attack or failure that

@@ -4,31 +4,48 @@
 // entropy sources are replaced by parametric models that produce the same
 // classes of bit-stream defects — bias, correlation, oscillator lock-in,
 // total failure, slow aging drift — so the detection paths of the platform
-// are exercised end to end.
+// are exercised end to end. Operational faults (dropped reads, stalls) are
+// part of the model too: see ErrTransient, Erratic, and the composable
+// injectors in internal/faultinject.
 //
 // All sources are deterministic functions of their seed, so every
 // experiment in the repository is reproducible.
 package trng
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 
 	"repro/internal/bitstream"
 )
 
-// Source is a bit-producing entropy source. Sources never run dry: ReadBit
-// always succeeds (failures are modelled as *bad bits*, not absent bits),
-// so the error is only present to satisfy bitstream.BitReader.
+// Source is a bit-producing entropy source. Statistical failures are
+// modelled as *bad bits* — a defective source still delivers a stream, just
+// a non-random one — but ReadBit may also fail operationally: a flaky
+// readout path drops a read, a dying oscillator stops toggling. An error
+// wrapping ErrTransient means the read failed but a retry may succeed and
+// no bit was consumed; any other error means the source is gone for good.
+// The purely statistical models in this package (Ideal, Biased, Markov,
+// RingOscillator, StuckAt, Drift) never error; Erratic and the wrappers in
+// internal/faultinject do.
 type Source interface {
 	bitstream.BitReader
 	// Name identifies the source model for reports.
 	Name() string
 }
 
-// Read drains n bits from a source into a sequence.
+// ErrTransient marks a recoverable read failure: the bit was not delivered,
+// no stream position was consumed, and retrying the read may succeed.
+// Supervisory layers test for it with errors.Is.
+var ErrTransient = errors.New("trng: transient read failure")
+
+// Read drains n bits from a source into a sequence. It is a convenience
+// for the infallible statistical models; read errors truncate the
+// sequence silently, so fallible sources should be drained through
+// bitstream.ReadAll (or a supervisor) instead.
 func Read(src Source, n int) *bitstream.Sequence {
-	s, _ := bitstream.ReadAll(src, n) // sources never error
+	s, _ := bitstream.ReadAll(src, n)
 	return s
 }
 

@@ -1,6 +1,7 @@
 package trng
 
 import (
+	"errors"
 	"math"
 	"testing"
 
@@ -228,6 +229,46 @@ func TestSourcesNeverError(t *testing.T) {
 				t.Errorf("%s: ReadBit error: %v", src.Name(), err)
 				break
 			}
+		}
+	}
+}
+
+func TestErraticFailsOnSchedule(t *testing.T) {
+	src := NewErratic(NewIdeal(1), 4)
+	for i := 1; i <= 100; i++ {
+		_, err := src.ReadBit()
+		if i%4 == 0 {
+			if err == nil {
+				t.Fatalf("call %d: no error on scheduled fault", i)
+			}
+			if !errors.Is(err, ErrTransient) {
+				t.Fatalf("call %d: error %v does not wrap ErrTransient", i, err)
+			}
+		} else if err != nil {
+			t.Fatalf("call %d: unexpected error %v", i, err)
+		}
+	}
+	if src.Faults() != 25 {
+		t.Errorf("Faults = %d, want 25", src.Faults())
+	}
+}
+
+func TestErraticRetryPreservesStream(t *testing.T) {
+	// A retrying reader must see exactly the inner stream: failed calls
+	// consume nothing.
+	want := Read(NewIdeal(7), 200)
+	src := NewErratic(NewIdeal(7), 3)
+	var got []byte
+	for len(got) < 200 {
+		b, err := src.ReadBit()
+		if err != nil {
+			continue // retry
+		}
+		got = append(got, b)
+	}
+	for i := range got {
+		if got[i] != want.Bit(i) {
+			t.Fatalf("bit %d: retried stream diverged from inner stream", i)
 		}
 	}
 }
