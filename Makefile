@@ -1,8 +1,8 @@
 # Mirrors .github/workflows/ci.yml so `make check` locally is the same
 # gate CI runs.
-.PHONY: check vet build test
+.PHONY: check vet build test bench-smoke bench
 
-check: vet build test
+check: vet build test bench-smoke
 
 vet:
 	go vet ./...
@@ -12,3 +12,11 @@ build:
 
 test:
 	go test -race ./...
+
+bench-smoke:
+	go test -run='^$$' -bench=. -benchtime=1x ./...
+
+# Full benchmark run, archived as machine-readable JSON (test2json framing
+# around the standard benchmark lines) for regression comparison.
+bench:
+	go test -run='^$$' -bench=. -benchmem -json ./... > BENCH_$$(date +%Y%m%d).json

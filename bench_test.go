@@ -135,9 +135,11 @@ func BenchmarkFig2(b *testing.B) {
 
 // --- platform throughput benchmarks -----------------------------------------
 
-// BenchmarkHWBlockClock measures the simulated hardware block's ingest
-// rate; the real hardware takes one cycle per bit, the simulator's rate
-// bounds experiment turnaround.
+// BenchmarkHWBlockClock measures the cycle-accurate structural
+// simulation's ingest rate — one simulated clock per op. The real hardware
+// takes one cycle per bit; this rate bounds golden-reference experiment
+// turnaround. The path is pinned explicitly because the word-level fast
+// path (BenchmarkHWFastIngest) is the default.
 func BenchmarkHWBlockClock(b *testing.B) {
 	for _, name := range []string{"light", "high"} {
 		v := hwblock.Light
@@ -153,6 +155,9 @@ func BenchmarkHWBlockClock(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
+			if err := blk.SetPath(hwblock.CycleAccurate); err != nil {
+				b.Fatal(err)
+			}
 			src := trng.NewIdeal(1)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
@@ -164,7 +169,86 @@ func BenchmarkHWBlockClock(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "bits/s")
 		})
+	}
+}
+
+// BenchmarkHWFastIngest measures the word-level fast path on the same
+// designs, normalized to one bit per op so the ns/op is directly
+// comparable with BenchmarkHWBlockClock (acceptance target: ≥ 10×).
+func BenchmarkHWFastIngest(b *testing.B) {
+	for _, name := range []string{"light", "high"} {
+		v := hwblock.Light
+		if name == "high" {
+			v = hwblock.High
+		}
+		b.Run("n65536-"+name, func(b *testing.B) {
+			cfg, err := hwblock.NewConfig(65536, v)
+			if err != nil {
+				b.Fatal(err)
+			}
+			blk, err := hwblock.New(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			r := bitstream.NewReader(trng.Read(trng.NewIdeal(1), cfg.N))
+			b.ResetTimer()
+			fed := 0
+			for fed < b.N {
+				if blk.Done() {
+					blk.Reset()
+					r.Reset()
+				}
+				take := cfg.N - blk.BitsSeen()
+				if take > 64 {
+					take = 64
+				}
+				w, got, err := r.ReadWord64(take)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := blk.ClockWord(w, got); err != nil {
+					b.Fatal(err)
+				}
+				fed += got
+			}
+			b.ReportMetric(float64(fed)/b.Elapsed().Seconds(), "bits/s")
+		})
+	}
+}
+
+// BenchmarkMonitorSteadyState measures one full monitored sequence per op
+// with the block and history reused across boundaries — the steady-state
+// allocation profile (run with -benchmem).
+func BenchmarkMonitorSteadyState(b *testing.B) {
+	cfg, err := hwblock.NewConfig(65536, hwblock.Light)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := core.NewMonitor(cfg, 0.01)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m.KeepHistory = 4
+	r := bitstream.NewReader(trng.Read(trng.NewIdeal(7), cfg.N))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Reset()
+		for {
+			bit, err := r.ReadBit()
+			if err != nil {
+				b.Fatal(err)
+			}
+			rep, err := m.Feed(bit)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if rep != nil {
+				break
+			}
+		}
 	}
 }
 
@@ -310,6 +394,32 @@ func BenchmarkDetectionPower(b *testing.B) {
 	}
 	b.ReportMetric(pts[0].DetectionRate, "rate-at-0.502")
 	b.ReportMetric(pts[len(pts)-1].DetectionRate, "rate-at-0.510")
+}
+
+// BenchmarkPowerSweepWorkers measures the detection-power sweep serially
+// and across the GOMAXPROCS worker pool; results are byte-identical, only
+// the wall clock changes.
+func BenchmarkPowerSweepWorkers(b *testing.B) {
+	cfg, err := hwblock.NewConfig(65536, hwblock.Light)
+	if err != nil {
+		b.Fatal(err)
+	}
+	makeSource := func(sev float64, seed int64) trng.Source {
+		return trng.NewBiased(sev, seed*101+int64(sev*1e4))
+	}
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{{"serial", 1}, {"gomaxprocs", 0}} {
+		b.Run(bc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.PowerSweepWorkers(cfg, 0.01, []float64{0.52}, 16,
+					bc.workers, makeSource); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkAblations quantifies each of the paper's §III-C sharing tricks

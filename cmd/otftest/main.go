@@ -49,7 +49,15 @@ func main() {
 	bitDeadline := flag.Duration("bit-deadline", 50*time.Millisecond, "watchdog deadline per bit when supervision is active")
 	corruptReads := flag.Float64("corrupt-reads", 0, "corrupt register-file bus reads at this per-read rate (enables supervision)")
 	verifyReadout := flag.Bool("verify-readout", false, "double-evaluate each sequence and quarantine on readout mismatch")
+	fast := flag.Bool("fast", true, "ingest via the word-level fast path (bit-exact with the structural simulation)")
+	cycleAccurate := flag.Bool("cycle-accurate", false, "ingest via the cycle-accurate structural simulation (golden reference)")
+	workers := flag.Int("workers", 1, "shard sequences across this many goroutines, one independent seeded source each (simulated sources only; 0 = all CPUs)")
 	flag.Parse()
+
+	path := hwblock.FastPath
+	if *cycleAccurate || !*fast {
+		path = hwblock.CycleAccurate
+	}
 
 	v, err := parseVariant(*variant)
 	if err != nil {
@@ -61,6 +69,9 @@ func main() {
 	}
 	mon, err := core.NewMonitor(cfg, *alpha)
 	if err != nil {
+		fatal(err)
+	}
+	if err := mon.Block().SetPath(path); err != nil {
 		fatal(err)
 	}
 
@@ -83,10 +94,35 @@ func main() {
 	supervised := *faultRate > 0 || *stallAfter > 0 || *standby != "" ||
 		*corruptReads > 0 || *verifyReadout
 
+	if *workers != 1 {
+		if supervised {
+			fatal(fmt.Errorf("-workers cannot be combined with supervision flags"))
+		}
+		if *source == "" {
+			fatal(fmt.Errorf("-workers needs a simulated -source (each sequence gets its own seeded source)"))
+		}
+	}
+
 	var reports []core.SequenceReport
 	var supRep *core.SupervisorReport
 	var runErr error
-	if supervised {
+	var ingestBits int64
+	start := time.Now()
+	switch {
+	case *workers != 1:
+		runner := &core.SequenceRunner{Cfg: cfg, Alpha: *alpha, Workers: *workers, Path: path}
+		reports, runErr = runner.Run(*sequences, func(trial int) trng.Source {
+			s, err := simulatedSource(*source, *p, *seed+int64(trial))
+			if err != nil {
+				panic(err) // the kind was validated above
+			}
+			return s
+		})
+		if runErr != nil {
+			fatal(runErr)
+		}
+		ingestBits = int64(*sequences) * int64(cfg.N)
+	case supervised:
 		if *faultRate > 0 {
 			src = faultinject.NewFlaky(src, *faultRate, *faultBurst, *seed+1)
 		}
@@ -108,22 +144,29 @@ func main() {
 		})
 		supRep, runErr = sup.Run(*sequences)
 		reports = supRep.Reports
-	} else {
+		ingestBits = mon.BitsSeen()
+	default:
 		reports, runErr = mon.Watch(src, *sequences)
 		if runErr != nil && len(reports) == 0 {
 			fatal(runErr)
 		}
+		ingestBits = mon.BitsSeen()
 	}
+	elapsed := time.Since(start)
 
 	exit := 0
-	for _, r := range reports {
+	for i, r := range reports {
 		status := "PASS"
 		if !r.Report.Pass() {
 			status = fmt.Sprintf("FAIL (tests %v)", r.Report.Failed())
 			exit = 1
 		}
+		seqNo := r.Index
+		if *workers != 1 {
+			seqNo = i // each trial has its own monitor, so Index is always 0
+		}
 		fmt.Printf("sequence %d [bits %d..%d): %s\n",
-			r.Index, r.StartBit, r.StartBit+int64(cfg.N), status)
+			seqNo, r.StartBit, r.StartBit+int64(cfg.N), status)
 		for _, v := range r.Report.Verdicts {
 			mark := "ok"
 			if !v.Pass {
@@ -143,6 +186,11 @@ func main() {
 		if supRep.Condition == core.SourceFault {
 			exit = 2
 		}
+	}
+	if secs := elapsed.Seconds(); ingestBits > 0 && secs > 0 {
+		fmt.Printf("ingest: %d bits in %v via %s path, %d worker(s) (%.3g bits/s)\n",
+			ingestBits, elapsed.Round(time.Millisecond), path, *workers,
+			float64(ingestBits)/secs)
 	}
 	if runErr != nil {
 		fmt.Fprintf(os.Stderr, "otftest: stream ended early: %v\n", runErr)

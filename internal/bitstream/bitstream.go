@@ -8,6 +8,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/bits"
 	"strings"
 )
 
@@ -29,23 +30,29 @@ func New(n int) *Sequence {
 
 // FromBits builds a sequence from a slice of 0/1 values. Any non-zero byte
 // counts as a one, matching the convention of the NIST reference code.
-func FromBits(bits []byte) *Sequence {
-	s := New(len(bits))
-	for _, b := range bits {
-		s.AppendBit(b & 1)
+func FromBits(vals []byte) *Sequence {
+	s := New(len(vals))
+	s.words = s.words[:(len(vals)+63)/64]
+	for i, b := range vals {
+		if b&1 != 0 {
+			s.words[i/64] |= 1 << uint(i%64)
+		}
 	}
+	s.n = len(vals)
 	return s
 }
 
 // FromBytes builds a sequence of 8*len(data) bits, consuming each byte
-// MSB-first (the order used by the SP800-22 reference data files).
+// MSB-first (the order used by the SP800-22 reference data files). Each
+// byte is bit-reversed into the sequence's LSB-first packing, one byte per
+// step rather than one bit.
 func FromBytes(data []byte) *Sequence {
 	s := New(8 * len(data))
-	for _, b := range data {
-		for i := 7; i >= 0; i-- {
-			s.AppendBit((b >> uint(i)) & 1)
-		}
+	s.words = s.words[:(8*len(data)+63)/64]
+	for i, b := range data {
+		s.words[i/8] |= uint64(bits.Reverse8(b)) << uint(8*(i%8))
 	}
+	s.n = 8 * len(data)
 	return s
 }
 
@@ -119,18 +126,9 @@ func (s *Sequence) Ones() int {
 		if i == len(s.words)-1 && s.n%64 != 0 {
 			w &= (1 << uint(s.n%64)) - 1
 		}
-		ones += popcount(w)
+		ones += bits.OnesCount64(w)
 	}
 	return ones
-}
-
-func popcount(w uint64) int {
-	n := 0
-	for w != 0 {
-		w &= w - 1
-		n++
-	}
-	return n
 }
 
 // String renders the sequence as a '0'/'1' string. Intended for tests and
@@ -167,6 +165,39 @@ func (r *Reader) ReadBit() (byte, error) {
 	return b, nil
 }
 
+// ReadWord64 reads up to nbits bits (1..64) in one call, packed LSB-first
+// in chronological order: bit i of the returned word is the i-th unread bit
+// of the sequence. At the end of the stream it returns however many bits
+// remain (got < nbits) without error; only a read with nothing left
+// returns ErrEndOfStream. The assembly is two shifts even when the read
+// straddles a storage-word boundary.
+func (r *Reader) ReadWord64(nbits int) (w uint64, got int, err error) {
+	if nbits < 1 || nbits > 64 {
+		return 0, 0, fmt.Errorf("bitstream: word size %d out of range [1,64]", nbits)
+	}
+	got = r.s.Len() - r.pos
+	if got == 0 {
+		return 0, 0, ErrEndOfStream
+	}
+	if got > nbits {
+		got = nbits
+	}
+	wi, off := r.pos>>6, uint(r.pos&63)
+	w = r.s.words[wi] >> off
+	if off+uint(got) > 64 {
+		w |= r.s.words[wi+1] << (64 - off)
+	}
+	if got < 64 {
+		w &= 1<<uint(got) - 1
+	}
+	r.pos += got
+	return w, got, nil
+}
+
+// Reset repositions the reader at the first bit, so one reader can replay
+// its sequence without reallocating.
+func (r *Reader) Reset() { r.pos = 0 }
+
 // Remaining reports how many bits are left to read.
 func (r *Reader) Remaining() int { return r.s.Len() - r.pos }
 
@@ -176,6 +207,16 @@ type BitReader interface {
 	// ReadBit returns the next bit (0 or 1). It returns ErrEndOfStream
 	// when the source can produce no more bits.
 	ReadBit() (byte, error)
+}
+
+// WordReader is implemented by bit sources that can deliver up to 64 bits
+// per call; word-level consumers (the testing block's fast ingest path)
+// detect it to skip the per-bit interface.
+type WordReader interface {
+	// ReadWord64 returns up to nbits bits packed LSB-first in
+	// chronological order, with the count actually read. It returns
+	// ErrEndOfStream only when no bits at all are available.
+	ReadWord64(nbits int) (w uint64, got int, err error)
 }
 
 // ReadAll drains up to n bits from r into a Sequence. It stops early at end

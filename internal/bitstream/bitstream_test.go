@@ -423,3 +423,118 @@ func TestStringLarge(t *testing.T) {
 		t.Error("String() of all-ones sequence is wrong")
 	}
 }
+
+// TestReadWord64 checks word reads against per-bit reads at every
+// position, word size and stream length near the storage-word boundary.
+func TestReadWord64(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, n := range []int{1, 63, 64, 65, 127, 128, 129, 200} {
+		s := New(n)
+		for i := 0; i < n; i++ {
+			s.AppendBit(byte(rng.Intn(2)))
+		}
+		for _, chunk := range []int{1, 7, 13, 63, 64} {
+			r := NewReader(s)
+			pos := 0
+			for pos < n {
+				w, got, err := r.ReadWord64(chunk)
+				if err != nil {
+					t.Fatalf("n=%d chunk=%d pos=%d: %v", n, chunk, pos, err)
+				}
+				want := chunk
+				if rem := n - pos; want > rem {
+					want = rem
+				}
+				if got != want {
+					t.Fatalf("n=%d chunk=%d pos=%d: got %d bits, want %d", n, chunk, pos, got, want)
+				}
+				for j := 0; j < got; j++ {
+					if byte(w>>uint(j))&1 != s.Bit(pos+j) {
+						t.Fatalf("n=%d chunk=%d: bit %d differs", n, chunk, pos+j)
+					}
+				}
+				if got < 64 && w>>uint(got) != 0 {
+					t.Fatalf("n=%d chunk=%d pos=%d: bits above %d not zero", n, chunk, pos, got)
+				}
+				pos += got
+			}
+			if _, _, err := r.ReadWord64(1); err != ErrEndOfStream {
+				t.Fatalf("n=%d chunk=%d: read past end: err = %v, want ErrEndOfStream", n, chunk, err)
+			}
+		}
+	}
+	r := NewReader(FromBits([]byte{1}))
+	if _, _, err := r.ReadWord64(0); err == nil {
+		t.Error("ReadWord64(0) did not fail")
+	}
+	if _, _, err := r.ReadWord64(65); err == nil {
+		t.Error("ReadWord64(65) did not fail")
+	}
+}
+
+// TestReaderReset checks that a reset reader replays the same bits.
+func TestReaderReset(t *testing.T) {
+	s := FromBits([]byte{1, 0, 1, 1, 0})
+	r := NewReader(s)
+	first, err := ReadAll(r, s.Len())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Reset()
+	second, err := ReadAll(r, s.Len())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.String() != second.String() {
+		t.Errorf("replay differs: %q vs %q", first.String(), second.String())
+	}
+}
+
+func BenchmarkReadBit(b *testing.B) {
+	s := New(1 << 16)
+	for i := 0; i < 1<<16; i++ {
+		s.AppendBit(byte(i) & 1)
+	}
+	r := NewReader(s)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if r.Remaining() == 0 {
+			r.Reset()
+		}
+		if _, err := r.ReadBit(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReadWord64 is normalized to one bit per op for comparison with
+// BenchmarkReadBit.
+func BenchmarkReadWord64(b *testing.B) {
+	s := New(1 << 16)
+	for i := 0; i < 1<<16; i++ {
+		s.AppendBit(byte(i) & 1)
+	}
+	r := NewReader(s)
+	b.ResetTimer()
+	for fed := 0; fed < b.N; {
+		if r.Remaining() == 0 {
+			r.Reset()
+		}
+		_, got, err := r.ReadWord64(64)
+		if err != nil {
+			b.Fatal(err)
+		}
+		fed += got
+	}
+}
+
+func BenchmarkFromBytes(b *testing.B) {
+	data := make([]byte, 8192)
+	rng := rand.New(rand.NewSource(1))
+	rng.Read(data)
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = FromBytes(data)
+	}
+}

@@ -76,10 +76,22 @@ func NewMonitor(cfg hwblock.Config, alpha float64, opts ...sweval.Option) (*Moni
 		return nil, err
 	}
 	return &Monitor{
-		block: block,
-		eval:  sweval.NewEvaluator(cv),
-		cv:    cv,
+		block:   block,
+		eval:    sweval.NewEvaluator(cv),
+		cv:      cv,
+		history: make([]SequenceReport, 0, 16),
 	}, nil
+}
+
+// Reset returns the monitor to its just-built state — hardware block,
+// sequence counter, bit counter and history — without reallocating the
+// block or re-deriving the critical values. Worker pools reuse one monitor
+// per goroutine across many independent trials this way.
+func (m *Monitor) Reset() {
+	m.block.Reset()
+	m.seq = 0
+	m.bitsSeen = 0
+	m.history = m.history[:0]
 }
 
 // Config returns the monitored design.
@@ -163,7 +175,10 @@ func (m *Monitor) completeSequence(verify bool) (*SequenceReport, error) {
 	m.seq++
 	m.history = append(m.history, sr)
 	if m.KeepHistory > 0 && len(m.history) > m.KeepHistory {
-		m.history = m.history[len(m.history)-m.KeepHistory:]
+		// Trim by copying to the front so the backing array is reused
+		// instead of leaking a growing prefix behind a resliced view.
+		n := copy(m.history, m.history[len(m.history)-m.KeepHistory:])
+		m.history = m.history[:n]
 	}
 	m.block.Reset()
 	return &sr, nil

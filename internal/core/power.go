@@ -25,28 +25,39 @@ type PowerPoint struct {
 
 // PowerSweep measures single-sequence detection power across defect
 // severities. makeSource builds the defective source for a severity and a
-// trial seed; trials sequences are monitored per severity (each trial uses
-// a fresh monitor, so trials are independent).
+// trial seed; trials sequences are monitored per severity. Trials are
+// independent — seeded per trial index — so they are sharded across a
+// GOMAXPROCS worker pool; the aggregation is in trial order, making the
+// result identical to a serial run (see PowerSweepWorkers).
 func PowerSweep(cfg hwblock.Config, alpha float64, severities []float64, trials int,
+	makeSource func(severity float64, seed int64) trng.Source) ([]PowerPoint, error) {
+	return PowerSweepWorkers(cfg, alpha, severities, trials, 0, makeSource)
+}
+
+// PowerSweepWorkers is PowerSweep with an explicit worker-pool size
+// (≤ 0 means GOMAXPROCS, 1 forces a serial run). Because trial i of a
+// severity always monitors makeSource(sev, i) on a freshly reset monitor,
+// the returned points are byte-identical for every worker count.
+func PowerSweepWorkers(cfg hwblock.Config, alpha float64, severities []float64, trials, workers int,
 	makeSource func(severity float64, seed int64) trng.Source) ([]PowerPoint, error) {
 	if trials < 1 {
 		return nil, fmt.Errorf("core: need at least one trial")
 	}
+	runner := &SequenceRunner{Cfg: cfg, Alpha: alpha, Workers: workers}
 	var out []PowerPoint
 	for _, sev := range severities {
+		sev := sev
+		reps, err := runner.Run(trials, func(trial int) trng.Source {
+			return makeSource(sev, int64(trial))
+		})
+		if err != nil {
+			return nil, err
+		}
 		pt := PowerPoint{Severity: sev, TestHits: make(map[int]int)}
 		detected := 0
 		failSum := 0
-		for trial := 0; trial < trials; trial++ {
-			m, err := NewMonitor(cfg, alpha)
-			if err != nil {
-				return nil, err
-			}
-			reps, err := m.Watch(makeSource(sev, int64(trial)), 1)
-			if err != nil {
-				return nil, err
-			}
-			failed := reps[0].Report.Failed()
+		for _, r := range reps {
+			failed := r.Report.Failed()
 			if len(failed) > 0 {
 				detected++
 				failSum += len(failed)

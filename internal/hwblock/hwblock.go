@@ -23,9 +23,36 @@ import (
 	"fmt"
 
 	"repro/internal/bitstream"
+	"repro/internal/hwfast"
 	"repro/internal/hwsim"
 	"repro/internal/nist"
 )
+
+// IngestPath selects how a Block digests the bit stream.
+type IngestPath int
+
+const (
+	// FastPath (the default) runs the word-level functional model
+	// (internal/hwfast) and publishes its state into the structural
+	// register image lazily, on the first bus read. It is bit-exact with
+	// the cycle-accurate path — the differential equivalence suite proves
+	// register-file agreement on all eight design variants.
+	FastPath IngestPath = iota
+	// CycleAccurate clocks the structural hwsim netlist one bit at a time,
+	// exactly as the hardware does — the golden reference.
+	CycleAccurate
+)
+
+// String names the path for CLI/report output.
+func (p IngestPath) String() string {
+	switch p {
+	case FastPath:
+		return "fast"
+	case CycleAccurate:
+		return "cycle-accurate"
+	}
+	return fmt.Sprintf("path(%d)", int(p))
+}
 
 // Variant is a feature level of the testing block.
 type Variant int
@@ -191,6 +218,15 @@ type Block struct {
 
 	bits int
 	done bool
+
+	// Fast ingest path: the word-level functional model, a pending-bit
+	// buffer batching per-bit Clock calls into word-level ingests, and a
+	// dirty flag driving the lazy publish into the structural primitives.
+	path  IngestPath
+	fast  *hwfast.State
+	pendW uint64
+	pendN int
+	dirty bool
 }
 
 // New instantiates the design described by cfg.
@@ -245,7 +281,35 @@ func New(cfg Config) (*Block, error) {
 	if err := b.rf.CheckAddressSpace(); err != nil {
 		return nil, err
 	}
+	// The word-level functional model is the default ingest path; designs
+	// it cannot model (none of the standard or custom configurations today)
+	// fall back to the cycle-accurate structural path.
+	if fast, err := hwfast.New(cfg.N, cfg.Tests, cfg.Params); err == nil {
+		b.fast = fast
+		b.rf.SetPrepare(b.publish)
+	} else {
+		b.path = CycleAccurate
+	}
 	return b, nil
+}
+
+// Path reports the active ingest path.
+func (b *Block) Path() IngestPath { return b.path }
+
+// SetPath selects the ingest path. Switching is only allowed at a sequence
+// boundary — before any bit of the next sequence has been clocked in.
+func (b *Block) SetPath(p IngestPath) error {
+	if p == b.path {
+		return nil
+	}
+	if p == FastPath && b.fast == nil {
+		return fmt.Errorf("hwblock: design %s has no fast-path model", b.cfg.Name)
+	}
+	if b.bits != 0 && !b.done {
+		return fmt.Errorf("hwblock: cannot switch ingest path %d bits into a sequence", b.bits)
+	}
+	b.path = p
+	return nil
 }
 
 // Config returns the block's design configuration.
@@ -264,10 +328,125 @@ func (b *Block) BitsSeen() int { return b.bits }
 // run its end-of-sequence finalization).
 func (b *Block) Done() bool { return b.done }
 
-// Clock feeds one bit into every engine — the operation the hardware
-// performs in a single clock cycle ("after receiving each random bit from
-// the generator, all update calculations finish within one clock cycle").
+// Clock feeds one bit into the block — the operation the hardware performs
+// in a single clock cycle ("after receiving each random bit from the
+// generator, all update calculations finish within one clock cycle"). On
+// the fast path the bit lands in a pending-word buffer that flushes into
+// the functional model 64 bits at a time; on the cycle-accurate path it
+// clocks the structural netlist directly.
 func (b *Block) Clock(bit byte) error {
+	if b.path != FastPath || b.fast == nil {
+		return b.clockStructural(bit)
+	}
+	if b.done {
+		return fmt.Errorf("hwblock: sequence complete; Reset before feeding more bits")
+	}
+	b.pendW |= uint64(bit&1) << uint(b.pendN)
+	b.pendN++
+	b.bits++
+	b.dirty = true
+	if b.pendN == 64 || b.bits == b.cfg.N {
+		b.flushPending()
+	}
+	return nil
+}
+
+// ClockWord feeds nbits bits (1..64) in one call; bit i of w is the i-th
+// bit chronologically, matching bitstream.Sequence packing. On the
+// cycle-accurate path it decomposes into per-bit clocks.
+func (b *Block) ClockWord(w uint64, nbits int) error {
+	if b.done {
+		return fmt.Errorf("hwblock: sequence complete; Reset before feeding more bits")
+	}
+	if nbits < 1 || nbits > 64 {
+		return fmt.Errorf("hwblock: word size %d out of range [1,64]", nbits)
+	}
+	if b.path != FastPath || b.fast == nil {
+		for i := 0; i < nbits; i++ {
+			if err := b.clockStructural(byte(w >> uint(i))); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	b.flushPending()
+	if err := b.fast.ClockWord(w, nbits); err != nil {
+		return err
+	}
+	b.bits += nbits
+	b.dirty = true
+	if b.fast.Done() {
+		b.done = true
+	}
+	return nil
+}
+
+// flushPending drains the per-bit buffer into the functional model.
+func (b *Block) flushPending() {
+	if b.pendN == 0 {
+		return
+	}
+	w, n := b.pendW, b.pendN
+	b.pendW, b.pendN = 0, 0
+	if err := b.fast.ClockWord(w, n); err != nil {
+		// Unreachable: every pending bit was validated on acceptance.
+		panic(err)
+	}
+	if b.fast.Done() {
+		b.done = true
+	}
+}
+
+// publish loads the functional model's statistics into the structural
+// primitives so the register file presents the exact image the bit-serial
+// hardware would hold after the same stream prefix. It runs lazily, from
+// the register file's prepare hook, and only when fast-path clocks have
+// landed since the last publish.
+func (b *Block) publish() {
+	if !b.dirty {
+		return
+	}
+	b.flushPending()
+	b.dirty = false
+	b.global.Load(uint64(b.bits))
+	final, min, max := b.fast.Walk()
+	b.walk.s.Load(final)
+	b.walk.ext.Load(min, max)
+	if b.runs != nil {
+		b.runs.runs.Load(b.fast.Runs())
+	}
+	if b.blockFreq != nil {
+		for i, v := range b.fast.BlockFreqBank() {
+			b.blockFreq.bank[i].Load(v)
+		}
+	}
+	if b.longestRun != nil {
+		for i, v := range b.fast.LongestRunClasses() {
+			b.longestRun.classes.Load(i, v)
+		}
+	}
+	if b.nonOv != nil {
+		for i, v := range b.fast.NonOverlapBank() {
+			b.nonOv.bank[i].Load(v)
+		}
+	}
+	if b.overlap != nil {
+		for i, v := range b.fast.OverlapClasses() {
+			b.overlap.classes.Load(i, v)
+		}
+	}
+	if b.serial != nil {
+		for i := 0; i < 3; i++ {
+			for pat, v := range b.fast.SerialCounts(i) {
+				b.serial.nu[i].Load(pat, v)
+			}
+		}
+	}
+}
+
+// clockStructural feeds one bit into every structural engine — one clock
+// cycle of the golden-reference netlist simulation.
+func (b *Block) clockStructural(bit byte) error {
 	if b.done {
 		return fmt.Errorf("hwblock: sequence complete; Reset before feeding more bits")
 	}
@@ -314,8 +493,16 @@ func (b *Block) finalize() {
 	b.done = true
 }
 
-// Run drains exactly N bits from src into the block.
+// Run drains exactly N bits from src into the block. When the fast path is
+// active and the source supports word reads (bitstream.WordReader), the
+// stream is ingested 64 bits per call; otherwise it falls back to per-bit
+// reads.
 func (b *Block) Run(src bitstream.BitReader) error {
+	if b.path == FastPath && b.fast != nil {
+		if wr, ok := src.(bitstream.WordReader); ok {
+			return b.runWords(wr)
+		}
+	}
 	for !b.done {
 		bit, err := src.ReadBit()
 		if err != nil {
@@ -323,6 +510,27 @@ func (b *Block) Run(src bitstream.BitReader) error {
 		}
 		if err := b.Clock(bit); err != nil {
 			return err
+		}
+	}
+	return nil
+}
+
+// runWords is the word-level ingest loop behind Run.
+func (b *Block) runWords(wr bitstream.WordReader) error {
+	b.flushPending()
+	for !b.done {
+		take := b.cfg.N - b.bits
+		if take > 64 {
+			take = 64
+		}
+		w, got, err := wr.ReadWord64(take)
+		if got > 0 {
+			if cerr := b.ClockWord(w, got); cerr != nil {
+				return cerr
+			}
+		}
+		if err != nil && !b.done {
+			return fmt.Errorf("hwblock: source failed after %d bits: %w", b.bits, err)
 		}
 	}
 	return nil
@@ -350,6 +558,11 @@ func (b *Block) Reset() {
 	if b.serial != nil {
 		b.serial.resetLocal()
 	}
+	if b.fast != nil {
+		b.fast.Reset()
+	}
+	b.pendW, b.pendN = 0, 0
+	b.dirty = false
 	b.bits = 0
 	b.done = false
 }

@@ -40,6 +40,7 @@ type RegFile struct {
 	byName  map[string]int
 	words   int
 
+	prepare   func()
 	readFault func(addr int, word uint16) uint16
 	busReads  int64
 }
@@ -75,6 +76,13 @@ func (rf *RegFile) CheckAddressSpace() error {
 	return nil
 }
 
+// SetPrepare installs a hook invoked before every bus transaction, ahead of
+// the value sampling. The fast ingest path uses it to publish its word-level
+// state into the structural primitives lazily, so a read issued at any bit
+// boundary — even mid-sequence — observes exactly the image the bit-serial
+// hardware would present. A nil hook disables preparation.
+func (rf *RegFile) SetPrepare(f func()) { rf.prepare = f }
+
 // SetReadFault installs a hook through which every ReadWord result passes
 // before reaching the caller — the fault-injection seam modelling a
 // corrupted bus transaction (the probing/tampering surface the paper's
@@ -91,6 +99,9 @@ func (rf *RegFile) BusReads() int64 { return rf.busReads }
 // transaction the microcontroller performs. Reading an unmapped address
 // returns 0, like a real bus with a default mux leg.
 func (rf *RegFile) ReadWord(addr int) uint16 {
+	if rf.prepare != nil {
+		rf.prepare()
+	}
 	rf.busReads++
 	var w uint16
 	if addr >= 0 && addr < rf.words {
@@ -132,6 +143,18 @@ func (rf *RegFile) ReadValue(name string) (value uint64, busReads int, err error
 		value &= 1<<uint(e.Width) - 1
 	}
 	return value, e.Words, nil
+}
+
+// Image dumps the full register file as one bus read per word — the
+// complete memory-mapped state the microcontroller could observe. The
+// differential equivalence suite compares images between the fast and the
+// cycle-accurate ingest paths.
+func (rf *RegFile) Image() []uint16 {
+	out := make([]uint16, rf.words)
+	for addr := range out {
+		out[addr] = rf.ReadWord(addr)
+	}
+	return out
 }
 
 // Entries returns all entries in address order.

@@ -1,0 +1,378 @@
+// Differential equivalence suite: the word-level functional model
+// (hwfast, wired as hwblock's fast ingest path) must present bit-exact
+// register-file images against the cycle-accurate structural simulation —
+// the golden reference — on every design variant, every stream, every
+// word chunking, and at every bit boundary a read may occur.
+package hwfast_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/bitstream"
+	"repro/internal/hwblock"
+)
+
+// newPair instantiates the same design twice: one block on the fast path
+// (the default) and one pinned to the cycle-accurate structural path.
+func newPair(t testing.TB, cfg hwblock.Config) (fast, gold *hwblock.Block) {
+	t.Helper()
+	fast, err := hwblock.New(cfg)
+	if err != nil {
+		t.Fatalf("New(%s) fast: %v", cfg.Name, err)
+	}
+	if fast.Path() != hwblock.FastPath {
+		t.Fatalf("New(%s): default path = %v, want fast", cfg.Name, fast.Path())
+	}
+	gold, err = hwblock.New(cfg)
+	if err != nil {
+		t.Fatalf("New(%s) gold: %v", cfg.Name, err)
+	}
+	if err := gold.SetPath(hwblock.CycleAccurate); err != nil {
+		t.Fatalf("SetPath(%s): %v", cfg.Name, err)
+	}
+	return fast, gold
+}
+
+// compareImages fails the test if the two blocks' register files disagree
+// anywhere, reporting the first mismatching named register.
+func compareImages(t testing.TB, fast, gold *hwblock.Block, ctx string) {
+	t.Helper()
+	fi, gi := fast.RegFile().Image(), gold.RegFile().Image()
+	if len(fi) != len(gi) {
+		t.Fatalf("%s: image sizes differ: fast %d words, gold %d", ctx, len(fi), len(gi))
+	}
+	for addr := range fi {
+		if fi[addr] != gi[addr] {
+			name := fmt.Sprintf("addr %d", addr)
+			for _, e := range gold.RegFile().Entries() {
+				if addr >= e.Addr && addr < e.Addr+e.Words {
+					name = fmt.Sprintf("%s word %d (addr %d)", e.Name, addr-e.Addr, addr)
+					break
+				}
+			}
+			t.Fatalf("%s: register mismatch at %s: fast %#04x, gold %#04x",
+				ctx, name, fi[addr], gi[addr])
+		}
+	}
+}
+
+// feedChunked pushes the sequence into the block in words of at most chunk
+// bits (chunk 0 means per-bit Clock calls through the pending buffer).
+func feedChunked(t testing.TB, b *hwblock.Block, seq *bitstream.Sequence, chunk int) {
+	t.Helper()
+	if chunk == 0 {
+		for i := 0; i < seq.Len(); i++ {
+			if err := b.Clock(seq.Bit(i)); err != nil {
+				t.Fatalf("Clock(bit %d): %v", i, err)
+			}
+		}
+		return
+	}
+	r := bitstream.NewReader(seq)
+	for fed := 0; fed < seq.Len(); {
+		take := chunk
+		if rem := seq.Len() - fed; take > rem {
+			take = rem
+		}
+		w, got, err := r.ReadWord64(take)
+		if err != nil || got != take {
+			t.Fatalf("ReadWord64(%d) at bit %d: got %d bits, err %v", take, fed, got, err)
+		}
+		if err := b.ClockWord(w, got); err != nil {
+			t.Fatalf("ClockWord at bit %d: %v", fed, err)
+		}
+		fed += got
+	}
+}
+
+func randomSequence(n int, seed int64) *bitstream.Sequence {
+	rng := rand.New(rand.NewSource(seed))
+	s := bitstream.New(n)
+	for i := 0; i < n; i += 64 {
+		w := rng.Uint64()
+		for j := 0; j < 64 && i+j < n; j++ {
+			s.AppendBit(byte(w >> uint(j)))
+		}
+	}
+	return s
+}
+
+// corpus128 is the structured stream corpus for the exhaustive n=128 pass:
+// the degenerate extremes, every single-bit position, run ramps, and a
+// batch of random streams.
+func corpus128() map[string]*bitstream.Sequence {
+	const n = 128
+	out := make(map[string]*bitstream.Sequence)
+	constant := func(bit byte) *bitstream.Sequence {
+		s := bitstream.New(n)
+		for i := 0; i < n; i++ {
+			s.AppendBit(bit)
+		}
+		return s
+	}
+	out["zeros"] = constant(0)
+	out["ones"] = constant(1)
+	for phase := 0; phase < 2; phase++ {
+		s := bitstream.New(n)
+		for i := 0; i < n; i++ {
+			s.AppendBit(byte((i + phase) & 1))
+		}
+		out[fmt.Sprintf("alternating-%d", phase)] = s
+	}
+	for pos := 0; pos < n; pos++ {
+		s := bitstream.New(n)
+		for i := 0; i < n; i++ {
+			if i == pos {
+				s.AppendBit(1)
+			} else {
+				s.AppendBit(0)
+			}
+		}
+		out[fmt.Sprintf("one-at-%d", pos)] = s
+	}
+	// Run ramp: runs of growing length 1,2,3,... alternating value.
+	ramp := bitstream.New(n)
+	bit, run := byte(1), 1
+	for ramp.Len() < n {
+		for i := 0; i < run && ramp.Len() < n; i++ {
+			ramp.AppendBit(bit)
+		}
+		bit ^= 1
+		run++
+	}
+	out["run-ramp"] = ramp
+	for seed := int64(1); seed <= 8; seed++ {
+		out[fmt.Sprintf("random-%d", seed)] = randomSequence(n, seed)
+	}
+	return out
+}
+
+// TestEquivalenceExhaustiveN128 runs the full structured corpus through
+// every n=128 design under every word chunking, comparing register-file
+// images both mid-sequence (after an odd prefix, exercising the lazy
+// publish) and at completion.
+func TestEquivalenceExhaustiveN128(t *testing.T) {
+	chunkings := []int{0, 1, 3, 7, 8, 13, 31, 64} // 0 = per-bit Clock
+	streams := corpus128()
+	for _, cfg := range hwblock.AllConfigs() {
+		if cfg.N != 128 {
+			continue
+		}
+		for name, seq := range streams {
+			for _, chunk := range chunkings {
+				fast, gold := newPair(t, cfg)
+				ctx := fmt.Sprintf("%s/%s/chunk=%d", cfg.Name, name, chunk)
+
+				// Prefix of 77 bits (odd, not word aligned), compare
+				// mid-sequence, then finish the stream.
+				const prefix = 77
+				head, tail := seq.Slice(0, prefix), seq.Slice(prefix, seq.Len())
+				feedChunked(t, fast, head, chunk)
+				feedChunked(t, gold, head, 0)
+				compareImages(t, fast, gold, ctx+"/mid")
+				feedChunked(t, fast, tail, chunk)
+				feedChunked(t, gold, tail, 0)
+				compareImages(t, fast, gold, ctx+"/final")
+				if !fast.Done() || !gold.Done() {
+					t.Fatalf("%s: blocks not done after %d bits", ctx, seq.Len())
+				}
+			}
+		}
+	}
+}
+
+// TestEquivalenceRandomized65536 compares the two paths over random
+// streams for the three n=65536 designs, driving the fast block through
+// Run's word-read path.
+func TestEquivalenceRandomized65536(t *testing.T) {
+	seeds := []int64{11, 22, 33}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	for _, cfg := range hwblock.AllConfigs() {
+		if cfg.N != 65536 {
+			continue
+		}
+		for _, seed := range seeds {
+			seq := randomSequence(cfg.N, seed)
+			fast, gold := newPair(t, cfg)
+			if err := fast.Run(bitstream.NewReader(seq)); err != nil {
+				t.Fatalf("%s: fast Run: %v", cfg.Name, err)
+			}
+			if err := gold.Run(bitstream.NewReader(seq)); err != nil {
+				t.Fatalf("%s: gold Run: %v", cfg.Name, err)
+			}
+			compareImages(t, fast, gold, fmt.Sprintf("%s/seed=%d", cfg.Name, seed))
+		}
+	}
+}
+
+// TestEquivalenceRandomized1M runs one random stream through the largest
+// design (n=2^20, high) on both paths.
+func TestEquivalenceRandomized1M(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping 2^20-bit structural simulation in -short mode")
+	}
+	cfg, err := hwblock.NewConfig(1<<20, hwblock.High)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := randomSequence(cfg.N, 7)
+	fast, gold := newPair(t, cfg)
+	if err := fast.Run(bitstream.NewReader(seq)); err != nil {
+		t.Fatalf("fast Run: %v", err)
+	}
+	if err := gold.Run(bitstream.NewReader(seq)); err != nil {
+		t.Fatalf("gold Run: %v", err)
+	}
+	compareImages(t, fast, gold, cfg.Name)
+}
+
+// TestEquivalenceAcrossReset proves the fast path stays exact when the
+// block is reused: two different sequences back to back through one pair
+// of blocks, with a Reset between.
+func TestEquivalenceAcrossReset(t *testing.T) {
+	for _, cfg := range hwblock.AllConfigs() {
+		if cfg.N != 128 {
+			continue
+		}
+		fast, gold := newPair(t, cfg)
+		for _, seed := range []int64{101, 102} {
+			seq := randomSequence(cfg.N, seed)
+			feedChunked(t, fast, seq, 64)
+			feedChunked(t, gold, seq, 0)
+			compareImages(t, fast, gold, fmt.Sprintf("%s/seed=%d", cfg.Name, seed))
+			fast.Reset()
+			gold.Reset()
+			compareImages(t, fast, gold, fmt.Sprintf("%s/after-reset", cfg.Name))
+		}
+	}
+}
+
+// straddleConfig is a custom design exercising every engine class at a
+// size where boundary placement is easy to reason about: n=256 with the
+// runs, longest-run and both template tests active (block lengths 16/8/32
+// bits, 9-bit template windows).
+func straddleConfig(t testing.TB) hwblock.Config {
+	t.Helper()
+	cfg, err := hwblock.NewCustomConfig("straddle-n256", 256, []int{1, 2, 3, 4, 7, 8, 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cfg
+}
+
+// TestWordEdgeStraddle is the table-driven boundary test: runs, template
+// matches and block boundaries placed to straddle (or abut) the 64-bit
+// word edges of the ingest path, verified against the structural
+// simulation under chunkings that put the straddle at different in-word
+// offsets. The fixed template is 0b000000001 — eight zeros then a one.
+func TestWordEdgeStraddle(t *testing.T) {
+	const n = 256
+	template := func(s []byte, end int) { // match window ends at bit `end`
+		for i := 0; i < 8; i++ {
+			s[end-8+i] = 0
+		}
+		s[end] = 1
+	}
+	onesRun := func(s []byte, from, length int) {
+		for i := 0; i < length; i++ {
+			s[from+i] = 1
+		}
+	}
+	cases := []struct {
+		name  string
+		build func(s []byte)
+	}{
+		{"ones-run-straddles-64", func(s []byte) { onesRun(s, 60, 9) }},
+		{"ones-run-ends-at-63", func(s []byte) { onesRun(s, 56, 8) }},
+		{"ones-run-starts-at-64", func(s []byte) { onesRun(s, 64, 8) }},
+		{"ones-run-straddles-128", func(s []byte) { onesRun(s, 120, 17) }},
+		{"run-across-lr-block-boundary", func(s []byte) { onesRun(s, 5, 6) }}, // longest-run blocks are 8 bits
+		{"template-ends-at-64", func(s []byte) { template(s, 64) }},
+		{"template-ends-at-63", func(s []byte) { template(s, 63) }},
+		{"template-straddles-64", func(s []byte) { template(s, 68) }},
+		{"template-straddles-192", func(s []byte) { template(s, 197) }},
+		{"template-at-no-block-boundary", func(s []byte) { template(s, 32) }}, // non-overlap blocks are 32 bits
+		{"template-window-crosses-no-block", func(s []byte) { template(s, 36) }},
+		{"adjacent-templates-holdoff", func(s []byte) { template(s, 72); template(s, 81) }},
+		{"back-to-back-runs-at-edge", func(s []byte) {
+			onesRun(s, 62, 2)
+			s[64] = 0
+			onesRun(s, 65, 3)
+		}},
+		{"alternating-around-edges", func(s []byte) {
+			for i := 58; i < 70; i++ {
+				s[i] = byte(i & 1)
+			}
+		}},
+	}
+	cfg := straddleConfig(t)
+	chunkings := []int{0, 1, 9, 32, 64}
+	for _, c := range cases {
+		bitvals := make([]byte, n)
+		c.build(bitvals)
+		seq := bitstream.FromBits(bitvals)
+		for _, chunk := range chunkings {
+			fast, gold := newPair(t, cfg)
+			feedChunked(t, fast, seq, chunk)
+			feedChunked(t, gold, seq, 0)
+			compareImages(t, fast, gold, fmt.Sprintf("%s/chunk=%d", c.name, chunk))
+		}
+	}
+}
+
+// FuzzFastPathEquivalence feeds fuzz-chosen streams and word chunkings
+// through the fast and structural paths on designs covering every engine:
+// both n=128 variants, the all-tests custom design, and the full n=65536
+// high design. Register-file images must agree mid-sequence and at the
+// end.
+func FuzzFastPathEquivalence(f *testing.F) {
+	f.Add([]byte{0x00}, uint8(1))
+	f.Add([]byte{0xff, 0x0f, 0xf0}, uint8(64))
+	f.Add([]byte{0xaa, 0x55, 0x01, 0x80, 0x3c}, uint8(9))
+	f.Add([]byte{0x01, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x80}, uint8(13))
+
+	configs := []hwblock.Config{}
+	for _, cfg := range hwblock.AllConfigs() {
+		if cfg.N == 128 {
+			configs = append(configs, cfg)
+		}
+	}
+	custom, err := hwblock.NewCustomConfig("fuzz-n1024", 1024, []int{1, 2, 3, 4, 7, 8, 11, 12, 13})
+	if err != nil {
+		f.Fatal(err)
+	}
+	configs = append(configs, custom)
+	big, err := hwblock.NewConfig(65536, hwblock.High)
+	if err != nil {
+		f.Fatal(err)
+	}
+	configs = append(configs, big)
+
+	f.Fuzz(func(t *testing.T, data []byte, chunk uint8) {
+		chunkN := int(chunk%64) + 1
+		for _, cfg := range configs {
+			// Tile the fuzz input out to N bits, MSB-first per byte.
+			seq := bitstream.New(cfg.N)
+			for i := 0; i < cfg.N; i++ {
+				var b byte
+				if len(data) > 0 {
+					b = data[(i/8)%len(data)] >> uint(7-i%8) & 1
+				}
+				seq.AppendBit(b)
+			}
+			fast, gold := newPair(t, cfg)
+			prefix := cfg.N/2 + 1
+			head, tail := seq.Slice(0, prefix), seq.Slice(prefix, cfg.N)
+			feedChunked(t, fast, head, chunkN)
+			feedChunked(t, gold, head, 0)
+			compareImages(t, fast, gold, cfg.Name+"/mid")
+			feedChunked(t, fast, tail, chunkN)
+			feedChunked(t, gold, tail, 0)
+			compareImages(t, fast, gold, cfg.Name+"/final")
+		}
+	})
+}

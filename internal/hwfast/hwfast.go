@@ -1,0 +1,247 @@
+// Package hwfast is a word-level functional model of the hardware testing
+// block: it digests the TRNG stream 64 bits at a time and produces exactly
+// the statistics the structural simulation (internal/hwsim driven by
+// internal/hwblock) accumulates one clock at a time.
+//
+// The cycle-accurate netlist remains the golden reference; this model is
+// the throughput engine. The two are proven bit-exact over the full
+// register-file image by the differential equivalence suite (exhaustive
+// structured corpora at n=128, randomized streams and the
+// FuzzFastPathEquivalence fuzz target at n=65536, one randomized pass at
+// n=2^20 — all eight Table III design points).
+//
+// Word-level techniques, per engine:
+//
+//   - ones / cumulative sums (tests 1, 13): a 256-entry byte table carries
+//     the walk delta and the intra-byte prefix extrema, so the ±1 random
+//     walk and its S_min/S_max registers advance eight clocks per lookup.
+//   - runs (test 3): transitions inside a word are popcount(w XOR w>>1);
+//     only the seam bit between words is handled individually.
+//   - block frequency (test 2): per-block ones counts are popcounts of
+//     block-aligned sub-masks (every block length is a power of two).
+//   - longest run of ones (test 4): chunk merging — leading/trailing run
+//     lengths come from trailing/leading-zero counts of the complement,
+//     the interior maximum from run-length erosion (x &= x>>1).
+//   - template tests (7, 8): an m-lane AND network builds a per-word match
+//     bitmap (bit t set iff the m-bit window ending at t equals the
+//     template); validity masking, the non-overlapping hold-off scan and
+//     the saturating per-block counts then touch only the set bits.
+//   - serial / approximate entropy (11, 12): a branch-light sliding-window
+//     loop increments the three pattern banks directly, with the same
+//     fill gating and cyclic wrap-around feed as the hardware.
+package hwfast
+
+import (
+	"fmt"
+
+	"repro/internal/nist"
+)
+
+// State is the functional model of one testing-block design. Feed it
+// exactly N bits with ClockWord (or Clock); read the accumulated raw
+// statistics through the accessors. All counters mirror — at every bit
+// boundary — the values the structural engines would hold after the same
+// prefix of the stream.
+type State struct {
+	n    int
+	bits int
+	done bool
+
+	// cumulative-sums walk (tests 1, 3, 13): current value and extrema.
+	s, sMin, sMax int64
+
+	// runs (test 3)
+	hasRuns bool
+	runs    uint64
+	prev    byte
+
+	// block frequency (test 2)
+	hasBF  bool
+	bfM    int
+	bfFill int // bits into the current block
+	bfEps  uint64
+	bfBank []uint64
+	bfCur  int
+
+	// longest run of ones (test 4)
+	hasLR      bool
+	lrM        int
+	lrLo, lrHi int
+	lrPos      int // bits into the current block
+	lrRun      int // length of the ones run ending at the last bit
+	lrBlkMax   int
+	lrClasses  []uint64
+
+	// shared m-bit window context for the template tests: the last m-1
+	// bits before the current word, chronological (oldest at bit 0).
+	winM int
+	tail uint64
+
+	// non-overlapping template (test 7)
+	hasNO      bool
+	noTpl      uint64
+	noBlockLen int
+	noNBlocks  int
+	noPos      int // bits into the current block
+	noNext     int // first in-block position allowed to match (hold-off)
+	noW        uint64
+	noBank     []uint64
+	noCur      int
+
+	// overlapping template (test 8)
+	hasOV      bool
+	ovBlockLen int
+	ovK        int
+	ovPos      int
+	ovOcc      int
+	ovClasses  []uint64
+
+	// serial / approximate entropy (tests 11, 12)
+	hasSer    bool
+	serM      int
+	serFill   int
+	serWin    uint64
+	serHead   uint64
+	serNu     [3][]uint64 // widths m, m-1, m-2
+	serSynced bool        // narrower banks up to date (see serialSync)
+	serCyclic bool        // wrap-around feed applied; marginals are exact
+}
+
+// New builds the functional model for a design of n bits implementing the
+// given SP800-22 test subset with parameters p — the same inputs
+// hwblock.New derives its engines from.
+func New(n int, tests []int, p nist.Params) (*State, error) {
+	if n < 8 {
+		return nil, fmt.Errorf("hwfast: sequence length %d too small", n)
+	}
+	has := func(id int) bool {
+		for _, t := range tests {
+			if t == id {
+				return true
+			}
+		}
+		return false
+	}
+	st := &State{n: n, hasRuns: has(3)}
+	if has(2) {
+		if p.BlockFrequencyM < 1 || n%p.BlockFrequencyM != 0 {
+			return nil, fmt.Errorf("hwfast: block frequency M=%d does not divide n=%d", p.BlockFrequencyM, n)
+		}
+		st.hasBF = true
+		st.bfM = p.BlockFrequencyM
+		st.bfBank = make([]uint64, n/p.BlockFrequencyM)
+	}
+	if has(4) {
+		lo, hi, err := nist.LongestRunClassBounds(p.LongestRunM)
+		if err != nil {
+			return nil, fmt.Errorf("hwfast: %w", err)
+		}
+		st.hasLR = true
+		st.lrM = p.LongestRunM
+		st.lrLo, st.lrHi = lo, hi
+		st.lrClasses = make([]uint64, hi-lo+1)
+	}
+	if has(7) || has(8) {
+		st.winM = p.TemplateM
+		if st.winM < 1 || st.winM > 9 {
+			return nil, fmt.Errorf("hwfast: template length %d out of range", st.winM)
+		}
+	}
+	if has(7) {
+		st.hasNO = true
+		st.noTpl = uint64(p.TemplateB)
+		st.noNBlocks = p.NonOverlappingN
+		st.noBlockLen = n / p.NonOverlappingN
+		st.noBank = make([]uint64, p.NonOverlappingN)
+	}
+	if has(8) {
+		st.hasOV = true
+		st.ovBlockLen = p.OverlappingM
+		st.ovK = 5
+		st.ovClasses = make([]uint64, st.ovK+1)
+	}
+	if has(11) || has(12) {
+		if p.SerialM < 3 || p.SerialM > 16 {
+			return nil, fmt.Errorf("hwfast: serial pattern length %d out of range", p.SerialM)
+		}
+		st.hasSer = true
+		st.serM = p.SerialM
+		for i, w := range []int{p.SerialM, p.SerialM - 1, p.SerialM - 2} {
+			st.serNu[i] = make([]uint64, 1<<uint(w))
+		}
+	}
+	return st, nil
+}
+
+// N returns the sequence length.
+func (st *State) N() int { return st.n }
+
+// BitsSeen reports how many bits have been ingested since reset.
+func (st *State) BitsSeen() int { return st.bits }
+
+// Done reports whether a full N-bit sequence has been absorbed (including
+// the end-of-sequence wrap-around feed of the serial test).
+func (st *State) Done() bool { return st.done }
+
+// Walk returns the cumulative-sums state: the current walk value S and the
+// running extrema (the S_FINAL/S_MIN/S_MAX registers before offset-binary
+// encoding).
+func (st *State) Walk() (final, min, max int64) { return st.s, st.sMin, st.sMax }
+
+// Runs returns the runs counter (test 3).
+func (st *State) Runs() uint64 { return st.runs }
+
+// BlockFreqBank returns the per-block ones counts ε_1..ε_N (test 2).
+// The slice is live; callers must not modify it.
+func (st *State) BlockFreqBank() []uint64 { return st.bfBank }
+
+// LongestRunClasses returns the longest-run class counters ν (test 4).
+func (st *State) LongestRunClasses() []uint64 { return st.lrClasses }
+
+// NonOverlapBank returns the per-block template occurrence counts W_i
+// (test 7).
+func (st *State) NonOverlapBank() []uint64 { return st.noBank }
+
+// OverlapClasses returns the overlapping-template class counters ν_0..ν_5
+// (test 8).
+func (st *State) OverlapClasses() []uint64 { return st.ovClasses }
+
+// SerialCounts returns the pattern counter bank for width index i
+// (0 → m bits, 1 → m-1, 2 → m-2). The narrower banks are maintained
+// lazily; reading any of them brings all three up to date.
+func (st *State) SerialCounts(i int) []uint64 {
+	st.serialSync()
+	return st.serNu[i]
+}
+
+// Clock ingests a single bit — the per-bit convenience entry point;
+// ClockWord is the throughput path.
+func (st *State) Clock(bit byte) error { return st.ClockWord(uint64(bit&1), 1) }
+
+// Reset returns the model to its power-on state so the next sequence can
+// begin. Allocated banks are retained and zeroed.
+func (st *State) Reset() {
+	st.bits, st.done = 0, false
+	st.s, st.sMin, st.sMax = 0, 0, 0
+	st.runs, st.prev = 0, 0
+	st.bfFill, st.bfEps, st.bfCur = 0, 0, 0
+	zero(st.bfBank)
+	st.lrPos, st.lrRun, st.lrBlkMax = 0, 0, 0
+	zero(st.lrClasses)
+	st.tail = 0
+	st.noPos, st.noNext, st.noW, st.noCur = 0, 0, 0, 0
+	zero(st.noBank)
+	st.ovPos, st.ovOcc = 0, 0
+	zero(st.ovClasses)
+	st.serFill, st.serWin, st.serHead = 0, 0, 0
+	st.serSynced, st.serCyclic = false, false
+	for i := range st.serNu {
+		zero(st.serNu[i])
+	}
+}
+
+func zero(s []uint64) {
+	for i := range s {
+		s[i] = 0
+	}
+}

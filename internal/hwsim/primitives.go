@@ -50,6 +50,11 @@ func (c *Counter) Inc() {
 // Value returns the current count.
 func (c *Counter) Value() uint64 { return c.value }
 
+// Load sets the count directly (mod 2^width) — the parallel load port the
+// word-level fast path uses to publish its state into the structural
+// register image. It adds no per-clock logic.
+func (c *Counter) Load(v uint64) { c.value = v & (1<<uint(c.width) - 1) }
+
 // Width returns the counter width in bits.
 func (c *Counter) Width() int { return c.width }
 
@@ -99,6 +104,10 @@ func (c *UpDownCounter) Dec() { c.value-- }
 
 // Value returns the signed count.
 func (c *UpDownCounter) Value() int64 { return c.value }
+
+// Load sets the count directly — the parallel load port for the word-level
+// fast path.
+func (c *UpDownCounter) Load(v int64) { c.value = v }
 
 // Register is a loadable register of a fixed width.
 type Register struct {
@@ -174,6 +183,10 @@ func (t *MinMaxTracker) Update(v int64) {
 		t.max = v
 	}
 }
+
+// Load sets both extrema directly — the parallel load port for the
+// word-level fast path.
+func (t *MinMaxTracker) Load(min, max int64) { t.min, t.max = min, max }
 
 // Min returns the running minimum (≤ 0 by initialization).
 func (t *MinMaxTracker) Min() int64 { return t.min }
@@ -353,6 +366,12 @@ func (b *CounterBank) Inc(i int) {
 
 // Value returns counter i.
 func (b *CounterBank) Value(i int) uint64 { return b.values[i] }
+
+// Load sets counter i directly (mod 2^width) — the parallel load port for
+// the word-level fast path.
+func (b *CounterBank) Load(i int, v uint64) {
+	b.values[i] = v & (1<<uint(b.width) - 1)
+}
 
 // Len returns the number of counters in the bank.
 func (b *CounterBank) Len() int { return b.n }

@@ -2,6 +2,9 @@ package nist
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/bitstream"
 )
@@ -38,17 +41,61 @@ func (b *BatchResult) OK() bool {
 // RunBatch executes the given tests over every sequence and applies the
 // SP800-22 §4 suite-level criteria per test. Tests returning
 // ErrNotApplicable on a sequence skip that sequence; other errors abort.
+// The per-(test, sequence) runs are independent pure functions, so they
+// are sharded across a GOMAXPROCS worker pool; results are merged in input
+// order, making the output identical to a serial run.
 func RunBatch(tests []Test, sequences []*bitstream.Sequence, alpha float64) ([]BatchResult, error) {
+	return RunBatchWorkers(tests, sequences, alpha, 0)
+}
+
+// RunBatchWorkers is RunBatch with an explicit worker-pool size (≤ 0 means
+// GOMAXPROCS, 1 forces a serial run). The output — including which error
+// aborts, the first in (test, sequence) order — does not depend on the
+// worker count.
+func RunBatchWorkers(tests []Test, sequences []*bitstream.Sequence, alpha float64, workers int) ([]BatchResult, error) {
 	if len(sequences) < 2 {
 		return nil, fmt.Errorf("nist: batch needs at least 2 sequences")
 	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	jobs := len(tests) * len(sequences)
+	if workers > jobs {
+		workers = jobs
+	}
+	results := make([]*Result, jobs)
+	errs := make([]error, jobs)
+	if workers <= 1 {
+		for j := 0; j < jobs; j++ {
+			results[j], errs[j] = tests[j/len(sequences)].Run(sequences[j%len(sequences)])
+		}
+	} else {
+		var next int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					j := int(atomic.AddInt64(&next, 1)) - 1
+					if j >= jobs {
+						return
+					}
+					results[j], errs[j] = tests[j/len(sequences)].Run(sequences[j%len(sequences)])
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
 	var out []BatchResult
-	for _, tc := range tests {
+	for ti, tc := range tests {
 		br := BatchResult{TestID: tc.ID, Name: tc.Name}
 		var passes []bool
 		var ps []float64
-		for _, s := range sequences {
-			r, err := tc.Run(s)
+		for si := range sequences {
+			j := ti*len(sequences) + si
+			r, err := results[j], errs[j]
 			if err == ErrNotApplicable {
 				continue
 			}
