@@ -1,8 +1,8 @@
 # Mirrors .github/workflows/ci.yml so `make check` locally is the same
 # gate CI runs.
-.PHONY: check vet build test bench-smoke bench
+.PHONY: check vet build test bench-smoke bench lint
 
-check: vet build test bench-smoke
+check: build lint test bench-smoke
 
 vet:
 	go vet ./...
@@ -10,8 +10,24 @@ vet:
 build:
 	go build ./...
 
+# -shuffle=on randomizes test order so accidental inter-test state
+# dependence surfaces instead of hiding behind a fixed order.
 test:
-	go test -race ./...
+	go test -race -shuffle=on ./...
+
+# lint is the static gate: formatting, go vet, and the repository's own
+# trnglint analyzers (16-bit bus masking, determinism, error-contract and
+# monitor-reset invariants — see internal/analysis). govulncheck runs when
+# installed; the offline dev container does not ship it.
+lint: vet
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+	go run ./cmd/trnglint ./...
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "govulncheck not installed; skipped (go install golang.org/x/vuln/cmd/govulncheck@latest)"; \
+	fi
 
 bench-smoke:
 	go test -run='^$$' -bench=. -benchtime=1x ./...

@@ -1,0 +1,134 @@
+// Command trnglint is the repository's multichecker: it runs the
+// internal/analysis analyzers — regwidth, determinism, errdrop,
+// resetcheck — over the module and reports every unwaived finding. The
+// suite proves, at lint time, the invariants the paper's platform rests
+// on: 16-bit bus arithmetic stays masked, the bit-reproducible packages
+// stay free of wall-clock and scheduling leaks, partial-result errors are
+// never discarded, and reused monitors are reset between sources.
+//
+// Usage:
+//
+//	trnglint [-only regwidth,errdrop] [packages]
+//
+// Packages default to ./... resolved against the enclosing module. The
+// exit status is 0 when clean, 1 when findings were reported, 2 when the
+// load or analysis itself failed — the same convention go vet uses, so
+// CI wires it in as one more gate.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/determinism"
+	"repro/internal/analysis/errdrop"
+	"repro/internal/analysis/load"
+	"repro/internal/analysis/regwidth"
+	"repro/internal/analysis/resetcheck"
+)
+
+// analyzers is the full suite, in reporting order.
+var analyzers = []*analysis.Analyzer{
+	regwidth.Analyzer,
+	determinism.Analyzer,
+	errdrop.Analyzer,
+	resetcheck.Analyzer,
+}
+
+func main() {
+	only := flag.String("only", "", "comma-separated subset of analyzers to run")
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: trnglint [-only a,b] [-list] [packages]\n\nAnalyzers:\n")
+		for _, a := range analyzers {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-12s %s\n", a.Name, a.Doc)
+		}
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	suite, err := selectAnalyzers(*only)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "trnglint:", err)
+		os.Exit(2)
+	}
+
+	findings, err := Lint(".", suite, flag.Args()...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "trnglint:", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "trnglint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+func selectAnalyzers(only string) ([]*analysis.Analyzer, error) {
+	if only == "" {
+		return analyzers, nil
+	}
+	byName := make(map[string]*analysis.Analyzer)
+	for _, a := range analyzers {
+		byName[a.Name] = a
+	}
+	var suite []*analysis.Analyzer
+	for _, name := range strings.Split(only, ",") {
+		a, ok := byName[strings.TrimSpace(name)]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q", name)
+		}
+		suite = append(suite, a)
+	}
+	return suite, nil
+}
+
+// Lint loads the patterns against the module containing dir and runs the
+// suite, returning one formatted line per finding, sorted by position.
+// It is the whole of the command's behaviour, factored out so the tests
+// (and the self-lint test that keeps the repository clean) drive exactly
+// what CI runs.
+func Lint(dir string, suite []*analysis.Analyzer, patterns ...string) ([]string, error) {
+	l, err := load.NewModuleLoader(dir)
+	if err != nil {
+		return nil, err
+	}
+	targets, err := l.Load(patterns...)
+	if err != nil {
+		return nil, err
+	}
+	var findings []string
+	for _, t := range targets {
+		if len(t.TypeErrors) > 0 {
+			return nil, fmt.Errorf("%s does not type-check: %v (run go build first)",
+				t.ImportPath, t.TypeErrors[0])
+		}
+		unit := &analysis.Unit{Fset: t.Fset, Files: t.Files, Pkg: t.Pkg, Info: t.Info}
+		for _, a := range suite {
+			diags, err := analysis.Run(unit, a)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", t.ImportPath, err)
+			}
+			for _, d := range diags {
+				findings = append(findings,
+					fmt.Sprintf("%s: [%s] %s", t.Fset.Position(d.Pos), a.Name, d.Message))
+			}
+		}
+	}
+	sort.Strings(findings)
+	return findings, nil
+}

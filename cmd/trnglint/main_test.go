@@ -1,0 +1,52 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRepositoryIsLintClean runs the full analyzer suite over the whole
+// module — exactly what CI's lint job runs — and requires zero findings.
+// Every intentional exception in the tree carries a //trnglint: waiver
+// with its reason, so a failure here is either a real invariant break or
+// an undocumented exception; both should fail the build.
+func TestRepositoryIsLintClean(t *testing.T) {
+	findings, err := Lint("../..", analyzers, "./...")
+	if err != nil {
+		t.Fatalf("lint failed to run: %v", err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+}
+
+// TestSelectAnalyzers pins the -only flag behaviour.
+func TestSelectAnalyzers(t *testing.T) {
+	suite, err := selectAnalyzers("regwidth, errdrop")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(suite) != 2 || suite[0].Name != "regwidth" || suite[1].Name != "errdrop" {
+		t.Fatalf("wrong suite: %v", suite)
+	}
+	if _, err := selectAnalyzers("nosuch"); err == nil || !strings.Contains(err.Error(), "nosuch") {
+		t.Fatalf("want unknown-analyzer error, got %v", err)
+	}
+}
+
+// TestSuiteCoversAllInvariants keeps the four paper invariants wired: a
+// dropped analyzer would silently weaken the gate.
+func TestSuiteCoversAllInvariants(t *testing.T) {
+	want := map[string]bool{
+		"regwidth": true, "determinism": true, "errdrop": true, "resetcheck": true,
+	}
+	for _, a := range analyzers {
+		if !want[a.Name] {
+			t.Errorf("unexpected analyzer %q", a.Name)
+		}
+		delete(want, a.Name)
+	}
+	for name := range want {
+		t.Errorf("analyzer %q missing from the suite", name)
+	}
+}

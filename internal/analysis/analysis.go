@@ -1,0 +1,129 @@
+// Package analysis is a small, dependency-free re-implementation of the
+// golang.org/x/tools/go/analysis vocabulary — Analyzer, Pass, Diagnostic —
+// sufficient to host the trnglint analyzers without pulling x/tools into
+// the module. An Analyzer inspects one type-checked package at a time and
+// reports diagnostics; drivers (cmd/trnglint, the analysistest harness)
+// load packages with internal/analysis/load and run analyzers through
+// Run, which also applies the //trnglint: waiver directives so that a
+// documented waiver suppresses the finding identically everywhere.
+//
+// The analyzers in the subpackages prove invariants the paper's platform
+// depends on (16-bit bus arithmetic, bit-reproducible evaluation,
+// partial-result error contracts, monitor reuse hygiene); see each
+// subpackage's Doc string and DESIGN.md for the mapping.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer describes one static check. Run inspects a single package via
+// the Pass and reports findings through pass.Report; the returned value is
+// unused by the current drivers but kept for interface parity with
+// x/tools.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //trnglint:allow waivers. It must be a valid identifier.
+	Name string
+	// Doc is the analyzer's documentation, shown by `trnglint -help`.
+	Doc string
+	// Run executes the check over one package.
+	Run func(*Pass) (any, error)
+}
+
+// Diagnostic is one finding, anchored to a source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Directives holds the package's parsed //trnglint: comments
+	// (markers such as deterministic/bus16 and per-line waivers).
+	Directives *Directives
+
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// TypeOf returns the type of expression e, or nil if unknown.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	return p.TypesInfo.TypeOf(e)
+}
+
+// ObjectOf returns the object denoted by ident, or nil.
+func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
+	return p.TypesInfo.ObjectOf(id)
+}
+
+// Unit is the loader-agnostic view of one loaded package that Run needs.
+type Unit struct {
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+// Run executes one analyzer over one package and returns its diagnostics
+// with waived findings already removed and the remainder sorted by
+// position. Both cmd/trnglint and the analysistest harness go through
+// this function, so a //trnglint:widen or //trnglint:allow directive
+// behaves identically under the golden tests and in CI.
+func Run(u *Unit, a *Analyzer) ([]Diagnostic, error) {
+	dirs := ParseDirectives(u.Fset, u.Files)
+	var diags []Diagnostic
+	pass := &Pass{
+		Analyzer:   a,
+		Fset:       u.Fset,
+		Files:      u.Files,
+		Pkg:        u.Pkg,
+		TypesInfo:  u.Info,
+		Directives: dirs,
+		Report:     func(d Diagnostic) { diags = append(diags, d) },
+	}
+	if _, err := a.Run(pass); err != nil {
+		return nil, fmt.Errorf("%s: %w", a.Name, err)
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		if !dirs.Waived(u.Fset, d.Pos, a.Name) {
+			kept = append(kept, d)
+		}
+	}
+	sort.Slice(kept, func(i, j int) bool { return kept[i].Pos < kept[j].Pos })
+	return kept, nil
+}
+
+// WithStack walks the AST rooted at root in depth-first order, calling fn
+// for every node with the stack of ancestors (outermost first, root
+// included, n last). Returning false prunes the subtree below n.
+func WithStack(root ast.Node, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		if !fn(n, stack) {
+			// ast.Inspect delivers no pop event for pruned subtrees.
+			stack = stack[:len(stack)-1]
+			return false
+		}
+		return true
+	})
+}

@@ -1,0 +1,181 @@
+// Package analysistest runs an analyzer over golden packages stored under
+// testdata/src/<importpath>/ and checks its diagnostics against // want
+// comments in the sources, mirroring the x/tools harness of the same
+// name. A want comment holds one quoted regular expression per expected
+// diagnostic on that line:
+//
+//	bit, _ := src.ReadBit() // want `discarded error`
+//	x := int(v) + 1         // want "widened" "second finding on the line"
+//
+// Lines without a want comment must produce no diagnostics. Waivers are
+// applied before matching (via analysis.Run), so golden files also pin
+// down the waiver behaviour.
+package analysistest
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/load"
+)
+
+// TestData returns the absolute path of the calling package's testdata
+// directory (go test always runs with the package directory as cwd).
+func TestData() string {
+	dir, err := filepath.Abs("testdata")
+	if err != nil {
+		panic(err)
+	}
+	return dir
+}
+
+// Run loads each package from <dir>/src/<pkgpath> and checks analyzer a
+// against the // want expectations in its files.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgpaths ...string) {
+	t.Helper()
+	l := load.NewTestdataLoader(dir + "/src")
+	for _, pkgpath := range pkgpaths {
+		targets, err := l.Load(pkgpath)
+		if err != nil {
+			t.Errorf("loading %s: %v", pkgpath, err)
+			continue
+		}
+		for _, tgt := range targets {
+			for _, terr := range tgt.TypeErrors {
+				t.Errorf("%s: type error: %v", pkgpath, terr)
+			}
+			checkPackage(t, tgt, a)
+		}
+	}
+}
+
+type key struct {
+	file string
+	line int
+}
+
+func checkPackage(t *testing.T, tgt *load.Target, a *analysis.Analyzer) {
+	t.Helper()
+	diags, err := analysis.Run(&analysis.Unit{
+		Fset: tgt.Fset, Files: tgt.Files, Pkg: tgt.Pkg, Info: tgt.Info,
+	}, a)
+	if err != nil {
+		t.Errorf("%s: %v", tgt.ImportPath, err)
+		return
+	}
+
+	wants := make(map[key][]*regexp.Regexp)
+	for _, f := range tgt.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				res, ok, err := parseWant(c.Text)
+				if err != nil {
+					t.Errorf("%s: %v", tgt.Fset.Position(c.Pos()), err)
+					continue
+				}
+				if !ok {
+					continue
+				}
+				p := tgt.Fset.Position(c.Pos())
+				k := key{p.Filename, p.Line}
+				wants[k] = append(wants[k], res...)
+			}
+		}
+	}
+
+	got := make(map[key][]string)
+	for _, d := range diags {
+		p := tgt.Fset.Position(d.Pos)
+		k := key{p.Filename, p.Line}
+		got[k] = append(got[k], d.Message)
+	}
+
+	for k, res := range wants {
+		msgs := got[k]
+		if len(msgs) != len(res) {
+			t.Errorf("%s:%d: want %d diagnostic(s), got %d: %q",
+				k.file, k.line, len(res), len(msgs), msgs)
+			continue
+		}
+		// Greedy bipartite match: each expectation must claim a distinct
+		// message.
+		used := make([]bool, len(msgs))
+		for _, re := range res {
+			found := false
+			for i, m := range msgs {
+				if !used[i] && re.MatchString(m) {
+					used[i] = true
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Errorf("%s:%d: no diagnostic matching %q among %q",
+					k.file, k.line, re, msgs)
+			}
+		}
+	}
+	for k, msgs := range got {
+		if _, expected := wants[k]; !expected {
+			t.Errorf("%s:%d: unexpected diagnostic(s): %q", k.file, k.line, msgs)
+		}
+	}
+}
+
+// parseWant extracts the regexps from a `// want "re" ...` comment; ok is
+// false for ordinary comments.
+func parseWant(text string) ([]*regexp.Regexp, bool, error) {
+	body, found := strings.CutPrefix(text, "// want ")
+	if !found {
+		body, found = strings.CutPrefix(text, "//want ")
+	}
+	if !found {
+		return nil, false, nil
+	}
+	var out []*regexp.Regexp
+	rest := strings.TrimSpace(body)
+	for rest != "" {
+		if rest[0] != '"' && rest[0] != '`' {
+			return nil, false, fmt.Errorf("malformed want comment %q", text)
+		}
+		lit, remainder, err := cutString(rest)
+		if err != nil {
+			return nil, false, fmt.Errorf("want comment %q: %w", text, err)
+		}
+		re, err := regexp.Compile(lit)
+		if err != nil {
+			return nil, false, fmt.Errorf("want comment %q: %w", text, err)
+		}
+		out = append(out, re)
+		rest = strings.TrimSpace(remainder)
+	}
+	if len(out) == 0 {
+		return nil, false, fmt.Errorf("want comment %q has no expectations", text)
+	}
+	return out, true, nil
+}
+
+// cutString splits a leading Go string literal off s.
+func cutString(s string) (lit, rest string, err error) {
+	quote := s[0]
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			if quote == '"' {
+				i++
+			}
+		case quote:
+			unq, err := strconv.Unquote(s[:i+1])
+			if err != nil {
+				return "", "", err
+			}
+			return unq, s[i+1:], nil
+		}
+	}
+	return "", "", fmt.Errorf("unterminated string literal")
+}

@@ -1,0 +1,78 @@
+// Package detdemo exercises the determinism analyzer; the marker below
+// declares it bit-reproducible.
+//
+//trnglint:deterministic
+package detdemo
+
+import (
+	"math/rand"
+	"time"
+)
+
+func clocks() {
+	_ = time.Now()              // want `time.Now`
+	_ = time.Since(time.Time{}) // want `time.Since`
+	time.Sleep(1)               // want `time.Sleep`
+	_ = time.NewTimer(1)        // want `time.NewTimer`
+	_ = time.Unix(0, 0)         // pure conversion, no clock read
+}
+
+func waivedClock() time.Time {
+	//trnglint:allow determinism throughput reporting wants the wall clock
+	return time.Now()
+}
+
+func globalRand() {
+	_ = rand.Int()                     // want `process-global`
+	_ = rand.Float64()                 // want `process-global`
+	rand.Shuffle(1, func(i, j int) {}) // want `process-global`
+}
+
+func seededRand() int {
+	r := rand.New(rand.NewSource(7))
+	return r.Int() // methods on a seeded generator are deterministic
+}
+
+func mapOrder(m map[int]int, s []int) int {
+	sum := 0
+	for k := range m { // want `range over a map`
+		sum += k
+	}
+	for _, v := range s { // slices iterate in order
+		sum += v
+	}
+	//trnglint:allow determinism the loop only accumulates a commutative sum
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+func fanout(n int) []int {
+	var out []int
+	results := make([]int, n)
+	done := make(chan struct{})
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			out = append(out, i) // want `captured by a go-statement literal`
+			results[i] = i       // per-index writes are the deterministic idiom
+			done <- struct{}{}
+		}(i)
+	}
+	for i := 0; i < n; i++ {
+		<-done
+	}
+	return results
+}
+
+func localAppend(n int) []int {
+	done := make(chan []int)
+	go func() {
+		var local []int // declared inside the literal: scheduling cannot reorder it
+		for i := 0; i < n; i++ {
+			local = append(local, i)
+		}
+		done <- local
+	}()
+	return <-done
+}

@@ -1,0 +1,16 @@
+// Package unmarked has no //trnglint:deterministic marker, so the
+// determinism analyzer must stay silent here.
+package unmarked
+
+import (
+	"math/rand"
+	"time"
+)
+
+func free() int {
+	_ = time.Now()
+	for k := range map[int]int{1: 1} {
+		return k
+	}
+	return rand.Int()
+}

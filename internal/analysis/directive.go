@@ -1,0 +1,109 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// The //trnglint: comment grammar. Directives are ordinary line comments
+// and therefore greppable:
+//
+//	//trnglint:bus16
+//	    Package marker: the package models the paper's 16-bit data bus,
+//	    so the regwidth analyzer enforces masked arithmetic in it.
+//
+//	//trnglint:deterministic
+//	    Package marker: the package must be a bit-reproducible function
+//	    of its inputs and seeds; the determinism analyzer enforces it.
+//
+//	//trnglint:widen <reason>
+//	    Line waiver for regwidth. Placed on the flagged line or on the
+//	    line immediately above it. The reason is mandatory — a bare
+//	    //trnglint:widen does not waive anything.
+//
+//	//trnglint:allow <analyzer> <reason>
+//	    Generic line waiver for any analyzer, same placement and
+//	    mandatory-reason rule.
+const directivePrefix = "//trnglint:"
+
+// Directives is the parsed set of //trnglint: comments of one package.
+type Directives struct {
+	markers map[string]bool
+	// waivers maps file name -> line -> waived analyzer names.
+	waivers map[string]map[int][]string
+}
+
+// ParseDirectives scans every comment in files for //trnglint: directives.
+func ParseDirectives(fset *token.FileSet, files []*ast.File) *Directives {
+	d := &Directives{
+		markers: make(map[string]bool),
+		waivers: make(map[string]map[int][]string),
+	}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				d.parseComment(fset, c)
+			}
+		}
+	}
+	return d
+}
+
+func (d *Directives) parseComment(fset *token.FileSet, c *ast.Comment) {
+	if !strings.HasPrefix(c.Text, directivePrefix) {
+		return
+	}
+	body := strings.TrimPrefix(c.Text, directivePrefix)
+	fields := strings.Fields(body)
+	if len(fields) == 0 {
+		return
+	}
+	verb, rest := fields[0], fields[1:]
+	switch verb {
+	case "bus16", "deterministic":
+		d.markers[verb] = true
+	case "widen":
+		// Shorthand for "allow regwidth <reason>"; the reason is
+		// mandatory so every waiver documents itself.
+		if len(rest) > 0 {
+			d.addWaiver(fset, c.Pos(), "regwidth")
+		}
+	case "allow":
+		if len(rest) >= 2 { // analyzer name plus a reason
+			d.addWaiver(fset, c.Pos(), rest[0])
+		}
+	}
+}
+
+func (d *Directives) addWaiver(fset *token.FileSet, pos token.Pos, analyzer string) {
+	p := fset.Position(pos)
+	byLine := d.waivers[p.Filename]
+	if byLine == nil {
+		byLine = make(map[int][]string)
+		d.waivers[p.Filename] = byLine
+	}
+	byLine[p.Line] = append(byLine[p.Line], analyzer)
+}
+
+// HasMarker reports whether the package declares the named marker
+// (e.g. "deterministic", "bus16") in any of its files.
+func (d *Directives) HasMarker(name string) bool { return d.markers[name] }
+
+// Waived reports whether a diagnostic from the named analyzer at pos is
+// suppressed by a waiver on the same line or the line immediately above.
+func (d *Directives) Waived(fset *token.FileSet, pos token.Pos, analyzer string) bool {
+	p := fset.Position(pos)
+	byLine := d.waivers[p.Filename]
+	if byLine == nil {
+		return false
+	}
+	for _, line := range []int{p.Line, p.Line - 1} {
+		for _, name := range byLine[line] {
+			if name == analyzer {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,74 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+const directiveSrc = `// Package p is a directive-parsing fixture.
+//
+//trnglint:bus16
+//trnglint:deterministic
+package p
+
+func a() {
+	x := 1 //trnglint:widen reason on the same line
+	_ = x
+
+	//trnglint:allow errdrop a documented reason
+	y := 2
+	_ = y
+
+	//trnglint:widen
+	z := 3 // bare widen: no reason, no waiver
+	_ = z
+
+	//trnglint:allow determinism
+	w := 4 // allow without a reason: no waiver
+	_ = w
+}
+`
+
+func TestDirectives(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", directiveSrc, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := ParseDirectives(fset, []*ast.File{f})
+
+	if !d.HasMarker("bus16") || !d.HasMarker("deterministic") {
+		t.Error("package markers not parsed")
+	}
+	if d.HasMarker("widen") {
+		t.Error("widen must not register as a marker")
+	}
+
+	pos := func(line int) token.Pos {
+		return fset.File(f.Pos()).LineStart(line)
+	}
+	// Line 8 carries a trailing widen waiver with a reason.
+	if !d.Waived(fset, pos(8), "regwidth") {
+		t.Error("same-line widen waiver not honoured")
+	}
+	// Line 12 sits under a line-above allow waiver for errdrop only.
+	if !d.Waived(fset, pos(12), "errdrop") {
+		t.Error("line-above allow waiver not honoured")
+	}
+	if d.Waived(fset, pos(12), "regwidth") {
+		t.Error("allow waiver leaked to another analyzer")
+	}
+	if d.Waived(fset, pos(13), "errdrop") {
+		t.Error("waiver must not reach two lines below the comment")
+	}
+	// Bare //trnglint:widen (line 15) must not waive line 16.
+	if d.Waived(fset, pos(16), "regwidth") {
+		t.Error("reason-less widen waiver must be ignored")
+	}
+	// //trnglint:allow with no reason (line 19) must not waive line 20.
+	if d.Waived(fset, pos(20), "determinism") {
+		t.Error("reason-less allow waiver must be ignored")
+	}
+}

@@ -1,0 +1,13 @@
+package errdrop_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/errdrop"
+)
+
+func TestErrdrop(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), errdrop.Analyzer,
+		"errdemo", "bitstream")
+}

@@ -1,0 +1,26 @@
+// Package bitstream is a golden-test stub of the real
+// repro/internal/bitstream surface the errdrop analyzer tracks: the
+// analyzer matches ReadAll by function name plus package base name, so
+// this overlay package stands in for the module one.
+package bitstream
+
+// Sequence stands in for the real bit sequence.
+type Sequence struct{ Bits []byte }
+
+// BitReader is the read contract every source implements.
+type BitReader interface {
+	ReadBit() (byte, error)
+}
+
+// ReadAll drains n bits, returning the partial sequence plus the error.
+func ReadAll(r BitReader, n int) (*Sequence, error) {
+	s := &Sequence{}
+	for i := 0; i < n; i++ {
+		b, err := r.ReadBit()
+		if err != nil {
+			return s, err
+		}
+		s.Bits = append(s.Bits, b)
+	}
+	return s, nil
+}

@@ -1,0 +1,68 @@
+// Package errdemo exercises the errdrop analyzer. The tracked contracts
+// are structural (ReadBit signature, Monitor/Supervisor method names), so
+// local model types stand in for the real core package.
+package errdemo
+
+import "bitstream"
+
+type source struct{}
+
+// ReadBit matches the BitReader contract the analyzer tracks.
+func (source) ReadBit() (byte, error) { return 0, nil }
+
+type loud struct{}
+
+// ReadBit with the wrong shape (a parameter) is outside the contract.
+func (loud) ReadBit(noise int) (byte, error) { return 0, nil }
+
+type Monitor struct{}
+
+func (*Monitor) Watch(r bitstream.BitReader, n int) ([]int, error) { return nil, nil }
+func (*Monitor) Feed(bit byte) (*int, error)                       { return nil, nil }
+func (*Monitor) Reset()                                            {}
+
+type Supervisor struct{}
+
+func (*Supervisor) Run(sequences int) (*int, error) { return nil, nil }
+
+func drops(m *Monitor, sup *Supervisor, s source) {
+	b, _ := s.ReadBit() // want `error from source.ReadBit discarded with _`
+	_ = b
+	s.ReadBit()              // want `result of source.ReadBit dropped entirely`
+	reps, _ := m.Watch(s, 1) // want `error from Monitor.Watch discarded with _`
+	_ = reps
+	m.Feed(0)          // want `result of Monitor.Feed dropped entirely`
+	r, _ := sup.Run(1) // want `error from Supervisor.Run discarded with _`
+	_ = r
+	seq, _ := bitstream.ReadAll(s, 8) // want `error from bitstream.ReadAll discarded with _`
+	_ = seq
+}
+
+func spawns(m *Monitor, sup *Supervisor) {
+	go sup.Run(1)   // want `go Supervisor.Run discards`
+	defer m.Feed(1) // want `defer Monitor.Feed discards`
+}
+
+func handled(m *Monitor, s source) error {
+	b, err := s.ReadBit()
+	if err != nil {
+		return err
+	}
+	_ = b
+	if _, err := m.Watch(s, 1); err != nil {
+		return err
+	}
+	m.Reset() // no error to drop
+	return nil
+}
+
+func outsideContract(l loud) {
+	b, _ := l.ReadBit(3) // wrong ReadBit shape: not tracked
+	_ = b
+}
+
+func waived(s source) byte {
+	//trnglint:allow errdrop the demo source is infallible by construction
+	b, _ := s.ReadBit()
+	return b
+}

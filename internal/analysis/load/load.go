@@ -1,0 +1,359 @@
+// Package load turns Go packages into type-checked analysis units without
+// golang.org/x/tools: packages of the enclosing module (and, for the
+// golden-file tests, packages under a testdata/src overlay) are parsed and
+// type-checked from source with go/parser and go/types, while standard
+// library imports are resolved by the stdlib source importer
+// (go/importer, compiler "source"). Everything works offline — no module
+// downloads, no export data, no go subprocesses.
+package load
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Target is one loaded, type-checked package.
+type Target struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Pkg        *types.Package
+	Info       *types.Info
+	// TypeErrors holds soft type-checking problems. A package with type
+	// errors still yields best-effort syntax and type information, but
+	// drivers should surface the errors rather than trust findings.
+	TypeErrors []error
+}
+
+// Loader loads and caches packages. A Loader is not safe for concurrent
+// use.
+type Loader struct {
+	fset *token.FileSet
+	std  types.ImporterFrom
+
+	// Module resolution: importPath modPath/x/y -> modRoot/x/y.
+	modPath string
+	modRoot string
+
+	// Overlay resolution (analysistest): importPath p -> overlayRoot/p.
+	overlayRoot string
+
+	cache   map[string]*Target
+	loading map[string]bool
+}
+
+func newLoader() *Loader {
+	// The repository never builds with cgo, and the source importer
+	// cannot type-check cgo-generated code anyway; forcing it off keeps
+	// stdlib packages on their pure-Go fallbacks.
+	build.Default.CgoEnabled = false
+	fset := token.NewFileSet()
+	return &Loader{
+		fset:    fset,
+		std:     importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+		cache:   make(map[string]*Target),
+		loading: make(map[string]bool),
+	}
+}
+
+// NewModuleLoader returns a loader rooted at the module containing dir
+// (found by walking up to go.mod).
+func NewModuleLoader(dir string) (*Loader, error) {
+	root, modPath, err := findModule(dir)
+	if err != nil {
+		return nil, err
+	}
+	l := newLoader()
+	l.modRoot = root
+	l.modPath = modPath
+	return l, nil
+}
+
+// NewTestdataLoader returns a loader that resolves import paths under
+// srcRoot (conventionally <analyzer>/testdata/src) before consulting the
+// standard library, mirroring the x/tools analysistest layout.
+func NewTestdataLoader(srcRoot string) *Loader {
+	l := newLoader()
+	l.overlayRoot = srcRoot
+	return l
+}
+
+// Fset returns the loader's shared file set.
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+func findModule(dir string) (root, modPath string, err error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for d := abs; ; d = filepath.Dir(d) {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return d, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("load: %s/go.mod has no module line", d)
+		}
+		if filepath.Dir(d) == d {
+			return "", "", fmt.Errorf("load: no go.mod found above %s", abs)
+		}
+	}
+}
+
+// Load resolves patterns to import paths and loads each one. Module
+// loaders accept "./...", "dir/...", directory paths and module import
+// paths; testdata loaders accept overlay import paths verbatim.
+func (l *Loader) Load(patterns ...string) ([]*Target, error) {
+	paths, err := l.expand(patterns)
+	if err != nil {
+		return nil, err
+	}
+	targets := make([]*Target, 0, len(paths))
+	for _, p := range paths {
+		t, err := l.load(p)
+		if err != nil {
+			return nil, err
+		}
+		targets = append(targets, t)
+	}
+	return targets, nil
+}
+
+func (l *Loader) expand(patterns []string) ([]string, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	var out []string
+	seen := make(map[string]bool)
+	add := func(p string) {
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	for _, pat := range patterns {
+		switch {
+		case pat == "./..." || pat == "...":
+			if l.modRoot == "" {
+				return nil, fmt.Errorf("load: pattern %q needs a module loader", pat)
+			}
+			paths, err := l.walkModule(l.modRoot)
+			if err != nil {
+				return nil, err
+			}
+			for _, p := range paths {
+				add(p)
+			}
+		case strings.HasSuffix(pat, "/..."):
+			base := strings.TrimSuffix(pat, "/...")
+			dir, err := l.patternDir(base)
+			if err != nil {
+				return nil, err
+			}
+			paths, err := l.walkModule(dir)
+			if err != nil {
+				return nil, err
+			}
+			for _, p := range paths {
+				add(p)
+			}
+		default:
+			if l.overlayRoot != "" {
+				add(pat)
+				continue
+			}
+			dir, err := l.patternDir(pat)
+			if err != nil {
+				return nil, err
+			}
+			ip, err := l.dirImportPath(dir)
+			if err != nil {
+				return nil, err
+			}
+			add(ip)
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// patternDir maps a non-wildcard pattern (directory or import path) to a
+// directory on disk.
+func (l *Loader) patternDir(pat string) (string, error) {
+	if l.modPath != "" && (pat == l.modPath || strings.HasPrefix(pat, l.modPath+"/")) {
+		return filepath.Join(l.modRoot, strings.TrimPrefix(pat, l.modPath)), nil
+	}
+	dir := pat
+	if !filepath.IsAbs(dir) {
+		dir = filepath.Join(l.modRoot, dir)
+	}
+	if fi, err := os.Stat(dir); err != nil || !fi.IsDir() {
+		return "", fmt.Errorf("load: cannot resolve pattern %q", pat)
+	}
+	return dir, nil
+}
+
+func (l *Loader) dirImportPath(dir string) (string, error) {
+	rel, err := filepath.Rel(l.modRoot, dir)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return "", fmt.Errorf("load: %s is outside module %s", dir, l.modRoot)
+	}
+	if rel == "." {
+		return l.modPath, nil
+	}
+	return l.modPath + "/" + filepath.ToSlash(rel), nil
+}
+
+// walkModule finds every directory under root holding a buildable
+// non-testdata package.
+func (l *Loader) walkModule(root string) ([]string, error) {
+	var out []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+			return filepath.SkipDir
+		}
+		if _, err := build.Default.ImportDir(path, 0); err != nil {
+			return nil // no buildable Go files here; keep walking
+		}
+		ip, err := l.dirImportPath(path)
+		if err != nil {
+			return err
+		}
+		out = append(out, ip)
+		return nil
+	})
+	return out, err
+}
+
+// load type-checks one package (cached).
+func (l *Loader) load(importPath string) (*Target, error) {
+	if t, ok := l.cache[importPath]; ok {
+		return t, nil
+	}
+	if l.loading[importPath] {
+		return nil, fmt.Errorf("load: import cycle through %s", importPath)
+	}
+	l.loading[importPath] = true
+	defer delete(l.loading, importPath)
+
+	dir, ok := l.resolveDir(importPath)
+	if !ok {
+		return nil, fmt.Errorf("load: cannot resolve %s", importPath)
+	}
+	files, err := l.parseDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("load: no buildable Go files in %s", dir)
+	}
+
+	t := &Target{ImportPath: importPath, Dir: dir, Fset: l.fset, Files: files}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{
+		Importer: (*loaderImporter)(l),
+		Error:    func(err error) { t.TypeErrors = append(t.TypeErrors, err) },
+	}
+	pkg, err := conf.Check(importPath, l.fset, files, info)
+	if pkg == nil {
+		return nil, fmt.Errorf("load: %s: %v", importPath, err)
+	}
+	t.Pkg = pkg
+	t.Info = info
+	l.cache[importPath] = t
+	return t, nil
+}
+
+// resolveDir maps an import path to a directory: overlay first, then the
+// module. Standard-library paths are not resolved here — they go through
+// the stdlib source importer.
+func (l *Loader) resolveDir(importPath string) (string, bool) {
+	if l.overlayRoot != "" {
+		dir := filepath.Join(l.overlayRoot, filepath.FromSlash(importPath))
+		if fi, err := os.Stat(dir); err == nil && fi.IsDir() {
+			return dir, true
+		}
+	}
+	if l.modPath != "" && (importPath == l.modPath || strings.HasPrefix(importPath, l.modPath+"/")) {
+		return filepath.Join(l.modRoot, filepath.FromSlash(strings.TrimPrefix(importPath, l.modPath))), true
+	}
+	return "", false
+}
+
+// parseDir parses the buildable non-test Go files of dir, honouring build
+// constraints via go/build.
+func (l *Loader) parseDir(dir string) ([]*ast.File, error) {
+	bp, err := build.Default.ImportDir(dir, 0)
+	if err != nil {
+		if _, nogo := err.(*build.NoGoError); nogo {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("load: %s: %w", dir, err)
+	}
+	names := append([]string(nil), bp.GoFiles...)
+	sort.Strings(names)
+	files := make([]*ast.File, 0, len(names))
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// loaderImporter adapts the Loader to types.ImporterFrom: module and
+// overlay packages resolve through the loader's own cache (so every
+// analyzed package shares one type identity per dependency), everything
+// else falls through to the stdlib source importer.
+type loaderImporter Loader
+
+func (li *loaderImporter) Import(path string) (*types.Package, error) {
+	return li.ImportFrom(path, (*Loader)(li).modRoot, 0)
+}
+
+func (li *loaderImporter) ImportFrom(path, srcDir string, mode types.ImportMode) (*types.Package, error) {
+	l := (*Loader)(li)
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if _, ok := l.resolveDir(path); ok {
+		t, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return t.Pkg, nil
+	}
+	if srcDir == "" {
+		srcDir = l.modRoot
+	}
+	return l.std.ImportFrom(path, srcDir, mode)
+}

@@ -1,0 +1,81 @@
+package load
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestModuleLoad type-checks a real module package, its module imports
+// resolving through the loader cache and stdlib imports through the
+// source importer.
+func TestModuleLoad(t *testing.T) {
+	l, err := NewModuleLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	targets, err := l.Load("repro/internal/bitstream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(targets) != 1 {
+		t.Fatalf("got %d targets, want 1", len(targets))
+	}
+	tgt := targets[0]
+	if tgt.Pkg.Name() != "bitstream" {
+		t.Errorf("package name = %q", tgt.Pkg.Name())
+	}
+	if len(tgt.TypeErrors) != 0 {
+		t.Errorf("type errors: %v", tgt.TypeErrors)
+	}
+	if len(tgt.Files) == 0 {
+		t.Error("no files loaded")
+	}
+
+	// Loading the same package again must hit the cache (same pointer).
+	again, err := l.Load("repro/internal/bitstream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again[0] != tgt {
+		t.Error("second load did not come from the cache")
+	}
+}
+
+// TestWildcardSkipsTestdata ensures ./... never descends into golden
+// testdata packages, which are deliberately full of violations.
+func TestWildcardSkipsTestdata(t *testing.T) {
+	l, err := NewModuleLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths, err := l.expand([]string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("wildcard expanded to nothing")
+	}
+	for _, p := range paths {
+		if strings.Contains(p, "testdata") {
+			t.Errorf("wildcard leaked testdata package %s", p)
+		}
+	}
+}
+
+// TestDirPatterns pins the non-wildcard pattern forms.
+func TestDirPatterns(t *testing.T) {
+	l, err := NewModuleLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths, err := l.expand([]string{"internal/trng"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 1 || paths[0] != "repro/internal/trng" {
+		t.Errorf("dir pattern expanded to %v", paths)
+	}
+	if _, err := l.expand([]string{"no/such/dir"}); err == nil {
+		t.Error("bogus pattern must fail")
+	}
+}

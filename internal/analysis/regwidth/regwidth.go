@@ -1,0 +1,216 @@
+// Package regwidth enforces the paper's 16-bit data-bus invariant: in
+// packages marked //trnglint:bus16, a value widened out of a 16-bit
+// register type (uint16/int16) may not flow through arithmetic unless the
+// result is explicitly truncated back — masked with a constant of at most
+// 0xFFFF, reduced mod 2^16, or converted to a ≤16-bit integer type. The
+// hardware block the model mirrors has no wider datapath, so an unmasked
+// widening computes a value the silicon cannot represent and silently
+// breaks the bit-exact equivalence between the structural and fast-path
+// models. Intentional wide arithmetic is waived in place with
+// //trnglint:widen <reason>.
+package regwidth
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer flags unmasked arithmetic on values widened from 16-bit
+// register types inside //trnglint:bus16 packages.
+var Analyzer = &analysis.Analyzer{
+	Name: "regwidth",
+	Doc: "flag arithmetic on values widened from 16-bit register types " +
+		"that escapes without an explicit & 0xFFFF (or equivalent) truncation",
+	Run: run,
+}
+
+// Arithmetic operators whose wide result can disagree with the 16-bit
+// hardware result. Comparisons, divisions and pure bit ops are excluded:
+// they cannot manufacture bits above the mask on their own.
+var arithOps = map[token.Token]bool{
+	token.ADD: true,
+	token.SUB: true,
+	token.MUL: true,
+	token.SHL: true,
+}
+
+var assignOps = map[token.Token]token.Token{
+	token.ADD_ASSIGN: token.ADD,
+	token.SUB_ASSIGN: token.SUB,
+	token.MUL_ASSIGN: token.MUL,
+	token.SHL_ASSIGN: token.SHL,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !pass.Directives.HasMarker("bus16") {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		analysis.WithStack(f, func(n ast.Node, stack []ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				checkBinary(pass, n, stack)
+			case *ast.AssignStmt:
+				checkAssign(pass, n)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// checkBinary flags `... wide(narrow16) op ...` whose result escapes the
+// expression tree unmasked.
+func checkBinary(pass *analysis.Pass, be *ast.BinaryExpr, stack []ast.Node) {
+	if !arithOps[be.Op] || !isWideInt(pass.TypeOf(be)) {
+		return
+	}
+	conv := wideningOperand(pass, be.X)
+	if conv == nil {
+		conv = wideningOperand(pass, be.Y)
+	}
+	if conv == nil {
+		return
+	}
+	if maskedAbove(pass, stack) {
+		return
+	}
+	pass.Reportf(conv.Pos(),
+		"%s arithmetic on a value widened from %s escapes without a 16-bit truncation; "+
+			"the paper's bus is 16 bits wide — mask with & 0xFFFF or waive with //trnglint:widen <reason>",
+		pass.TypeOf(be), pass.TypeOf(conv.Args[0]))
+}
+
+// checkAssign flags `wide op= wide(narrow16)` compound assignments: the
+// accumulator itself is wider than the bus, so no later mask can appear
+// in the same expression.
+func checkAssign(pass *analysis.Pass, as *ast.AssignStmt) {
+	op, ok := assignOps[as.Tok]
+	if !ok || !arithOps[op] || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return
+	}
+	if !isWideInt(pass.TypeOf(as.Lhs[0])) {
+		return
+	}
+	conv := wideningOperand(pass, as.Rhs[0])
+	if conv == nil {
+		return
+	}
+	pass.Reportf(conv.Pos(),
+		"compound %s on %s accumulates a value widened from %s beyond the 16-bit bus; "+
+			"mask before accumulating or waive with //trnglint:widen <reason>",
+		as.Tok, pass.TypeOf(as.Lhs[0]), pass.TypeOf(conv.Args[0]))
+}
+
+// wideningOperand unwraps parens and reports e as a conversion
+// wide-int(x) applied to a 16-bit value, or nil.
+func wideningOperand(pass *analysis.Pass, e ast.Expr) *ast.CallExpr {
+	e = ast.Unparen(e)
+	call, ok := e.(*ast.CallExpr)
+	if !ok || len(call.Args) != 1 {
+		return nil
+	}
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	if !ok || !tv.IsType() {
+		return nil
+	}
+	if !isWideInt(tv.Type) || !isNarrow16(pass.TypeOf(call.Args[0])) {
+		return nil
+	}
+	return call
+}
+
+// maskedAbove reports whether some ancestor of the flagged expression —
+// still within the same expression tree — truncates the result back to
+// 16 bits: `expr & c` with c ≤ 0xFFFF, `expr % c` with c ≤ 0x10000, or a
+// conversion to a ≤16-bit integer type. The climb stops at the first
+// non-expression ancestor: once the wide value reaches a statement, call
+// argument or index unmasked, it has escaped.
+func maskedAbove(pass *analysis.Pass, stack []ast.Node) bool {
+	// stack[len-1] is the flagged BinaryExpr itself.
+	for i := len(stack) - 2; i >= 0; i-- {
+		switch parent := stack[i].(type) {
+		case *ast.ParenExpr:
+			continue
+		case *ast.UnaryExpr:
+			continue
+		case *ast.BinaryExpr:
+			if truncatingBinary(pass, parent) {
+				return true
+			}
+			// Any other binary op keeps the value inside the expression;
+			// a mask further up still truncates everything below it.
+			continue
+		case *ast.CallExpr:
+			// A conversion back to a narrow integer type truncates.
+			if tv, ok := pass.TypesInfo.Types[parent.Fun]; ok && tv.IsType() {
+				if isNarrowIntOrSmaller(tv.Type) {
+					return true
+				}
+			}
+			return false
+		default:
+			return false
+		}
+	}
+	return false
+}
+
+func truncatingBinary(pass *analysis.Pass, be *ast.BinaryExpr) bool {
+	switch be.Op {
+	case token.AND:
+		return constAtMost(pass, be.X, 0xFFFF) || constAtMost(pass, be.Y, 0xFFFF)
+	case token.REM:
+		return constAtMost(pass, be.Y, 0x10000)
+	}
+	return false
+}
+
+func constAtMost(pass *analysis.Pass, e ast.Expr, max int64) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	v, exact := constant.Int64Val(constant.ToInt(tv.Value))
+	return exact && v >= 0 && v <= max
+}
+
+func isNarrow16(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	return b.Kind() == types.Uint16 || b.Kind() == types.Int16
+}
+
+func isNarrowIntOrSmaller(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	switch b.Kind() {
+	case types.Uint16, types.Int16, types.Uint8, types.Int8:
+		return true
+	}
+	return false
+}
+
+func isWideInt(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	switch b.Kind() {
+	case types.Int, types.Uint, types.Int32, types.Uint32,
+		types.Int64, types.Uint64, types.Uintptr:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,13 @@
+package regwidth_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/regwidth"
+)
+
+func TestRegwidth(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), regwidth.Analyzer,
+		"bus16demo", "nomarker")
+}

@@ -1,0 +1,58 @@
+// Package bus16demo exercises the regwidth analyzer: the bus16 marker
+// below opts the package into the 16-bit datapath rules.
+//
+//trnglint:bus16
+package bus16demo
+
+import "busdep"
+
+// Reg is a named register type; its underlying uint16 is what matters.
+type Reg uint16
+
+func flagged(a, b uint16, r Reg) {
+	_ = int(a) + 1            // want `escapes without a 16-bit truncation`
+	_ = uint32(a) * uint32(b) // want `escapes without a 16-bit truncation`
+	_ = int64(a) - int64(b)   // want `escapes without a 16-bit truncation`
+	_ = uint(a) << 3          // want `escapes without a 16-bit truncation`
+	_ = uint32(r) + 1         // want `escapes without a 16-bit truncation`
+	var c int16
+	_ = int32(c) * 3 // want `escapes without a 16-bit truncation`
+}
+
+func flaggedCrossPackage() {
+	_ = int(busdep.Word()) + 1      // want `escapes without a 16-bit truncation`
+	_ = uint64(busdep.Sample()) * 5 // want `escapes without a 16-bit truncation`
+}
+
+func masked(a, b uint16) {
+	_ = (int(a) + 1) & 0xFFFF
+	_ = (uint32(a) * uint32(b)) % 0x10000
+	_ = uint16(uint32(a) + uint32(b))
+	_ = byte(int(a) + 1)
+	_ = (uint32(a) + uint32(b) + 1) & 0x7FF
+	_ = int(a) & 0xF // pure bit op, no arithmetic
+	_ = int(a) / 2   // division cannot overflow the bus width
+	_ = int(a) >> 4
+}
+
+func compound(a uint16) {
+	var acc uint32
+	acc += uint32(a) // want `compound \+= on uint32 accumulates`
+	acc <<= 1
+	var acc16 uint16
+	acc16 += a // 16-bit accumulator stays on the bus
+	_ = acc16
+	_ = acc
+}
+
+func waived(a, b uint16) {
+	//trnglint:widen word-lane reassembly demo
+	_ = uint64(a)<<16 + uint64(b)
+
+	_ = uint64(a)<<16 + uint64(b) //trnglint:widen same-line waiver demo
+}
+
+func bareWaiverDoesNotCount(a uint16) {
+	//trnglint:widen
+	_ = int(a) + 1 // want `escapes without a 16-bit truncation`
+}

@@ -1,0 +1,12 @@
+// Package busdep is a helper dependency for the regwidth golden tests:
+// it hands 16-bit bus words across a package boundary.
+package busdep
+
+// Word models a register read on the 16-bit bus.
+func Word() uint16 { return 0xBEEF }
+
+// Reg is a named 16-bit register type.
+type Reg uint16
+
+// Sample returns a named-type register value.
+func Sample() Reg { return 0x1234 }

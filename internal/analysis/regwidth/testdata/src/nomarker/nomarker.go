@@ -1,0 +1,11 @@
+// Package nomarker has no //trnglint:bus16 marker, so the regwidth
+// analyzer must stay silent even over textbook violations.
+package nomarker
+
+func unflagged(a, b uint16) {
+	_ = int(a) + 1
+	_ = uint32(a) * uint32(b)
+	var acc uint64
+	acc += uint64(a)
+	_ = acc
+}

@@ -1,0 +1,13 @@
+package resetcheck_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/resetcheck"
+)
+
+func TestResetcheck(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), resetcheck.Analyzer,
+		"resetdemo", "monlib")
+}

@@ -1,0 +1,21 @@
+// Package monlib is the cross-package half of the resetcheck golden
+// tests: a Monitor type defined away from the use sites.
+package monlib
+
+// Source stands in for a trng source.
+type Source struct{ seed int }
+
+// NewSource builds a fresh source.
+func NewSource(seed int) *Source { return &Source{seed: seed} }
+
+// Monitor is tracked by name, like the real core.Monitor.
+type Monitor struct{ seq int }
+
+// Watch monitors n sequences from src.
+func (m *Monitor) Watch(src *Source, n int) error {
+	m.seq += n
+	return nil
+}
+
+// Reset returns the monitor to its just-built state.
+func (m *Monitor) Reset() { m.seq = 0 }

@@ -1,0 +1,57 @@
+// Package resetdemo exercises the resetcheck analyzer against the
+// monitor-reuse contract.
+package resetdemo
+
+import "monlib"
+
+func secondSource(m *monlib.Monitor, a, b *monlib.Source) {
+	_ = m.Watch(a, 1)
+	_ = m.Watch(a, 1) // continuation of the same stream: allowed
+	_ = m.Watch(b, 1) // want `without Reset`
+}
+
+func secondSourceReset(m *monlib.Monitor, a, b *monlib.Source) {
+	_ = m.Watch(a, 1)
+	m.Reset()
+	_ = m.Watch(b, 1) // reset in between: allowed
+}
+
+func loopFresh(m *monlib.Monitor) {
+	for i := 0; i < 4; i++ {
+		_ = m.Watch(monlib.NewSource(i), 1) // want `fresh source every loop iteration`
+	}
+}
+
+func loopFreshReset(m *monlib.Monitor) {
+	for i := 0; i < 4; i++ {
+		m.Reset()
+		_ = m.Watch(monlib.NewSource(i), 1) // reset per trial: the runner idiom
+	}
+}
+
+func loopContinuous(m *monlib.Monitor, s *monlib.Source) {
+	for i := 0; i < 4; i++ {
+		_ = m.Watch(s, 1) // always-on monitoring of one stream: allowed
+	}
+}
+
+func escapes(m *monlib.Monitor, a, b *monlib.Source) {
+	_ = m.Watch(a, 1)
+	handOff(m)
+	_ = m.Watch(b, 1) // m escaped: conservatively allowed
+}
+
+func handOff(m *monlib.Monitor) { m.Reset() }
+
+func fieldMonitor() {
+	var box struct{ mon monlib.Monitor }
+	a, b := monlib.NewSource(1), monlib.NewSource(2)
+	_ = box.mon.Watch(a, 1)
+	_ = box.mon.Watch(b, 1) // want `without Reset`
+}
+
+func waived(m *monlib.Monitor, a, b *monlib.Source) {
+	_ = m.Watch(a, 1)
+	//trnglint:allow resetcheck the second stream deliberately continues the first trial's history
+	_ = m.Watch(b, 1)
+}

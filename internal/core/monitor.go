@@ -6,6 +6,8 @@
 // single alarm wire: the monitor's verdict is a set of per-test decisions
 // derived from transmitted counter values, which is the paper's defense
 // against probing attacks on an alarm signal.
+//
+//trnglint:deterministic
 package core
 
 import (

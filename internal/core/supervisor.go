@@ -301,6 +301,7 @@ func (s *Supervisor) readOnce() (byte, error) {
 		s.reader = newSrcReader(s.src)
 	}
 	s.reader.req <- struct{}{}
+	//trnglint:allow determinism the per-bit watchdog is deliberately wall-clock: it exists to bound a stalled hardware read, and it only fires on the fault paths the differential suites never take
 	timer := time.NewTimer(s.cfg.BitDeadline)
 	defer timer.Stop()
 	select {

@@ -14,6 +14,8 @@
 // of internal/trng: a Flaky(Biased) source is a biased TRNG with a flaky
 // readout, and the monitor must both retry the flakiness and detect the
 // bias.
+//
+//trnglint:deterministic
 package faultinject
 
 import "math/rand"

@@ -10,6 +10,8 @@
 // quick-failure tests) for all three sequence lengths; the 2^20-bit design
 // uses a 48-bit accumulator for the block-frequency sum (three-word
 // arithmetic on the 16-bit core).
+//
+//trnglint:bus16
 package firmware
 
 import (

@@ -17,6 +17,9 @@
 //
 // Eight design variants (three sequence lengths × up to three feature
 // levels) reproduce the configurations of the paper's Table III.
+//
+//trnglint:bus16
+//trnglint:deterministic
 package hwblock
 
 import (

@@ -29,6 +29,8 @@
 //   - serial / approximate entropy (11, 12): a branch-light sliding-window
 //     loop increments the three pattern banks directly, with the same
 //     fill gating and cyclic wrap-around feed as the hardware.
+//
+//trnglint:deterministic
 package hwfast
 
 import (

@@ -10,6 +10,9 @@
 // would see onto Spartan-6 slice/FF/LUT counts, a maximum clock frequency
 // estimate, and an ASIC gate-equivalent count — reproducing the resource
 // rows of the paper's Table III at the level of shape and trend.
+//
+//trnglint:bus16
+//trnglint:deterministic
 package hwsim
 
 import (

@@ -431,6 +431,7 @@ func encode(in *asmInst, labels map[string]uint16) ([]uint16, error) {
 		if err != nil {
 			return nil, err
 		}
+		//trnglint:widen the assembler computes the signed jump offset host-side; it is range-checked to the ±512-word encodable window immediately below
 		off := (int(target) - int(in.addr) - 2) / 2
 		if off < -512 || off > 511 {
 			return nil, fmt.Errorf("jump target out of range (offset %d words)", off)

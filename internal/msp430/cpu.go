@@ -7,6 +7,8 @@
 // design"); this package plays that role for the Table IV latency
 // comparison, executing the evaluation firmware against the memory-mapped
 // hardware testing block.
+//
+//trnglint:bus16
 package msp430
 
 import "fmt"

@@ -48,10 +48,12 @@ func (m *Multiplier) WriteWord(addr uint16, v uint16) {
 		m.signed = true
 	case MulOP2:
 		if m.signed {
+			//trnglint:widen the MSP430 hardware multiplier's RESLO/RESHI result register pair is genuinely 32 bits wide in silicon
 			res := int32(int16(m.op1)) * int32(int16(v))
 			m.resLo = uint16(res)
 			m.resHi = uint16(uint32(res) >> 16)
 		} else {
+			//trnglint:widen the MSP430 hardware multiplier's RESLO/RESHI result register pair is genuinely 32 bits wide in silicon
 			res := uint32(m.op1) * uint32(v)
 			m.resLo = uint16(res)
 			m.resHi = uint16(res >> 16)

@@ -89,7 +89,10 @@ func TableA2() string {
 		return err.Error()
 	}
 	for i := 0; i < cfg.N; i++ {
-		bit, _ := src.ReadBit()
+		bit, err := src.ReadBit()
+		if err != nil {
+			return err.Error()
+		}
 		hb.Feed(bit)
 		if _, err := mon.Feed(bit); err != nil {
 			return err.Error()

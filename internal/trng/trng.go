@@ -45,6 +45,7 @@ var ErrTransient = errors.New("trng: transient read failure")
 // sequence silently, so fallible sources should be drained through
 // bitstream.ReadAll (or a supervisor) instead.
 func Read(src Source, n int) *bitstream.Sequence {
+	//trnglint:allow errdrop silent truncation is this helper's documented contract; fallible sources must use bitstream.ReadAll or a Supervisor
 	s, _ := bitstream.ReadAll(src, n)
 	return s
 }
