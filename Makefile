@@ -1,8 +1,16 @@
 # Mirrors .github/workflows/ci.yml so `make check` locally is the same
 # gate CI runs.
-.PHONY: check vet build test bench-smoke bench lint
+.PHONY: check vet build test bench-smoke bench lint docs docs-check
 
 check: build lint test bench-smoke
+
+# docs regenerates every generated document (REGISTERS.md is produced from
+# the live hardware definitions). CI runs docs-check to fail on drift.
+docs:
+	go run ./cmd/regmapdoc -o REGISTERS.md
+
+docs-check: docs
+	git diff --exit-code REGISTERS.md
 
 vet:
 	go vet ./...

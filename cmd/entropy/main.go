@@ -15,6 +15,7 @@ import (
 	"os"
 
 	"repro/internal/bitstream"
+	"repro/internal/obs"
 	"repro/internal/sp80090b"
 )
 
@@ -22,7 +23,18 @@ func main() {
 	file := flag.String("file", "", "bit-stream file ('-' for stdin); ASCII 0/1 unless -raw")
 	raw := flag.Bool("raw", false, "treat the file as raw bytes, MSB first")
 	h := flag.Float64("h", 1.0, "asserted entropy per bit for the health-test cutoffs")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /metrics.json on this address while analysing")
 	flag.Parse()
+
+	var reg *obs.Registry
+	if *metricsAddr != "" {
+		reg = obs.NewRegistry()
+		if _, addr, err := obs.Serve(*metricsAddr, reg); err != nil {
+			fatal(err)
+		} else {
+			fmt.Fprintf(os.Stderr, "entropy: metrics on http://%s/metrics\n", addr)
+		}
+	}
 
 	if *file == "" {
 		fmt.Fprintln(os.Stderr, "entropy: need -file")
@@ -63,6 +75,14 @@ func main() {
 	if mk.MinEntropy < min {
 		min = mk.MinEntropy
 	}
+	reg.Gauge("entropy_bits_analysed", "length of the analysed bit stream").Set(float64(seq.Len()))
+	reg.Gauge("entropy_min_entropy_bits_per_bit",
+		"SP800-90B min-entropy lower bound, by estimator",
+		"estimator", "most-common-value").Set(mcv.MinEntropy)
+	reg.Gauge("entropy_min_entropy_bits_per_bit",
+		"SP800-90B min-entropy lower bound, by estimator",
+		"estimator", "markov").Set(mk.MinEntropy)
+
 	fmt.Printf("bits analysed:           %d\n", seq.Len())
 	fmt.Printf("most-common-value:       H >= %.4f bits/bit (p_hat=%.4f)\n", mcv.MinEntropy, mcv.PHat)
 	fmt.Printf("first-order Markov:      H >= %.4f bits/bit (T[1][1]=%.4f, T[0][0]=%.4f)\n",
@@ -78,6 +98,12 @@ func main() {
 		hb.Feed(seq.Bit(i))
 	}
 	rct, apt := hb.Alarms()
+	reg.Counter("entropy_health_alarms_total",
+		"continuous health-test alarms over the analysed stream, by test",
+		"test", "rct").Add(uint64(rct))
+	reg.Counter("entropy_health_alarms_total",
+		"continuous health-test alarms over the analysed stream, by test",
+		"test", "apt").Add(uint64(apt))
 	fmt.Printf("health tests (H=%.2f):    RCT alarms=%d  APT alarms=%d\n", *h, rct, apt)
 	if rct+apt > 0 {
 		os.Exit(1)

@@ -15,6 +15,15 @@
 //	    -stall-after 300 -standby ideal -bit-deadline 50ms
 //	otftest -n 128 -variant light -source ideal -sequences 8 \
 //	    -corrupt-reads 0.05 -verify-readout
+//
+// Observability (live metrics, event trace and profiling for soak runs):
+//
+//	otftest -n 65536 -variant high -source ideal -sequences 1000 \
+//	    -metrics-addr :9600 -trace-out trace.jsonl
+//	curl http://localhost:9600/metrics        # Prometheus text format
+//	curl http://localhost:9600/metrics.json   # JSON exposition
+//	curl http://localhost:9600/trace          # ring-buffered event trace
+//	go tool pprof http://localhost:9600/debug/pprof/profile?seconds=10
 package main
 
 import (
@@ -29,79 +38,154 @@ import (
 	"repro/internal/core"
 	"repro/internal/faultinject"
 	"repro/internal/hwblock"
+	"repro/internal/obs"
 	"repro/internal/trng"
 )
 
+// options carries every flag of the CLI; main parses, run executes. The
+// split keeps the whole pipeline — including the observability wiring —
+// testable in-process.
+type options struct {
+	n             int
+	variant       string
+	alpha         float64
+	file          string
+	raw           bool
+	source        string
+	p             float64
+	seed          int64
+	sequences     int
+	faultRate     float64
+	faultBurst    int
+	stallAfter    int
+	standby       string
+	bitDeadline   time.Duration
+	corruptReads  float64
+	verifyReadout bool
+	fast          bool
+	cycleAccurate bool
+	workers       int
+	metricsAddr   string
+	traceOut      string
+
+	stdout io.Writer
+	stderr io.Writer
+	// boundAddr receives the metrics listener's bound address (useful
+	// with ":0"); nil discards it.
+	boundAddr *string
+}
+
 func main() {
-	n := flag.Int("n", 65536, "sequence length (128, 65536 or 1048576)")
-	variant := flag.String("variant", "medium", "design variant: light, medium or high")
-	alpha := flag.Float64("alpha", 0.01, "level of significance (NIST: 0.001..0.01)")
-	file := flag.String("file", "", "bit-stream file ('-' for stdin); ASCII 0/1 unless -raw")
-	raw := flag.Bool("raw", false, "treat the file as raw bytes, MSB first")
-	source := flag.String("source", "", "simulated source: ideal, biased, markov, ringosc, locked, stuck")
-	p := flag.Float64("p", 0.6, "bias / stickiness parameter for simulated sources")
-	seed := flag.Int64("seed", 1, "seed for simulated sources")
-	sequences := flag.Int("sequences", 1, "number of sequences to evaluate")
-	faultRate := flag.Float64("fault-rate", 0, "inject transient read faults at this per-bit rate (enables supervision)")
-	faultBurst := flag.Int("fault-burst", 1, "length of each injected fault burst, in reads")
-	stallAfter := flag.Int("stall-after", 0, "stall the source after this many bits (enables supervision and the watchdog)")
-	standby := flag.String("standby", "", "standby simulated source for failover (same kinds as -source)")
-	bitDeadline := flag.Duration("bit-deadline", 50*time.Millisecond, "watchdog deadline per bit when supervision is active")
-	corruptReads := flag.Float64("corrupt-reads", 0, "corrupt register-file bus reads at this per-read rate (enables supervision)")
-	verifyReadout := flag.Bool("verify-readout", false, "double-evaluate each sequence and quarantine on readout mismatch")
-	fast := flag.Bool("fast", true, "ingest via the word-level fast path (bit-exact with the structural simulation)")
-	cycleAccurate := flag.Bool("cycle-accurate", false, "ingest via the cycle-accurate structural simulation (golden reference)")
-	workers := flag.Int("workers", 1, "shard sequences across this many goroutines, one independent seeded source each (simulated sources only; 0 = all CPUs)")
+	o := options{stdout: os.Stdout, stderr: os.Stderr}
+	flag.IntVar(&o.n, "n", 65536, "sequence length (128, 65536 or 1048576)")
+	flag.StringVar(&o.variant, "variant", "medium", "design variant: light, medium or high")
+	flag.Float64Var(&o.alpha, "alpha", 0.01, "level of significance (NIST: 0.001..0.01)")
+	flag.StringVar(&o.file, "file", "", "bit-stream file ('-' for stdin); ASCII 0/1 unless -raw")
+	flag.BoolVar(&o.raw, "raw", false, "treat the file as raw bytes, MSB first")
+	flag.StringVar(&o.source, "source", "", "simulated source: ideal, biased, markov, ringosc, locked, stuck")
+	flag.Float64Var(&o.p, "p", 0.6, "bias / stickiness parameter for simulated sources")
+	flag.Int64Var(&o.seed, "seed", 1, "seed for simulated sources")
+	flag.IntVar(&o.sequences, "sequences", 1, "number of sequences to evaluate")
+	flag.Float64Var(&o.faultRate, "fault-rate", 0, "inject transient read faults at this per-bit rate (enables supervision)")
+	flag.IntVar(&o.faultBurst, "fault-burst", 1, "length of each injected fault burst, in reads")
+	flag.IntVar(&o.stallAfter, "stall-after", 0, "stall the source after this many bits (enables supervision and the watchdog)")
+	flag.StringVar(&o.standby, "standby", "", "standby simulated source for failover (same kinds as -source)")
+	flag.DurationVar(&o.bitDeadline, "bit-deadline", 50*time.Millisecond, "watchdog deadline per bit when supervision is active")
+	flag.Float64Var(&o.corruptReads, "corrupt-reads", 0, "corrupt register-file bus reads at this per-read rate (enables supervision)")
+	flag.BoolVar(&o.verifyReadout, "verify-readout", false, "double-evaluate each sequence and quarantine on readout mismatch")
+	flag.BoolVar(&o.fast, "fast", true, "ingest via the word-level fast path (bit-exact with the structural simulation)")
+	flag.BoolVar(&o.cycleAccurate, "cycle-accurate", false, "ingest via the cycle-accurate structural simulation (golden reference)")
+	flag.IntVar(&o.workers, "workers", 1, "shard sequences across this many goroutines, one independent seeded source each (simulated sources only; 0 = all CPUs)")
+	flag.StringVar(&o.metricsAddr, "metrics-addr", "", "serve /metrics, /metrics.json, /trace and /debug/pprof on this address (e.g. :9600)")
+	flag.StringVar(&o.traceOut, "trace-out", "", "write the event trace as JSON lines to this file ('-' for stdout) when the run ends")
 	flag.Parse()
+	os.Exit(run(o))
+}
+
+// run executes one monitoring run and returns the process exit code:
+// 0 all sequences passed, 1 a statistical test failed, 2 operational
+// failure (bad flags, unrecoverable source fault, early stream end).
+func run(o options) int {
+	fatal := func(err error) int {
+		fmt.Fprintln(o.stderr, "otftest:", err)
+		return 2
+	}
 
 	path := hwblock.FastPath
-	if *cycleAccurate || !*fast {
+	if o.cycleAccurate || !o.fast {
 		path = hwblock.CycleAccurate
 	}
 
-	v, err := parseVariant(*variant)
+	v, err := parseVariant(o.variant)
 	if err != nil {
-		fatal(err)
+		return fatal(err)
 	}
-	cfg, err := hwblock.NewConfig(*n, v)
+	cfg, err := hwblock.NewConfig(o.n, v)
 	if err != nil {
-		fatal(err)
+		return fatal(err)
 	}
-	mon, err := core.NewMonitor(cfg, *alpha)
+	mon, err := core.NewMonitor(cfg, o.alpha)
 	if err != nil {
-		fatal(err)
+		return fatal(err)
 	}
 	if err := mon.Block().SetPath(path); err != nil {
-		fatal(err)
+		return fatal(err)
+	}
+
+	// The observability registry exists only when asked for: the default
+	// path runs with a nil registry, which the instrumentation treats as
+	// a no-op (and the differential suite proves bit-identical).
+	var reg *obs.Registry
+	if o.metricsAddr != "" || o.traceOut != "" {
+		reg = obs.NewRegistry()
+		mon.SetObs(reg)
+	}
+	if o.metricsAddr != "" {
+		_, addr, err := obs.Serve(o.metricsAddr, reg)
+		if err != nil {
+			return fatal(err)
+		}
+		if o.boundAddr != nil {
+			*o.boundAddr = addr
+		}
+		fmt.Fprintf(o.stdout, "metrics: serving http://%s/metrics (json: /metrics.json, trace: /trace, pprof: /debug/pprof/)\n", addr)
 	}
 
 	var src trng.Source
 	switch {
-	case *file != "":
-		src, err = fileSource(*file, *raw)
+	case o.file != "":
+		src, err = fileSource(o.file, o.raw)
 		if err != nil {
-			fatal(err)
+			return fatal(err)
 		}
-	case *source != "":
-		src, err = simulatedSource(*source, *p, *seed)
+	case o.source != "":
+		src, err = simulatedSource(o.source, o.p, o.seed)
 		if err != nil {
-			fatal(err)
+			return fatal(err)
 		}
 	default:
-		fatal(fmt.Errorf("need -file or -source"))
+		return fatal(fmt.Errorf("need -file or -source"))
 	}
 
-	supervised := *faultRate > 0 || *stallAfter > 0 || *standby != "" ||
-		*corruptReads > 0 || *verifyReadout
+	supervised := o.faultRate > 0 || o.stallAfter > 0 || o.standby != "" ||
+		o.corruptReads > 0 || o.verifyReadout
 
-	if *workers != 1 {
+	if o.workers != 1 {
 		if supervised {
-			fatal(fmt.Errorf("-workers cannot be combined with supervision flags"))
+			return fatal(fmt.Errorf("-workers cannot be combined with supervision flags"))
 		}
-		if *source == "" {
-			fatal(fmt.Errorf("-workers needs a simulated -source (each sequence gets its own seeded source)"))
+		if o.source == "" {
+			return fatal(fmt.Errorf("-workers needs a simulated -source (each sequence gets its own seeded source)"))
 		}
 	}
+
+	reg.Gauge("otftest_run_info",
+		"constant 1, labelled with the run configuration",
+		"design", cfg.Name, "path", path.String(),
+		"workers", fmt.Sprintf("%d", o.workers)).Set(1)
+	seqSeconds := reg.Histogram("otftest_sequence_seconds",
+		"wall-clock time per evaluated sequence (measured at the CLI boundary; "+
+			"the monitor itself is clock-free)", obs.ExpBuckets(100e-6, 4, 12))
 
 	var reports []core.SequenceReport
 	var supRep *core.SupervisorReport
@@ -109,46 +193,65 @@ func main() {
 	var ingestBits int64
 	start := time.Now()
 	switch {
-	case *workers != 1:
-		runner := &core.SequenceRunner{Cfg: cfg, Alpha: *alpha, Workers: *workers, Path: path}
-		reports, runErr = runner.Run(*sequences, func(trial int) trng.Source {
-			s, err := simulatedSource(*source, *p, *seed+int64(trial))
+	case o.workers != 1:
+		runner := &core.SequenceRunner{Cfg: cfg, Alpha: o.alpha, Workers: o.workers, Path: path, Obs: reg}
+		reports, runErr = runner.Run(o.sequences, func(trial int) trng.Source {
+			s, err := simulatedSource(o.source, o.p, o.seed+int64(trial))
 			if err != nil {
 				panic(err) // the kind was validated above
 			}
 			return s
 		})
 		if runErr != nil {
-			fatal(runErr)
+			return fatal(runErr)
 		}
-		ingestBits = int64(*sequences) * int64(cfg.N)
+		ingestBits = int64(o.sequences) * int64(cfg.N)
 	case supervised:
-		if *faultRate > 0 {
-			src = faultinject.NewFlaky(src, *faultRate, *faultBurst, *seed+1)
+		if o.faultRate > 0 {
+			flaky := faultinject.NewFlaky(src, o.faultRate, o.faultBurst, o.seed+1)
+			flaky.SetObs(reg)
+			src = flaky
 		}
-		if *stallAfter > 0 {
-			src = faultinject.NewStall(src, *stallAfter)
+		if o.stallAfter > 0 {
+			stall := faultinject.NewStall(src, o.stallAfter)
+			stall.SetObs(reg)
+			src = stall
 		}
-		if *corruptReads > 0 {
-			faultinject.CorruptRegFile(mon.Block().RegFile(), *corruptReads, *seed+2)
+		if o.corruptReads > 0 {
+			faultinject.CorruptRegFile(mon.Block().RegFile(), o.corruptReads, o.seed+2).SetObs(reg)
 		}
 		var sby trng.Source
-		if *standby != "" {
-			if sby, err = simulatedSource(*standby, *p, *seed+3); err != nil {
-				fatal(err)
+		if o.standby != "" {
+			if sby, err = simulatedSource(o.standby, o.p, o.seed+3); err != nil {
+				return fatal(err)
 			}
 		}
 		sup := core.NewSupervisor(mon, src, sby, core.SupervisorConfig{
-			BitDeadline:   *bitDeadline,
-			VerifyReadout: *verifyReadout,
+			BitDeadline:   o.bitDeadline,
+			VerifyReadout: o.verifyReadout,
 		})
-		supRep, runErr = sup.Run(*sequences)
+		sup.SetObs(reg)
+		supRep, runErr = sup.Run(o.sequences)
 		reports = supRep.Reports
 		ingestBits = mon.BitsSeen()
 	default:
-		reports, runErr = mon.Watch(src, *sequences)
+		// Sequence by sequence, so the per-sequence latency histogram can
+		// observe each completion. Monitor state persists across Watch
+		// calls — this is bit-identical to one Watch(src, sequences).
+		for len(reports) < o.sequences {
+			seqStart := time.Now()
+			reps, err := mon.Watch(src, 1)
+			if reg != nil {
+				seqSeconds.Observe(time.Since(seqStart).Seconds())
+			}
+			reports = append(reports, reps...)
+			if err != nil {
+				runErr = err
+				break
+			}
+		}
 		if runErr != nil && len(reports) == 0 {
-			fatal(runErr)
+			return fatal(runErr)
 		}
 		ingestBits = mon.BitsSeen()
 	}
@@ -162,41 +265,71 @@ func main() {
 			exit = 1
 		}
 		seqNo := r.Index
-		if *workers != 1 {
+		if o.workers != 1 {
 			seqNo = i // each trial has its own monitor, so Index is always 0
 		}
-		fmt.Printf("sequence %d [bits %d..%d): %s\n",
+		fmt.Fprintf(o.stdout, "sequence %d [bits %d..%d): %s\n",
 			seqNo, r.StartBit, r.StartBit+int64(cfg.N), status)
 		for _, v := range r.Report.Verdicts {
 			mark := "ok"
 			if !v.Pass {
 				mark = "FAIL"
 			}
-			fmt.Printf("  test %-2d %-4s statistic=%d threshold=%d %s\n",
+			fmt.Fprintf(o.stdout, "  test %-2d %-4s statistic=%d threshold=%d %s\n",
 				v.TestID, mark, v.Statistic, v.Threshold, v.Note)
 		}
-		fmt.Printf("  software cost: %s\n", r.Report.Cost.String())
+		fmt.Fprintf(o.stdout, "  software cost: %s\n", r.Report.Cost.String())
 	}
 	if supRep != nil {
-		fmt.Printf("supervision: condition=%s quarantined=%d retries=%d active=%s\n",
+		fmt.Fprintf(o.stdout, "supervision: condition=%s quarantined=%d retries=%d active=%s\n",
 			supRep.Condition, supRep.Quarantined, supRep.Retries, supRep.ActiveSource)
 		for _, e := range supRep.Events {
-			fmt.Printf("  %s\n", e)
+			fmt.Fprintf(o.stdout, "  %s\n", e)
 		}
 		if supRep.Condition == core.SourceFault {
 			exit = 2
 		}
 	}
 	if secs := elapsed.Seconds(); ingestBits > 0 && secs > 0 {
-		fmt.Printf("ingest: %d bits in %v via %s path, %d worker(s) (%.3g bits/s)\n",
-			ingestBits, elapsed.Round(time.Millisecond), path, *workers,
+		fmt.Fprintf(o.stdout, "ingest: %d bits in %v via %s path, %d worker(s) (%.3g bits/s)\n",
+			ingestBits, elapsed.Round(time.Millisecond), path, o.workers,
 			float64(ingestBits)/secs)
+		reg.Gauge("otftest_ingest_bits_per_second",
+			"measured end-to-end ingest throughput of the completed run").
+			Set(float64(ingestBits) / secs)
+		reg.Gauge("otftest_run_seconds", "wall-clock duration of the completed run").Set(secs)
+	}
+	if reg != nil && o.metricsAddr != "" {
+		fmt.Fprintf(o.stdout, "metrics: %d families exposed\n", reg.Families())
+	}
+	if o.traceOut != "" {
+		if err := writeTrace(reg, o.traceOut); err != nil {
+			return fatal(err)
+		}
+		fmt.Fprintf(o.stdout, "trace: %d events retained (%d emitted) -> %s\n",
+			reg.Trace().Len(), reg.Trace().Total(), o.traceOut)
 	}
 	if runErr != nil {
-		fmt.Fprintf(os.Stderr, "otftest: stream ended early: %v\n", runErr)
+		fmt.Fprintf(o.stderr, "otftest: stream ended early: %v\n", runErr)
 		exit = 2
 	}
-	os.Exit(exit)
+	return exit
+}
+
+// writeTrace dumps the registry's event trace as JSON lines.
+func writeTrace(reg *obs.Registry, path string) error {
+	if path == "-" {
+		return reg.Trace().WriteJSONLines(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := reg.Trace().WriteJSONLines(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func parseVariant(s string) (hwblock.Variant, error) {
@@ -259,9 +392,4 @@ func simulatedSource(kind string, p float64, seed int64) (trng.Source, error) {
 		return trng.NewStuckAt(1), nil
 	}
 	return nil, fmt.Errorf("unknown source %q", kind)
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "otftest:", err)
-	os.Exit(2)
 }

@@ -1,0 +1,38 @@
+// Command regmapdoc generates REGISTERS.md, the memory-mapped register
+// reference of all eight design points, from the live hardware definitions
+// in internal/hwblock. The committed copy is kept in sync by `make docs`;
+// CI fails when the file drifts from the code.
+//
+// Usage:
+//
+//	regmapdoc               # rewrite REGISTERS.md in the current directory
+//	regmapdoc -o path.md    # write elsewhere
+//	regmapdoc -o -          # write to stdout
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/tables"
+)
+
+func main() {
+	out := flag.String("o", "REGISTERS.md", "output file ('-' for stdout)")
+	flag.Parse()
+
+	doc, err := tables.RegisterMap()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "regmapdoc:", err)
+		os.Exit(2)
+	}
+	if *out == "-" {
+		fmt.Print(doc)
+		return
+	}
+	if err := os.WriteFile(*out, []byte(doc), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "regmapdoc:", err)
+		os.Exit(2)
+	}
+}

@@ -1,22 +1,38 @@
 // Health monitor: a long-running embedded deployment. The TRNG ages — its
 // bias drifts slowly — while the hardware block stays on and the software
-// checks every completed sequence. The same counters are also evaluated by
-// real firmware executing on the simulated openMSP430 core, demonstrating
-// the full embedded path (Fig. 1) including the memory-mapped bus and the
-// measured evaluation latency in CPU cycles.
+// checks every completed sequence. The run is instrumented through the
+// observability layer (internal/obs), so the same program doubles as a
+// worked example of the metrics registry and event trace. A second phase
+// shows the Monitor.Watch partial-result contract: when the source dies
+// mid-sequence, the verdicts of every completed sequence are still
+// returned and folded into the summary — the monitor loses only the
+// unfinished sequence, never the history. Finally the same counters are
+// evaluated by real firmware executing on the simulated openMSP430 core,
+// demonstrating the full embedded path (Fig. 1) including the
+// memory-mapped bus and the measured evaluation latency in CPU cycles.
 package main
 
 import (
+	"errors"
 	"fmt"
 	"log"
 
 	"repro"
 	"repro/internal/bitstream"
+	"repro/internal/core"
 	"repro/internal/firmware"
 	"repro/internal/hwblock"
+	"repro/internal/obs"
 	"repro/internal/sweval"
 	"repro/internal/trng"
 )
+
+// finiteSource adapts a recorded sequence to the Source interface; reads
+// past the end fail — the model of a TRNG whose supply dies mid-stream.
+type finiteSource struct{ r *bitstream.Reader }
+
+func (s *finiteSource) Name() string           { return "recorded" }
+func (s *finiteSource) ReadBit() (byte, error) { return s.r.ReadBit() }
 
 func main() {
 	design, err := repro.NewDesign(65536, repro.Light)
@@ -28,27 +44,55 @@ func main() {
 		log.Fatal(err)
 	}
 
+	// Instrument the monitor. Every verdict, ingested bit and bus read now
+	// lands in the registry; operational incidents land in its event trace.
+	reg := obs.NewRegistry()
+	monitor.SetObs(reg)
+
 	// Aging source: bias drifts from a healthy 0.5 to 0.56 over 1.5M bits.
 	source := trng.NewDrift(0.5, 0.56, 1_500_000, 3)
 
 	fmt.Println("long-term health monitoring of an aging TRNG (bias 0.50 -> 0.56):")
 	firstFailure := -1
-	for seq := 0; seq < 30; seq++ {
-		reports, err := monitor.Watch(source, 1)
+	watch := func(src repro.Source, sequences int) bool {
+		reports, err := monitor.Watch(src, sequences)
+		// Partial-result contract: on a source failure, Watch still
+		// returns the reports of every sequence that completed before the
+		// failing bit. Fold them in before deciding anything — the old
+		// version of this example log.Fatal'd here and lost them.
+		for _, r := range reports {
+			if !r.Report.Pass() && firstFailure < 0 {
+				firstFailure = r.Index
+			}
+			marker := ""
+			if !r.Report.Pass() {
+				marker = fmt.Sprintf("  <-- FAILED %v", r.Report.Failed())
+			}
+			if r.Index%5 == 0 || marker != "" {
+				fmt.Printf("  sequence %2d (bits %7d..%7d)%s\n",
+					r.Index, r.StartBit, r.StartBit+int64(design.N), marker)
+			}
+		}
 		if err != nil {
+			var se *core.SourceError
+			if errors.As(err, &se) {
+				// Route the incident through the trace alongside the
+				// instrumentation's own events, then carry on with the
+				// verdicts already in hand.
+				reg.Emit("example.source-dead", se.Bit,
+					fmt.Sprintf("source failed mid-sequence: %v", se.Err))
+				fmt.Printf("  source died at bit %d (mid-sequence %d); %d completed verdicts retained\n",
+					se.Bit, int(se.Bit)/design.N, len(reports))
+				return false
+			}
 			log.Fatal(err)
 		}
-		r := reports[0]
-		if !r.Report.Pass() && firstFailure < 0 {
-			firstFailure = r.Index
-		}
-		marker := ""
-		if !r.Report.Pass() {
-			marker = fmt.Sprintf("  <-- FAILED %v", r.Report.Failed())
-		}
-		if seq%5 == 0 || marker != "" {
-			fmt.Printf("  sequence %2d (bits %7d..%7d)%s\n",
-				r.Index, r.StartBit, r.StartBit+65536, marker)
+		return true
+	}
+
+	for seq := 0; seq < 30; seq++ {
+		if !watch(source, 1) {
+			break
 		}
 		if firstFailure >= 0 && seq > firstFailure+2 {
 			break
@@ -59,6 +103,13 @@ func main() {
 	} else {
 		fmt.Printf("aging first detected in sequence %d\n", firstFailure)
 	}
+
+	// The partial-result contract in action: a recording that holds one
+	// full sequence plus half of the next. The half sequence's bits are
+	// consumed, the source dies, and the one completed verdict survives.
+	fmt.Println("\nsource failure mid-sequence (partial-result contract):")
+	recorded := trng.Read(source, design.N+design.N/2)
+	watch(&finiteSource{r: bitstream.NewReader(recorded)}, 2)
 
 	// Now the genuine embedded path: feed one more sequence into a fresh
 	// block and let MSP430 firmware (assembled on the fly, with the
@@ -83,4 +134,18 @@ func main() {
 	fmt.Printf("  verdict bitmap: %#06b (0 = all pass)\n", res.FailBitmap)
 	fmt.Printf("  latency: %d cycles, %d instructions\n", res.Cycles, res.Instructions)
 	fmt.Printf("  (vs %d cycles to produce the next 65536-bit sequence at 1 bit/cycle)\n", design.N)
+
+	// What the observability layer collected along the way — the same
+	// numbers a scrape of the /metrics endpoint would show.
+	fmt.Println("\nobservability summary:")
+	pass := reg.Counter("trng_monitor_sequences_total", "", "result", "pass").Value()
+	fail := reg.Counter("trng_monitor_sequences_total", "", "result", "fail").Value()
+	fmt.Printf("  sequences evaluated: %d pass, %d fail\n", pass, fail)
+	fmt.Printf("  bits ingested:       %.0f\n", reg.Gauge("trng_monitor_bits_seen", "").Value())
+	fmt.Printf("  bus reads:           %d\n",
+		reg.Counter("trng_monitor_bus_read_words_total", "").Value())
+	fmt.Printf("  trace events:        %d\n", reg.Trace().Len())
+	for _, e := range reg.Trace().Snapshot() {
+		fmt.Printf("    [seq %d, bit %d] %s: %s\n", e.Seq, e.Bit, e.Kind, e.Detail)
+	}
 }

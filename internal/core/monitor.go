@@ -7,6 +7,14 @@
 // derived from transmitted counter values, which is the paper's defense
 // against probing attacks on an alarm signal.
 //
+// Monitors, supervisors and the sequence runner are optionally instrumented
+// through internal/obs (SetObs / SequenceRunner.Obs). Instrumentation is
+// strictly observational: a nil registry is a no-op, and the attached case
+// changes no statistical output bit — the package's differential suite
+// (obs_differential_test.go) compares instrumented against uninstrumented
+// runs byte for byte, over both ingest paths, the supervised pipeline and
+// the parallel fan-out.
+//
 //trnglint:deterministic
 package core
 
@@ -15,6 +23,7 @@ import (
 	"fmt"
 
 	"repro/internal/hwblock"
+	"repro/internal/obs"
 	"repro/internal/sweval"
 	"repro/internal/trng"
 )
@@ -64,6 +73,18 @@ type Monitor struct {
 	history  []SequenceReport
 	// KeepHistory bounds the retained reports (0 = keep everything).
 	KeepHistory int
+
+	// Observability handles, cached once by SetObs. All of them are
+	// nil-safe no-ops when no registry is attached, so the instrumented
+	// monitor is bit-identical to an uninstrumented one (the differential
+	// suite proves it).
+	obs         *obs.Registry
+	obsSeqPass  *obs.Counter
+	obsSeqFail  *obs.Counter
+	obsVerdicts map[int][2]*obs.Counter // per test: [pass, fail]
+	obsEvalOps  *obs.Histogram
+	obsBusReads *obs.Counter
+	obsBitsSeen *obs.Gauge
 }
 
 // NewMonitor builds a monitor for the given design at level of
@@ -94,6 +115,44 @@ func (m *Monitor) Reset() {
 	m.seq = 0
 	m.bitsSeen = 0
 	m.history = m.history[:0]
+}
+
+// SetObs attaches an observability registry: per-test verdict counters,
+// sequence pass/fail counters, the software-evaluation cost histogram (in
+// the paper's deterministic instruction-count units, not wall time — core
+// is bit-reproducible, so no clock may enter here) and the ingest counters
+// of the underlying hardware block. Handles are cached once; a nil
+// registry detaches instrumentation and restores the zero-overhead path.
+func (m *Monitor) SetObs(r *obs.Registry) {
+	m.obs = r
+	m.block.SetObs(r)
+	if r == nil {
+		m.obsSeqPass, m.obsSeqFail = nil, nil
+		m.obsVerdicts = nil
+		m.obsEvalOps, m.obsBusReads, m.obsBitsSeen = nil, nil, nil
+		return
+	}
+	m.obsSeqPass = r.Counter("trng_monitor_sequences_total",
+		"evaluated sequences by overall verdict", "result", "pass")
+	m.obsSeqFail = r.Counter("trng_monitor_sequences_total",
+		"evaluated sequences by overall verdict", "result", "fail")
+	m.obsVerdicts = make(map[int][2]*obs.Counter, len(m.block.Config().Tests))
+	for _, id := range m.block.Config().Tests {
+		t := fmt.Sprintf("%d", id)
+		m.obsVerdicts[id] = [2]*obs.Counter{
+			r.Counter("trng_monitor_test_verdicts_total",
+				"per-test software verdicts", "test", t, "verdict", "pass"),
+			r.Counter("trng_monitor_test_verdicts_total",
+				"per-test software verdicts", "test", t, "verdict", "fail"),
+		}
+	}
+	m.obsEvalOps = r.Histogram("trng_monitor_eval_ops",
+		"software evaluation cost per sequence, total metered instructions (Table III categories)",
+		obs.Pow2Buckets(4, 20))
+	m.obsBusReads = r.Counter("trng_monitor_bus_read_words_total",
+		"16-bit register-file words transferred for software evaluation (the paper's READ count)")
+	m.obsBitsSeen = r.Gauge("trng_monitor_bits_seen",
+		"total bits the monitor has consumed, sampled at sequence boundaries")
 }
 
 // Config returns the monitored design.
@@ -169,6 +228,9 @@ func (m *Monitor) completeSequence(verify bool) (*SequenceReport, error) {
 			return nil, ErrReadoutMismatch
 		}
 	}
+	if m.obs != nil {
+		m.observeReport(rep)
+	}
 	sr := SequenceReport{
 		Index:    m.seq,
 		StartBit: m.bitsSeen - int64(m.block.Config().N),
@@ -184,6 +246,26 @@ func (m *Monitor) completeSequence(verify bool) (*SequenceReport, error) {
 	}
 	m.block.Reset()
 	return &sr, nil
+}
+
+// observeReport folds one accepted evaluation into the attached registry.
+func (m *Monitor) observeReport(rep *sweval.Report) {
+	if rep.Pass() {
+		m.obsSeqPass.Inc()
+	} else {
+		m.obsSeqFail.Inc()
+	}
+	for _, v := range rep.Verdicts {
+		h := m.obsVerdicts[v.TestID]
+		if v.Pass {
+			h[0].Inc()
+		} else {
+			h[1].Inc()
+		}
+	}
+	m.obsEvalOps.Observe(float64(rep.Cost.Total()))
+	m.obsBusReads.Add(uint64(rep.Cost.Get(sweval.OpRead)))
+	m.obsBitsSeen.Set(float64(m.bitsSeen))
 }
 
 // quarantineSequence discards the in-flight (or completed-but-unevaluated)

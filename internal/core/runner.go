@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/hwblock"
+	"repro/internal/obs"
 	"repro/internal/sweval"
 	"repro/internal/trng"
 )
@@ -30,6 +31,14 @@ type SequenceRunner struct {
 	// Opts are passed to the software evaluator's critical-value
 	// derivation.
 	Opts []sweval.Option
+	// Obs, if set, instruments every worker monitor through the shared
+	// registry and exposes per-worker utilization
+	// (trng_runner_trials_total by worker). The registry's counters are
+	// atomic, so sharing them across workers is race-free, and because
+	// results stay index-addressed the determinism guarantee is
+	// unchanged: instrumented and uninstrumented runs produce identical
+	// reports.
+	Obs *obs.Registry
 }
 
 // Run evaluates one sequence per trial: trial i is monitored over the
@@ -60,8 +69,11 @@ func (sr *SequenceRunner) Run(trials int, makeSource func(trial int) trng.Source
 		if err := m.Block().SetPath(sr.Path); err != nil {
 			return nil, err
 		}
+		m.SetObs(sr.Obs)
 		mons[i] = m
 	}
+	sr.Obs.Gauge("trng_runner_workers", "worker-pool size of the sequence fan-out").
+		Set(float64(workers))
 
 	results := make([]SequenceReport, trials)
 	errs := make([]error, trials)
@@ -69,6 +81,8 @@ func (sr *SequenceRunner) Run(trials int, makeSource func(trial int) trng.Source
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		m := mons[w]
+		trialsDone := sr.Obs.Counter("trng_runner_trials_total",
+			"trials completed per fan-out worker", "worker", fmt.Sprintf("%d", w))
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -79,6 +93,7 @@ func (sr *SequenceRunner) Run(trials int, makeSource func(trial int) trng.Source
 				}
 				m.Reset()
 				reps, err := m.Watch(makeSource(i), 1)
+				trialsDone.Inc()
 				if err != nil {
 					errs[i] = err
 					continue

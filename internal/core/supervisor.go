@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/trng"
 )
 
@@ -186,6 +187,12 @@ type Supervisor struct {
 	retries       int
 	failoverBit   int64
 	events        []Event
+
+	// Observability handles, cached by SetObs; nil-safe no-ops otherwise.
+	obs          *obs.Registry
+	obsRetries   *obs.Counter
+	obsEvents    map[EventKind]*obs.Counter
+	obsCondition *obs.Gauge
 }
 
 // NewSupervisor supervises mon over the primary source, failing over to
@@ -212,6 +219,30 @@ func NewSupervisor(mon *Monitor, primary, standby trng.Source, cfg SupervisorCon
 
 // Monitor returns the supervised monitor.
 func (s *Supervisor) Monitor() *Monitor { return s.mon }
+
+// SetObs attaches an observability registry to the supervisor and to its
+// monitor: retry and per-kind incident counters, an operational-condition
+// gauge (the numeric Condition value), and the incident timeline mirrored
+// into the registry's event trace as supervisor.* events. A nil registry
+// detaches both layers.
+func (s *Supervisor) SetObs(r *obs.Registry) {
+	s.obs = r
+	s.mon.SetObs(r)
+	if r == nil {
+		s.obsRetries, s.obsEvents, s.obsCondition = nil, nil, nil
+		return
+	}
+	s.obsRetries = r.Counter("trng_supervisor_retries_total",
+		"transient source-read faults absorbed by the retry budget")
+	s.obsEvents = make(map[EventKind]*obs.Counter, 4)
+	for _, k := range []EventKind{EventQuarantine, EventWatchdog, EventFailover, EventAlarmLatched} {
+		s.obsEvents[k] = r.Counter("trng_supervisor_events_total",
+			"operational incidents by kind (quarantine, watchdog, failover, alarm latch)",
+			"kind", k.String())
+	}
+	s.obsCondition = r.Gauge("trng_supervisor_condition",
+		"current operational verdict: 0 ok, 1 degraded, 2 failed-over, 3 stat-fail, 4 source-fault")
+}
 
 // Run supervises the monitor until the requested number of sequences have
 // been accepted (quarantined sequences do not count), the alarm policy
@@ -279,6 +310,7 @@ func (s *Supervisor) readBit() (byte, error) {
 			}
 			attempts++
 			s.retries++
+			s.obsRetries.Inc()
 			if s.cfg.Backoff > 0 {
 				s.cfg.Sleep(s.cfg.Backoff << uint(attempts-1))
 			}
@@ -338,9 +370,14 @@ func (s *Supervisor) failover(cause error) {
 	s.event(EventFailover, fmt.Sprintf("%s -> %s after %v", s.primary.Name(), s.standby.Name(), cause))
 }
 
-// event appends one incident, stamped with the monitor's position.
+// event appends one incident, stamped with the monitor's position, and
+// mirrors it into the attached registry (per-kind counter + trace event).
 func (s *Supervisor) event(kind EventKind, detail string) {
 	s.events = append(s.events, Event{Kind: kind, Bit: s.mon.bitsSeen, Seq: s.mon.seq, Detail: detail})
+	if s.obs != nil {
+		s.obsEvents[kind].Inc()
+		s.obs.Emit("supervisor."+kind.String(), s.mon.bitsSeen, detail)
+	}
 }
 
 // Condition reports the supervisor's current overall verdict.
@@ -368,6 +405,7 @@ func (s *Supervisor) Retries() int { return s.retries }
 func (s *Supervisor) Events() []Event { return s.events }
 
 func (s *Supervisor) report(accepted []SequenceReport) *SupervisorReport {
+	s.obsCondition.Set(float64(s.Condition()))
 	return &SupervisorReport{
 		Reports:      accepted,
 		Condition:    s.Condition(),

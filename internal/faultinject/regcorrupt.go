@@ -1,9 +1,11 @@
 package faultinject
 
 import (
+	"fmt"
 	"math/rand"
 
 	"repro/internal/hwblock"
+	"repro/internal/obs"
 )
 
 // RegCorruptor flips one random bit in scheduled register-file bus reads —
@@ -19,6 +21,8 @@ type RegCorruptor struct {
 	sched    *Schedule
 	rng      *rand.Rand
 	injected int
+	obs      *obs.Registry
+	obsCount *obs.Counter
 }
 
 // CorruptRegFile installs a corruptor on the register file at the given
@@ -34,11 +38,22 @@ func CorruptRegFile(rf *hwblock.RegFile, rate float64, seed int64) *RegCorruptor
 	return c
 }
 
+// SetObs attaches an observability registry: every corrupted bus read is
+// counted (kind "regcorrupt") and traced with the faulted bus address —
+// the operator-side view of the probing/tampering surface.
+func (c *RegCorruptor) SetObs(r *obs.Registry) {
+	c.obs = r
+	c.obsCount = r.Counter("trng_fault_injected_total",
+		"faults injected, by injector kind", "kind", "regcorrupt")
+}
+
 func (c *RegCorruptor) corrupt(addr int, word uint16) uint16 {
 	if !c.sched.Next() {
 		return word
 	}
 	c.injected++
+	c.obsCount.Inc()
+	c.obs.Emit("fault.regcorrupt", -1, fmt.Sprintf("bus read at address %d corrupted", addr))
 	return word ^ 1<<uint(c.rng.Intn(hwblock.WordBits))
 }
 

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/obs"
 	"repro/internal/trng"
 )
 
@@ -23,6 +24,9 @@ type Flaky struct {
 	Inner    trng.Source
 	sched    *Schedule
 	injected int
+	reads    int64
+	obs      *obs.Registry
+	obsCount *obs.Counter
 }
 
 // NewFlaky wraps inner with transient faults at the given per-read rate,
@@ -34,10 +38,25 @@ func NewFlaky(inner trng.Source, rate float64, burst int, seed int64) *Flaky {
 // Name implements trng.Source.
 func (f *Flaky) Name() string { return "flaky(" + f.Inner.Name() + ")" }
 
+// SetObs attaches an observability registry: every injected fault is
+// counted (trng_fault_injected_total, kind "flaky") and traced as a
+// fault.flaky event at its read position. The injection schedule itself is
+// untouched — a run with a given seed injects exactly the same faults with
+// or without a registry.
+func (f *Flaky) SetObs(r *obs.Registry) {
+	f.obs = r
+	f.obsCount = r.Counter("trng_fault_injected_total",
+		"faults injected, by injector kind", "kind", "flaky")
+}
+
 // ReadBit implements trng.Source.
 func (f *Flaky) ReadBit() (byte, error) {
+	f.reads++
 	if f.sched.Next() {
 		f.injected++
+		f.obsCount.Inc()
+		f.obs.Emit("fault.flaky", f.reads-1,
+			fmt.Sprintf("injected transient read fault %d", f.injected))
 		return 0, fmt.Errorf("faultinject: injected read fault %d: %w", f.injected, trng.ErrTransient)
 	}
 	return f.Inner.ReadBit()
@@ -58,6 +77,8 @@ type Stall struct {
 	delivered int
 	release   chan struct{}
 	once      sync.Once
+	obs       *obs.Registry
+	obsOnce   sync.Once // the stall onset is traced exactly once
 }
 
 // NewStall returns a source that blocks forever after stallAfter delivered
@@ -70,11 +91,21 @@ func NewStall(inner trng.Source, stallAfter int) *Stall {
 // Name implements trng.Source.
 func (s *Stall) Name() string { return "stall(" + s.Inner.Name() + ")" }
 
+// SetObs attaches an observability registry; the stall onset is counted
+// (kind "stall") and traced once, at the moment the first read blocks.
+func (s *Stall) SetObs(r *obs.Registry) { s.obs = r }
+
 // ReadBit implements trng.Source. Once the stall begins it blocks the
 // calling goroutine until Release; a watchdog on the consumer side is the
 // only way out.
 func (s *Stall) ReadBit() (byte, error) {
 	if s.delivered >= s.StallAfter {
+		s.obsOnce.Do(func() {
+			s.obs.Counter("trng_fault_injected_total",
+				"faults injected, by injector kind", "kind", "stall").Inc()
+			s.obs.Emit("fault.stall", int64(s.delivered),
+				fmt.Sprintf("source stalled after %d delivered bits", s.delivered))
+		})
 		<-s.release
 		return 0, ErrStalled
 	}
@@ -93,9 +124,12 @@ func (s *Stall) Release() { s.once.Do(func() { close(s.release) }) }
 // rate is high enough to disturb the statistics. That asymmetry is the
 // point: BitFlip measures what the test battery does and does not catch.
 type BitFlip struct {
-	Inner   trng.Source
-	sched   *Schedule
-	flipped int
+	Inner    trng.Source
+	sched    *Schedule
+	flipped  int
+	reads    int64
+	obs      *obs.Registry
+	obsCount *obs.Counter
 }
 
 // NewBitFlip wraps inner, flipping bits at the given per-bit rate with the
@@ -107,14 +141,27 @@ func NewBitFlip(inner trng.Source, rate float64, burst int, seed int64) *BitFlip
 // Name implements trng.Source.
 func (f *BitFlip) Name() string { return "bitflip(" + f.Inner.Name() + ")" }
 
+// SetObs attaches an observability registry: every silent flip is counted
+// (kind "bitflip") and traced at its bit position — the only place a
+// silent corruption is visible at all, which is exactly what makes the
+// trace useful when correlating a statistical failure with its cause.
+func (f *BitFlip) SetObs(r *obs.Registry) {
+	f.obs = r
+	f.obsCount = r.Counter("trng_fault_injected_total",
+		"faults injected, by injector kind", "kind", "bitflip")
+}
+
 // ReadBit implements trng.Source.
 func (f *BitFlip) ReadBit() (byte, error) {
 	b, err := f.Inner.ReadBit()
 	if err != nil {
 		return b, err
 	}
+	f.reads++
 	if f.sched.Next() {
 		f.flipped++
+		f.obsCount.Inc()
+		f.obs.Emit("fault.bitflip", f.reads-1, "delivered bit inverted")
 		b ^= 1
 	}
 	return b, nil

@@ -16,7 +16,16 @@
 //     tests and (through its low bits) the serial-test pattern decoder.
 //
 // Eight design variants (three sequence lengths × up to three feature
-// levels) reproduce the configurations of the paper's Table III.
+// levels) reproduce the configurations of the paper's Table III. The full
+// memory map of every variant is generated into REGISTERS.md at the
+// repository root (cmd/regmapdoc; `make docs` keeps it in sync).
+//
+// Blocks and register files accept an optional internal/obs registry
+// (SetObs): ingested bits, completed sequences and bus transactions are
+// then counted on the live exposition endpoint. The instrumentation is
+// nil-safe and purely observational — the fast path pays one atomic add
+// per 64-bit word, and the bit-exact equivalence between the two ingest
+// paths is unaffected.
 //
 //trnglint:bus16
 //trnglint:deterministic
@@ -29,6 +38,7 @@ import (
 	"repro/internal/hwfast"
 	"repro/internal/hwsim"
 	"repro/internal/nist"
+	"repro/internal/obs"
 )
 
 // IngestPath selects how a Block digests the bit stream.
@@ -230,6 +240,15 @@ type Block struct {
 	pendW uint64
 	pendN int
 	dirty bool
+
+	// Observability handles, cached by SetObs; nil-safe no-ops otherwise.
+	// Fast-path bits are counted a word at a time (in flushPending and
+	// ClockWord) so the instrumented hot path pays one atomic add per 64
+	// bits, not per bit.
+	obsBitsFast  *obs.Counter
+	obsBitsCycle *obs.Counter
+	obsWords     *obs.Counter
+	obsSeqs      *obs.Counter
 }
 
 // New instantiates the design described by cfg.
@@ -294,6 +313,27 @@ func New(cfg Config) (*Block, error) {
 		b.path = CycleAccurate
 	}
 	return b, nil
+}
+
+// SetObs attaches an observability registry: bits-ingested counters per
+// path, a words counter for the fast path's 64-bit transfers, a completed-
+// sequence counter, and the register file's bus-read counter. A nil
+// registry detaches instrumentation. The counters never influence the
+// digested statistics — the fast path stays bit-exact with the structural
+// simulation either way.
+func (b *Block) SetObs(r *obs.Registry) {
+	b.rf.SetObs(r)
+	if r == nil {
+		b.obsBitsFast, b.obsBitsCycle, b.obsWords, b.obsSeqs = nil, nil, nil, nil
+		return
+	}
+	const bitsHelp = "bits ingested by the hardware testing block, by ingest path"
+	b.obsBitsFast = r.Counter("trng_ingest_bits_total", bitsHelp, "path", FastPath.String())
+	b.obsBitsCycle = r.Counter("trng_ingest_bits_total", bitsHelp, "path", CycleAccurate.String())
+	b.obsWords = r.Counter("trng_ingest_words_total",
+		"word-level transfers into the fast-path functional model (up to 64 bits each)")
+	b.obsSeqs = r.Counter("trng_ingest_sequences_total",
+		"complete N-bit sequences absorbed by the testing block")
 }
 
 // Path reports the active ingest path.
@@ -378,8 +418,10 @@ func (b *Block) ClockWord(w uint64, nbits int) error {
 	}
 	b.bits += nbits
 	b.dirty = true
+	b.obsBitsFast.Add(uint64(nbits))
+	b.obsWords.Inc()
 	if b.fast.Done() {
-		b.done = true
+		b.seqDone()
 	}
 	return nil
 }
@@ -395,9 +437,17 @@ func (b *Block) flushPending() {
 		// Unreachable: every pending bit was validated on acceptance.
 		panic(err)
 	}
+	b.obsBitsFast.Add(uint64(n))
+	b.obsWords.Inc()
 	if b.fast.Done() {
-		b.done = true
+		b.seqDone()
 	}
+}
+
+// seqDone marks the sequence complete and counts it.
+func (b *Block) seqDone() {
+	b.done = true
+	b.obsSeqs.Inc()
 }
 
 // publish loads the functional model's statistics into the structural
@@ -481,6 +531,7 @@ func (b *Block) clockStructural(bit byte) error {
 
 	b.global.Inc()
 	b.bits++
+	b.obsBitsCycle.Inc()
 	if b.bits == b.cfg.N {
 		b.finalize()
 	}
@@ -493,7 +544,7 @@ func (b *Block) finalize() {
 	if b.serial != nil {
 		b.serial.finalize()
 	}
-	b.done = true
+	b.seqDone()
 }
 
 // Run drains exactly N bits from src into the block. When the fast path is

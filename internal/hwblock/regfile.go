@@ -3,6 +3,8 @@ package hwblock
 import (
 	"fmt"
 	"sort"
+
+	"repro/internal/obs"
 )
 
 // AddressBits is the width of the register-file address, fixed by the
@@ -43,6 +45,7 @@ type RegFile struct {
 	prepare   func()
 	readFault func(addr int, word uint16) uint16
 	busReads  int64
+	obsReads  *obs.Counter // nil-safe; cached by SetObs
 }
 
 // NewRegFile returns an empty register file.
@@ -95,6 +98,19 @@ func (rf *RegFile) SetReadFault(f func(addr int, word uint16) uint16) { rf.readF
 // over the file's lifetime (it is not cleared by a block reset).
 func (rf *RegFile) BusReads() int64 { return rf.busReads }
 
+// SetObs attaches an observability registry; every ReadWord transaction is
+// then counted in trng_regfile_bus_reads_total. A nil registry detaches
+// the counter. The count mirrors BusReads but is visible on the live
+// exposition endpoint while a run is in flight.
+func (rf *RegFile) SetObs(r *obs.Registry) {
+	if r == nil {
+		rf.obsReads = nil
+		return
+	}
+	rf.obsReads = r.Counter("trng_regfile_bus_reads_total",
+		"16-bit bus transactions served by the memory-mapped register file")
+}
+
 // ReadWord returns the 16-bit word at the given address — the raw bus
 // transaction the microcontroller performs. Reading an unmapped address
 // returns 0, like a real bus with a default mux leg.
@@ -103,6 +119,7 @@ func (rf *RegFile) ReadWord(addr int) uint16 {
 		rf.prepare()
 	}
 	rf.busReads++
+	rf.obsReads.Inc()
 	var w uint16
 	if addr >= 0 && addr < rf.words {
 		// Binary search over entries by address.

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/bitstream"
+	"repro/internal/obs"
 )
 
 // BatchResult aggregates one test's outcomes over a batch of sequences and
@@ -53,6 +54,16 @@ func RunBatch(tests []Test, sequences []*bitstream.Sequence, alpha float64) ([]B
 // aborts, the first in (test, sequence) order — does not depend on the
 // worker count.
 func RunBatchWorkers(tests []Test, sequences []*bitstream.Sequence, alpha float64, workers int) ([]BatchResult, error) {
+	return RunBatchObserved(tests, sequences, alpha, workers, nil)
+}
+
+// RunBatchObserved is RunBatchWorkers with an observability registry: the
+// pool size and each worker's completed-job count are exposed
+// (trng_batch_workers, trng_batch_jobs_total by worker), so a long batch
+// shows live per-worker utilization on the metrics endpoint. A nil
+// registry is a no-op, and the results are identical either way — the
+// per-(test, sequence) runs stay pure and index-addressed.
+func RunBatchObserved(tests []Test, sequences []*bitstream.Sequence, alpha float64, workers int, reg *obs.Registry) ([]BatchResult, error) {
 	if len(sequences) < 2 {
 		return nil, fmt.Errorf("nist: batch needs at least 2 sequences")
 	}
@@ -63,16 +74,23 @@ func RunBatchWorkers(tests []Test, sequences []*bitstream.Sequence, alpha float6
 	if workers > jobs {
 		workers = jobs
 	}
+	reg.Gauge("trng_batch_workers", "worker-pool size of the reference-suite batch").
+		Set(float64(workers))
 	results := make([]*Result, jobs)
 	errs := make([]error, jobs)
 	if workers <= 1 {
+		jobsDone := reg.Counter("trng_batch_jobs_total",
+			"reference-suite (test, sequence) runs completed per worker", "worker", "0")
 		for j := 0; j < jobs; j++ {
 			results[j], errs[j] = tests[j/len(sequences)].Run(sequences[j%len(sequences)])
+			jobsDone.Inc()
 		}
 	} else {
 		var next int64
 		var wg sync.WaitGroup
 		for w := 0; w < workers; w++ {
+			jobsDone := reg.Counter("trng_batch_jobs_total",
+				"reference-suite (test, sequence) runs completed per worker", "worker", fmt.Sprintf("%d", w))
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
@@ -82,6 +100,7 @@ func RunBatchWorkers(tests []Test, sequences []*bitstream.Sequence, alpha float6
 						return
 					}
 					results[j], errs[j] = tests[j/len(sequences)].Run(sequences[j%len(sequences)])
+					jobsDone.Inc()
 				}
 			}()
 		}

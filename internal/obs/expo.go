@@ -1,0 +1,197 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus writes every family in the Prometheus text exposition
+// format (version 0.0.4). Families are sorted by name and members by label
+// signature, so two scrapes of identical state are byte-identical — the
+// property the exposition golden test pins. A nil registry writes nothing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, f := range r.sortedFamilies() {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n",
+			f.name, escapeHelp(f.help), f.name, f.typ); err != nil {
+			return err
+		}
+		for _, e := range f.members {
+			if err := writeMetricText(w, f.family, e); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeMetricText(w io.Writer, f *family, e *metricEntry) error {
+	switch f.typ {
+	case "counter":
+		_, err := fmt.Fprintf(w, "%s%s %d\n", f.name, labelString(e.labels, nil), e.c.Value())
+		return err
+	case "gauge":
+		_, err := fmt.Fprintf(w, "%s%s %s\n", f.name, labelString(e.labels, nil), formatFloat(e.g.Value()))
+		return err
+	case "histogram":
+		counts, sum, n := e.h.snapshot()
+		cum := uint64(0)
+		for i, bound := range f.bounds {
+			cum += counts[i]
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.name,
+				labelString(e.labels, []string{"le", formatFloat(bound)}), cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.name,
+			labelString(e.labels, []string{"le", "+Inf"}), n); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n%s_count%s %d\n",
+			f.name, labelString(e.labels, nil), formatFloat(sum),
+			f.name, labelString(e.labels, nil), n); err != nil {
+			return err
+		}
+		return nil
+	}
+	return fmt.Errorf("obs: unknown family type %q", f.typ)
+}
+
+// jsonExport is the machine-readable exposition: the same data as the
+// Prometheus text, plus the scrape timestamp supplied by the caller.
+type jsonExport struct {
+	// TimestampMS is the scrape time in Unix milliseconds — the only place
+	// wall time appears in the whole package (the exposition boundary).
+	TimestampMS int64        `json:"ts_ms"`
+	Families    []jsonFamily `json:"families"`
+}
+
+type jsonFamily struct {
+	Name    string       `json:"name"`
+	Type    string       `json:"type"`
+	Help    string       `json:"help"`
+	Metrics []jsonMetric `json:"metrics"`
+}
+
+type jsonMetric struct {
+	Labels  map[string]string `json:"labels,omitempty"`
+	Value   *float64          `json:"value,omitempty"` // counters and gauges
+	Sum     *float64          `json:"sum,omitempty"`   // histograms
+	Count   *uint64           `json:"count,omitempty"`
+	Buckets []jsonBucket      `json:"buckets,omitempty"`
+}
+
+type jsonBucket struct {
+	LE         float64 `json:"le"`
+	Cumulative uint64  `json:"cumulative"`
+}
+
+// WriteJSON writes the JSON exposition, stamped with the caller-supplied
+// scrape time in Unix milliseconds. Passing the timestamp in (rather than
+// reading the clock here) keeps the registry itself deterministic and lets
+// the golden test fix the stamp. A nil registry writes an empty export.
+func (r *Registry) WriteJSON(w io.Writer, unixMillis int64) error {
+	out := jsonExport{TimestampMS: unixMillis, Families: []jsonFamily{}}
+	for _, f := range r.sortedFamilies() {
+		jf := jsonFamily{Name: f.name, Type: f.typ, Help: f.help, Metrics: []jsonMetric{}}
+		for _, e := range f.members {
+			jm := jsonMetric{Labels: labelMap(e.labels)}
+			switch f.typ {
+			case "counter":
+				v := float64(e.c.Value())
+				jm.Value = &v
+			case "gauge":
+				v := e.g.Value()
+				jm.Value = &v
+			case "histogram":
+				counts, sum, n := e.h.snapshot()
+				jm.Sum, jm.Count = &sum, &n
+				cum := uint64(0)
+				for i, bound := range f.bounds {
+					cum += counts[i]
+					jm.Buckets = append(jm.Buckets, jsonBucket{LE: bound, Cumulative: cum})
+				}
+			}
+			jf.Metrics = append(jf.Metrics, jm)
+		}
+		out.Families = append(out.Families, jf)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// famSnap is a scrape-time snapshot of one family: the family descriptor
+// plus a stable copy of its member list (both slice headers are guarded by
+// the registry lock, so the copies are taken under it).
+type famSnap struct {
+	*family
+	members []*metricEntry
+}
+
+// sortedFamilies snapshots every family (name-sorted) and its member list
+// (label-signature-sorted) under the registry lock. Safe on a nil registry
+// (returns nothing).
+func (r *Registry) sortedFamilies() []famSnap {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	fams := make([]famSnap, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, famSnap{family: f, members: append([]*metricEntry(nil), f.metrics...)})
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	for _, f := range fams {
+		ms := f.members
+		sort.Slice(ms, func(i, j int) bool { return ms[i].key < ms[j].key })
+	}
+	return fams
+}
+
+// labelString renders {k1="v1",k2="v2"} (or "" when there are no labels).
+// extra, if non-nil, is one additional trailing pair (the histogram "le").
+func labelString(labels []string, extra []string) string {
+	if len(labels) == 0 && len(extra) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	all := append(append([]string(nil), labels...), extra...)
+	for i := 0; i+1 < len(all); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		// %q escapes quotes, backslashes and newlines the Prometheus way.
+		fmt.Fprintf(&b, "%s=%q", all[i], all[i+1])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// labelMap converts label pairs into a map for JSON rendering
+// (encoding/json sorts object keys, keeping the output deterministic).
+func labelMap(labels []string) map[string]string {
+	if len(labels) == 0 {
+		return nil
+	}
+	m := make(map[string]string, len(labels)/2)
+	for i := 0; i+1 < len(labels); i += 2 {
+		m[labels[i]] = labels[i+1]
+	}
+	return m
+}
+
+// formatFloat renders a float the shortest way that round-trips; integral
+// values print without an exponent so counters-as-floats stay readable.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}

@@ -1,0 +1,208 @@
+// Package obs is the observability layer of the on-the-fly testing
+// platform: a stdlib-only metrics registry (counters, gauges, histograms
+// with fixed deterministic bucket bounds), a ring-buffered event trace, and
+// a Prometheus-text + JSON exposition endpoint served via net/http (see
+// Handler and Serve).
+//
+// The design constraint that shapes the whole package is the repository's
+// determinism contract: the monitored packages (core, hwblock, hwfast,
+// faultinject) are bit-reproducible functions of their inputs and seeds,
+// proven so by differential suites, and instrumenting them must not change
+// that. Three rules follow:
+//
+//   - Instrumentation is nil-safe. A nil *Registry hands out nil *Counter,
+//     *Gauge and *Histogram handles, and every handle method is a no-op on
+//     a nil receiver — so the hot paths carry at most one pointer check per
+//     update and the differential "instrumented vs nil registry" test can
+//     prove byte-identical statistical output.
+//   - No timestamps inside the registry. Counters, gauges, histograms and
+//     trace events carry no wall-clock state; trace events are ordered by a
+//     monotonic emission sequence number and an optional bit-stream
+//     position. Wall time enters only at the exposition boundary (the JSON
+//     endpoint stamps the scrape; see server.go).
+//   - No map-order dependence. Exposition output is sorted by family name
+//     and label signature, so two scrapes of the same state are
+//     byte-identical — the property the exposition golden tests pin.
+//
+// Metric families follow the Prometheus data model: a family has a name, a
+// help string and a type; its member metrics are distinguished by label
+// key/value pairs. Handle lookups are idempotent — asking for the same
+// (name, labels) again returns the same handle — so callers cache handles
+// once at instrumentation time and pay only an atomic update per event.
+//
+//trnglint:deterministic
+package obs
+
+import (
+	"fmt"
+	"sync"
+)
+
+// DefaultTraceCapacity is the ring-buffer size of a registry's event trace
+// when none is set explicitly.
+const DefaultTraceCapacity = 4096
+
+// Registry is a set of metric families plus one ring-buffered event trace.
+// All methods are safe for concurrent use, and all methods are no-ops on a
+// nil *Registry — instrumented code never needs to guard its calls.
+type Registry struct {
+	mu       sync.Mutex
+	families []*family          // insertion order; exposition sorts by name
+	byName   map[string]*family // lookup only — never ranged over
+	trace    *Trace
+}
+
+// family is one metric family: a name, help text, a type, and the member
+// metrics keyed by their label signature.
+type family struct {
+	name    string
+	help    string
+	typ     string    // "counter", "gauge" or "histogram"
+	bounds  []float64 // histogram families only
+	metrics []*metricEntry
+	byKey   map[string]*metricEntry
+}
+
+// metricEntry is one member of a family: its label pairs and exactly one
+// live handle.
+type metricEntry struct {
+	labels []string // alternating key, value — insertion order preserved
+	key    string   // serialized label signature, used for lookup and sorting
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+// NewRegistry returns an empty registry with a trace of
+// DefaultTraceCapacity events.
+func NewRegistry() *Registry {
+	return &Registry{
+		byName: make(map[string]*family),
+		trace:  NewTrace(DefaultTraceCapacity),
+	}
+}
+
+// Counter returns the counter of the named family with the given label
+// pairs (alternating key, value), registering family and member on first
+// use. Returns nil (a no-op handle) on a nil registry.
+func (r *Registry) Counter(name, help string, labels ...string) *Counter {
+	if r == nil {
+		return nil
+	}
+	e := r.metric(name, help, "counter", nil, labels)
+	return e.c
+}
+
+// Gauge returns the gauge of the named family with the given label pairs,
+// registering on first use. Returns nil (a no-op handle) on a nil registry.
+func (r *Registry) Gauge(name, help string, labels ...string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	e := r.metric(name, help, "gauge", nil, labels)
+	return e.g
+}
+
+// Histogram returns the histogram of the named family with the given label
+// pairs, registering on first use. The bucket upper bounds must be sorted
+// ascending and are fixed for the family — deterministic by construction,
+// never derived from observed data. Returns nil on a nil registry.
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	e := r.metric(name, help, "histogram", bounds, labels)
+	return e.h
+}
+
+// metric finds or creates the member entry for (name, labels).
+func (r *Registry) metric(name, help, typ string, bounds []float64, labels []string) *metricEntry {
+	if len(labels)%2 != 0 {
+		panic(fmt.Sprintf("obs: metric %q: odd label list %q (want key, value pairs)", name, labels))
+	}
+	key := labelKey(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.byName[name]
+	if f == nil {
+		f = &family{name: name, help: help, typ: typ,
+			bounds: append([]float64(nil), bounds...),
+			byKey:  make(map[string]*metricEntry)}
+		r.byName[name] = f
+		r.families = append(r.families, f)
+	} else if f.typ != typ {
+		panic(fmt.Sprintf("obs: family %q registered as %s, requested as %s", name, f.typ, typ))
+	}
+	e := f.byKey[key]
+	if e == nil {
+		e = &metricEntry{labels: append([]string(nil), labels...), key: key}
+		switch typ {
+		case "counter":
+			e.c = &Counter{}
+		case "gauge":
+			e.g = &Gauge{}
+		case "histogram":
+			e.h = newHistogram(f.bounds)
+		}
+		f.byKey[key] = e
+		f.metrics = append(f.metrics, e)
+	}
+	return e
+}
+
+// labelKey serializes label pairs into a lookup/sort key. 0x1f (unit
+// separator) cannot appear in reasonable label data, so the key is
+// injective.
+func labelKey(labels []string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	key := ""
+	for _, s := range labels {
+		key += s + "\x1f"
+	}
+	return key
+}
+
+// Families reports the number of registered metric families. It is 0 on a
+// nil registry.
+func (r *Registry) Families() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.families)
+}
+
+// Trace returns the registry's event trace, or nil on a nil registry (the
+// nil *Trace is itself a no-op).
+func (r *Registry) Trace() *Trace {
+	if r == nil {
+		return nil
+	}
+	return r.trace
+}
+
+// SetTraceCapacity replaces the trace with an empty one of the given
+// capacity. It is intended for setup time, before events flow.
+func (r *Registry) SetTraceCapacity(capacity int) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.trace = NewTrace(capacity)
+}
+
+// Emit appends one event to the registry's trace and counts it in the
+// obs_trace_events_total family. bit is the absolute bit-stream position
+// the event refers to, or -1 when it has none. No-op on a nil registry.
+func (r *Registry) Emit(kind string, bit int64, detail string) {
+	if r == nil {
+		return
+	}
+	r.Counter("obs_trace_events_total",
+		"events appended to the ring-buffered trace, by kind", "kind", kind).Inc()
+	r.trace.Emit(kind, bit, detail)
+}

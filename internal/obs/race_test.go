@@ -1,0 +1,63 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentRegistry hammers one registry from many goroutines —
+// registering, updating, emitting and scraping at once — and then checks
+// the aggregate counts. Run under -race (the CI default) this pins the
+// registry's only concurrency contract: everything is safe to share.
+func TestConcurrentRegistry(t *testing.T) {
+	const goroutines = 8
+	const perG = 500
+	reg := NewRegistry()
+	reg.SetTraceCapacity(goroutines * perG)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			// Half the goroutines share one label set, the rest get their
+			// own, so both same-handle and new-member paths race.
+			label := "shared"
+			if g%2 == 1 {
+				label = fmt.Sprintf("own-%d", g)
+			}
+			for i := 0; i < perG; i++ {
+				reg.Counter("race_total", "racing counter", "who", label).Inc()
+				reg.Gauge("race_gauge", "racing gauge", "who", label).Add(1)
+				reg.Histogram("race_hist", "racing histogram", []float64{1, 2, 4}).
+					Observe(float64(i % 5))
+				reg.Emit("race.event", int64(i), "")
+				if i%100 == 0 {
+					if err := reg.WritePrometheus(io.Discard); err != nil {
+						t.Error(err)
+					}
+					if err := reg.WriteJSON(io.Discard, 0); err != nil {
+						t.Error(err)
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	var counted uint64
+	counted += reg.Counter("race_total", "", "who", "shared").Value()
+	for g := 1; g < goroutines; g += 2 {
+		counted += reg.Counter("race_total", "", "who", fmt.Sprintf("own-%d", g)).Value()
+	}
+	if want := uint64(goroutines * perG); counted != want {
+		t.Errorf("total counter increments = %d, want %d", counted, want)
+	}
+	if got := reg.Histogram("race_hist", "", []float64{1, 2, 4}).Count(); got != goroutines*perG {
+		t.Errorf("histogram observations = %d, want %d", got, goroutines*perG)
+	}
+	if got := reg.Trace().Total(); got != goroutines*perG {
+		t.Errorf("trace emissions = %d, want %d", got, goroutines*perG)
+	}
+}

@@ -1,0 +1,82 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Handler returns the exposition mux for a registry:
+//
+//	/metrics        Prometheus text format (version 0.0.4)
+//	/metrics.json   JSON exposition, stamped with the scrape time
+//	/trace          the ring-buffered event trace, one JSON object per line
+//	/debug/pprof/   the standard net/http/pprof profiles, so a long soak
+//	                run of cmd/otftest can be CPU/heap-profiled live
+//
+// Every scrape is itself counted (obs_scrapes_total by endpoint) — the
+// observability layer reports through itself.
+func Handler(r *Registry) http.Handler {
+	mux := http.NewServeMux()
+	scrapes := func(endpoint string) *Counter {
+		return r.Counter("obs_scrapes_total",
+			"exposition scrapes served, by endpoint", "endpoint", endpoint)
+	}
+	promScrapes := scrapes("metrics")
+	jsonScrapes := scrapes("metrics.json")
+	traceScrapes := scrapes("trace")
+
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		promScrapes.Inc()
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := r.WritePrometheus(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, req *http.Request) {
+		jsonScrapes.Inc()
+		w.Header().Set("Content-Type", "application/json")
+		// The one wall-clock read of the package: the scrape stamp. The
+		// registry itself stays deterministic; time exists only here, at
+		// the exposition boundary.
+		//trnglint:allow determinism the JSON exposition stamps the scrape time; no metric or trace state depends on it
+		ts := time.Now().UnixMilli()
+		if err := r.WriteJSON(w, ts); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, req *http.Request) {
+		traceScrapes.Inc()
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		if err := r.Trace().WriteJSONLines(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve starts the exposition handler on addr (e.g. ":9600", or
+// "127.0.0.1:0" to pick a free port) and returns the running server and
+// the bound address. The server runs on its own goroutine until Close; the
+// caller typically lets process exit tear it down.
+func Serve(addr string, r *Registry) (*http.Server, string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", fmt.Errorf("obs: metrics listener: %w", err)
+	}
+	srv := &http.Server{Handler: Handler(r)}
+	go func() {
+		// ErrServerClosed on shutdown is the expected exit; any other
+		// serve error has nowhere meaningful to go once the listener is
+		// up, and must not take the monitored process down with it.
+		_ = srv.Serve(ln)
+	}()
+	return srv, ln.Addr().String(), nil
+}

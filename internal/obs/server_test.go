@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestHandlerEndpoints(t *testing.T) {
+	reg := golden()
+	reg.Emit("test.event", 5, "hello")
+	srv := httptest.NewServer(Handler(reg))
+	defer srv.Close()
+
+	get := func(path string) (string, string) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body), resp.Header.Get("Content-Type")
+	}
+
+	text, ctype := get("/metrics")
+	if !strings.HasPrefix(ctype, "text/plain") {
+		t.Errorf("/metrics content type = %q", ctype)
+	}
+	for _, want := range []string{
+		"# TYPE req_total counter",
+		`req_total{code="200"} 3`,
+		`size_bytes_bucket{le="+Inf"} 3`,
+		// The layer reports through itself: this scrape and the trace event
+		// above are visible in the exposition.
+		`obs_trace_events_total{kind="test.event"} 1`,
+		`obs_scrapes_total{endpoint="metrics"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics output missing %q:\n%s", want, text)
+		}
+	}
+
+	body, ctype := get("/metrics.json")
+	if ctype != "application/json" {
+		t.Errorf("/metrics.json content type = %q", ctype)
+	}
+	var export struct {
+		TS       int64 `json:"ts_ms"`
+		Families []struct {
+			Name string `json:"name"`
+		} `json:"families"`
+	}
+	if err := json.Unmarshal([]byte(body), &export); err != nil {
+		t.Fatalf("/metrics.json is not valid JSON: %v", err)
+	}
+	if export.TS <= 0 {
+		t.Errorf("/metrics.json ts_ms = %d, want a positive scrape stamp", export.TS)
+	}
+	names := make(map[string]bool)
+	for _, f := range export.Families {
+		names[f.Name] = true
+	}
+	if !names["req_total"] || !names["obs_scrapes_total"] {
+		t.Errorf("/metrics.json families = %v", names)
+	}
+
+	trace, ctype := get("/trace")
+	if ctype != "application/x-ndjson" {
+		t.Errorf("/trace content type = %q", ctype)
+	}
+	if want := `{"seq":0,"kind":"test.event","bit":5,"detail":"hello"}` + "\n"; trace != want {
+		t.Errorf("/trace = %q, want %q", trace, want)
+	}
+
+	// pprof is wired: the index must answer.
+	if body, _ := get("/debug/pprof/"); !strings.Contains(body, "profile") {
+		t.Error("/debug/pprof/ index did not render")
+	}
+}
+
+func TestServe(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("up_total", "liveness").Inc()
+	srv, addr, err := Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(body), "up_total 1") {
+		t.Errorf("served exposition missing counter:\n%s", body)
+	}
+}

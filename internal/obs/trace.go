@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// Event is one entry of the ring-buffered trace. Events carry no wall
+// time: they are ordered by Seq, the global emission index, and located in
+// the monitored stream by Bit, the absolute bit position the emitter was
+// at (-1 when the event has no stream position). That keeps emitters in
+// //trnglint:deterministic packages bit-reproducible — the same run always
+// produces the same trace.
+type Event struct {
+	// Seq is the 0-based emission index over the trace's lifetime; it
+	// keeps counting when the ring wraps, so Snapshot()[0].Seq reveals how
+	// many older events were evicted.
+	Seq uint64 `json:"seq"`
+	// Kind labels the event class (e.g. "supervisor.quarantine",
+	// "fault.flaky").
+	Kind string `json:"kind"`
+	// Bit is the absolute bit-stream position, or -1 if not applicable.
+	Bit int64 `json:"bit"`
+	// Detail is the human-readable payload.
+	Detail string `json:"detail,omitempty"`
+}
+
+// Trace is a fixed-capacity ring buffer of events: the last capacity
+// events are retained, older ones are evicted in FIFO order. All methods
+// are safe for concurrent use and are no-ops on a nil *Trace.
+type Trace struct {
+	mu   sync.Mutex
+	buf  []Event
+	next uint64 // total events ever emitted
+}
+
+// NewTrace returns an empty trace retaining the last capacity events
+// (capacity < 1 falls back to DefaultTraceCapacity).
+func NewTrace(capacity int) *Trace {
+	if capacity < 1 {
+		capacity = DefaultTraceCapacity
+	}
+	return &Trace{buf: make([]Event, 0, capacity)}
+}
+
+// Emit appends one event, evicting the oldest if the ring is full.
+func (t *Trace) Emit(kind string, bit int64, detail string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	e := Event{Seq: t.next, Kind: kind, Bit: bit, Detail: detail}
+	t.next++
+	if len(t.buf) < cap(t.buf) {
+		t.buf = append(t.buf, e)
+	} else {
+		// Ring slot: the event with Seq s lives at s % cap.
+		t.buf[e.Seq%uint64(cap(t.buf))] = e
+	}
+	t.mu.Unlock()
+}
+
+// Len reports how many events are currently retained.
+func (t *Trace) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.buf)
+}
+
+// Total reports how many events were ever emitted, including evicted ones.
+func (t *Trace) Total() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.next
+}
+
+// Snapshot returns the retained events oldest-first.
+func (t *Trace) Snapshot() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Event, 0, len(t.buf))
+	if len(t.buf) < cap(t.buf) {
+		return append(out, t.buf...)
+	}
+	// Full ring: the oldest retained event is next-cap, stored at its
+	// Seq % cap slot.
+	c := uint64(cap(t.buf))
+	for s := t.next - c; s < t.next; s++ {
+		out = append(out, t.buf[s%c])
+	}
+	return out
+}
+
+// WriteJSONLines writes the retained events oldest-first, one JSON object
+// per line — the -trace-out format of cmd/otftest and the /trace endpoint
+// payload.
+func (t *Trace) WriteJSONLines(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, e := range t.Snapshot() {
+		if err := enc.Encode(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,76 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestTraceRingWrap(t *testing.T) {
+	tr := NewTrace(4)
+	for i := 0; i < 10; i++ {
+		tr.Emit("k", int64(i), fmt.Sprintf("event %d", i))
+	}
+	if tr.Len() != 4 {
+		t.Errorf("Len() = %d, want 4", tr.Len())
+	}
+	if tr.Total() != 10 {
+		t.Errorf("Total() = %d, want 10", tr.Total())
+	}
+	ev := tr.Snapshot()
+	if len(ev) != 4 {
+		t.Fatalf("snapshot has %d events, want 4", len(ev))
+	}
+	// The last 4 of 10 emissions survive, oldest first, and Seq keeps the
+	// lifetime index so the evicted count is recoverable.
+	for i, e := range ev {
+		wantSeq := uint64(6 + i)
+		if e.Seq != wantSeq || e.Bit != int64(wantSeq) {
+			t.Errorf("snapshot[%d] = %+v, want Seq=Bit=%d", i, e, wantSeq)
+		}
+	}
+}
+
+func TestTraceBelowCapacity(t *testing.T) {
+	tr := NewTrace(8)
+	tr.Emit("a", 1, "")
+	tr.Emit("b", 2, "")
+	ev := tr.Snapshot()
+	if len(ev) != 2 || ev[0].Kind != "a" || ev[1].Kind != "b" {
+		t.Errorf("snapshot = %+v", ev)
+	}
+}
+
+func TestTraceWriteJSONLines(t *testing.T) {
+	tr := NewTrace(2)
+	tr.Emit("x", 7, "payload")
+	tr.Emit("y", -1, "")
+	var b strings.Builder
+	if err := tr.WriteJSONLines(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `{"seq":0,"kind":"x","bit":7,"detail":"payload"}
+{"seq":1,"kind":"y","bit":-1}
+`
+	if b.String() != want {
+		t.Errorf("JSON lines:\ngot:  %swant: %s", b.String(), want)
+	}
+}
+
+func TestNilTraceIsNoOp(t *testing.T) {
+	var tr *Trace
+	tr.Emit("k", 0, "")
+	if tr.Len() != 0 || tr.Total() != 0 || tr.Snapshot() != nil {
+		t.Error("nil trace reported state")
+	}
+	var b strings.Builder
+	if err := tr.WriteJSONLines(&b); err != nil || b.Len() != 0 {
+		t.Errorf("nil trace wrote %q (err %v)", b.String(), err)
+	}
+}
+
+func TestTraceCapacityFallback(t *testing.T) {
+	if got := cap(NewTrace(0).buf); got != DefaultTraceCapacity {
+		t.Errorf("NewTrace(0) capacity = %d, want %d", got, DefaultTraceCapacity)
+	}
+}

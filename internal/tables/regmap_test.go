@@ -1,0 +1,59 @@
+package tables
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRegisterMapMatchesCommitted pins the committed REGISTERS.md to the
+// generator's output — the same drift check CI performs with `make docs`
+// plus `git diff --exit-code`, but runnable locally as a plain test.
+func TestRegisterMapMatchesCommitted(t *testing.T) {
+	want, err := RegisterMap()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(filepath.Join("..", "..", "REGISTERS.md"))
+	if err != nil {
+		t.Fatalf("committed register map missing (run `make docs`): %v", err)
+	}
+	if string(got) != want {
+		t.Error("REGISTERS.md is out of sync with the hardware definitions; run `make docs`")
+	}
+}
+
+func TestRegisterMapContent(t *testing.T) {
+	doc, err := RegisterMap()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One section per design point, every point's register table present.
+	for _, design := range []string{
+		"n128-light", "n128-medium",
+		"n65536-light", "n65536-medium", "n65536-high",
+		"n1048576-light", "n1048576-medium", "n1048576-high",
+	} {
+		if !strings.Contains(doc, "## "+design+"\n") {
+			t.Errorf("register map missing section for %s", design)
+		}
+	}
+	for _, want := range []string{
+		"`GLOBAL_BITS`", "`S_MAX`", "— (infrastructure)",
+		"## Bus contract", "## Register availability across design points",
+		"DO NOT EDIT",
+	} {
+		if !strings.Contains(doc, want) {
+			t.Errorf("register map missing %q", want)
+		}
+	}
+	// Generation is deterministic: two renders are byte-identical.
+	again, err := RegisterMap()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != doc {
+		t.Error("RegisterMap is not deterministic across calls")
+	}
+}
