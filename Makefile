@@ -23,14 +23,18 @@ build:
 test:
 	go test -race -shuffle=on ./...
 
-# lint is the static gate: formatting, go vet, and the repository's own
+# lint is the static gate: formatting, go vet, the repository's own
 # trnglint analyzers (16-bit bus masking, determinism, error-contract and
-# monitor-reset invariants — see internal/analysis). govulncheck runs when
-# installed; the offline dev container does not ship it.
+# monitor-reset invariants — see internal/analysis), and designlint (the
+# design-space checker: counter widths, register-map integrity, resource
+# sharing and accounting over all eight variants — see
+# internal/analysis/designlint). govulncheck runs when installed; the
+# offline dev container does not ship it.
 lint: vet
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 	go run ./cmd/trnglint ./...
+	go run ./cmd/designlint
 	@if command -v govulncheck >/dev/null 2>&1; then \
 		govulncheck ./...; \
 	else \

@@ -1,0 +1,56 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/analysis/designlint"
+)
+
+// TestShippedDesignSpaceIsClean runs the full rule suite over the eight
+// shipped design points — exactly what the CI designlint job runs — and
+// requires zero findings.
+func TestShippedDesignSpaceIsClean(t *testing.T) {
+	findings, err := designlint.CheckShipped()
+	if err != nil {
+		t.Fatalf("designlint failed to run: %v", err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+}
+
+// TestSelectRules pins the -only flag behaviour.
+func TestSelectRules(t *testing.T) {
+	rules, err := selectRules("counterwidth, regmap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 2 || rules[0].Name != "counterwidth" || rules[1].Name != "regmap" {
+		t.Fatalf("wrong suite: %v", rules)
+	}
+	if rules, err := selectRules(""); err != nil || rules != nil {
+		t.Fatalf("empty -only should select the full suite, got %v, %v", rules, err)
+	}
+	if _, err := selectRules("nosuch"); err == nil || !strings.Contains(err.Error(), "nosuch") {
+		t.Fatalf("want unknown-rule error, got %v", err)
+	}
+}
+
+// TestSuiteCoversAllConstraints keeps the five paper constraints wired: a
+// dropped rule would silently weaken the gate.
+func TestSuiteCoversAllConstraints(t *testing.T) {
+	want := map[string]bool{
+		"counterwidth": true, "regmap": true, "sharing": true,
+		"resources": true, "reset": true,
+	}
+	for _, r := range designlint.Rules() {
+		if !want[r.Name] {
+			t.Errorf("unexpected rule %q", r.Name)
+		}
+		delete(want, r.Name)
+	}
+	for name := range want {
+		t.Errorf("rule %q missing from the suite", name)
+	}
+}

@@ -1,0 +1,300 @@
+package designlint
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/design"
+	"repro/internal/hwsim"
+)
+
+// The mutation-kill suite: each rule must catch the seeded break it was
+// written for. Every mutation starts from a clean clone of the richest
+// shipped design point (n=65536, high variant — all nine tests), applies
+// one deliberate defect, and asserts the expected rule fires with the
+// expected diagnosis. A rule that stays silent on its mutation is dead
+// weight, so these tests are the checker's own regression gate.
+
+// baseDesign returns a clean, detached clone of the n65536-high model.
+func baseDesign(t *testing.T) *design.Design {
+	t.Helper()
+	designs, err := design.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range designs {
+		if d.Name == "n65536-high" {
+			c := d.Clone()
+			if fs := Check(c); len(fs) != 0 {
+				t.Fatalf("clean clone has findings: %v", fs)
+			}
+			return c
+		}
+	}
+	t.Fatal("n65536-high not among shipped designs")
+	return nil
+}
+
+// mutate locates a primitive by name and hands it to f for editing. The
+// resource declaration is re-derived afterwards so only the intended
+// defect is seeded (width mutations should trip counterwidth, not the
+// accounting rule).
+func mutatePrim(t *testing.T, d *design.Design, name string, f func(*design.Prim)) {
+	t.Helper()
+	for i := range d.Prims {
+		if d.Prims[i].Name == name {
+			f(&d.Prims[i])
+			ffs, luts, err := expectedResources(d.Prims[i])
+			if err != nil {
+				t.Fatal(err)
+			}
+			d.Prims[i].FFs, d.Prims[i].LUTs = ffs, luts
+			return
+		}
+	}
+	t.Fatalf("primitive %s not in model", name)
+}
+
+func findReg(t *testing.T, d *design.Design, name string) *design.Reg {
+	t.Helper()
+	for i := range d.Regs {
+		if d.Regs[i].Name == name {
+			return &d.Regs[i]
+		}
+	}
+	t.Fatalf("register %s not in model", name)
+	return nil
+}
+
+// assertKilled runs all rules over the mutant and demands a finding from
+// the named rule whose message contains want.
+func assertKilled(t *testing.T, d *design.Design, rule, want string) {
+	t.Helper()
+	findings := Check(d)
+	for _, f := range findings {
+		if f.Rule == rule && strings.Contains(f.Msg, want) {
+			return
+		}
+	}
+	t.Errorf("mutation survived: no [%s] finding containing %q; got %v", rule, want, findings)
+}
+
+func TestMutationNarrowedCounter(t *testing.T) {
+	d := baseDesign(t)
+	mutatePrim(t, d, "runs", func(p *design.Prim) { p.Width-- })
+	assertKilled(t, d, "counterwidth", "too narrow")
+}
+
+func TestMutationWidenedCounter(t *testing.T) {
+	d := baseDesign(t)
+	mutatePrim(t, d, "global_bits", func(p *design.Prim) { p.Width++ })
+	assertKilled(t, d, "counterwidth", "over the resource budget")
+}
+
+func TestMutationWrongKind(t *testing.T) {
+	d := baseDesign(t)
+	mutatePrim(t, d, "runs", func(p *design.Prim) { p.Kind = "register" })
+	assertKilled(t, d, "counterwidth", "the design calls for a counter")
+}
+
+func TestMutationMissingPrimitive(t *testing.T) {
+	d := baseDesign(t)
+	kept := d.Prims[:0]
+	for _, p := range d.Prims {
+		if p.Name != "lr_max" {
+			kept = append(kept, p)
+		}
+	}
+	d.Prims = kept
+	assertKilled(t, d, "counterwidth", "missing from the netlist")
+}
+
+func TestMutationForeignPrimitive(t *testing.T) {
+	d := baseDesign(t)
+	d.Prims = append(d.Prims, design.Prim{
+		Kind: "counter", Name: "mystery", Width: 4, Lanes: 1, FFs: 4, LUTs: 4,
+	})
+	assertKilled(t, d, "counterwidth", "not derivable")
+}
+
+func TestMutationWrongLaneCount(t *testing.T) {
+	d := baseDesign(t)
+	mutatePrim(t, d, "ov_class", func(p *design.Prim) { p.Lanes-- })
+	assertKilled(t, d, "counterwidth", "lanes")
+}
+
+func TestMutationCollidingAddress(t *testing.T) {
+	d := baseDesign(t)
+	findReg(t, d, "N_RUNS").Addr = findReg(t, d, "GLOBAL_BITS").Addr
+	assertKilled(t, d, "regmap", "address collision")
+}
+
+func TestMutationAddressHole(t *testing.T) {
+	d := baseDesign(t)
+	// Push the last register past the dense tiling.
+	d.Regs[len(d.Regs)-1].Addr += 2
+	assertKilled(t, d, "regmap", "hole in the address map")
+}
+
+func TestMutationMissingBusSplit(t *testing.T) {
+	d := baseDesign(t)
+	r := findReg(t, d, "S_FINAL") // 18 bits at n=65536: needs two words
+	if r.Words < 2 {
+		t.Fatalf("S_FINAL occupies %d word(s); expected a multi-word register", r.Words)
+	}
+	r.Words = 1
+	assertKilled(t, d, "regmap", "exceeds the 16-bit bus")
+}
+
+func TestMutationOversizedSplit(t *testing.T) {
+	d := baseDesign(t)
+	findReg(t, d, "N_RUNS").Words = 3
+	assertKilled(t, d, "regmap", "fit in")
+}
+
+func TestMutationAddressSpaceOverflow(t *testing.T) {
+	d := baseDesign(t)
+	d.Regs[len(d.Regs)-1].Words = 200
+	assertKilled(t, d, "regmap", "exceeding")
+}
+
+func TestMutationDanglingRegister(t *testing.T) {
+	d := baseDesign(t)
+	d.Regs = append(d.Regs, design.Reg{
+		Name: "GHOST_REG", TestID: 0, Addr: d.Words, Width: 8, Words: 1,
+	})
+	d.Words++
+	d.MuxWords++
+	assertKilled(t, d, "regmap", "dangling register GHOST_REG")
+}
+
+func TestMutationUnreadStatistic(t *testing.T) {
+	d := baseDesign(t)
+	kept := d.Regs[:0]
+	for _, r := range d.Regs {
+		if r.Name != "N_RUNS" {
+			kept = append(kept, r)
+		}
+	}
+	d.Regs = kept
+	assertKilled(t, d, "regmap", "unreadable by software")
+}
+
+func TestMutationWrongRegisterWidth(t *testing.T) {
+	d := baseDesign(t)
+	findReg(t, d, "N_RUNS").Width--
+	assertKilled(t, d, "regmap", "source statistic")
+}
+
+func TestMutationAliasedStatistic(t *testing.T) {
+	d := baseDesign(t)
+	dup := *findReg(t, d, "S_FINAL")
+	dup.Addr = d.Words
+	d.Regs = append(d.Regs, dup)
+	d.Words += dup.Words
+	d.MuxWords += dup.Words
+	assertKilled(t, d, "sharing", "alias the same statistic")
+}
+
+func TestMutationRedundantOnesCounter(t *testing.T) {
+	d := baseDesign(t)
+	d.Prims = append(d.Prims, design.Prim{
+		Kind: "counter", Name: "ones_cnt", Width: 17, Lanes: 1, FFs: 17, LUTs: 17,
+	})
+	assertKilled(t, d, "sharing", "redundant ones counter")
+}
+
+func TestMutationOnesRegister(t *testing.T) {
+	d := baseDesign(t)
+	d.Regs = append(d.Regs, design.Reg{
+		Name: "N_ONES", TestID: 1, Addr: d.Words, Width: 17, Words: 2,
+	})
+	d.Words += 2
+	d.MuxWords += 2
+	assertKilled(t, d, "sharing", "ones count")
+}
+
+func TestMutationPrivateShiftRegister(t *testing.T) {
+	d := baseDesign(t)
+	d.Prims = append(d.Prims, design.Prim{
+		Kind: "shiftreg", Name: "my_shift", Width: 9, Lanes: 1, FFs: 9, LUTs: 0,
+	})
+	assertKilled(t, d, "sharing", "defeats the shared-pattern trick")
+}
+
+func TestMutationDedicatedApEnHardware(t *testing.T) {
+	d := baseDesign(t)
+	if !d.Has(12) {
+		t.Fatal("base design lacks test 12")
+	}
+	d.Prims = append(d.Prims, design.Prim{
+		Kind: "counter", Name: "apen_acc", Width: 8, Lanes: 1, FFs: 8, LUTs: 8,
+	})
+	assertKilled(t, d, "sharing", "must reuse the serial counters")
+}
+
+func TestMutationUnimplementedTestID(t *testing.T) {
+	d := baseDesign(t)
+	findReg(t, d, "N_RUNS").TestID = 5
+	assertKilled(t, d, "sharing", "does not implement")
+}
+
+func TestMutationResourceDrift(t *testing.T) {
+	d := baseDesign(t)
+	d.Prims[0].FFs++
+	assertKilled(t, d, "resources", "accounting drifted")
+}
+
+func TestMutationMuxMismatch(t *testing.T) {
+	d := baseDesign(t)
+	d.MuxWords++
+	assertKilled(t, d, "resources", "multiplexer")
+}
+
+// stickyPrim is the dropped-reset mutation: a stateful primitive whose
+// Reset forgets to clear the loaded value.
+type stickyPrim struct{ v uint64 }
+
+func (s *stickyPrim) PrimName() string           { return "sticky" }
+func (s *stickyPrim) Resources() hwsim.Resources { return hwsim.Resources{} }
+func (s *stickyPrim) Reset()                     {} // the defect
+func (s *stickyPrim) Load(v uint64)              { s.v = v }
+func (s *stickyPrim) Value() uint64              { return s.v }
+
+// opaquePrim has state the checker cannot reach — it must be reported as
+// unverifiable rather than silently passed.
+type opaquePrim struct{}
+
+func (opaquePrim) PrimName() string           { return "opaque" }
+func (opaquePrim) Resources() hwsim.Resources { return hwsim.Resources{} }
+func (opaquePrim) Reset()                     {}
+
+func TestMutationDroppedReset(t *testing.T) {
+	nl := hwsim.NewNetlist("mutant")
+	hwsim.NewCounter(nl, "good", 255)
+	nl.AddPrimitive(&stickyPrim{})
+	d := &design.Design{Name: "reset-mutant", N: 8, Netlist: nl}
+	findings := Check(d, ruleReset)
+	killed := false
+	for _, f := range findings {
+		if strings.Contains(f.Msg, "sticky") && strings.Contains(f.Msg, "Reset left nonzero state") {
+			killed = true
+		}
+		if strings.Contains(f.Msg, "good") {
+			t.Errorf("healthy counter flagged: %s", f)
+		}
+	}
+	if !killed {
+		t.Errorf("dropped reset survived; findings: %v", findings)
+	}
+}
+
+func TestResetRuleFlagsUnverifiablePrimitive(t *testing.T) {
+	nl := hwsim.NewNetlist("opaque")
+	nl.AddPrimitive(opaquePrim{})
+	d := &design.Design{Name: "opaque", N: 8, Netlist: nl}
+	findings := Check(d, ruleReset)
+	if len(findings) != 1 || !strings.Contains(findings[0].Msg, "unverifiable") {
+		t.Errorf("opaque primitive not reported: %v", findings)
+	}
+}

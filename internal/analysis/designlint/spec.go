@@ -1,0 +1,240 @@
+package designlint
+
+import (
+	"fmt"
+
+	"repro/internal/design"
+)
+
+// This file derives, from first principles — sequence length n, the
+// implemented test set and the NIST parameters — what the hardware of a
+// design point MUST look like: which primitives exist, how wide each one
+// must be for its worst-case count (and no wider, since every extra
+// flip-flop is resource budget the paper's Table III accounts for), and
+// which register of the memory map exposes which statistic.
+//
+// The derivation deliberately does NOT call into internal/hwblock: it
+// re-implements the width arithmetic (bitsFor, the longest-run class
+// bounds, the offset-binary encoding width) so that a bug in the
+// construction code cannot silently justify itself. The checker and the
+// construction meet only at the extracted design.Design model.
+
+// primSpec is the expected structural identity of one primitive.
+type primSpec struct {
+	kind  string
+	width int // per-lane bits (stage count for the shift register)
+	lanes int // bank counter count; 1 otherwise
+}
+
+// regSpec ties one register-map entry to the statistic it exposes: the
+// source primitive, which facet of it (the extremes tracker holds two
+// values), the exposed width and the owning test.
+type regSpec struct {
+	prim   string // instance name of the source primitive
+	facet  string // "" for a scalar value; "max"/"min" for the tracker
+	lane   int    // bank lane index (0 for non-banks)
+	width  int
+	testID int
+}
+
+// designSpec is the full expectation for one design point.
+type designSpec struct {
+	prims map[string]primSpec
+	regs  map[string]regSpec
+}
+
+// bitsFor is the number of bits needed to count 0..max. Independent
+// re-derivation of the construction's width rule (ceil(log2(max+1)),
+// minimum 1).
+func bitsFor(max uint64) int {
+	w := 1
+	for max>>uint(w) != 0 {
+		w++
+	}
+	return w
+}
+
+// runClassBounds are the SP800-22 longest-run class boundaries for block
+// length m (Table 2-4 of the test suite specification).
+func runClassBounds(m int) (lo, hi int, err error) {
+	switch {
+	case m < 8:
+		return 0, 0, fmt.Errorf("longest-run block length %d too small", m)
+	case m < 128:
+		return 1, 4, nil
+	case m < 6272:
+		return 4, 9, nil
+	default:
+		return 10, 16, nil
+	}
+}
+
+// specFor derives the expected structure of d from (N, Tests, Params)
+// alone. Model fields beyond those three inputs are never consulted.
+func specFor(d *design.Design) (*designSpec, error) {
+	n := d.N
+	p := d.Params
+	s := &designSpec{
+		prims: make(map[string]primSpec),
+		regs:  make(map[string]regSpec),
+	}
+	addPrim := func(name, kind string, width, lanes int) {
+		s.prims[name] = primSpec{kind: kind, width: width, lanes: lanes}
+	}
+	addReg := func(name, prim, facet string, lane, width, testID int) {
+		s.regs[name] = regSpec{prim: prim, facet: facet, lane: lane, width: width, testID: testID}
+	}
+
+	// Infrastructure: the global bit counter counts every ingested bit,
+	// worst case n.
+	addPrim("global_bits", "counter", bitsFor(uint64(n)), 1)
+	addReg("GLOBAL_BITS", "global_bits", "", 0, bitsFor(uint64(n)), 0)
+
+	// The random walk serves test 13 directly and tests 1/3 through
+	// S_final (the paper's omitted redundant ones counter). The walk value
+	// spans [-n, n]: bitsFor(n) magnitude bits plus a sign bit. Readout is
+	// offset-binary (value + n), worst case 2n.
+	walkW := bitsFor(uint64(n)) + 1
+	offW := bitsFor(uint64(2 * n))
+	addPrim("cusum_s", "updown", walkW, 1)
+	addPrim("cusum_ext", "minmax", walkW, 1)
+	addReg("S_MAX", "cusum_ext", "max", 0, offW, 13)
+	addReg("S_MIN", "cusum_ext", "min", 0, offW, 13)
+	addReg("S_FINAL", "cusum_s", "", 0, offW, 13)
+
+	// Test 3 (Runs): at most n runs; the one-bit previous-bit register is
+	// block-internal scratch with no register-map entry.
+	if d.Has(3) {
+		addPrim("runs", "counter", bitsFor(uint64(n)), 1)
+		addPrim("runs_prev", "register", 1, 1)
+		addReg("N_RUNS", "runs", "", 0, bitsFor(uint64(n)), 3)
+	}
+
+	// Test 2 (Block Frequency): per-block ones count, worst case M per
+	// block, one holding register per block. The running in-block counter
+	// is scratch.
+	if d.Has(2) {
+		m := p.BlockFrequencyM
+		nBlocks := n / m
+		w := bitsFor(uint64(m))
+		addPrim("bf_eps", "counter", w, 1)
+		for i := 0; i < nBlocks; i++ {
+			prim := fmt.Sprintf("bf_eps_%d", i)
+			addPrim(prim, "register", w, 1)
+			addReg(fmt.Sprintf("BF_EPS_%d", i), prim, "", 0, w, 2)
+		}
+	}
+
+	// Test 4 (Longest Run): run lengths saturate at the top class bound
+	// hi; the class histogram has hi-lo+1 bins, each counting at most
+	// n/M blocks. Run counter and per-block max tracker are scratch.
+	if d.Has(4) {
+		lo, hi, err := runClassBounds(p.LongestRunM)
+		if err != nil {
+			return nil, err
+		}
+		nBlocks := n / p.LongestRunM
+		addPrim("lr_run", "counter", bitsFor(uint64(hi)), 1)
+		addPrim("lr_max", "max", bitsFor(uint64(hi)), 1)
+		addPrim("lr_class", "bank", bitsFor(uint64(nBlocks)), hi-lo+1)
+		for i := 0; i <= hi-lo; i++ {
+			addReg(fmt.Sprintf("LR_NU_%d", i), "lr_class", "", i, bitsFor(uint64(nBlocks)), 4)
+		}
+	}
+
+	// The pattern tests share ONE shift register, sized for the widest
+	// consumer: the template tests (7/8) need TemplateM stages, the
+	// serial/ApEn pair only SerialM.
+	if d.Has(7) || d.Has(8) || d.Has(11) || d.Has(12) {
+		width := p.SerialM
+		if d.Has(7) || d.Has(8) {
+			width = p.TemplateM
+		}
+		addPrim("shared_pattern", "shiftreg", width, 1)
+	}
+
+	// Test 7 (Non-overlapping Template): per-block hit count W, worst
+	// case blockLen/m+1 occurrences of an m-bit template with the
+	// m-bit holdoff. Comparator, holdoff and fill counters are scratch.
+	if d.Has(7) {
+		m := p.TemplateM
+		nBlocks := p.NonOverlappingN
+		blockLen := n / nBlocks
+		wMax := bitsFor(uint64(blockLen/m + 1))
+		addPrim("no_cmp", "cmp", m, 1)
+		addPrim("no_w", "counter", wMax, 1)
+		addPrim("no_hold", "counter", bitsFor(uint64(m)), 1)
+		addPrim("no_fill", "counter", bitsFor(uint64(m)), 1)
+		for i := 0; i < nBlocks; i++ {
+			prim := fmt.Sprintf("no_w_%d", i)
+			addPrim(prim, "register", wMax, 1)
+			addReg(fmt.Sprintf("NO_W_%d", i), prim, "", 0, wMax, 7)
+		}
+	}
+
+	// Test 8 (Overlapping Template): the occurrence count saturates at
+	// K=5, the class histogram has K+1 bins each counting at most
+	// n/OverlappingM blocks.
+	if d.Has(8) {
+		const k = 5
+		m := p.TemplateM
+		nBlocks := n / p.OverlappingM
+		addPrim("ov_cmp", "cmp", m, 1)
+		addPrim("ov_occ", "counter", bitsFor(uint64(k)), 1)
+		addPrim("ov_fill", "counter", bitsFor(uint64(m)), 1)
+		addPrim("ov_class", "bank", bitsFor(uint64(nBlocks)), k+1)
+		for i := 0; i <= k; i++ {
+			addReg(fmt.Sprintf("OV_NU_%d", i), "ov_class", "", i, bitsFor(uint64(nBlocks)), 8)
+		}
+	}
+
+	// Tests 11/12 (Serial / Approximate Entropy): pattern histograms for
+	// window widths m, m-1, m-2, each lane counting at most n cyclic
+	// occurrences. ApEn reads the SAME counters — it must contribute no
+	// hardware and no registers of its own (the unified implementation),
+	// so every serial register carries test ID 11 even when only test 12
+	// selected the engine. The head register stores the first m-1 bits
+	// for the cyclic wrap-around.
+	if d.Has(11) || d.Has(12) {
+		m := p.SerialM
+		for _, w := range []int{m, m - 1, m - 2} {
+			prim := fmt.Sprintf("serial_nu%d", w)
+			addPrim(prim, "bank", bitsFor(uint64(n)), 1<<uint(w))
+			for pat := 0; pat < 1<<uint(w); pat++ {
+				addReg(fmt.Sprintf("SERIAL_NU%d_%0*b", w, w, pat),
+					prim, "", pat, bitsFor(uint64(n)), 11)
+			}
+		}
+		addPrim("serial_head", "register", m-1, 1)
+	}
+
+	return s, nil
+}
+
+// expectedResources recomputes the FF/LUT cost of a primitive from its
+// kind and geometry — the same per-kind formulas the simulator's area
+// model declares, re-stated here so drift between a primitive's declared
+// width and its accounted resources is caught.
+func expectedResources(p design.Prim) (ffs, luts int, err error) {
+	w := p.Width
+	switch p.Kind {
+	case "counter":
+		return w, w, nil
+	case "updown":
+		return w, w + 2, nil
+	case "register":
+		return w, w / 4, nil
+	case "minmax":
+		return 2 * w, 2 * (w/3 + w/2), nil
+	case "max":
+		return w, w/3 + w/2, nil
+	case "shiftreg":
+		return w, 0, nil
+	case "cmp":
+		return 0, w/6 + 1, nil
+	case "bank":
+		return p.Lanes * w, p.Lanes*w/2 + p.Lanes/4 + 1, nil
+	default:
+		return 0, 0, fmt.Errorf("unknown primitive kind %q", p.Kind)
+	}
+}

@@ -1,0 +1,157 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// FuzzParseDirectives embeds arbitrary comment text into a minimal Go file
+// and checks the directive parser's invariants: it is deterministic, it
+// never recognises a marker or waiver unless the comment really starts with
+// the //trnglint: prefix, markers come only from the two-marker vocabulary,
+// and every waiver traces back to an analyzer name the source spelled out
+// (with "widen" desugaring to "regwidth").
+func FuzzParseDirectives(f *testing.F) {
+	f.Add("//trnglint:bus16")
+	f.Add("//trnglint:deterministic")
+	f.Add("//trnglint:widen the hardware result register is 32 bits wide")
+	f.Add("//trnglint:widen")
+	f.Add("//trnglint:allow errdrop checked by the caller")
+	f.Add("//trnglint:allow errdrop")
+	f.Add("//trnglint: bus16")
+	f.Add("// trnglint:bus16")
+	f.Add("//trnglint:bus16 trailing words")
+	f.Add("//trnglint:allow\tregwidth\treason")
+	f.Add("//trnglint:widen\x00nul")
+	f.Add("//not a directive at all")
+	f.Add("//trnglint:")
+	f.Add("//trnglint:unknownverb argument")
+	f.Add("//trnglint:allow  doubled   spaces here")
+
+	f.Fuzz(func(t *testing.T, comment string) {
+		// Keep the comment a single line so it stays one *ast.Comment;
+		// otherwise the fuzzer is just exploring the Go parser.
+		if i := strings.IndexAny(comment, "\r\n"); i >= 0 {
+			comment = comment[:i]
+		}
+		src := "package p\n\n" + comment + "\nvar X = 1\n"
+		fset := token.NewFileSet()
+		file, err := parser.ParseFile(fset, "fuzz.go", src, parser.ParseComments)
+		if err != nil {
+			t.Skip() // not valid Go once embedded; parser's problem, not ours
+		}
+
+		d := ParseDirectives(fset, []*ast.File{file})
+
+		// Determinism: a second parse of the same input agrees exactly.
+		d2 := ParseDirectives(fset, []*ast.File{file})
+		for _, m := range []string{"bus16", "deterministic"} {
+			if d.HasMarker(m) != d2.HasMarker(m) {
+				t.Fatalf("marker %q nondeterministic", m)
+			}
+		}
+
+		// Collect every comment the parser actually saw, post-parse: the
+		// parser may normalise or split what we embedded.
+		var comments []string
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				comments = append(comments, c.Text)
+			}
+		}
+		anyDirective := false
+		for _, c := range comments {
+			if strings.HasPrefix(c, directivePrefix) {
+				anyDirective = true
+			}
+		}
+
+		// No marker without the prefix, and only the two known markers
+		// can ever be set.
+		if !anyDirective {
+			if d.HasMarker("bus16") || d.HasMarker("deterministic") {
+				t.Fatalf("marker set with no //trnglint: comment in %q", comment)
+			}
+		}
+		for _, m := range []string{"widen", "allow", "trnglint", ""} {
+			if d.HasMarker(m) {
+				t.Fatalf("vocabulary leak: marker %q set by %q", m, comment)
+			}
+		}
+
+		// Every waiver line must be justified by a directive comment that
+		// names the analyzer: widen → regwidth, allow <name> <reason> → name.
+		// Probe the whole file line range for both the spelled analyzers and
+		// a canary analyzer no comment could have named.
+		lineCount := strings.Count(src, "\n") + 1
+		for line := 1; line <= lineCount; line++ {
+			pos := posAtLine(fset, file, line)
+			if pos == token.NoPos {
+				continue
+			}
+			if d.Waived(fset, pos, "no-such-analyzer-canary") {
+				t.Fatalf("waiver for unnamed analyzer at line %d from %q", line, comment)
+			}
+			for _, name := range []string{"regwidth", "errdrop", "determinism"} {
+				if !d.Waived(fset, pos, name) {
+					continue
+				}
+				// Waived matches the same line or the line above; the
+				// directive must sit on one of those two lines.
+				if !directiveNames(comments, fset, file, line, name) &&
+					!directiveNames(comments, fset, file, line-1, name) {
+					t.Fatalf("waiver for %q at line %d not traceable to a directive in %q",
+						name, line, comment)
+				}
+			}
+		}
+	})
+}
+
+// posAtLine returns some token.Pos on the given 1-based line of the file,
+// or NoPos when the line is out of range.
+func posAtLine(fset *token.FileSet, file *ast.File, line int) token.Pos {
+	tf := fset.File(file.Pos())
+	if line < 1 || line > tf.LineCount() {
+		return token.NoPos
+	}
+	return tf.LineStart(line)
+}
+
+// directiveNames reports whether a //trnglint: directive on the given line
+// waives the named analyzer per the written grammar.
+func directiveNames(comments []string, fset *token.FileSet, file *ast.File, line int, analyzer string) bool {
+	tf := fset.File(file.Pos())
+	if line < 1 || line > tf.LineCount() {
+		return false
+	}
+	// Re-derive which comments sit on that line by re-walking the AST.
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			if fset.Position(c.Pos()).Line != line {
+				continue
+			}
+			if !strings.HasPrefix(c.Text, directivePrefix) {
+				continue
+			}
+			fields := strings.Fields(strings.TrimPrefix(c.Text, directivePrefix))
+			if len(fields) == 0 {
+				continue
+			}
+			switch fields[0] {
+			case "widen":
+				if analyzer == "regwidth" && len(fields) > 1 {
+					return true
+				}
+			case "allow":
+				if len(fields) >= 3 && fields[1] == analyzer {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,494 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// This file is the statement half of the flow-sensitive dataflow engine:
+// a source-order walk over one function body that maintains per-variable
+// value intervals (interval.go is the expression half) and hands every
+// expression node to a visitor together with the environment current at
+// that point. Precision policy, chosen so a refinement is NEVER narrower
+// than the true value set:
+//
+//   - straight-line assignments, compound assignments, ++/-- and var
+//     declarations refine;
+//   - if/else forks the environment and joins both exits;
+//   - loops (for/range) invalidate everything assigned anywhere in the
+//     loop before the body is walked, and leave it invalidated after;
+//   - switch/type-switch/select likewise invalidate everything assigned
+//     in any case up front (a mid-case break could otherwise exit with a
+//     state the per-case walk no longer remembers), then walk each case
+//     on its own copy;
+//   - variables captured and assigned by a closure, or address-taken, are
+//     never refined (the mutation site is invisible to straight-line
+//     flow); a function containing goto is walked with refinement
+//     disabled entirely;
+//   - package-level variables are never refined (any call may write
+//     them).
+type flowWalker struct {
+	pkg   *types.Package
+	info  *types.Info
+	visit FlowVisitor
+
+	env      map[types.Object]Interval
+	noRefine map[types.Object]bool
+	frozen   bool // body contains goto: no refinement at all
+}
+
+// FlowVisitor receives every statement and expression node of the walked
+// body in source order. stack holds the ancestry within the current
+// statement (statement first, n last); ev evaluates expressions under the
+// environment at the statement's entry. Returning false prunes the
+// subtree below n.
+type FlowVisitor func(n ast.Node, stack []ast.Node, ev *Evaluator) bool
+
+// FlowWalk walks one function body with flow-sensitive intervals.
+// Function literals encountered inside are walked as independent bodies
+// with fresh environments.
+func FlowWalk(pkg *types.Package, info *types.Info, body *ast.BlockStmt, visit FlowVisitor) {
+	w := &flowWalker{
+		pkg:      pkg,
+		info:     info,
+		visit:    visit,
+		env:      make(map[types.Object]Interval),
+		noRefine: make(map[types.Object]bool),
+	}
+	w.prescan(body)
+	w.walkStmt(body)
+}
+
+// prescan blacklists variables whose value can change behind the
+// straight-line walk's back.
+func (w *flowWalker) prescan(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BranchStmt:
+			if n.Tok == token.GOTO {
+				w.frozen = true
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if id, ok := ast.Unparen(n.X).(*ast.Ident); ok {
+					if obj := w.info.ObjectOf(id); obj != nil {
+						w.noRefine[obj] = true
+					}
+				}
+			}
+		case *ast.FuncLit:
+			for obj := range w.assignedIn(n) {
+				w.noRefine[obj] = true
+			}
+		}
+		return true
+	})
+}
+
+// assignedIn collects every object assigned (in any form) within n.
+func (w *flowWalker) assignedIn(n ast.Node) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	record := func(e ast.Expr) {
+		if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+			if obj := w.info.ObjectOf(id); obj != nil {
+				out[obj] = true
+			}
+		}
+	}
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				record(lhs)
+			}
+		case *ast.IncDecStmt:
+			record(n.X)
+		case *ast.RangeStmt:
+			if n.Key != nil {
+				record(n.Key)
+			}
+			if n.Value != nil {
+				record(n.Value)
+			}
+		case *ast.ValueSpec:
+			for _, name := range n.Names {
+				record(name)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func (w *flowWalker) evaluator() *Evaluator {
+	return &Evaluator{info: w.info, env: w.env}
+}
+
+// set records a refinement for obj, provided obj is a local variable the
+// walk can trust.
+func (w *flowWalker) set(obj types.Object, iv Interval) {
+	if obj == nil || w.frozen || w.noRefine[obj] {
+		return
+	}
+	v, ok := obj.(*types.Var)
+	if !ok || v.Name() == "_" {
+		return
+	}
+	if w.pkg != nil && obj.Parent() == w.pkg.Scope() {
+		return // package-level: any call may rewrite it
+	}
+	if typeInterval(obj.Type()).contains(iv) && iv.contains(typeInterval(obj.Type())) {
+		delete(w.env, obj) // no information beyond the type
+		return
+	}
+	w.env[obj] = iv
+}
+
+func (w *flowWalker) clear(obj types.Object) {
+	if obj != nil {
+		delete(w.env, obj)
+	}
+}
+
+func (w *flowWalker) invalidate(assigned map[types.Object]bool) {
+	for obj := range assigned {
+		delete(w.env, obj)
+	}
+}
+
+func cloneEnv(env map[types.Object]Interval) map[types.Object]Interval {
+	out := make(map[types.Object]Interval, len(env))
+	for k, v := range env {
+		out[k] = v
+	}
+	return out
+}
+
+// joinEnv keeps only refinements present on both paths, joined. A
+// variable refined on one path but not the other is typeRange there, so
+// the join is typeRange: dropped.
+func joinEnv(a, b map[types.Object]Interval) map[types.Object]Interval {
+	out := make(map[types.Object]Interval)
+	for obj, iva := range a {
+		if ivb, ok := b[obj]; ok {
+			out[obj] = iva.Join(ivb)
+		}
+	}
+	return out
+}
+
+// lhsObject resolves a simple identifier assignment target.
+func (w *flowWalker) lhsObject(e ast.Expr) types.Object {
+	if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+		return w.info.ObjectOf(id)
+	}
+	return nil
+}
+
+// visitTree delivers parent and the expression trees under it to the
+// visitor, with the environment as it stands NOW (before the statement's
+// own effects).
+func (w *flowWalker) visitTree(parent ast.Node, exprs ...ast.Expr) {
+	stack := []ast.Node{parent}
+	if !w.visit(parent, stack, w.evaluator()) {
+		return
+	}
+	for _, e := range exprs {
+		if e != nil {
+			w.walkExpr(e, stack)
+		}
+	}
+}
+
+// walkExpr visits e and its subexpressions. Function literals start an
+// independent flow walk of their own body.
+func (w *flowWalker) walkExpr(e ast.Expr, stack []ast.Node) {
+	if lit, ok := e.(*ast.FuncLit); ok {
+		FlowWalk(w.pkg, w.info, lit.Body, w.visit)
+		return
+	}
+	stack = append(stack, e)
+	if !w.visit(e, stack, w.evaluator()) {
+		return
+	}
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		w.walkExpr(e.X, stack)
+	case *ast.UnaryExpr:
+		w.walkExpr(e.X, stack)
+	case *ast.StarExpr:
+		w.walkExpr(e.X, stack)
+	case *ast.BinaryExpr:
+		w.walkExpr(e.X, stack)
+		w.walkExpr(e.Y, stack)
+	case *ast.CallExpr:
+		w.walkExpr(e.Fun, stack)
+		for _, a := range e.Args {
+			w.walkExpr(a, stack)
+		}
+	case *ast.IndexExpr:
+		w.walkExpr(e.X, stack)
+		w.walkExpr(e.Index, stack)
+	case *ast.IndexListExpr:
+		w.walkExpr(e.X, stack)
+		for _, ix := range e.Indices {
+			w.walkExpr(ix, stack)
+		}
+	case *ast.SliceExpr:
+		w.walkExpr(e.X, stack)
+		for _, ix := range []ast.Expr{e.Low, e.High, e.Max} {
+			if ix != nil {
+				w.walkExpr(ix, stack)
+			}
+		}
+	case *ast.SelectorExpr:
+		w.walkExpr(e.X, stack)
+	case *ast.TypeAssertExpr:
+		w.walkExpr(e.X, stack)
+	case *ast.KeyValueExpr:
+		w.walkExpr(e.Key, stack)
+		w.walkExpr(e.Value, stack)
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			w.walkExpr(el, stack)
+		}
+	}
+}
+
+func (w *flowWalker) walkStmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		for _, st := range s.List {
+			w.walkStmt(st)
+		}
+
+	case *ast.ExprStmt:
+		w.visitTree(s, s.X)
+
+	case *ast.SendStmt:
+		w.visitTree(s, s.Chan, s.Value)
+
+	case *ast.GoStmt:
+		w.visitTree(s, s.Call)
+
+	case *ast.DeferStmt:
+		w.visitTree(s, s.Call)
+
+	case *ast.ReturnStmt:
+		w.visitTree(s, s.Results...)
+
+	case *ast.IncDecStmt:
+		w.visitTree(s, s.X)
+		if obj := w.lhsObject(s.X); obj != nil {
+			op := token.ADD
+			if s.Tok == token.DEC {
+				op = token.SUB
+			}
+			ev := w.evaluator()
+			w.set(obj, ev.evalBinary(op, ev.Eval(s.X), Interval{1, 1}, obj.Type()))
+		}
+
+	case *ast.AssignStmt:
+		exprs := append(append([]ast.Expr{}, s.Rhs...), s.Lhs...)
+		w.visitTree(s, exprs...)
+		ev := w.evaluator()
+		switch s.Tok {
+		case token.ASSIGN, token.DEFINE:
+			if len(s.Lhs) == len(s.Rhs) {
+				// Evaluate every RHS under the pre-state, then commit —
+				// parallel assignment semantics.
+				vals := make([]Interval, len(s.Rhs))
+				for i, r := range s.Rhs {
+					vals[i] = ev.Eval(r)
+				}
+				for i, lhs := range s.Lhs {
+					if obj := w.lhsObject(lhs); obj != nil {
+						w.set(obj, fitToType(vals[i], obj.Type()))
+					}
+				}
+			} else {
+				for _, lhs := range s.Lhs {
+					w.clear(w.lhsObject(lhs))
+				}
+			}
+		default: // op=
+			if len(s.Lhs) == 1 && len(s.Rhs) == 1 {
+				if obj := w.lhsObject(s.Lhs[0]); obj != nil {
+					op := compoundOp(s.Tok)
+					if op == token.ILLEGAL {
+						w.clear(obj)
+					} else {
+						w.set(obj, ev.evalBinary(op, ev.Eval(s.Lhs[0]), ev.Eval(s.Rhs[0]), obj.Type()))
+					}
+				}
+			}
+		}
+
+	case *ast.DeclStmt:
+		gd, ok := s.Decl.(*ast.GenDecl)
+		if !ok {
+			return
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			w.visitTree(s, vs.Values...)
+			ev := w.evaluator()
+			switch {
+			case len(vs.Values) == len(vs.Names):
+				for i, name := range vs.Names {
+					if obj := w.info.ObjectOf(name); obj != nil {
+						w.set(obj, fitToType(ev.Eval(vs.Values[i]), obj.Type()))
+					}
+				}
+			case len(vs.Values) == 0:
+				// Declared without initializer: the zero value.
+				for _, name := range vs.Names {
+					if obj := w.info.ObjectOf(name); obj != nil {
+						if typeInterval(obj.Type()).contains(Interval{0, 0}) {
+							w.set(obj, Interval{0, 0})
+						}
+					}
+				}
+			default:
+				for _, name := range vs.Names {
+					w.clear(w.info.ObjectOf(name))
+				}
+			}
+		}
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init)
+		}
+		w.visitTree(s, s.Cond)
+		base := w.env
+		w.env = cloneEnv(base)
+		w.walkStmt(s.Body)
+		thenOut := w.env
+		w.env = cloneEnv(base)
+		if s.Else != nil {
+			w.walkStmt(s.Else)
+		}
+		w.env = joinEnv(thenOut, w.env)
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init)
+		}
+		// Everything assigned anywhere in the loop is unknown on entry to
+		// any iteration — and stays unknown after the loop, whose body may
+		// have run zero or many times.
+		w.invalidate(w.assignedIn(s))
+		base := cloneEnv(w.env)
+		if s.Cond != nil {
+			w.visitTree(s, s.Cond)
+		}
+		w.walkStmt(s.Body)
+		if s.Post != nil {
+			w.walkStmt(s.Post)
+		}
+		w.env = base
+
+	case *ast.RangeStmt:
+		w.visitTree(s, s.X, s.Key, s.Value)
+		w.invalidate(w.assignedIn(s))
+		base := cloneEnv(w.env)
+		w.walkStmt(s.Body)
+		w.env = base
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init)
+		}
+		if s.Tag != nil {
+			w.visitTree(s, s.Tag)
+		}
+		w.invalidate(w.assignedIn(s.Body))
+		base := w.env
+		for _, c := range s.Body.List {
+			cc, ok := c.(*ast.CaseClause)
+			if !ok {
+				continue
+			}
+			w.env = cloneEnv(base)
+			w.visitTree(cc, cc.List...)
+			for _, st := range cc.Body {
+				w.walkStmt(st)
+			}
+		}
+		w.env = base
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init)
+		}
+		w.walkStmt(s.Assign)
+		w.invalidate(w.assignedIn(s.Body))
+		base := w.env
+		for _, c := range s.Body.List {
+			cc, ok := c.(*ast.CaseClause)
+			if !ok {
+				continue
+			}
+			w.env = cloneEnv(base)
+			for _, st := range cc.Body {
+				w.walkStmt(st)
+			}
+		}
+		w.env = base
+
+	case *ast.SelectStmt:
+		w.invalidate(w.assignedIn(s.Body))
+		base := w.env
+		for _, c := range s.Body.List {
+			cc, ok := c.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			w.env = cloneEnv(base)
+			if cc.Comm != nil {
+				w.walkStmt(cc.Comm)
+			}
+			for _, st := range cc.Body {
+				w.walkStmt(st)
+			}
+		}
+		w.env = base
+
+	case *ast.LabeledStmt:
+		w.walkStmt(s.Stmt)
+	}
+}
+
+// compoundOp maps an op= token to its binary operator.
+func compoundOp(tok token.Token) token.Token {
+	switch tok {
+	case token.ADD_ASSIGN:
+		return token.ADD
+	case token.SUB_ASSIGN:
+		return token.SUB
+	case token.MUL_ASSIGN:
+		return token.MUL
+	case token.QUO_ASSIGN:
+		return token.QUO
+	case token.REM_ASSIGN:
+		return token.REM
+	case token.AND_ASSIGN:
+		return token.AND
+	case token.OR_ASSIGN:
+		return token.OR
+	case token.XOR_ASSIGN:
+		return token.XOR
+	case token.SHL_ASSIGN:
+		return token.SHL
+	case token.SHR_ASSIGN:
+		return token.SHR
+	case token.AND_NOT_ASSIGN:
+		return token.AND_NOT
+	}
+	return token.ILLEGAL
+}

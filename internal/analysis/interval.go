@@ -1,0 +1,448 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"math"
+	"strconv"
+)
+
+// This file is the value-range half of the flow-sensitive dataflow engine
+// (flow.go walks the statements): a small interval domain over int64 with
+// saturating endpoints. MinInt64/MaxInt64 double as -inf/+inf — any
+// computation that reaches them stays there, which conflates "exactly
+// MaxInt64" with "unbounded", a deliberately one-sided loss: an interval
+// can only ever be wider than the true value set, never narrower, so a
+// Fits16 verdict is trustworthy and a non-verdict is merely conservative.
+
+const (
+	negInf = math.MinInt64
+	posInf = math.MaxInt64
+)
+
+// Interval is an inclusive signed value range. The zero value is [0, 0].
+type Interval struct {
+	Lo, Hi int64
+}
+
+// Top is the unbounded interval.
+var Top = Interval{negInf, posInf}
+
+// String renders the interval with explicit infinities, e.g. "[0, 65535]"
+// or "[-inf, 131071]".
+func (iv Interval) String() string {
+	lo, hi := "-inf", "+inf"
+	if iv.Lo != negInf {
+		lo = strconv.FormatInt(iv.Lo, 10)
+	}
+	if iv.Hi != posInf {
+		hi = strconv.FormatInt(iv.Hi, 10)
+	}
+	return "[" + lo + ", " + hi + "]"
+}
+
+// Join is the smallest interval containing both operands.
+func (iv Interval) Join(o Interval) Interval {
+	if o.Lo < iv.Lo {
+		iv.Lo = o.Lo
+	}
+	if o.Hi > iv.Hi {
+		iv.Hi = o.Hi
+	}
+	return iv
+}
+
+// Fits16 reports whether every value of the interval is representable in
+// one 16-bit bus word, unsigned ([0, 0xFFFF]) or signed ([-0x8000,
+// 0x7FFF]) — the truncation guarantee the regwidth invariant asks for.
+func (iv Interval) Fits16() bool {
+	if iv.Lo >= 0 && iv.Hi <= 0xFFFF {
+		return true
+	}
+	return iv.Lo >= -0x8000 && iv.Hi <= 0x7FFF
+}
+
+// contains reports whether o lies entirely within iv.
+func (iv Interval) contains(o Interval) bool {
+	return iv.Lo <= o.Lo && o.Hi <= iv.Hi
+}
+
+// nonNeg reports a provably non-negative interval.
+func (iv Interval) nonNeg() bool { return iv.Lo >= 0 }
+
+// ---------------------------------------------------------------------------
+// Saturating scalar arithmetic. Endpoint infinities are sticky.
+
+func isInfinity(a int64) bool { return a == negInf || a == posInf }
+
+func satAdd(a, b int64) int64 {
+	if isInfinity(a) {
+		return a
+	}
+	if isInfinity(b) {
+		return b
+	}
+	s := a + b
+	switch {
+	case a > 0 && b > 0 && s <= 0:
+		return posInf
+	case a < 0 && b < 0 && s >= 0:
+		return negInf
+	}
+	return s
+}
+
+func satMul(a, b int64) int64 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	if isInfinity(a) || isInfinity(b) {
+		if (a > 0) == (b > 0) {
+			return posInf
+		}
+		return negInf
+	}
+	p := a * b
+	if p/b != a {
+		if (a > 0) == (b > 0) {
+			return posInf
+		}
+		return negInf
+	}
+	return p
+}
+
+func satShl(a int64, s uint) int64 {
+	if a == 0 {
+		return 0
+	}
+	if isInfinity(a) || s >= 63 {
+		if a > 0 {
+			return posInf
+		}
+		return negInf
+	}
+	r := a << s
+	if r>>s != a {
+		if a > 0 {
+			return posInf
+		}
+		return negInf
+	}
+	return r
+}
+
+func satNeg(a int64) int64 {
+	switch a {
+	case negInf:
+		return posInf
+	case posInf:
+		return negInf
+	}
+	return -a
+}
+
+// ---------------------------------------------------------------------------
+// Interval arithmetic.
+
+func addIv(a, b Interval) Interval { return Interval{satAdd(a.Lo, b.Lo), satAdd(a.Hi, b.Hi)} }
+
+func subIv(a, b Interval) Interval {
+	return Interval{satAdd(a.Lo, satNeg(b.Hi)), satAdd(a.Hi, satNeg(b.Lo))}
+}
+
+func negIv(a Interval) Interval { return Interval{satNeg(a.Hi), satNeg(a.Lo)} }
+
+func mulIv(a, b Interval) Interval {
+	c := [4]int64{
+		satMul(a.Lo, b.Lo), satMul(a.Lo, b.Hi),
+		satMul(a.Hi, b.Lo), satMul(a.Hi, b.Hi),
+	}
+	out := Interval{c[0], c[0]}
+	for _, v := range c[1:] {
+		if v < out.Lo {
+			out.Lo = v
+		}
+		if v > out.Hi {
+			out.Hi = v
+		}
+	}
+	return out
+}
+
+// andIv models x & y. A non-negative operand bounds the result above and
+// the result of AND on non-negatives is never negative.
+func andIv(a, b Interval) Interval {
+	switch {
+	case a.nonNeg() && b.nonNeg():
+		hi := a.Hi
+		if b.Hi < hi {
+			hi = b.Hi
+		}
+		return Interval{0, hi}
+	case a.nonNeg():
+		return Interval{0, a.Hi}
+	case b.nonNeg():
+		return Interval{0, b.Hi}
+	}
+	return Top
+}
+
+// andNotIv models x &^ y: clearing bits of a non-negative x only shrinks
+// it.
+func andNotIv(a, b Interval) Interval {
+	if a.nonNeg() {
+		return Interval{0, a.Hi}
+	}
+	return Top
+}
+
+// orXorIv models x | y and x ^ y on non-negative operands: the result
+// cannot exceed the next all-ones value covering both.
+func orXorIv(a, b Interval) Interval {
+	if !a.nonNeg() || !b.nonNeg() {
+		return Top
+	}
+	hi := a.Hi
+	if b.Hi > hi {
+		hi = b.Hi
+	}
+	if hi == posInf {
+		return Interval{0, posInf}
+	}
+	// Round up to 2^k-1 >= hi.
+	mask := int64(1)
+	for mask-1 < hi && mask > 0 {
+		mask <<= 1
+	}
+	if mask <= 0 {
+		return Interval{0, posInf}
+	}
+	return Interval{0, mask - 1}
+}
+
+func shlIv(a, s Interval) Interval {
+	if !a.nonNeg() || !s.nonNeg() || s.Hi >= 64 || isInfinity(s.Hi) {
+		return Top
+	}
+	return Interval{satShl(a.Lo, uint(s.Lo)), satShl(a.Hi, uint(s.Hi))}
+}
+
+func shrIv(a, s Interval) Interval {
+	if !a.nonNeg() || !s.nonNeg() || isInfinity(s.Hi) {
+		return Top
+	}
+	hi := a.Hi
+	if !isInfinity(hi) && s.Lo < 64 {
+		hi = hi >> uint(s.Lo)
+	}
+	lo := int64(0)
+	if !isInfinity(a.Lo) && s.Hi < 64 {
+		lo = a.Lo >> uint(s.Hi)
+	}
+	return Interval{lo, hi}
+}
+
+// remIv models x % y for a provably positive (or negative) divisor: the
+// remainder takes the dividend's sign and its magnitude stays below the
+// divisor's.
+func remIv(a, b Interval) Interval {
+	var dmax int64
+	switch {
+	case b.Lo > 0:
+		dmax = b.Hi
+	case b.Hi < 0:
+		dmax = satNeg(b.Lo)
+	default:
+		return Top // divisor range spans 0: could panic, no bound claimed
+	}
+	if isInfinity(dmax) {
+		dmax = posInf
+	}
+	hi := satAdd(dmax, -1)
+	// The remainder's magnitude is also bounded by the dividend's.
+	if a.nonNeg() {
+		if !isInfinity(a.Hi) && a.Hi < hi {
+			hi = a.Hi
+		}
+		return Interval{0, hi}
+	}
+	return Interval{satNeg(hi), hi}
+}
+
+// quoIv models x / y for a divisor interval that excludes zero.
+func quoIv(a, b Interval) Interval {
+	if b.Lo <= 0 && b.Hi >= 0 {
+		return Top
+	}
+	if isInfinity(a.Lo) || isInfinity(a.Hi) || isInfinity(b.Lo) || isInfinity(b.Hi) {
+		// Corner arithmetic on infinities: only the easy, common case of
+		// a non-negative dividend and positive divisor is kept precise.
+		if a.nonNeg() && b.Lo > 0 {
+			return Interval{0, a.Hi} // |x/y| <= |x| for y >= 1
+		}
+		return Top
+	}
+	c := [4]int64{a.Lo / b.Lo, a.Lo / b.Hi, a.Hi / b.Lo, a.Hi / b.Hi}
+	out := Interval{c[0], c[0]}
+	for _, v := range c[1:] {
+		if v < out.Lo {
+			out.Lo = v
+		}
+		if v > out.Hi {
+			out.Hi = v
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Types.
+
+// typeInterval is the full value range of an integer type — the fallback
+// when nothing better is known. int/uint and the 64-bit types saturate.
+func typeInterval(t types.Type) Interval {
+	if t == nil {
+		return Top
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return Top
+	}
+	switch b.Kind() {
+	case types.Bool, types.UntypedBool:
+		return Interval{0, 1}
+	case types.Int8:
+		return Interval{math.MinInt8, math.MaxInt8}
+	case types.Int16:
+		return Interval{math.MinInt16, math.MaxInt16}
+	case types.Int32:
+		return Interval{math.MinInt32, math.MaxInt32}
+	case types.Uint8:
+		return Interval{0, math.MaxUint8}
+	case types.Uint16:
+		return Interval{0, math.MaxUint16}
+	case types.Uint32:
+		return Interval{0, math.MaxUint32}
+	case types.Uint, types.Uint64, types.Uintptr:
+		return Interval{0, posInf}
+	default:
+		return Top
+	}
+}
+
+// fitToType wraps an interval into a type's range: a value set that fits
+// is preserved, anything else wraps in ways the domain cannot follow, so
+// the whole type range is the honest answer.
+func fitToType(iv Interval, t types.Type) Interval {
+	r := typeInterval(t)
+	if r.contains(iv) {
+		return iv
+	}
+	return r
+}
+
+// ---------------------------------------------------------------------------
+// Expression evaluation.
+
+// Evaluator computes value intervals for expressions under an
+// environment of per-variable refinements maintained by the flow walker
+// (flow.go). A zero environment — NewEvaluator — still folds constants,
+// type ranges and arithmetic; the flow walker adds what assignments and
+// branches prove. Every answer is conservative: the true value set of the
+// expression is contained in the returned interval.
+type Evaluator struct {
+	info *types.Info
+	env  map[types.Object]Interval
+}
+
+// NewEvaluator returns an evaluator with no variable refinements, for
+// contexts without statement flow (package-level initializers).
+func NewEvaluator(info *types.Info) *Evaluator {
+	return &Evaluator{info: info}
+}
+
+// Eval returns a conservative interval for e.
+func (ev *Evaluator) Eval(e ast.Expr) Interval {
+	// The type checker already folded constants — including untyped
+	// constant arithmetic — so trust it first.
+	if tv, ok := ev.info.Types[e]; ok && tv.Value != nil {
+		if c := constant.ToInt(tv.Value); c.Kind() == constant.Int {
+			if v, exact := constant.Int64Val(c); exact {
+				return Interval{v, v}
+			}
+			if constant.Sign(c) >= 0 {
+				return Interval{posInf, posInf} // >= MaxInt64
+			}
+			return Interval{negInf, negInf} // <= MinInt64
+		}
+	}
+
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		return ev.Eval(e.X)
+
+	case *ast.Ident:
+		if obj := ev.info.ObjectOf(e); obj != nil {
+			if iv, ok := ev.env[obj]; ok {
+				return iv
+			}
+			return typeInterval(obj.Type())
+		}
+
+	case *ast.CallExpr:
+		// A conversion preserves a fitting value and wraps otherwise;
+		// any other call yields no more than its result type's range.
+		if tv, ok := ev.info.Types[e.Fun]; ok && tv.IsType() && len(e.Args) == 1 {
+			return fitToType(ev.Eval(e.Args[0]), tv.Type)
+		}
+
+	case *ast.UnaryExpr:
+		switch e.Op {
+		case token.ADD:
+			return ev.Eval(e.X)
+		case token.SUB:
+			return fitToType(negIv(ev.Eval(e.X)), ev.info.TypeOf(e))
+		case token.NOT:
+			return Interval{0, 1}
+		}
+
+	case *ast.BinaryExpr:
+		return ev.evalBinary(e.Op, ev.Eval(e.X), ev.Eval(e.Y), ev.info.TypeOf(e))
+	}
+	return typeInterval(ev.info.TypeOf(e))
+}
+
+// evalBinary combines operand intervals under op, wrapped to the result
+// type rt (Go arithmetic wraps; saturation is only the domain's internal
+// representation).
+func (ev *Evaluator) evalBinary(op token.Token, x, y Interval, rt types.Type) Interval {
+	switch op {
+	case token.ADD:
+		return fitToType(addIv(x, y), rt)
+	case token.SUB:
+		return fitToType(subIv(x, y), rt)
+	case token.MUL:
+		return fitToType(mulIv(x, y), rt)
+	case token.QUO:
+		return fitToType(quoIv(x, y), rt)
+	case token.REM:
+		return fitToType(remIv(x, y), rt)
+	case token.AND:
+		return fitToType(andIv(x, y), rt)
+	case token.AND_NOT:
+		return fitToType(andNotIv(x, y), rt)
+	case token.OR, token.XOR:
+		return fitToType(orXorIv(x, y), rt)
+	case token.SHL:
+		return fitToType(shlIv(x, y), rt)
+	case token.SHR:
+		return fitToType(shrIv(x, y), rt)
+	case token.EQL, token.NEQ, token.LSS, token.LEQ, token.GTR, token.GEQ,
+		token.LAND, token.LOR:
+		return Interval{0, 1}
+	}
+	return typeInterval(rt)
+}

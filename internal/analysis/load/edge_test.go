@@ -1,0 +1,94 @@
+package load
+
+import (
+	"strings"
+	"testing"
+)
+
+// edgeLoader resolves the committed edge-case packages under
+// testdata/src, the same overlay layout the golden-file tests use.
+func edgeLoader() *Loader {
+	return NewTestdataLoader("testdata/src")
+}
+
+// TestBuildConstrainedFileExcluded proves the loader honours build
+// constraints: constrained/excluded.go carries //go:build never_tag and a
+// body that does not even parse, so any attempt to read it would fail
+// loudly.
+func TestBuildConstrainedFileExcluded(t *testing.T) {
+	targets, err := edgeLoader().Load("constrained")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tgt := targets[0]
+	if len(tgt.Files) != 1 {
+		t.Fatalf("loaded %d files, want 1 (constraint not honoured)", len(tgt.Files))
+	}
+	if len(tgt.TypeErrors) != 0 {
+		t.Errorf("type errors: %v", tgt.TypeErrors)
+	}
+	if tgt.Pkg.Scope().Lookup("Kept") == nil {
+		t.Error("Kept missing from the buildable file")
+	}
+	if tgt.Pkg.Scope().Lookup("Excluded") != nil {
+		t.Error("Excluded leaked in from the constrained-out file")
+	}
+}
+
+// TestPrefixedFilesIgnored proves dot- and underscore-prefixed files are
+// invisible: both neighbours of prefixed/good.go hold text that is not Go.
+func TestPrefixedFilesIgnored(t *testing.T) {
+	targets, err := edgeLoader().Load("prefixed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tgt := targets[0]
+	if len(tgt.Files) != 1 {
+		t.Fatalf("loaded %d files, want 1 (prefixed files not skipped)", len(tgt.Files))
+	}
+	if len(tgt.TypeErrors) != 0 {
+		t.Errorf("type errors: %v", tgt.TypeErrors)
+	}
+	if tgt.Pkg.Scope().Lookup("Visible") == nil {
+		t.Error("Visible missing from the buildable file")
+	}
+}
+
+// TestLoadFullyConstrainedPackage: a package whose every file is excluded
+// by constraints must fail with a clear error, not a panic or an empty
+// package.
+func TestLoadFullyConstrainedPackage(t *testing.T) {
+	_, err := edgeLoader().Load("emptycons")
+	if err == nil {
+		t.Fatal("loading a fully constrained-out package must fail")
+	}
+	if !strings.Contains(err.Error(), "no buildable Go files") {
+		t.Errorf("error %q does not name the cause", err)
+	}
+}
+
+// TestImportOfSkippedPackage: a buildable package importing a fully
+// constrained-out one still yields best-effort syntax and types, with the
+// broken import surfaced as a soft type error naming the import.
+func TestImportOfSkippedPackage(t *testing.T) {
+	targets, err := edgeLoader().Load("withskipped")
+	if err != nil {
+		t.Fatalf("importing a skipped package must degrade softly, got hard error: %v", err)
+	}
+	tgt := targets[0]
+	if tgt.Pkg == nil {
+		t.Fatal("no best-effort package")
+	}
+	if len(tgt.TypeErrors) == 0 {
+		t.Fatal("the broken import must surface as a type error")
+	}
+	var named bool
+	for _, te := range tgt.TypeErrors {
+		if strings.Contains(te.Error(), "emptycons") {
+			named = true
+		}
+	}
+	if !named {
+		t.Errorf("type errors do not name the skipped import: %v", tgt.TypeErrors)
+	}
+}

@@ -1,0 +1,10 @@
+//go:build never_tag
+
+package constrained
+
+// Excluded must never be seen by the loader. If the never_tag constraint
+// were ignored, this file would both redeclare Kept (a hard type error)
+// and leak Excluded into the package scope — the edge test checks both.
+const Kept = 99
+
+const Excluded = UndefinedSymbol

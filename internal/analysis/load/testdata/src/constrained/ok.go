@@ -1,0 +1,7 @@
+// Package constrained has one buildable file and one excluded by a build
+// constraint; the loader must honour the constraint and never parse the
+// excluded file.
+package constrained
+
+// Kept is declared in the buildable file.
+const Kept = 1

@@ -1,0 +1,7 @@
+//go:build never_tag
+
+// Package emptycons has no buildable files at all: its only file is
+// excluded by a constraint, so importing it must fail cleanly.
+package emptycons
+
+const Nothing = 0

@@ -1,0 +1,1 @@
+dot-prefixed files are invisible to go/build; this is not Go at all.

@@ -1,0 +1,6 @@
+// Underscore-prefixed files are invisible to go/build. If this one were
+// included anyway, its clashing package clause would make ImportDir fail
+// with a multiple-package error.
+package wrongpackage
+
+var Visible = "shadow"

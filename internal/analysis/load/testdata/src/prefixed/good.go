@@ -1,0 +1,6 @@
+// Package prefixed sits next to an underscore-prefixed and a dot-prefixed
+// file, both of which go/build ignores entirely; only this file builds.
+package prefixed
+
+// Visible is declared in the only buildable file.
+var Visible = 2

@@ -1,0 +1,8 @@
+// Package withskipped imports a package whose files are all excluded by
+// build constraints; the loader must report that import cleanly instead of
+// crashing or silently typing the import as valid.
+package withskipped
+
+import "emptycons"
+
+var X = emptycons.Nothing

@@ -1,30 +1,38 @@
 // Package regwidth enforces the paper's 16-bit data-bus invariant: in
 // packages marked //trnglint:bus16, a value widened out of a 16-bit
 // register type (uint16/int16) may not flow through arithmetic unless the
-// result is explicitly truncated back — masked with a constant of at most
-// 0xFFFF, reduced mod 2^16, or converted to a ≤16-bit integer type. The
-// hardware block the model mirrors has no wider datapath, so an unmasked
-// widening computes a value the silicon cannot represent and silently
-// breaks the bit-exact equivalence between the structural and fast-path
-// models. Intentional wide arithmetic is waived in place with
-// //trnglint:widen <reason>.
+// computed result provably fits back on the bus. The hardware block the
+// model mirrors has no wider datapath, so an unmasked widening computes a
+// value the silicon cannot represent and silently breaks the bit-exact
+// equivalence between the structural and fast-path models.
+//
+// The proof is a flow-sensitive interval analysis (internal/analysis
+// FlowWalk/Evaluator), not a syntactic mask pattern: the analyzer climbs
+// from the widening arithmetic to the root of the value's expression tree
+// and evaluates the root's value interval under the variable refinements
+// the surrounding statements establish. `x & mask` discharges the finding
+// when mask's interval proves the result fits 16 bits — whether mask is a
+// literal, a variable assigned a small constant, or a branch join of
+// small constants — and fails to discharge when a loop, closure or
+// possibly-negative remainder leaves the range wide. Intentional wide
+// arithmetic is waived in place with //trnglint:widen <reason>; each
+// surviving waiver records the interval the engine computed for it.
 package regwidth
 
 import (
 	"go/ast"
-	"go/constant"
 	"go/token"
 	"go/types"
 
 	"repro/internal/analysis"
 )
 
-// Analyzer flags unmasked arithmetic on values widened from 16-bit
-// register types inside //trnglint:bus16 packages.
+// Analyzer flags arithmetic on values widened from 16-bit register types
+// whose result interval escapes the 16-bit bus range.
 var Analyzer = &analysis.Analyzer{
 	Name: "regwidth",
 	Doc: "flag arithmetic on values widened from 16-bit register types " +
-		"that escapes without an explicit & 0xFFFF (or equivalent) truncation",
+		"whose value interval escapes without a 16-bit truncation",
 	Run: run,
 }
 
@@ -45,27 +53,61 @@ var assignOps = map[token.Token]token.Token{
 	token.SHL_ASSIGN: token.SHL,
 }
 
+// valueOps are the binary operators through which the wide value keeps
+// flowing as a value — the climb toward the escape root passes them and
+// lets the interval of the whole decide.
+var valueOps = map[token.Token]bool{
+	token.ADD: true, token.SUB: true, token.MUL: true, token.QUO: true,
+	token.REM: true, token.AND: true, token.OR: true, token.XOR: true,
+	token.AND_NOT: true, token.SHL: true, token.SHR: true,
+}
+
 func run(pass *analysis.Pass) (any, error) {
 	if !pass.Directives.HasMarker("bus16") {
 		return nil, nil
 	}
+	visit := func(n ast.Node, stack []ast.Node, ev *analysis.Evaluator) bool {
+		switch n := n.(type) {
+		case *ast.BinaryExpr:
+			checkBinary(pass, n, stack, ev)
+		case *ast.AssignStmt:
+			checkAssign(pass, n)
+		}
+		return true
+	}
 	for _, f := range pass.Files {
-		analysis.WithStack(f, func(n ast.Node, stack []ast.Node) bool {
-			switch n := n.(type) {
-			case *ast.BinaryExpr:
-				checkBinary(pass, n, stack)
-			case *ast.AssignStmt:
-				checkAssign(pass, n)
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if d.Body != nil {
+					analysis.FlowWalk(pass.Pkg, pass.TypesInfo, d.Body, visit)
+				}
+			case *ast.GenDecl:
+				// Package-level initializers carry no statement flow;
+				// evaluate under the empty environment (constants and
+				// type ranges still fold).
+				ev := analysis.NewEvaluator(pass.TypesInfo)
+				for _, spec := range d.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					for _, v := range vs.Values {
+						analysis.WithStack(v, func(n ast.Node, stack []ast.Node) bool {
+							visit(n, stack, ev)
+							return true
+						})
+					}
+				}
 			}
-			return true
-		})
+		}
 	}
 	return nil, nil
 }
 
-// checkBinary flags `... wide(narrow16) op ...` whose result escapes the
-// expression tree unmasked.
-func checkBinary(pass *analysis.Pass, be *ast.BinaryExpr, stack []ast.Node) {
+// checkBinary flags `... wide(narrow16) op ...` whose escape-root value
+// interval does not fit back into 16 bits.
+func checkBinary(pass *analysis.Pass, be *ast.BinaryExpr, stack []ast.Node, ev *analysis.Evaluator) {
 	if !arithOps[be.Op] || !isWideInt(pass.TypeOf(be)) {
 		return
 	}
@@ -76,18 +118,20 @@ func checkBinary(pass *analysis.Pass, be *ast.BinaryExpr, stack []ast.Node) {
 	if conv == nil {
 		return
 	}
-	if maskedAbove(pass, stack) {
+	iv := ev.Eval(escapeRoot(pass, stack))
+	if iv.Fits16() {
 		return
 	}
 	pass.Reportf(conv.Pos(),
-		"%s arithmetic on a value widened from %s escapes without a 16-bit truncation; "+
-			"the paper's bus is 16 bits wide — mask with & 0xFFFF or waive with //trnglint:widen <reason>",
-		pass.TypeOf(be), pass.TypeOf(conv.Args[0]))
+		"%s arithmetic on a value widened from %s escapes without a 16-bit truncation "+
+			"(value interval %s); the paper's bus is 16 bits wide — mask with & 0xFFFF "+
+			"or waive with //trnglint:widen <reason>",
+		pass.TypeOf(be), pass.TypeOf(conv.Args[0]), iv)
 }
 
-// checkAssign flags `wide op= wide(narrow16)` compound assignments: the
-// accumulator itself is wider than the bus, so no later mask can appear
-// in the same expression.
+// checkAssign flags `wide op= wide(narrow16)` compound assignments
+// unconditionally: the accumulator is loop-carried state wider than the
+// bus, so no straight-line interval can bound what it accumulates.
 func checkAssign(pass *analysis.Pass, as *ast.AssignStmt) {
 	op, ok := assignOps[as.Tok]
 	if !ok || !arithOps[op] || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
@@ -124,59 +168,39 @@ func wideningOperand(pass *analysis.Pass, e ast.Expr) *ast.CallExpr {
 	return call
 }
 
-// maskedAbove reports whether some ancestor of the flagged expression —
-// still within the same expression tree — truncates the result back to
-// 16 bits: `expr & c` with c ≤ 0xFFFF, `expr % c` with c ≤ 0x10000, or a
-// conversion to a ≤16-bit integer type. The climb stops at the first
-// non-expression ancestor: once the wide value reaches a statement, call
-// argument or index unmasked, it has escaped.
-func maskedAbove(pass *analysis.Pass, stack []ast.Node) bool {
-	// stack[len-1] is the flagged BinaryExpr itself.
+// escapeRoot climbs from the flagged expression (stack's last node)
+// through the ancestors that keep its result flowing as a value — parens,
+// sign/complement unaries, value-op binaries and integer conversions —
+// and returns the outermost such expression: the last point where a
+// truncation could still act before the value escapes into a statement,
+// call argument or index.
+func escapeRoot(pass *analysis.Pass, stack []ast.Node) ast.Expr {
+	root := stack[len(stack)-1].(ast.Expr)
 	for i := len(stack) - 2; i >= 0; i-- {
 		switch parent := stack[i].(type) {
 		case *ast.ParenExpr:
-			continue
+			root = parent
 		case *ast.UnaryExpr:
-			continue
+			if parent.Op != token.ADD && parent.Op != token.SUB && parent.Op != token.XOR {
+				return root
+			}
+			root = parent
 		case *ast.BinaryExpr:
-			if truncatingBinary(pass, parent) {
-				return true
+			if !valueOps[parent.Op] {
+				return root
 			}
-			// Any other binary op keeps the value inside the expression;
-			// a mask further up still truncates everything below it.
-			continue
+			root = parent
 		case *ast.CallExpr:
-			// A conversion back to a narrow integer type truncates.
-			if tv, ok := pass.TypesInfo.Types[parent.Fun]; ok && tv.IsType() {
-				if isNarrowIntOrSmaller(tv.Type) {
-					return true
-				}
+			tv, ok := pass.TypesInfo.Types[parent.Fun]
+			if !ok || !tv.IsType() {
+				return root
 			}
-			return false
+			root = parent
 		default:
-			return false
+			return root
 		}
 	}
-	return false
-}
-
-func truncatingBinary(pass *analysis.Pass, be *ast.BinaryExpr) bool {
-	switch be.Op {
-	case token.AND:
-		return constAtMost(pass, be.X, 0xFFFF) || constAtMost(pass, be.Y, 0xFFFF)
-	case token.REM:
-		return constAtMost(pass, be.Y, 0x10000)
-	}
-	return false
-}
-
-func constAtMost(pass *analysis.Pass, e ast.Expr, max int64) bool {
-	tv, ok := pass.TypesInfo.Types[e]
-	if !ok || tv.Value == nil {
-		return false
-	}
-	v, exact := constant.Int64Val(constant.ToInt(tv.Value))
-	return exact && v >= 0 && v <= max
+	return root
 }
 
 func isNarrow16(t types.Type) bool {
@@ -185,18 +209,6 @@ func isNarrow16(t types.Type) bool {
 		return false
 	}
 	return b.Kind() == types.Uint16 || b.Kind() == types.Int16
-}
-
-func isNarrowIntOrSmaller(t types.Type) bool {
-	b, ok := t.Underlying().(*types.Basic)
-	if !ok {
-		return false
-	}
-	switch b.Kind() {
-	case types.Uint16, types.Int16, types.Uint8, types.Int8:
-		return true
-	}
-	return false
 }
 
 func isWideInt(t types.Type) bool {

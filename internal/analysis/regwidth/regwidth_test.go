@@ -9,5 +9,5 @@ import (
 
 func TestRegwidth(t *testing.T) {
 	analysistest.Run(t, analysistest.TestData(), regwidth.Analyzer,
-		"bus16demo", "nomarker")
+		"bus16demo", "flowdemo", "nomarker")
 }

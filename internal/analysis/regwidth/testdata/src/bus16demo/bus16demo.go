@@ -9,14 +9,13 @@ import "busdep"
 // Reg is a named register type; its underlying uint16 is what matters.
 type Reg uint16
 
-func flagged(a, b uint16, r Reg) {
+func flagged(a, b uint16, r Reg, c int16) {
 	_ = int(a) + 1            // want `escapes without a 16-bit truncation`
 	_ = uint32(a) * uint32(b) // want `escapes without a 16-bit truncation`
 	_ = int64(a) - int64(b)   // want `escapes without a 16-bit truncation`
 	_ = uint(a) << 3          // want `escapes without a 16-bit truncation`
 	_ = uint32(r) + 1         // want `escapes without a 16-bit truncation`
-	var c int16
-	_ = int32(c) * 3 // want `escapes without a 16-bit truncation`
+	_ = int32(c) * 3          // want `escapes without a 16-bit truncation`
 }
 
 func flaggedCrossPackage() {

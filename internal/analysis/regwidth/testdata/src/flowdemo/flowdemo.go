@@ -1,0 +1,57 @@
+// Package flowdemo exercises the flow-sensitive half of the regwidth
+// analyzer: discharges and findings that depend on statement-level value
+// tracking, not on syntactic mask patterns.
+//
+//trnglint:bus16
+package flowdemo
+
+// discharged: the interval engine proves the escape root fits 16 bits
+// through variable refinements the old syntactic rule could not see.
+func discharged(a, b uint16, cond bool) {
+	mask := 0xFF
+	_ = (int(a) + 1) & mask // [0, 255]: fits
+
+	limit := 0x10000
+	_ = (int(a) + 3) % limit // non-negative dividend: [0, 65535] fits
+
+	m := 0xFF
+	if cond {
+		m = 0xFFF
+	}
+	_ = (int(a) * 3) & m // branch join m=[255, 4095]: result fits
+
+	var acc int // zero value, provably [0, 0]
+	_ = int(a) * acc
+
+	shifted := (uint32(a) << 2) & 0xFFFF // mask above the shift: fits
+	_ = shifted
+}
+
+// flagged: flow facts widen the interval past the bus and the finding
+// stands, with the computed interval in the message.
+func flagged(a, b uint16, k int, cond bool) {
+	s := 2
+	_ = uint32(a) << s // want `escapes without a 16-bit truncation \(value interval \[0, 262140\]\)`
+
+	// The old syntactic rule trusted `% 0x10000` blindly; a signed
+	// dividend makes the remainder negative, which a 16-bit unsigned bus
+	// word cannot carry.
+	_ = (int(a) - int(b)) % 0x10000 // want `escapes without a 16-bit truncation \(value interval \[-65535, 65535\]\)`
+
+	m := 0xFF
+	for i := 0; i < k; i++ {
+		m = k // loop body invalidates the refinement
+	}
+	_ = (int(a) + 1) & m // want `escapes without a 16-bit truncation`
+
+	n := 0xFF
+	bump := func() { n = 1 << 20 } // closure assignment: never refined
+	bump()
+	_ = (int(a) + 1) & n // want `escapes without a 16-bit truncation`
+
+	big := 0xFF
+	if cond {
+		big = 1 << 20
+	}
+	_ = (int(a) * int(a)) & big // want `escapes without a 16-bit truncation`
+}

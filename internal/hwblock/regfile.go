@@ -154,7 +154,7 @@ func (rf *RegFile) ReadValue(name string) (value uint64, busReads int, err error
 		return 0, 0, fmt.Errorf("hwblock: no register named %q", name)
 	}
 	for w := 0; w < e.Words; w++ {
-		//trnglint:widen word-by-word readout reassembly: every operand is one 16-bit bus word, shifted to its word lane
+		//trnglint:widen word-by-word readout reassembly: every operand is one 16-bit bus word, shifted to its word lane; interval [0, +inf] (the lane shift is loop-carried)
 		value |= uint64(rf.ReadWord(e.Addr+w)) << uint(w*WordBits)
 	}
 	if e.Width < 64 {

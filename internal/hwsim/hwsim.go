@@ -35,6 +35,30 @@ func (r *Resources) Add(r2 Resources) {
 	r.LUTs += r2.LUTs
 }
 
+// PrimInfo is the structural identity of one primitive: what kind of
+// element it is, its instance name, and its declared geometry. The
+// designlint checker consumes this inventory to prove the paper's width
+// and sharing constraints statically, without clocking the netlist.
+type PrimInfo struct {
+	// Kind is the primitive family: "counter", "updown", "register",
+	// "minmax", "max", "shiftreg", "cmp" or "bank".
+	Kind string
+	// Name is the instance name passed at construction.
+	Name string
+	// Width is the storage/compare width in bits per lane (the stage
+	// count for a shift register).
+	Width int
+	// Lanes is the number of parallel storage elements: the counter
+	// count of a bank, 1 for everything else.
+	Lanes int
+}
+
+// Described is implemented by every primitive in this package; it exposes
+// the structural identity designlint checks against the paper's tables.
+type Described interface {
+	Info() PrimInfo
+}
+
 // Primitive is anything that occupies hardware resources.
 type Primitive interface {
 	// PrimName identifies the primitive instance within its netlist.

@@ -31,6 +31,11 @@ func NewCounter(nl *Netlist, name string, max uint64) *Counter {
 // PrimName implements Primitive.
 func (c *Counter) PrimName() string { return fmt.Sprintf("counter %s[%d]", c.name, c.width) }
 
+// Info implements Described.
+func (c *Counter) Info() PrimInfo {
+	return PrimInfo{Kind: "counter", Name: c.name, Width: c.width, Lanes: 1}
+}
+
 // Resources implements Primitive: one FF per bit plus roughly one LUT per
 // bit of increment logic (Spartan-6 packs the carry chain efficiently; the
 // constant is calibrated in area.go's slice model, not here).
@@ -84,6 +89,11 @@ func (c *UpDownCounter) PrimName() string {
 	return fmt.Sprintf("updown %s[%d]", c.name, c.width)
 }
 
+// Info implements Described.
+func (c *UpDownCounter) Info() PrimInfo {
+	return PrimInfo{Kind: "updown", Name: c.name, Width: c.width, Lanes: 1}
+}
+
 // Resources implements Primitive: an up/down counter needs an adder that
 // can add ±1, slightly more logic than a pure incrementer.
 func (c *UpDownCounter) Resources() Resources {
@@ -126,6 +136,11 @@ func NewRegister(nl *Netlist, name string, max uint64) *Register {
 // PrimName implements Primitive.
 func (r *Register) PrimName() string { return fmt.Sprintf("reg %s[%d]", r.name, r.width) }
 
+// Info implements Described.
+func (r *Register) Info() PrimInfo {
+	return PrimInfo{Kind: "register", Name: r.name, Width: r.width, Lanes: 1}
+}
+
 // Resources implements Primitive: mostly storage; the load-enable decode
 // and input routing cost a fraction of a LUT per bit.
 func (r *Register) Resources() Resources {
@@ -163,6 +178,11 @@ func NewMinMaxTracker(nl *Netlist, name string, maxAbs uint64) *MinMaxTracker {
 // PrimName implements Primitive.
 func (t *MinMaxTracker) PrimName() string {
 	return fmt.Sprintf("minmax %s[%d]", t.name, t.width)
+}
+
+// Info implements Described.
+func (t *MinMaxTracker) Info() PrimInfo {
+	return PrimInfo{Kind: "minmax", Name: t.name, Width: t.width, Lanes: 1}
 }
 
 // Resources implements Primitive: two registers plus two comparators
@@ -212,6 +232,11 @@ func NewMaxTracker(nl *Netlist, name string, maxVal uint64) *MaxTracker {
 // PrimName implements Primitive.
 func (t *MaxTracker) PrimName() string { return fmt.Sprintf("max %s[%d]", t.name, t.width) }
 
+// Info implements Described.
+func (t *MaxTracker) Info() PrimInfo {
+	return PrimInfo{Kind: "max", Name: t.name, Width: t.width, Lanes: 1}
+}
+
 // Resources implements Primitive: register plus comparator.
 func (t *MaxTracker) Resources() Resources {
 	return Resources{FFs: t.width, LUTs: t.width/3 + t.width/2}
@@ -256,6 +281,11 @@ func NewShiftReg(nl *Netlist, name string, length int) *ShiftReg {
 
 // PrimName implements Primitive.
 func (s *ShiftReg) PrimName() string { return fmt.Sprintf("shiftreg %s[%d]", s.name, s.len) }
+
+// Info implements Described.
+func (s *ShiftReg) Info() PrimInfo {
+	return PrimInfo{Kind: "shiftreg", Name: s.name, Width: s.len, Lanes: 1}
+}
 
 // Resources implements Primitive: one FF per stage; shifting is wiring.
 func (s *ShiftReg) Resources() Resources { return Resources{FFs: s.len} }
@@ -304,6 +334,11 @@ func NewEqComparator(nl *Netlist, name string, width int) *EqComparator {
 // PrimName implements Primitive.
 func (c *EqComparator) PrimName() string { return fmt.Sprintf("cmp %s[%d]", c.name, c.width) }
 
+// Info implements Described.
+func (c *EqComparator) Info() PrimInfo {
+	return PrimInfo{Kind: "cmp", Name: c.name, Width: c.width, Lanes: 1}
+}
+
 // Resources implements Primitive: a w-bit equality against a constant fits
 // in ~w/6 LUT6s plus a small AND tree.
 func (c *EqComparator) Resources() Resources { return Resources{LUTs: c.width/6 + 1} }
@@ -338,6 +373,11 @@ func NewCounterBank(nl *Netlist, name string, n int, max uint64) *CounterBank {
 // PrimName implements Primitive.
 func (b *CounterBank) PrimName() string {
 	return fmt.Sprintf("bank %s[%dx%d]", b.name, b.n, b.width)
+}
+
+// Info implements Described.
+func (b *CounterBank) Info() PrimInfo {
+	return PrimInfo{Kind: "bank", Name: b.name, Width: b.width, Lanes: b.n}
 }
 
 // Resources implements Primitive: n·width FFs. Synthesis tools implement

@@ -431,7 +431,7 @@ func encode(in *asmInst, labels map[string]uint16) ([]uint16, error) {
 		if err != nil {
 			return nil, err
 		}
-		//trnglint:widen the assembler computes the signed jump offset host-side; it is range-checked to the ±512-word encodable window immediately below
+		//trnglint:widen the assembler computes the signed jump offset host-side; interval [-inf, +inf] (label targets are int64), range-checked to the ±512-word encodable window immediately below
 		off := (int(target) - int(in.addr) - 2) / 2
 		if off < -512 || off > 511 {
 			return nil, fmt.Errorf("jump target out of range (offset %d words)", off)

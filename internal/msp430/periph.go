@@ -48,12 +48,12 @@ func (m *Multiplier) WriteWord(addr uint16, v uint16) {
 		m.signed = true
 	case MulOP2:
 		if m.signed {
-			//trnglint:widen the MSP430 hardware multiplier's RESLO/RESHI result register pair is genuinely 32 bits wide in silicon
+			//trnglint:widen the MSP430 hardware multiplier's RESLO/RESHI result register pair is genuinely 32 bits wide in silicon; interval [-1073709056, 1073741824] cannot fit one bus word
 			res := int32(int16(m.op1)) * int32(int16(v))
 			m.resLo = uint16(res)
 			m.resHi = uint16(uint32(res) >> 16)
 		} else {
-			//trnglint:widen the MSP430 hardware multiplier's RESLO/RESHI result register pair is genuinely 32 bits wide in silicon
+			//trnglint:widen the MSP430 hardware multiplier's RESLO/RESHI result register pair is genuinely 32 bits wide in silicon; interval [0, 4294836225] cannot fit one bus word
 			res := uint32(m.op1) * uint32(v)
 			m.resLo = uint16(res)
 			m.resHi = uint16(res >> 16)
