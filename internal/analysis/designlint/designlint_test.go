@@ -5,6 +5,8 @@ import (
 	"testing"
 
 	"repro/internal/design"
+	"repro/internal/hwblock"
+	"repro/internal/nist"
 )
 
 // TestShippedDesignsClean is the headline property: the eight shipped
@@ -63,6 +65,54 @@ func TestSpecCoversEveryPrimitive(t *testing.T) {
 			t.Errorf("%s: spec derives %d registers, map has %d",
 				d.Name, len(s.regs), len(d.Regs))
 		}
+	}
+}
+
+// TestSharedShiftRegWidestConsumer: with a serial window wider than the
+// template window, both the construction and the derived spec size the
+// shared pattern shift register for the serial consumer (it used to be
+// TemplateM unconditionally whenever tests 7/8 were present, leaving the
+// serial engine a window wider than the register).
+func TestSharedShiftRegWidestConsumer(t *testing.T) {
+	p := nist.RecommendedParams(128)
+	p.TemplateM = 4
+	p.TemplateB = 0b0001
+	p.SerialM = 5
+	cfg := hwblock.Config{Name: "n128-serialwide", N: 128, Tests: []int{7, 11, 12, 13}, Params: p}
+	b, err := hwblock.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Clock a full sequence through the structural path: the serial
+	// engine reads Window(SerialM), which panics if the register was
+	// sized for the narrower template consumer.
+	if err := b.SetPath(hwblock.CycleAccurate); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < cfg.N; i++ {
+		if err := b.Clock(byte(i & 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d, err := design.FromBlock(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, prim := range d.Prims {
+		if prim.Name == "shared_pattern" {
+			found = true
+			if prim.Width != p.SerialM {
+				t.Errorf("shared_pattern is %d bits, want %d (the wider serial window)",
+					prim.Width, p.SerialM)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no shared_pattern primitive constructed")
+	}
+	for _, f := range Check(d) {
+		t.Errorf("%s", f)
 	}
 }
 

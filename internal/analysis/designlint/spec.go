@@ -143,11 +143,16 @@ func specFor(d *design.Design) (*designSpec, error) {
 	}
 
 	// The pattern tests share ONE shift register, sized for the widest
-	// consumer: the template tests (7/8) need TemplateM stages, the
-	// serial/ApEn pair only SerialM.
+	// implemented consumer: the template tests (7/8) need TemplateM
+	// stages, the serial/ApEn pair SerialM — whichever is larger wins,
+	// since a register narrower than any consumer's window cannot serve
+	// it.
 	if d.Has(7) || d.Has(8) || d.Has(11) || d.Has(12) {
-		width := p.SerialM
-		if d.Has(7) || d.Has(8) {
+		width := 0
+		if d.Has(11) || d.Has(12) {
+			width = p.SerialM
+		}
+		if (d.Has(7) || d.Has(8)) && p.TemplateM > width {
 			width = p.TemplateM
 		}
 		addPrim("shared_pattern", "shiftreg", width, 1)

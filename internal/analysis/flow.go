@@ -77,6 +77,22 @@ func (w *flowWalker) prescan(body *ast.BlockStmt) {
 					}
 				}
 			}
+		case *ast.SelectorExpr:
+			// A pointer-receiver method call or method value takes the
+			// receiver's address implicitly: m.widen() can mutate m
+			// exactly like (&m).widen() would, so the receiver is as
+			// untrustworthy as an explicitly address-taken variable.
+			if sel, ok := w.info.Selections[n]; ok && sel.Kind() == types.MethodVal {
+				recv := sel.Obj().Type().(*types.Signature).Recv()
+				_, ptrRecv := recv.Type().Underlying().(*types.Pointer)
+				if ptrRecv || sel.Indirect() {
+					if id, ok := ast.Unparen(n.X).(*ast.Ident); ok {
+						if obj := w.info.ObjectOf(id); obj != nil {
+							w.noRefine[obj] = true
+						}
+					}
+				}
+			}
 		case *ast.FuncLit:
 			for obj := range w.assignedIn(n) {
 				w.noRefine[obj] = true

@@ -344,6 +344,18 @@ func fitToType(iv Interval, t types.Type) Interval {
 	return r
 }
 
+// intLike reports whether t is a type the integer interval domain models
+// soundly: an integer or boolean basic type. Float, complex and string
+// expressions follow different arithmetic (1.0/2.0 is 0.5, not 0), so
+// they get no interval beyond Top.
+func intLike(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsInteger|types.IsBoolean) != 0
+}
+
 // ---------------------------------------------------------------------------
 // Expression evaluation.
 
@@ -378,6 +390,13 @@ func (ev *Evaluator) Eval(e ast.Expr) Interval {
 			}
 			return Interval{negInf, negInf} // <= MinInt64
 		}
+	}
+
+	// Structural evaluation applies integer semantics; a float expression
+	// walked that way would get unsound answers (quoIv says 1/2 = 0, not
+	// 0.5), so anything that isn't integer- or boolean-valued stops here.
+	if !intLike(ev.info.TypeOf(e)) {
+		return Top
 	}
 
 	switch e := e.(type) {
@@ -419,6 +438,9 @@ func (ev *Evaluator) Eval(e ast.Expr) Interval {
 // type rt (Go arithmetic wraps; saturation is only the domain's internal
 // representation).
 func (ev *Evaluator) evalBinary(op token.Token, x, y Interval, rt types.Type) Interval {
+	if !intLike(rt) {
+		return typeInterval(rt)
+	}
 	switch op {
 	case token.ADD:
 		return fitToType(addIv(x, y), rt)

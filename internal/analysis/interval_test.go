@@ -133,6 +133,9 @@ func sinkIntervals(t *testing.T, body string) []Interval {
 	src := fmt.Sprintf(`package p
 func sink(x int64) {}
 func helper() int { return 3 }
+type mint int
+func (m *mint) widen() { *m = 0x1FFFF }
+func (m mint) peek() int { return int(m) }
 func f(a, b uint16, k int, cond bool) {
 %s
 }`, body)
@@ -142,9 +145,10 @@ func f(a, b uint16, k int, cond bool) {
 		t.Fatalf("parse: %v\n%s", err, src)
 	}
 	info := &types.Info{
-		Types: make(map[ast.Expr]types.TypeAndValue),
-		Defs:  make(map[*ast.Ident]types.Object),
-		Uses:  make(map[*ast.Ident]types.Object),
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
 	}
 	conf := types.Config{Importer: importer.Default()}
 	pkg, err := conf.Check("p", fset, []*ast.File{file}, info)
@@ -271,6 +275,59 @@ func TestFlowInvalidation(t *testing.T) {
 		if got[i] != want[i] {
 			t.Errorf("sink %d: got %v, want %v", i, got[i], want[i])
 		}
+	}
+}
+
+func TestFlowPointerReceiverInvalidates(t *testing.T) {
+	// A pointer-receiver method call (or method value) takes the
+	// receiver's address implicitly; the receiver must be treated like an
+	// explicitly address-taken variable, or a mutation such as *m=0x1FFFF
+	// inside widen() would leave a stale [255,255] refinement behind.
+	got := sinkIntervals(t, `
+	m := mint(255)
+	m.widen()
+	sink(int64(m)) // mutated through the implicit &m: never refined
+
+	g := mint(255)
+	w := g.widen
+	w()
+	sink(int64(g)) // method value captures &g: never refined
+
+	v := mint(255)
+	_ = v.peek()
+	sink(int64(v)) // value receiver copies v: refinement survives
+`)
+	intRange := typeInterval(types.Typ[types.Int])
+	want := []Interval{intRange, intRange, {255, 255}}
+	if len(got) != len(want) {
+		t.Fatalf("got %d sinks, want %d: %v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("sink %d: got %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestEvaluatorFloatExpressionsUnrefined(t *testing.T) {
+	// Integer interval arithmetic must never touch a float expression:
+	// quoIv would claim 1.0/2.0 = [0,0], and a mask derived from that
+	// float would falsely discharge a 16-bit escape.
+	got := sinkIntervals(t, `
+	f := 1.0 / 2.0
+	m := int(f * (1 << 18)) // really 131072: must not be refined to [0,0]
+	sink(int64(m))
+	sink(int64(int(a) * 17 & m))
+`)
+	intRange := typeInterval(types.Typ[types.Int])
+	if len(got) != 2 {
+		t.Fatalf("got %d sinks: %v", len(got), got)
+	}
+	if got[0] != intRange {
+		t.Errorf("float-derived value should stay at the type range, got %v", got[0])
+	}
+	if got[1].Fits16() {
+		t.Errorf("float-derived mask must not discharge a 16-bit escape: %v", got[1])
 	}
 }
 

@@ -110,9 +110,15 @@ func (d *Design) Clone() *Design {
 	return &c
 }
 
-// FromBlock extracts the model from a live block.
+// FromBlock extracts the model from a live block. It re-validates the
+// 7-bit address space so a consumer that only renders documentation
+// (cmd/regmapdoc) refuses an overflowing map even when designlint never
+// runs.
 func FromBlock(b *hwblock.Block) (*Design, error) {
 	cfg := b.Config()
+	if err := b.RegFile().CheckAddressSpace(); err != nil {
+		return nil, fmt.Errorf("design: %s: %w", cfg.Name, err)
+	}
 	d := &Design{
 		Name:     cfg.Name,
 		N:        cfg.N,

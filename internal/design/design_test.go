@@ -1,6 +1,7 @@
 package design
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/hwblock"
@@ -61,6 +62,27 @@ func TestModelMatchesRegFile(t *testing.T) {
 	}
 	if len(d.Prims) != len(b.Netlist().Primitives()) {
 		t.Errorf("%d model prims vs %d primitives", len(d.Prims), len(b.Netlist().Primitives()))
+	}
+}
+
+// TestFromBlockChecksAddressSpace: extraction refuses a register file
+// that outgrew the 7-bit address space, so regmapdoc-style consumers that
+// never run designlint cannot render an overflowing map.
+func TestFromBlockChecksAddressSpace(t *testing.T) {
+	cfg, err := hwblock.NewConfig(128, hwblock.Light)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := hwblock.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rf := b.RegFile()
+	for i := 0; rf.Words() <= 1<<AddressBits; i++ {
+		rf.Add(fmt.Sprintf("PAD_%d", i), 0, hwblock.WordBits, func() uint64 { return 0 })
+	}
+	if _, err := FromBlock(b); err == nil {
+		t.Fatal("FromBlock accepted a register file exceeding the address space")
 	}
 }
 

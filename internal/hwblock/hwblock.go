@@ -281,9 +281,14 @@ func New(cfg Config) (*Block, error) {
 		b.longestRun = e
 	}
 	if cfg.Has(7) || cfg.Has(8) || cfg.Has(11) || cfg.Has(12) {
-		// The shared shift register is sized for the widest consumer.
-		width := cfg.Params.SerialM
-		if cfg.Has(7) || cfg.Has(8) {
+		// The shared shift register is sized for the widest implemented
+		// consumer: TemplateM stages for the template tests, SerialM for
+		// the serial/ApEn window — either may be the larger one.
+		width := 0
+		if cfg.Has(11) || cfg.Has(12) {
+			width = cfg.Params.SerialM
+		}
+		if (cfg.Has(7) || cfg.Has(8)) && cfg.Params.TemplateM > width {
 			width = cfg.Params.TemplateM
 		}
 		b.shift = hwsim.NewShiftReg(b.nl, "shared_pattern", width)
