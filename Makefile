@@ -1,6 +1,6 @@
 # Mirrors .github/workflows/ci.yml so `make check` locally is the same
 # gate CI runs.
-.PHONY: check vet build test bench-smoke bench lint docs docs-check
+.PHONY: check vet build test bench-smoke bench lint docs docs-check soak
 
 check: build lint test bench-smoke
 
@@ -43,6 +43,20 @@ lint: vet
 
 bench-smoke:
 	go test -run='^$$' -bench=. -benchtime=1x ./...
+
+# soak is the race-enabled fleet chaos smoke: a short trngd run with every
+# defect class at once (fault-storming, biased and transient-flaky tenants
+# under the sampled-degradation shed policy, deadline sweeper armed) plus
+# monitor recycling across generations. trngd itself enforces the batch
+# accounting identity on every stream report and exits non-zero on a leak,
+# so this is a correctness gate, not just a does-it-crash check. Bounded
+# wall time: ~seconds.
+soak:
+	go run -race ./cmd/trngd -n 128 -variant light \
+		-streams 192 -words 48 -generations 2 -shards 8 -queue 64 \
+		-policy sample -sample-every 8 \
+		-faulty 0.25 -transient-rate 0.1 -biased 0.125 -bias 0.8 \
+		-stream-deadline 30s -sweep-every 25ms -seed 7
 
 # Full benchmark run, archived as machine-readable JSON (test2json framing
 # around the standard benchmark lines) for regression comparison.

@@ -90,11 +90,27 @@ type Monitor struct {
 // NewMonitor builds a monitor for the given design at level of
 // significance alpha.
 func NewMonitor(cfg hwblock.Config, alpha float64, opts ...sweval.Option) (*Monitor, error) {
-	block, err := hwblock.New(cfg)
+	cv, err := sweval.NewCriticalValues(cfg, alpha, opts...)
 	if err != nil {
 		return nil, err
 	}
-	cv, err := sweval.NewCriticalValues(cfg, alpha, opts...)
+	return NewMonitorWithValues(cfg, cv)
+}
+
+// NewMonitorWithValues builds a monitor around an already-derived set of
+// critical values. Deriving critical values is the expensive part of
+// monitor construction (special functions, PWL tables); a fleet that
+// instantiates thousands of monitors for one design derives them once and
+// shares the constants — they are read-only after construction, so sharing
+// is race-free.
+func NewMonitorWithValues(cfg hwblock.Config, cv *sweval.CriticalValues) (*Monitor, error) {
+	if cv == nil {
+		return nil, fmt.Errorf("core: nil critical values")
+	}
+	if got := cv.Config().Name; got != cfg.Name {
+		return nil, fmt.Errorf("core: critical values are for design %s, monitor is %s", got, cfg.Name)
+	}
+	block, err := hwblock.New(cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -106,14 +122,21 @@ func NewMonitor(cfg hwblock.Config, alpha float64, opts ...sweval.Option) (*Moni
 	}, nil
 }
 
-// Reset returns the monitor to its just-built state — hardware block,
-// sequence counter, bit counter and history — without reallocating the
-// block or re-deriving the critical values. Worker pools reuse one monitor
-// per goroutine across many independent trials this way.
+// Reset returns the monitor to its just-built state — hardware block
+// (including the fast ingest path's functional model and its pending-word
+// buffer), sequence counter, bit counter and history — without
+// reallocating the block or re-deriving the critical values. Worker pools
+// and the fleet layer reuse one monitor across many independent streams
+// this way, so Reset must restore *every* piece of per-run state: retained
+// history entries are zeroed, not just truncated, so a recycled monitor
+// holds no reference to a previous tenant's reports.
 func (m *Monitor) Reset() {
 	m.block.Reset()
 	m.seq = 0
 	m.bitsSeen = 0
+	for i := range m.history {
+		m.history[i] = SequenceReport{}
+	}
 	m.history = m.history[:0]
 }
 
@@ -193,6 +216,73 @@ func (m *Monitor) Feed(bit byte) (*SequenceReport, error) {
 	return m.completeSequence(false)
 }
 
+// FeedWord clocks up to 64 bits into the hardware in one call — the
+// fleet-scale ingest path. Bit i of w is the i-th bit chronologically
+// (bitstream.Sequence packing). A word may straddle a sequence boundary:
+// the completed sequence is evaluated mid-word and the remaining bits open
+// the next one. When the word completes one or more sequences the report
+// of the last completed sequence is returned (with the standard designs,
+// N ≥ 128 ≥ nbits, at most one sequence can complete per call). The call
+// is allocation-free except at sequence boundaries.
+func (m *Monitor) FeedWord(w uint64, nbits int) (*SequenceReport, error) {
+	return m.feedWord(w, nbits, false)
+}
+
+// FeedWordVerified is FeedWord with the double-readout defense: each
+// completed sequence is evaluated twice and ErrReadoutMismatch is returned
+// when the passes disagree. On a mismatch the sequence is left uncommitted
+// and the hardware is NOT reset — the caller decides whether to quarantine
+// (QuarantineInFlight) or abort; the remaining bits of the word are not
+// consumed.
+func (m *Monitor) FeedWordVerified(w uint64, nbits int) (*SequenceReport, error) {
+	return m.feedWord(w, nbits, true)
+}
+
+func (m *Monitor) feedWord(w uint64, nbits int, verify bool) (*SequenceReport, error) {
+	if nbits < 1 || nbits > 64 {
+		return nil, fmt.Errorf("core: word size %d out of range [1,64]", nbits)
+	}
+	var last *SequenceReport
+	for nbits > 0 {
+		take := m.block.Config().N - m.block.BitsSeen()
+		if take > nbits {
+			take = nbits
+		}
+		if err := m.block.ClockWord(w, take); err != nil {
+			return last, err
+		}
+		m.bitsSeen += int64(take)
+		w >>= uint(take)
+		nbits -= take
+		if m.block.Done() {
+			rep, err := m.completeSequence(verify)
+			if err != nil {
+				return last, err
+			}
+			last = rep
+		}
+	}
+	return last, nil
+}
+
+// SequenceBits reports how many bits of the current (in-flight) sequence
+// the hardware has absorbed — 0 exactly at a sequence boundary.
+func (m *Monitor) SequenceBits() int { return m.block.BitsSeen() }
+
+// QuarantineInFlight discards the in-flight (or completed-but-unevaluated)
+// sequence: the hardware is reset without an evaluation and no report is
+// committed. The bits remain counted in BitsSeen. It reports whether
+// anything was actually at risk — false when the fault landed exactly on a
+// sequence boundary. This is the exported seam the supervisory layers
+// (Supervisor, internal/fleet) quarantine through.
+func (m *Monitor) QuarantineInFlight() bool {
+	if m.block.BitsSeen() == 0 {
+		return false
+	}
+	m.quarantineSequence()
+	return true
+}
+
 // clockBit feeds one bit to the hardware without evaluating, reporting
 // whether the bit completed a sequence. It is the lower half of Feed; the
 // Supervisor uses it directly so that a sequence touched by an operational
@@ -240,8 +330,12 @@ func (m *Monitor) completeSequence(verify bool) (*SequenceReport, error) {
 	m.history = append(m.history, sr)
 	if m.KeepHistory > 0 && len(m.history) > m.KeepHistory {
 		// Trim by copying to the front so the backing array is reused
-		// instead of leaking a growing prefix behind a resliced view.
+		// instead of leaking a growing prefix behind a resliced view; the
+		// vacated tail is zeroed so no stale report stays reachable.
 		n := copy(m.history, m.history[len(m.history)-m.KeepHistory:])
+		for i := n; i < len(m.history); i++ {
+			m.history[i] = SequenceReport{}
+		}
 		m.history = m.history[:n]
 	}
 	m.block.Reset()

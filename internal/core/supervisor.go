@@ -220,6 +220,35 @@ func NewSupervisor(mon *Monitor, primary, standby trng.Source, cfg SupervisorCon
 // Monitor returns the supervised monitor.
 func (s *Supervisor) Monitor() *Monitor { return s.mon }
 
+// Reset returns the supervisor — and its monitor — to the just-built
+// state so a pooled supervisor can be re-targeted at a fresh stream
+// without leaking the previous run's verdicts, incident timeline, breaker
+// progress or failover state into the next tenant. The configured sources
+// are kept; an armed watchdog reader is abandoned (a fresh one is built on
+// demand) and the alarm policy, if any, is cleared.
+func (s *Supervisor) Reset() {
+	s.mon.Reset()
+	if s.cfg.Policy != nil {
+		s.cfg.Policy.Reset()
+	}
+	if s.reader != nil {
+		s.reader.abandon()
+		s.reader = nil
+	}
+	s.src = s.primary
+	s.usingStandby = false
+	s.latched = false
+	s.aborted = false
+	s.quarantined = 0
+	s.quarantineRun = 0
+	s.retries = 0
+	s.failoverBit = -1
+	for i := range s.events {
+		s.events[i] = Event{}
+	}
+	s.events = s.events[:0]
+}
+
 // SetObs attaches an observability registry to the supervisor and to its
 // monitor: retry and per-kind incident counters, an operational-condition
 // gauge (the numeric Condition value), and the incident timeline mirrored

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/hwblock"
+	"repro/internal/trng"
+)
+
+// TestSupervisorBreakerTripsDuringStandbyFailover exercises the
+// interaction the fault paths only see one at a time elsewhere: the
+// primary source dies hard mid-sequence (triggering failover to the
+// standby) while the register readout path is corrupt, so the verified
+// evaluation keeps mismatching AFTER the failover and the consecutive-
+// quarantine breaker must trip on the standby — the failover does not
+// reset breaker progress, because the readout path (not the source) is
+// what is broken.
+func TestSupervisorBreakerTripsDuringStandbyFailover(t *testing.T) {
+	m := newMonitor(t, 128, hwblock.Light, 0.01)
+	c := faultinject.CorruptRegFile(m.Block().RegFile(), 0.5, 9)
+	defer c.Detach()
+
+	primary := newFiniteSource(3, 200) // hard fault mid-second-sequence
+	standby := trng.NewIdeal(7)
+	sup := NewSupervisor(m, primary, standby, SupervisorConfig{
+		VerifyReadout:   true,
+		QuarantineLimit: 4,
+	})
+	rep, err := sup.Run(6)
+	if err == nil {
+		t.Fatal("corrupt readout survived the failover without tripping the breaker")
+	}
+	if !errors.Is(err, ErrReadoutMismatch) {
+		t.Errorf("breaker error %v does not wrap ErrReadoutMismatch", err)
+	}
+	if rep.Condition != SourceFault {
+		t.Errorf("Condition = %v, want SourceFault (breaker outranks failed-over)", rep.Condition)
+	}
+	if rep.FailoverBit != 200 {
+		t.Errorf("FailoverBit = %d, want 200 (primary exhausted mid-sequence)", rep.FailoverBit)
+	}
+	if rep.ActiveSource != standby.Name() {
+		t.Errorf("ActiveSource = %q, want the standby %q", rep.ActiveSource, standby.Name())
+	}
+	if rep.Quarantined < 4 {
+		t.Errorf("Quarantined = %d, want >= limit 4", rep.Quarantined)
+	}
+	if len(rep.Reports) != 0 {
+		t.Errorf("%d sequences accepted off a corrupt readout path", len(rep.Reports))
+	}
+	// The trip itself must postdate the failover: the last quarantine in
+	// the timeline happened while the standby was serving bits.
+	var sawFailover bool
+	var lastQuarantine Event
+	for _, e := range rep.Events {
+		switch e.Kind {
+		case EventFailover:
+			sawFailover = true
+		case EventQuarantine:
+			lastQuarantine = e
+		}
+	}
+	if !sawFailover {
+		t.Fatal("no failover event in the timeline")
+	}
+	if lastQuarantine.Bit <= rep.FailoverBit {
+		t.Errorf("final quarantine at bit %d, want after the failover at bit %d",
+			lastQuarantine.Bit, rep.FailoverBit)
+	}
+}
+
+// TestSupervisorReadoutMismatchThenWatchdogExpiry drives the two
+// concurrent defense layers into the same run: a corrupt readout path
+// quarantines the first sequence via ErrReadoutMismatch, then the source
+// stalls mid-second-sequence and the watchdog's reader goroutine must
+// time the blocked read out while the mismatch quarantine is still the
+// latest incident. With no standby the run aborts as a SourceError
+// wrapping ErrWatchdog; run under -race this also proves the reader
+// goroutine and the timer shut down cleanly.
+func TestSupervisorReadoutMismatchThenWatchdogExpiry(t *testing.T) {
+	m := newMonitor(t, 128, hwblock.Light, 0.01)
+	c := faultinject.CorruptRegFile(m.Block().RegFile(), 0.5, 11)
+	defer c.Detach()
+
+	stall := faultinject.NewStall(trng.NewIdeal(5), 200)
+	defer stall.Release() // let the abandoned reader goroutine exit
+
+	sup := NewSupervisor(m, stall, nil, SupervisorConfig{
+		VerifyReadout: true,
+		BitDeadline:   20 * time.Millisecond,
+	})
+	rep, err := sup.Run(3)
+	if err == nil {
+		t.Fatal("stalled source did not abort the run")
+	}
+	if !errors.Is(err, ErrWatchdog) {
+		t.Errorf("error %v does not wrap ErrWatchdog", err)
+	}
+	var se *SourceError
+	if !errors.As(err, &se) {
+		t.Fatalf("error %v is not a SourceError", err)
+	} else if se.Bit != 200 {
+		t.Errorf("stall detected at bit %d, want 200", se.Bit)
+	}
+	if rep.Condition != SourceFault {
+		t.Errorf("Condition = %v, want SourceFault (no standby to fail over to)", rep.Condition)
+	}
+	// Both defense layers fired in order: a mismatch quarantine for the
+	// first sequence, then the watchdog, then the quarantine of the
+	// stall-truncated sequence.
+	if rep.Quarantined != 2 {
+		t.Errorf("Quarantined = %d, want 2 (mismatched seq 1 + stalled seq 2)", rep.Quarantined)
+	}
+	var kinds []EventKind
+	for _, e := range rep.Events {
+		kinds = append(kinds, e.Kind)
+	}
+	want := []EventKind{EventQuarantine, EventWatchdog, EventQuarantine}
+	if len(kinds) != len(want) {
+		t.Fatalf("timeline %v, want kinds %v", rep.Events, want)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("timeline %v, want kinds %v", rep.Events, want)
+		}
+	}
+	if wd := rep.Events[1]; wd.Bit != 200 {
+		t.Errorf("watchdog event at bit %d, want 200", wd.Bit)
+	}
+}

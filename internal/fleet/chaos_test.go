@@ -1,0 +1,271 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/trng"
+)
+
+// errTornBus is the chaos suite's generic hard source fault.
+var errTornBus = errors.New("chaos: bus torn off mid-read")
+
+// assertReportsIdentical requires the fleet and serial reports to be
+// byte-identical: structurally (reflect.DeepEqual, which follows the
+// sequence-report pointers and compares unexported state) and over their
+// canonical JSON encoding.
+func assertReportsIdentical(t *testing.T, got, want StreamReport) {
+	t.Helper()
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("stream %s diverged from its serial run\nfleet:  %+v\nserial: %+v",
+			got.Tenant, got, want)
+	}
+	gj, err := json.Marshal(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wj, err := json.Marshal(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gj, wj) {
+		t.Fatalf("stream %s: JSON encodings differ\nfleet:  %s\nserial: %s", got.Tenant, gj, wj)
+	}
+}
+
+// chaosOps builds the deterministic op list of one chaos stream: a defect
+// zoo of healthy and stuck-at-zero payloads with injected transient
+// storms, watchdog expiries and hard-fault storms that trip the breaker.
+// The list is a pure function of the stream index, so the serial reference
+// run replays exactly what the fleet ingested.
+func chaosOps(idx int) []Op {
+	rng := rand.New(rand.NewSource(int64(1_000_000 + idx)))
+	words := 16 + idx%7 // 8..11 sequences at n=128, some with a partial tail
+	stuck := idx%17 == 0
+	nbits := 64
+	if idx%5 == 3 {
+		nbits = 32 // exercise sub-word batches and boundary splitting
+	}
+	ops := make([]Op, 0, words+44)
+	for i := 0; i < words; i++ {
+		w := rng.Uint64()
+		if stuck {
+			w = 0
+		}
+		ops = append(ops, Op{Kind: OpWord, W: w, N: nbits})
+		if idx%7 == 0 && i%5 == 1 {
+			// Transient storm: absorbed, counted, never quarantines.
+			for k := 0; k < 3; k++ {
+				ops = append(ops, Op{Kind: OpFault, Err: trng.ErrTransient})
+			}
+		}
+		if idx%11 == 0 && i%6 == 2 {
+			// A stall sweep: hard fault, quarantines the sequence.
+			ops = append(ops, Op{Kind: OpFault, Err: core.ErrWatchdog})
+		}
+	}
+	if idx%13 == 0 {
+		// Hard-fault storm: mid-sequence faults until the default breaker
+		// (16 consecutive quarantines) trips, then more traffic that must
+		// be discarded identically in fleet and serial runs.
+		for k := 0; k < core.DefaultQuarantineLimit+2; k++ {
+			ops = append(ops, Op{Kind: OpWord, W: rng.Uint64(), N: 64})
+			ops = append(ops, Op{Kind: OpFault, Err: errTornBus})
+		}
+		for k := 0; k < 4; k++ {
+			ops = append(ops, Op{Kind: OpWord, W: rng.Uint64(), N: 64})
+		}
+	}
+	return ops
+}
+
+// TestChaosFleetMatchesSerial is the tentpole proof: a ≥1k-stream fleet of
+// defect-zoo sources with injected faults, run concurrently under -race,
+// must produce per-stream reports byte-identical to each stream's serial
+// single-stream replay — fault isolation means chaos on one stream never
+// leaks into another's verdicts.
+func TestChaosFleetMatchesSerial(t *testing.T) {
+	const streams = 1024
+	reg := obs.NewRegistry()
+	cfg := testConfig(t)
+	cfg.Shards = 8
+	cfg.QueueDepth = 64
+	cfg.Policy = Block // lossless: every stream must match its serial run
+	cfg.Obs = reg
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reports := make([]StreamReport, streams)
+	var wg sync.WaitGroup
+	for i := 0; i < streams; i++ {
+		wg.Add(1)
+		go func(idx int) {
+			defer wg.Done()
+			s, err := p.Register(fmt.Sprintf("tenant-%04d", idx))
+			if err != nil {
+				t.Errorf("register %d: %v", idx, err)
+				return
+			}
+			for _, op := range chaosOps(idx) {
+				if err := op.Apply(s); err != nil {
+					t.Errorf("stream %d: %v", idx, err)
+					return
+				}
+			}
+			reports[idx] = s.Detach()
+		}(i)
+	}
+	wg.Wait()
+	p.Shutdown()
+
+	serialCfg := testConfig(t) // no registry: the reference run is bare
+	var sumSeq, sumPass, sumFail, sumQuar, sumTrips uint64
+	var sumOffered, sumAccepted, sumDiscarded int64
+	sawBreaker, sawWatchdog, sawRetries, sawStatFailures := false, false, false, false
+	for i := 0; i < streams; i++ {
+		r := reports[i]
+		if r.Shed() {
+			t.Fatalf("stream %d shed batches under the Block policy", i)
+		}
+		want, err := ReplaySerial(serialCfg, r.Tenant, chaosOps(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertReportsIdentical(t, r, want)
+		sumSeq += uint64(r.Sequences)
+		sumPass += uint64(r.Passed)
+		sumFail += uint64(r.Failed)
+		sumQuar += uint64(r.Quarantined)
+		if r.BreakerTripped {
+			sumTrips++
+			sawBreaker = true
+		}
+		sawWatchdog = sawWatchdog || r.Watchdogs > 0
+		sawRetries = sawRetries || r.Retries > 0
+		sawStatFailures = sawStatFailures || r.Failed > 0
+		sumOffered += r.OfferedBatches
+		sumAccepted += r.AcceptedBatches
+		sumDiscarded += r.DiscardedBatches
+	}
+	// The zoo actually exercised every fault class.
+	if !sawBreaker || !sawWatchdog || !sawRetries || !sawStatFailures {
+		t.Fatalf("chaos zoo incomplete: breaker=%v watchdog=%v retries=%v statfail=%v",
+			sawBreaker, sawWatchdog, sawRetries, sawStatFailures)
+	}
+	// Every offered batch is accounted for in exactly one outcome bucket.
+	if sumOffered != sumAccepted+sumDiscarded {
+		t.Fatalf("batch accounting leak: offered %d != accepted %d + discarded %d",
+			sumOffered, sumAccepted, sumDiscarded)
+	}
+	// And the aggregate obs counters agree with the flushed reports.
+	check := func(name string, labels []string, want uint64) {
+		t.Helper()
+		if v := reg.Counter(name, "", labels...).Value(); v != want {
+			t.Fatalf("%s%v = %d, want %d", name, labels, v, want)
+		}
+	}
+	check("fleet_sequences_total", []string{"result", "pass"}, sumPass)
+	check("fleet_sequences_total", []string{"result", "fail"}, sumFail)
+	check("fleet_quarantines_total", nil, sumQuar)
+	check("fleet_breaker_trips_total", nil, sumTrips)
+	check("fleet_streams_admitted_total", nil, streams)
+	check("fleet_streams_detached_total", nil, streams)
+	check("fleet_batches_total", []string{"outcome", "accepted"}, uint64(sumAccepted))
+	check("fleet_batches_total", []string{"outcome", "discarded"}, uint64(sumDiscarded))
+	if sumSeq != sumPass+sumFail {
+		t.Fatalf("sequences %d != pass %d + fail %d", sumSeq, sumPass, sumFail)
+	}
+}
+
+// TestChaosShedNewestUnderPressure overloads a single shard with a tiny
+// queue so the ShedNewest policy must drop batches, then verifies the two
+// acceptance properties: every shed batch is accounted (per stream and in
+// the aggregate counters), and every stream that was NOT shed stays
+// byte-identical to its serial replay.
+func TestChaosShedNewestUnderPressure(t *testing.T) {
+	const streams = 64
+	reg := obs.NewRegistry()
+	cfg := testConfig(t)
+	cfg.Shards = 1
+	cfg.QueueDepth = 2
+	cfg.Policy = ShedNewest
+	cfg.Obs = reg
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := make([][]Op, streams)
+	for i := range ops {
+		rng := rand.New(rand.NewSource(int64(9_000 + i)))
+		list := make([]Op, 48)
+		for j := range list {
+			list[j] = Op{Kind: OpWord, W: rng.Uint64(), N: 64}
+		}
+		ops[i] = list
+	}
+	reports := make([]StreamReport, streams)
+	var wg sync.WaitGroup
+	for i := 0; i < streams; i++ {
+		wg.Add(1)
+		go func(idx int) {
+			defer wg.Done()
+			s, err := p.Register(fmt.Sprintf("burst-%02d", idx))
+			if err != nil {
+				t.Errorf("register %d: %v", idx, err)
+				return
+			}
+			for _, op := range ops[idx] {
+				if err := op.Apply(s); err != nil && !errors.Is(err, ErrShed) {
+					t.Errorf("stream %d: %v", idx, err)
+					return
+				}
+			}
+			reports[idx] = s.Detach()
+		}(i)
+	}
+	wg.Wait()
+	p.Shutdown()
+
+	serialCfg := testConfig(t)
+	var totalShed uint64
+	intact := 0
+	for i, r := range reports {
+		if r.OfferedBatches != int64(len(ops[i])) {
+			t.Fatalf("stream %d offered %d, want %d", i, r.OfferedBatches, len(ops[i]))
+		}
+		if r.AcceptedBatches+r.ShedBatches != r.OfferedBatches {
+			t.Fatalf("stream %d: offered %d != accepted %d + shed %d",
+				i, r.OfferedBatches, r.AcceptedBatches, r.ShedBatches)
+		}
+		totalShed += uint64(r.ShedBatches)
+		if r.Shed() {
+			if r.Condition != core.Degraded {
+				t.Fatalf("shed stream %d condition %v, want degraded", i, r.Condition)
+			}
+			continue
+		}
+		intact++
+		want, err := ReplaySerial(serialCfg, r.Tenant, ops[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertReportsIdentical(t, r, want)
+	}
+	if totalShed == 0 {
+		t.Fatal("expected shedding with 64 producers on a depth-2 queue")
+	}
+	if v := reg.Counter("fleet_batches_total", "", "outcome", "shed").Value(); v != totalShed {
+		t.Fatalf("aggregate shed counter = %d, want %d", v, totalShed)
+	}
+	t.Logf("shed %d batches; %d/%d streams intact and byte-identical", totalShed, intact, streams)
+}

@@ -1,0 +1,170 @@
+package fleet
+
+import (
+	"strconv"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+// fleetObs caches every aggregate observability handle once at pool
+// construction. All handles are nil-safe no-ops when no registry is
+// attached (internal/obs contract), so the hot paths carry at most one
+// atomic update per event and never a registry lookup.
+type fleetObs struct {
+	reg *obs.Registry
+
+	// Admission and lifecycle.
+	admitted       *obs.Counter
+	rejectedFull   *obs.Counter
+	rejectedDup    *obs.Counter
+	rejectedClosed *obs.Counter
+	detached       *obs.Counter
+	active         *obs.Gauge
+
+	// Batch outcomes — every offered batch lands in exactly one bucket
+	// (accepted, shed, sampled-out, discarded), so degradation is
+	// accounted, never silent.
+	batchesAccepted   *obs.Counter
+	batchesShed       *obs.Counter
+	batchesSampledOut *obs.Counter
+	batchesDiscarded  *obs.Counter
+
+	// Faults, isolation and verdicts.
+	faultsTransient *obs.Counter
+	faultsHard      *obs.Counter
+	faultsWatchdog  *obs.Counter
+	quarantines     *obs.Counter
+	breakerTrips    *obs.Counter
+	alarmLatches    *obs.Counter
+	seqPass         *obs.Counter
+	seqFail         *obs.Counter
+
+	// Incident timeline, by Supervisor event kind.
+	evQuarantine *obs.Counter
+	evWatchdog   *obs.Counter
+	evFailover   *obs.Counter
+	evAlarm      *obs.Counter
+
+	// Final stream conditions, by Supervisor verdict vocabulary.
+	condOK          *obs.Counter
+	condDegraded    *obs.Counter
+	condFailedOver  *obs.Counter
+	condStatFail    *obs.Counter
+	condSourceFault *obs.Counter
+
+	// Per-shard ingest-queue gauges.
+	queueDepth     []*obs.Gauge
+	queueHighWater []*obs.Gauge
+}
+
+func (f *fleetObs) init(r *obs.Registry, shards int) {
+	f.reg = r
+	f.admitted = r.Counter("fleet_streams_admitted_total",
+		"streams admitted by Register")
+	const rejHelp = "admissions rejected, by reason"
+	f.rejectedFull = r.Counter("fleet_streams_rejected_total", rejHelp, "reason", "full")
+	f.rejectedDup = r.Counter("fleet_streams_rejected_total", rejHelp, "reason", "duplicate")
+	f.rejectedClosed = r.Counter("fleet_streams_rejected_total", rejHelp, "reason", "shutting-down")
+	f.detached = r.Counter("fleet_streams_detached_total",
+		"streams detached (or drained at shutdown), reports flushed")
+	f.active = r.Gauge("fleet_streams_active",
+		"streams currently registered")
+
+	const batchHelp = "ingest batches by outcome: accepted (processed), shed (dropped, queue full), sampled-out (dropped, stream degraded to sampled ingest), discarded (delivered after the breaker or alarm took the stream out of service)"
+	f.batchesAccepted = r.Counter("fleet_batches_total", batchHelp, "outcome", "accepted")
+	f.batchesShed = r.Counter("fleet_batches_total", batchHelp, "outcome", "shed")
+	f.batchesSampledOut = r.Counter("fleet_batches_total", batchHelp, "outcome", "sampled-out")
+	f.batchesDiscarded = r.Counter("fleet_batches_total", batchHelp, "outcome", "discarded")
+
+	const faultHelp = "source fault events delivered to streams, by kind"
+	f.faultsTransient = r.Counter("fleet_faults_total", faultHelp, "kind", "transient")
+	f.faultsHard = r.Counter("fleet_faults_total", faultHelp, "kind", "hard")
+	f.faultsWatchdog = r.Counter("fleet_faults_total", faultHelp, "kind", "watchdog")
+	f.quarantines = r.Counter("fleet_quarantines_total",
+		"in-flight sequences discarded without evaluation")
+	f.breakerTrips = r.Counter("fleet_breaker_trips_total",
+		"per-stream circuit breakers opened (stream out of service)")
+	f.alarmLatches = r.Counter("fleet_alarm_latches_total",
+		"per-stream statistical alarms latched")
+	const seqHelp = "evaluated sequences across the fleet, by verdict"
+	f.seqPass = r.Counter("fleet_sequences_total", seqHelp, "result", "pass")
+	f.seqFail = r.Counter("fleet_sequences_total", seqHelp, "result", "fail")
+
+	const evHelp = "stream incidents by kind (Supervisor event vocabulary)"
+	f.evQuarantine = r.Counter("fleet_events_total", evHelp, "kind", core.EventQuarantine.String())
+	f.evWatchdog = r.Counter("fleet_events_total", evHelp, "kind", core.EventWatchdog.String())
+	f.evFailover = r.Counter("fleet_events_total", evHelp, "kind", core.EventFailover.String())
+	f.evAlarm = r.Counter("fleet_events_total", evHelp, "kind", core.EventAlarmLatched.String())
+
+	const condHelp = "final stream conditions at detach (Supervisor verdict vocabulary)"
+	f.condOK = r.Counter("fleet_stream_conditions_total", condHelp, "condition", core.OK.String())
+	f.condDegraded = r.Counter("fleet_stream_conditions_total", condHelp, "condition", core.Degraded.String())
+	f.condFailedOver = r.Counter("fleet_stream_conditions_total", condHelp, "condition", core.FailedOver.String())
+	f.condStatFail = r.Counter("fleet_stream_conditions_total", condHelp, "condition", core.StatFail.String())
+	f.condSourceFault = r.Counter("fleet_stream_conditions_total", condHelp, "condition", core.SourceFault.String())
+
+	f.queueDepth = make([]*obs.Gauge, shards)
+	f.queueHighWater = make([]*obs.Gauge, shards)
+	for i := 0; i < shards; i++ {
+		id := strconv.Itoa(i)
+		f.queueDepth[i] = r.Gauge("fleet_shard_queue_depth",
+			"ingest batches queued per shard, sampled after each batch", "shard", id)
+		f.queueHighWater[i] = r.Gauge("fleet_shard_queue_high_water",
+			"deepest ingest queue observed per shard", "shard", id)
+	}
+}
+
+// eventCounter maps an event kind to its cached counter (no map, no
+// allocation — the event path runs on the shard goroutines).
+func (f *fleetObs) eventCounter(kind core.EventKind) *obs.Counter {
+	switch kind {
+	case core.EventQuarantine:
+		return f.evQuarantine
+	case core.EventWatchdog:
+		return f.evWatchdog
+	case core.EventFailover:
+		return f.evFailover
+	case core.EventAlarmLatched:
+		return f.evAlarm
+	}
+	return nil
+}
+
+// conditionCounter maps a final condition to its cached counter.
+func (f *fleetObs) conditionCounter(c core.Condition) *obs.Counter {
+	switch c {
+	case core.OK:
+		return f.condOK
+	case core.Degraded:
+		return f.condDegraded
+	case core.FailedOver:
+		return f.condFailedOver
+	case core.StatFail:
+		return f.condStatFail
+	case core.SourceFault:
+		return f.condSourceFault
+	}
+	return nil
+}
+
+// tenantObs is the opt-in per-tenant handle set (Config.PerTenantObs).
+type tenantObs struct {
+	pass, fail, quarantines, dropped *obs.Counter
+	condition                        *obs.Gauge
+}
+
+func newTenantObs(r *obs.Registry, tenant string) tenantObs {
+	return tenantObs{
+		pass: r.Counter("fleet_tenant_sequences_total",
+			"evaluated sequences per tenant, by verdict", "tenant", tenant, "result", "pass"),
+		fail: r.Counter("fleet_tenant_sequences_total",
+			"evaluated sequences per tenant, by verdict", "tenant", tenant, "result", "fail"),
+		quarantines: r.Counter("fleet_tenant_quarantines_total",
+			"sequences quarantined per tenant", "tenant", tenant),
+		dropped: r.Counter("fleet_tenant_dropped_batches_total",
+			"batches lost to load shedding per tenant (shed + sampled-out)", "tenant", tenant),
+		condition: r.Gauge("fleet_tenant_condition",
+			"stream condition per tenant: 0 ok, 1 degraded, 2 failed-over, 3 stat-fail, 4 source-fault", "tenant", tenant),
+	}
+}

@@ -1,0 +1,103 @@
+package fleet
+
+import "fmt"
+
+// OpKind tags one replayable stream operation.
+type OpKind uint8
+
+const (
+	// OpWord is a Push of W/N.
+	OpWord OpKind = iota
+	// OpFault is a PushFault of Err.
+	OpFault
+)
+
+// Op is one recorded stream operation. A stream's full input is its op
+// list in push order; replaying the list serially reproduces the stream's
+// verdicts bit for bit.
+type Op struct {
+	Kind OpKind
+	W    uint64
+	N    int
+	Err  error
+}
+
+// Apply plays the op against a live stream handle, returning Push's
+// result.
+func (op Op) Apply(s *Stream) error {
+	if op.Kind == OpFault {
+		return s.PushFault(op.Err)
+	}
+	return s.Push(op.W, op.N)
+}
+
+// Replayer runs one stream's operations synchronously on the caller's
+// goroutine, through the exact same shard-side code path a pooled stream
+// runs — same ingest, same fault handling, same breaker, same report. It
+// is the serial reference the chaos suite compares fleet output against:
+// if the fleet sheds nothing, stream verdicts must be byte-identical to
+// the replay.
+type Replayer struct {
+	s *Stream
+}
+
+// NewReplayer builds a single-stream serial pool. The configuration's
+// shard/queue fields are ignored (there are no workers and no queues);
+// policy, verification, breaker and report settings apply exactly as in a
+// live pool.
+func NewReplayer(cfg Config, tenant string) (*Replayer, error) {
+	cfg.Shards = 1
+	p, err := newPool(cfg, false)
+	if err != nil {
+		return nil, err
+	}
+	s, err := p.Register(tenant)
+	if err != nil {
+		return nil, err
+	}
+	return &Replayer{s: s}, nil
+}
+
+// Word ingests one batch synchronously.
+func (r *Replayer) Word(w uint64, nbits int) error {
+	if nbits < 1 || nbits > 64 {
+		return fmt.Errorf("fleet: word size %d out of range [1,64]", nbits)
+	}
+	r.s.offered.Add(1)
+	r.s.ingestWord(w, nbits)
+	return nil
+}
+
+// Fault applies one fault event synchronously.
+func (r *Replayer) Fault(err error) {
+	if err == nil {
+		return
+	}
+	r.s.applyFault(err)
+}
+
+// Finish flushes the stream and returns its report. Idempotent.
+func (r *Replayer) Finish() StreamReport {
+	if r.s.mon != nil {
+		r.s.detached.Store(true)
+		r.s.finalize()
+	}
+	return r.s.final
+}
+
+// ReplaySerial runs a full op list through a fresh Replayer — the serial
+// single-stream reference run for one tenant.
+func ReplaySerial(cfg Config, tenant string, ops []Op) (StreamReport, error) {
+	r, err := NewReplayer(cfg, tenant)
+	if err != nil {
+		return StreamReport{}, err
+	}
+	for _, op := range ops {
+		if op.Kind == OpFault {
+			r.Fault(op.Err)
+		} else if err := r.Word(op.W, op.N); err != nil {
+			return StreamReport{}, err
+		}
+	}
+	return r.Finish(), nil
+}

@@ -1,0 +1,61 @@
+package fleet
+
+// item is one unit of shard work. It travels by value through the bounded
+// queue channel, so the steady-state ingest path performs no heap
+// allocation — the item is copied into the channel's ring buffer and out
+// again.
+type item struct {
+	s     *Stream
+	w     uint64
+	err   error
+	kind  uint8
+	nbits uint8
+}
+
+const (
+	itemWord uint8 = iota
+	itemFault
+	itemDetach
+	itemStop
+)
+
+// shard is one worker: a bounded ingest queue drained by a single
+// goroutine. Because exactly one goroutine processes a shard's queue, and
+// a stream is pinned to one shard for life, per-stream batch order is the
+// push order — which is what makes fleet verdicts reproducible by a serial
+// replay.
+type shard struct {
+	id        int
+	pool      *Pool
+	queue     chan item
+	done      chan struct{}
+	highWater int
+}
+
+// loop drains the queue until an itemStop arrives (Pool.Shutdown enqueues
+// one per shard after detaching every stream, so the stop is the last item
+// the shard ever sees).
+func (sh *shard) loop() {
+	defer close(sh.done)
+	fo := &sh.pool.fobs
+	depth := fo.queueDepth[sh.id]
+	high := fo.queueHighWater[sh.id]
+	for it := range sh.queue {
+		if d := len(sh.queue) + 1; d > sh.highWater {
+			sh.highWater = d
+			high.Set(float64(d))
+		}
+		switch it.kind {
+		case itemWord:
+			it.s.ingestWord(it.w, int(it.nbits))
+		case itemFault:
+			it.s.applyFault(it.err)
+		case itemDetach:
+			it.s.finalize()
+		case itemStop:
+			depth.Set(0)
+			return
+		}
+		depth.Set(float64(len(sh.queue)))
+	}
+}

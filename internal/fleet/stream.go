@@ -1,0 +1,333 @@
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/trng"
+)
+
+// Stream is one tenant's handle on the fleet. The producer side (Push,
+// PushFault, Detach) is called by the tenant's ingest goroutine; the
+// processing side runs on the stream's shard goroutine. One producer
+// goroutine per stream — the pool itself may host thousands of streams
+// concurrently, but a single stream's pushes must not race each other, or
+// batch order (and therefore the verdict sequence) would be undefined.
+type Stream struct {
+	pool   *Pool
+	sh     *shard
+	tenant string
+	idx    int // position in pool.list, maintained under pool.mu
+
+	// Producer-side state: atomics so Detach/finalize and the stall
+	// sweeper can read them from other goroutines.
+	detached   atomic.Bool
+	offered    atomic.Int64
+	shedCount  atomic.Int64
+	sampledOut atomic.Int64
+	congested  atomic.Int64 // congested-offer counter driving DegradeSample
+	lastPush   atomic.Int64 // Clock() stamp; only when StreamDeadline > 0
+
+	detachOnce sync.Once
+	done       chan struct{} // closed by finalize; publishes final
+	final      StreamReport
+
+	// Shard-side state: owned by the shard goroutine until done closes
+	// (the channel close publishes it to Detach callers).
+	mon              *core.Monitor
+	policy           *core.AlarmPolicy
+	acceptedBatches  int64
+	discardedBatches int64
+	sequences        int
+	seqPass, seqFail int
+	quarantined      int
+	retries          int
+	watchdogs        int
+	faults           int
+	quarantineRun    int // consecutive quarantines since the last accepted sequence
+	faultRun         int // consecutive hard faults since the last accepted sequence
+	breakerOpen      bool
+	latched          bool
+	events           []core.Event
+
+	tobs tenantObs // opt-in per-tenant handles; zero value is all no-ops
+}
+
+// Tenant names the stream.
+func (s *Stream) Tenant() string { return s.tenant }
+
+// Push offers one batch of up to 64 bits (bit i of w is the i-th bit
+// chronologically) to the stream's shard. What happens when the shard's
+// bounded queue is full depends on the pool's ShedPolicy: Block applies
+// backpressure, ShedNewest returns ErrShed, DegradeSample returns
+// ErrSampledOut for all but one in SampleEvery congested offers. The call
+// is allocation-free on every path but the argument-error one.
+func (s *Stream) Push(w uint64, nbits int) error {
+	if nbits < 1 || nbits > 64 {
+		return fmt.Errorf("fleet: word size %d out of range [1,64]", nbits)
+	}
+	if s.detached.Load() {
+		return ErrDetached
+	}
+	s.offered.Add(1)
+	if s.pool.cfg.StreamDeadline > 0 {
+		s.lastPush.Store(s.pool.cfg.Clock())
+	}
+	it := item{s: s, w: w, nbits: uint8(nbits), kind: itemWord}
+	switch s.pool.cfg.Policy {
+	case ShedNewest:
+		select {
+		case s.sh.queue <- it:
+		default:
+			s.shedCount.Add(1)
+			s.pool.fobs.batchesShed.Inc()
+			s.tobs.dropped.Inc()
+			return ErrShed
+		}
+	case DegradeSample:
+		select {
+		case s.sh.queue <- it:
+		default:
+			c := s.congested.Add(1)
+			if (c-1)%int64(s.pool.cfg.SampleEvery) != 0 {
+				s.sampledOut.Add(1)
+				s.pool.fobs.batchesSampledOut.Inc()
+				s.tobs.dropped.Inc()
+				return ErrSampledOut
+			}
+			// The sampled batch takes backpressure for its slot.
+			s.sh.queue <- it
+		}
+	default: // Block
+		s.sh.queue <- it
+	}
+	return nil
+}
+
+// PushFault delivers a source fault event to the stream, in order with its
+// batches. Fault events are control plane: they are never shed, they take
+// backpressure for their queue slot regardless of policy.
+func (s *Stream) PushFault(err error) error {
+	if err == nil {
+		return nil
+	}
+	if s.detached.Load() {
+		return ErrDetached
+	}
+	if s.pool.cfg.StreamDeadline > 0 {
+		s.lastPush.Store(s.pool.cfg.Clock())
+	}
+	s.sh.queue <- item{s: s, err: err, kind: itemFault}
+	return nil
+}
+
+// Detach removes the stream from the fleet: queued batches are still
+// processed (drain, not discard), the monitor's partial results are
+// flushed into the returned StreamReport, and the monitor returns to the
+// pool for the next tenant. Detach is idempotent and safe to call
+// concurrently with Shutdown; all callers get the same report.
+func (s *Stream) Detach() StreamReport {
+	s.detachOnce.Do(func() {
+		s.detached.Store(true)
+		s.sh.queue <- item{s: s, kind: itemDetach}
+	})
+	<-s.done
+	return s.final
+}
+
+// ---- shard-side processing (shard goroutine only) ----
+
+// ingestWord feeds one accepted batch into the monitor, splitting it at
+// sequence boundaries and handling verified-readout mismatches with the
+// Supervisor's quarantine semantics.
+func (s *Stream) ingestWord(w uint64, nbits int) {
+	fo := &s.pool.fobs
+	if s.breakerOpen || s.latched {
+		s.discardedBatches++
+		fo.batchesDiscarded.Inc()
+		return
+	}
+	s.acceptedBatches++
+	fo.batchesAccepted.Inc()
+	for nbits > 0 {
+		take := s.pool.cfg.Design.N - s.mon.SequenceBits()
+		if take > nbits {
+			take = nbits
+		}
+		var rep *core.SequenceReport
+		var err error
+		if s.pool.cfg.VerifyReadout {
+			rep, err = s.mon.FeedWordVerified(w, take)
+		} else {
+			rep, err = s.mon.FeedWord(w, take)
+		}
+		// The chunk never straddles a boundary, so on any error the whole
+		// chunk was still clocked into the hardware; advance past it.
+		w >>= uint(take)
+		nbits -= take
+		if err != nil {
+			if errors.Is(err, core.ErrReadoutMismatch) {
+				// Counter transmission was corrupted: discard the sequence,
+				// never trust the verdict. The remaining bits of the batch
+				// open the next sequence.
+				s.quarantine("register readout mismatch")
+				s.maybeTrip()
+				continue
+			}
+			// Internal evaluation error — not a data defect. Quarantine
+			// whatever is in flight and take the stream out of service.
+			s.quarantine("internal evaluation error")
+			if !s.breakerOpen {
+				s.breakerOpen = true
+				fo.breakerTrips.Inc()
+				s.event(core.EventQuarantine, "breaker open: evaluation error: "+err.Error())
+			}
+			return
+		}
+		if rep != nil {
+			s.acceptReport(rep)
+			if s.latched {
+				return
+			}
+		}
+	}
+}
+
+// acceptReport folds one accepted sequence verdict into the stream.
+func (s *Stream) acceptReport(rep *core.SequenceReport) {
+	fo := &s.pool.fobs
+	s.quarantineRun = 0
+	s.faultRun = 0
+	s.sequences++
+	if rep.Report.Pass() {
+		s.seqPass++
+		fo.seqPass.Inc()
+		s.tobs.pass.Inc()
+	} else {
+		s.seqFail++
+		fo.seqFail.Inc()
+		s.tobs.fail.Inc()
+	}
+	if s.policy != nil && s.policy.Observe(rep) && !s.latched {
+		s.latched = true
+		fo.alarmLatches.Inc()
+		s.event(core.EventAlarmLatched, "alarm policy latched: stream out of service")
+	}
+}
+
+// applyFault handles one fault event with the Supervisor's fault
+// vocabulary: transient faults are absorbed and counted; watchdog and
+// other hard faults quarantine the in-flight sequence and feed the
+// circuit breaker.
+func (s *Stream) applyFault(err error) {
+	fo := &s.pool.fobs
+	if s.breakerOpen || s.latched {
+		// The stream is already out of service; a further fault changes
+		// nothing. (Not a discarded *batch* — fault events are control
+		// plane and stay out of the batch accounting identity.)
+		return
+	}
+	s.faults++
+	if errors.Is(err, trng.ErrTransient) {
+		s.retries++
+		fo.faultsTransient.Inc()
+		return
+	}
+	if errors.Is(err, core.ErrWatchdog) {
+		s.watchdogs++
+		fo.faultsWatchdog.Inc()
+		s.event(core.EventWatchdog, "stream missed its push deadline")
+	} else {
+		fo.faultsHard.Inc()
+	}
+	s.faultRun++
+	s.quarantine("source fault")
+	s.maybeTrip()
+}
+
+// quarantine discards the in-flight sequence, if any bits are at risk
+// (same boundary exemption as the Supervisor).
+func (s *Stream) quarantine(detail string) {
+	if !s.mon.QuarantineInFlight() {
+		return
+	}
+	s.quarantined++
+	s.quarantineRun++
+	s.pool.fobs.quarantines.Inc()
+	s.tobs.quarantines.Inc()
+	s.event(core.EventQuarantine, detail)
+}
+
+// maybeTrip opens the circuit breaker after QuarantineLimit consecutive
+// quarantines or hard faults with no accepted sequence in between — the
+// stream is not degraded at that point, it is down, and keeping it out of
+// service is what protects the rest of the shard.
+func (s *Stream) maybeTrip() {
+	lim := s.pool.cfg.QuarantineLimit
+	if lim <= 0 || s.breakerOpen {
+		return
+	}
+	if s.quarantineRun >= lim || s.faultRun >= lim {
+		s.breakerOpen = true
+		s.pool.fobs.breakerTrips.Inc()
+		s.event(core.EventQuarantine, "circuit breaker open: stream out of service")
+	}
+}
+
+// event appends one incident to the bounded per-stream timeline and
+// mirrors it into the attached registry.
+func (s *Stream) event(kind core.EventKind, detail string) {
+	if len(s.events) < maxStreamEvents {
+		s.events = append(s.events, core.Event{
+			Kind:   kind,
+			Bit:    s.mon.BitsSeen(),
+			Seq:    s.sequences,
+			Detail: detail,
+		})
+	}
+	if reg := s.pool.fobs.reg; reg != nil {
+		s.pool.fobs.eventCounter(kind).Inc()
+		reg.Emit("fleet."+kind.String(), s.mon.BitsSeen(), s.tenant+": "+detail)
+	}
+}
+
+// finalize flushes the stream's results into its final report, recycles
+// the monitor, unlinks the stream and publishes the report by closing
+// done. Runs on the shard goroutine (or the Replayer's caller).
+func (s *Stream) finalize() {
+	r := StreamReport{
+		Tenant:            s.tenant,
+		Reports:           append([]core.SequenceReport(nil), s.mon.History()...),
+		Sequences:         s.sequences,
+		Passed:            s.seqPass,
+		Failed:            s.seqFail,
+		Quarantined:       s.quarantined,
+		Retries:           s.retries,
+		Watchdogs:         s.watchdogs,
+		Faults:            s.faults,
+		BreakerTripped:    s.breakerOpen,
+		AlarmLatched:      s.latched,
+		OfferedBatches:    s.offered.Load(),
+		AcceptedBatches:   s.acceptedBatches,
+		ShedBatches:       s.shedCount.Load(),
+		SampledOutBatches: s.sampledOut.Load(),
+		DiscardedBatches:  s.discardedBatches,
+		BitsSeen:          s.mon.BitsSeen(),
+		PartialBits:       s.mon.SequenceBits(),
+		Events:            s.events,
+	}
+	r.Condition = r.computeCondition()
+	s.final = r
+	s.events = nil
+	fo := &s.pool.fobs
+	fo.conditionCounter(r.Condition).Inc()
+	s.tobs.condition.Set(float64(r.Condition))
+	s.pool.recycleMonitor(s.mon)
+	s.mon = nil
+	s.policy = nil
+	s.pool.removeStream(s)
+	close(s.done)
+}

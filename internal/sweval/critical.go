@@ -94,6 +94,11 @@ func WithRunsMethod(m RunsMethod) Option {
 // runsTableRows is the number of N_ones intervals in the RunsTable method.
 const runsTableRows = 16
 
+// Config returns the design the constants were derived for. Critical
+// values are read-only after construction, so one derivation can be shared
+// across many monitors of the same design (see core.NewMonitorWithValues).
+func (cv *CriticalValues) Config() hwblock.Config { return cv.cfg }
+
 // NewCriticalValues precomputes the constants for the given design at level
 // of significance alpha (NIST recommends alpha in [0.001, 0.01]). This is
 // the flexibility the HW/SW split buys: changing alpha regenerates these
