@@ -153,7 +153,9 @@ type Config struct {
 	// Policy selects the full-queue behaviour; see ShedPolicy.
 	Policy ShedPolicy
 	// SampleEvery is the DegradeSample keep rate: one of every SampleEvery
-	// congested batches is delivered (0 = DefaultSampleEvery).
+	// congested batches is delivered (0 = DefaultSampleEvery; 1 delivers
+	// every congested batch, degenerating to Block; negative is a
+	// configuration error).
 	SampleEvery int
 
 	// QuarantineLimit trips the per-stream circuit breaker after this many
@@ -199,16 +201,20 @@ func (c Config) withDefaults() (Config, error) {
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = DefaultQueueDepth
 	}
-	if c.SampleEvery <= 1 {
+	if c.SampleEvery < 0 {
+		return c, fmt.Errorf("fleet: SampleEvery %d is negative (0 selects the default, 1 delivers every congested batch)", c.SampleEvery)
+	}
+	if c.SampleEvery == 0 {
 		c.SampleEvery = DefaultSampleEvery
 	}
 	if c.QuarantineLimit == 0 {
 		c.QuarantineLimit = core.DefaultQuarantineLimit
 	}
+	// KeepReports keeps the user's sentinel (negative = keep everything) so
+	// Config() round-trips into New without flipping semantics; Register
+	// translates to the Monitor's 0-keeps-everything convention.
 	if c.KeepReports == 0 {
 		c.KeepReports = DefaultKeepReports
-	} else if c.KeepReports < 0 {
-		c.KeepReports = 0 // Monitor semantics: 0 keeps everything
 	}
 	if c.Clock == nil {
 		//trnglint:allow determinism the stall sweeper is deliberately wall-clock (it exists to bound a silent producer); it is armed only when StreamDeadline > 0 and tests inject a fake clock

@@ -29,6 +29,7 @@ type fleetObs struct {
 	batchesShed       *obs.Counter
 	batchesSampledOut *obs.Counter
 	batchesDiscarded  *obs.Counter
+	lateDropped       *obs.Counter
 
 	// Faults, isolation and verdicts.
 	faultsTransient *obs.Counter
@@ -76,6 +77,8 @@ func (f *fleetObs) init(r *obs.Registry, shards int) {
 	f.batchesShed = r.Counter("fleet_batches_total", batchHelp, "outcome", "shed")
 	f.batchesSampledOut = r.Counter("fleet_batches_total", batchHelp, "outcome", "sampled-out")
 	f.batchesDiscarded = r.Counter("fleet_batches_total", batchHelp, "outcome", "discarded")
+	f.lateDropped = r.Counter("fleet_late_items_dropped_total",
+		"queue items addressed to an already-finalized stream, dropped by the shard (stall-sweeper fault that lost its race with Detach)")
 
 	const faultHelp = "source fault events delivered to streams, by kind"
 	f.faultsTransient = r.Counter("fleet_faults_total", faultHelp, "kind", "transient")

@@ -98,7 +98,14 @@ func (p *Pool) Register(tenant string) (*Stream, error) {
 	if err != nil {
 		return nil, err
 	}
-	mon.KeepHistory = p.cfg.KeepReports
+	// Config keeps the user's sentinel (negative = keep everything) so
+	// Config() round-trips losslessly; translate to Monitor semantics
+	// (0 = keep everything) only here.
+	if p.cfg.KeepReports < 0 {
+		mon.KeepHistory = 0
+	} else {
+		mon.KeepHistory = p.cfg.KeepReports
+	}
 	var policy *core.AlarmPolicy
 	if p.cfg.AlarmThreshold > 0 {
 		policy, err = core.NewAlarmPolicy(p.cfg.AlarmThreshold)
@@ -168,7 +175,9 @@ func (p *Pool) Lookup(tenant string) *Stream {
 // is flushed as a StreamReport, and the shard workers stop. The reports
 // are sorted by tenant so shutdown output is deterministic regardless of
 // shard scheduling. Shutdown is idempotent; concurrent Detach calls are
-// safe and simply race to flush the same streams.
+// safe and simply race to flush the same streams, and producers still
+// pushing while Shutdown runs see their last racing pushes either drained
+// normally or rejected with ErrDetached — never lost in a stopped queue.
 func (p *Pool) Shutdown() []StreamReport {
 	p.mu.Lock()
 	alreadyClosed := p.closed
@@ -195,8 +204,12 @@ func (p *Pool) Shutdown() []StreamReport {
 // the Supervisor's per-bit watchdog, at per-stream granularity. The
 // injection is non-blocking: a stream on a congested shard is skipped this
 // sweep and caught by the next one, so the sweeper itself can never stall
-// on a full queue. Returns the number of streams swept. No-op (0) when no
-// deadline is configured.
+// on a full queue. Because the send deliberately stays outside the stream
+// mutex (a sweep must never block behind a backpressured producer), a
+// sweep item can lose its race with Detach and land behind the detach
+// item; the shard's finalized-stream guard drops it and counts it in
+// fleet_late_items_dropped_total. Returns the number of streams swept.
+// No-op (0) when no deadline is configured.
 func (p *Pool) SweepStalled() int {
 	if p.cfg.StreamDeadline <= 0 {
 		return 0

@@ -1,0 +1,202 @@
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/trng"
+)
+
+// TestLateItemsAfterDetachAreDropped pins the shard-side finalized-stream
+// guard: a queue item that lands behind the detach item (the stall
+// sweeper's non-blocking fault send can lose that race) must be dropped
+// and counted, not processed against a finalized stream whose monitor is
+// gone — that was a shard-killing nil dereference.
+func TestLateItemsAfterDetachAreDropped(t *testing.T) {
+	cfg := testConfig(t)
+	cfg.Shards = 1
+	reg := obs.NewRegistry()
+	cfg.Obs = reg
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := p.Register("gone")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pushWords(t, s, 1, 2)
+	rep := s.Detach()
+
+	// Simulate the lost race: items addressed to the finalized stream
+	// arriving after its detach item was processed.
+	s.sh.queue <- item{s: s, err: core.ErrWatchdog, kind: itemFault}
+	s.sh.queue <- item{s: s, w: 1, nbits: 64, kind: itemWord}
+	p.Shutdown() // drains the late items before the stop; must not panic
+
+	if v := reg.Counter("fleet_late_items_dropped_total", "").Value(); v != 2 {
+		t.Fatalf("late-dropped counter = %d, want 2", v)
+	}
+	if again := s.Detach(); again.Sequences != rep.Sequences || again.Watchdogs != rep.Watchdogs {
+		t.Fatal("late items mutated the published final report")
+	}
+}
+
+// TestShutdownConcurrentWithProducers is the regression for the
+// check-then-enqueue race between Push/PushFault and a Shutdown-initiated
+// Detach: producers hammering a congested Block-policy pool while
+// Shutdown runs must end with ErrDetached — not a nil-monitor panic, and
+// not blocked forever on a queue nothing drains.
+func TestShutdownConcurrentWithProducers(t *testing.T) {
+	cfg := testConfig(t)
+	cfg.Shards = 2
+	cfg.QueueDepth = 1 // maximize producer/queue contention
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const producers = 8
+	var wg sync.WaitGroup
+	for i := 0; i < producers; i++ {
+		s, err := p.Register(fmt.Sprintf("t%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(s *Stream, seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for n := 0; ; n++ {
+				var err error
+				if n%64 == 63 {
+					err = s.PushFault(trng.ErrTransient)
+				} else {
+					err = s.Push(rng.Uint64(), 64)
+				}
+				if errors.Is(err, ErrDetached) {
+					return
+				}
+				if err != nil {
+					t.Errorf("producer: %v", err)
+					return
+				}
+			}
+		}(s, int64(i))
+	}
+	time.Sleep(10 * time.Millisecond) // let the producers saturate the queues
+	reports := p.Shutdown()
+	finished := make(chan struct{})
+	go func() { wg.Wait(); close(finished) }()
+	select {
+	case <-finished:
+	case <-time.After(30 * time.Second):
+		t.Fatal("producers still blocked 30s after Shutdown — push stranded behind the stop item")
+	}
+	if len(reports) != producers {
+		t.Fatalf("got %d reports, want %d", len(reports), producers)
+	}
+	for _, r := range reports {
+		if r.OfferedBatches != r.AcceptedBatches+r.DiscardedBatches {
+			t.Fatalf("%s: offered %d != accepted %d + discarded %d (a racing push was lost)",
+				r.Tenant, r.OfferedBatches, r.AcceptedBatches, r.DiscardedBatches)
+		}
+	}
+}
+
+// TestSampleEveryOneIsHonored pins the Config contract: only 0 selects
+// the default; SampleEvery=1 means "deliver every congested batch", i.e.
+// DegradeSample degenerates to pure backpressure and nothing is dropped.
+func TestSampleEveryOneIsHonored(t *testing.T) {
+	cfg := testConfig(t)
+	cfg.Shards = 1
+	cfg.QueueDepth = 1
+	cfg.Policy = DegradeSample
+	cfg.SampleEvery = 1
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Config().SampleEvery; got != 1 {
+		t.Fatalf("SampleEvery normalized to %d, want 1", got)
+	}
+	s, err := p.Register("hot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(13))
+	const offered = 512
+	for i := 0; i < offered; i++ {
+		if err := s.Push(rng.Uint64(), 64); err != nil {
+			t.Fatalf("push %d: %v (SampleEvery=1 must never sample out)", i, err)
+		}
+	}
+	r := s.Detach()
+	if r.SampledOutBatches != 0 || r.AcceptedBatches != offered {
+		t.Fatalf("accepted %d, sampled-out %d; want %d/0", r.AcceptedBatches, r.SampledOutBatches, offered)
+	}
+	p.Shutdown()
+}
+
+func TestSampleEveryNegativeRejected(t *testing.T) {
+	cfg := testConfig(t)
+	cfg.SampleEvery = -3
+	if _, err := New(cfg); err == nil {
+		t.Fatal("New accepted a negative SampleEvery")
+	}
+}
+
+// TestKeepReportsRoundTrip pins lossless Config() round-tripping of the
+// keep-everything sentinel: feeding Pool.Config() back into New must not
+// flip "keep everything" (negative) into "keep DefaultKeepReports".
+func TestKeepReportsRoundTrip(t *testing.T) {
+	cfg := testConfig(t)
+	cfg.KeepReports = -1
+	run := func(c Config) StreamReport {
+		t.Helper()
+		p, err := New(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer p.Shutdown()
+		s, err := p.Register("hoarder")
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Well past DefaultKeepReports sequences (2 words each).
+		const sequences = DefaultKeepReports + 4
+		pushWords(t, s, 21, 2*sequences)
+		return s.Detach()
+	}
+
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	norm := p.Config()
+	p.Shutdown()
+	if norm.KeepReports != -1 {
+		t.Fatalf("Config() normalized KeepReports to %d, want the -1 sentinel", norm.KeepReports)
+	}
+	first := run(cfg)
+	second := run(norm)
+	want := DefaultKeepReports + 4
+	if len(first.Reports) != want {
+		t.Fatalf("keep-everything retained %d reports, want %d", len(first.Reports), want)
+	}
+	if len(second.Reports) != len(first.Reports) {
+		t.Fatalf("round-tripped config retained %d reports, direct config %d — Config() is lossy",
+			len(second.Reports), len(first.Reports))
+	}
+	// And the 0-means-default path still bounds history.
+	cfg.KeepReports = 0
+	bounded := run(cfg)
+	if len(bounded.Reports) != DefaultKeepReports {
+		t.Fatalf("default retained %d reports, want %d", len(bounded.Reports), DefaultKeepReports)
+	}
+}

@@ -45,6 +45,21 @@ func (sh *shard) loop() {
 			sh.highWater = d
 			high.Set(float64(d))
 		}
+		if it.kind == itemStop {
+			depth.Set(0)
+			return
+		}
+		if it.s.mon == nil {
+			// The stream finalized before this item was dequeued. The
+			// producer side cannot cause this (pushMu orders pushes before
+			// the detach item), but a non-blocking injector — the stall
+			// sweeper — checks detached without the stream mutex and its
+			// fault item can land behind the detach item. The check is
+			// race-free here: finalize runs on this same goroutine.
+			fo.lateDropped.Inc()
+			depth.Set(float64(len(sh.queue)))
+			continue
+		}
 		switch it.kind {
 		case itemWord:
 			it.s.ingestWord(it.w, int(it.nbits))
@@ -52,9 +67,6 @@ func (sh *shard) loop() {
 			it.s.applyFault(it.err)
 		case itemDetach:
 			it.s.finalize()
-		case itemStop:
-			depth.Set(0)
-			return
 		}
 		depth.Set(float64(len(sh.queue)))
 	}

@@ -31,6 +31,14 @@ type Stream struct {
 	congested  atomic.Int64 // congested-offer counter driving DegradeSample
 	lastPush   atomic.Int64 // Clock() stamp; only when StreamDeadline > 0
 
+	// pushMu orders the producer-side check-then-enqueue against Detach:
+	// once Detach has enqueued the detach item (under this mutex, after
+	// setting detached), no word or fault item for this stream can follow
+	// it into the queue. Without the ordering, a push that passed the
+	// detached check could land behind the detach item — processed against
+	// a finalized stream — or behind the shutdown stop item, blocking the
+	// producer forever on a queue nothing drains.
+	pushMu     sync.Mutex
 	detachOnce sync.Once
 	done       chan struct{} // closed by finalize; publishes final
 	final      StreamReport
@@ -69,6 +77,8 @@ func (s *Stream) Push(w uint64, nbits int) error {
 	if nbits < 1 || nbits > 64 {
 		return fmt.Errorf("fleet: word size %d out of range [1,64]", nbits)
 	}
+	s.pushMu.Lock()
+	defer s.pushMu.Unlock()
 	if s.detached.Load() {
 		return ErrDetached
 	}
@@ -114,6 +124,8 @@ func (s *Stream) PushFault(err error) error {
 	if err == nil {
 		return nil
 	}
+	s.pushMu.Lock()
+	defer s.pushMu.Unlock()
 	if s.detached.Load() {
 		return ErrDetached
 	}
@@ -128,11 +140,16 @@ func (s *Stream) PushFault(err error) error {
 // processed (drain, not discard), the monitor's partial results are
 // flushed into the returned StreamReport, and the monitor returns to the
 // pool for the next tenant. Detach is idempotent and safe to call
-// concurrently with Shutdown; all callers get the same report.
+// concurrently with Shutdown and with the stream's own producer: a Push
+// or PushFault racing the detach either lands before the detach item
+// (drained normally) or fails with ErrDetached — pushMu makes the detach
+// item the last item this stream ever enqueues.
 func (s *Stream) Detach() StreamReport {
 	s.detachOnce.Do(func() {
+		s.pushMu.Lock()
 		s.detached.Store(true)
 		s.sh.queue <- item{s: s, kind: itemDetach}
+		s.pushMu.Unlock()
 	})
 	<-s.done
 	return s.final
