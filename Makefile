@@ -1,6 +1,6 @@
 # Mirrors .github/workflows/ci.yml so `make check` locally is the same
 # gate CI runs.
-.PHONY: check vet build test bench-smoke bench lint docs docs-check soak
+.PHONY: check vet build test bench-smoke bench bench-diff lint docs docs-check soak
 
 check: build lint test bench-smoke
 
@@ -49,16 +49,44 @@ bench-smoke:
 # under the sampled-degradation shed policy, deadline sweeper armed) plus
 # monitor recycling across generations. trngd itself enforces the batch
 # accounting identity on every stream report and exits non-zero on a leak,
-# so this is a correctness gate, not just a does-it-crash check. Bounded
-# wall time: ~seconds.
+# so this is a correctness gate, not just a does-it-crash check. Runs
+# twice — serial ingest and bit-sliced lane-group ingest — so the sliced
+# hot path soaks under -race with every defect class too. Bounded wall
+# time: ~seconds.
 soak:
 	go run -race ./cmd/trngd -n 128 -variant light \
 		-streams 192 -words 48 -generations 2 -shards 8 -queue 64 \
 		-policy sample -sample-every 8 \
 		-faulty 0.25 -transient-rate 0.1 -biased 0.125 -bias 0.8 \
 		-stream-deadline 30s -sweep-every 25ms -seed 7
+	go run -race ./cmd/trngd -n 128 -variant light -bitsliced \
+		-streams 192 -words 48 -generations 2 -shards 8 -queue 64 \
+		-policy sample -sample-every 8 \
+		-faulty 0.25 -transient-rate 0.1 -biased 0.125 -bias 0.8 \
+		-stream-deadline 30s -sweep-every 25ms -seed 7
 
 # Full benchmark run, archived as machine-readable JSON (test2json framing
-# around the standard benchmark lines) for regression comparison.
+# around the standard benchmark lines) for regression comparison. The run
+# lands in BENCH_latest.json — the stable name bench-diff and CI compare
+# against — and is also copied to a dated archive. Writing the stable file
+# first means two same-day runs no longer silently reuse a stale dated
+# file: BENCH_latest.json always holds the newest run. The no-op pre-pass
+# warms the build cache so compilation of later packages does not
+# time-share the CPU with (and inflate) earlier packages' benchmarks.
 bench:
-	go test -run='^$$' -bench=. -benchmem -json ./... > BENCH_$$(date +%Y%m%d).json
+	go test -run='^$$' -bench='^$$' ./... > /dev/null
+	go test -run='^$$' -bench=. -benchmem -json ./... > BENCH_latest.json
+	cp BENCH_latest.json BENCH_$$(date +%Y%m%d).json
+
+# bench-diff is the benchmark-trajectory gate: re-run every benchmark with
+# a short benchtime and compare per-benchmark ns/op against the committed
+# BENCH_latest.json archive. The threshold is deliberately generous — CI
+# machines are noisy and differ from the machine that produced the archive
+# — so the gate trips on order-of-magnitude fast-path regressions, not
+# scheduling jitter. The fresh run is written next to the archive but
+# never committed.
+bench-diff:
+	go test -run='^$$' -bench='^$$' ./... > /dev/null
+	go test -run='^$$' -bench=. -benchmem -benchtime=100ms -json ./... > BENCH_head.json.tmp
+	go run ./cmd/benchdiff -fail-over 100 BENCH_latest.json BENCH_head.json.tmp
+	rm -f BENCH_head.json.tmp

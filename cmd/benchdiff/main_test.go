@@ -1,0 +1,170 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// ev builds one test2json output event line, escaping Output exactly as
+// test2json frames it.
+func ev(pkg, out string) string {
+	r := strings.NewReplacer("\\", `\\`, "\"", `\"`, "\n", `\n`, "\t", `\t`)
+	return `{"Action":"output","Package":"` + pkg + `","Output":"` + r.Replace(out) + `"}`
+}
+
+// stream builds a test2json fixture where the benchmark result line is
+// split across two output events (name flush, then timing), exactly as
+// `go test -json` emits it.
+func stream(pkg string, ns float64, bop, allocs int) string {
+	timing := "  123456\t" + strconv.FormatFloat(ns, 'f', -1, 64) + " ns/op\t  44.04 MB/s\t       " +
+		strconv.Itoa(bop) + " B/op\t       " + strconv.Itoa(allocs) + " allocs/op\n"
+	lines := []string{
+		`{"Action":"start","Package":"` + pkg + `"}`,
+		ev(pkg, "goos: linux\n"),
+		ev(pkg, "BenchmarkIngest\n"),
+		ev(pkg, "BenchmarkIngest             \t"),
+		ev(pkg, timing),
+		ev(pkg, "PASS\n"),
+		`{"Action":"pass","Package":"` + pkg + `"}`,
+	}
+	return strings.Join(lines, "\n") + "\n"
+}
+
+func TestParseSplitLine(t *testing.T) {
+	in := stream("repro/internal/fleet", 163.8, 1, 0)
+	res, err := parseBench(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, ok := res["repro/internal/fleet:BenchmarkIngest"]
+	if !ok {
+		t.Fatalf("benchmark not found; got %v", res)
+	}
+	if r.iters != 123456 {
+		t.Fatalf("iters = %d, want 123456", r.iters)
+	}
+	if got := r.metrics["ns/op"]; got != 163.8 {
+		t.Fatalf("ns/op = %v, want 163.8", got)
+	}
+	if got := r.metrics["MB/s"]; got != 44.04 {
+		t.Fatalf("MB/s = %v, want 44.04", got)
+	}
+	if got, ok := r.metrics["allocs/op"]; !ok || got != 0 {
+		t.Fatalf("allocs/op = %v (present=%v), want 0", got, ok)
+	}
+}
+
+func TestParseRejectsNonBenchLines(t *testing.T) {
+	in := strings.Join([]string{
+		ev("p", "=== RUN   BenchmarkX\n"),
+		ev("p", "BenchmarkX\n"),
+		ev("p", "ok  \trepro\t1.2s\n"),
+		ev("p", "--- PASS: TestY (0.00s)\n"),
+	}, "\n")
+	res, err := parseBench(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 0 {
+		t.Fatalf("expected no results, got %v", res)
+	}
+}
+
+func TestRunFailOver(t *testing.T) {
+	dir := t.TempDir()
+	oldP := filepath.Join(dir, "old.json")
+	newP := filepath.Join(dir, "new.json")
+	if err := os.WriteFile(oldP, []byte(stream("repro/internal/fleet", 100, 1, 0)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(newP, []byte(stream("repro/internal/fleet", 130, 1, 0)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var out strings.Builder
+	code, err := run(oldP, newP, 50, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("30%% regression under a 50%% threshold should pass; output:\n%s", out.String())
+	}
+
+	out.Reset()
+	code, err = run(oldP, newP, 20, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code == 0 {
+		t.Fatalf("30%% regression over a 20%% threshold should fail; output:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSED") {
+		t.Fatalf("failing diff should mark the regressed row; output:\n%s", out.String())
+	}
+}
+
+func TestRunImprovementPasses(t *testing.T) {
+	dir := t.TempDir()
+	oldP := filepath.Join(dir, "old.json")
+	newP := filepath.Join(dir, "new.json")
+	if err := os.WriteFile(oldP, []byte(stream("repro/internal/fleet", 160, 1, 0)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(newP, []byte(stream("repro/internal/fleet", 43, 1, 0)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	code, err := run(oldP, newP, 10, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("a speedup must pass any threshold; output:\n%s", out.String())
+	}
+}
+
+func TestRunDisjointBenchmarks(t *testing.T) {
+	dir := t.TempDir()
+	oldP := filepath.Join(dir, "old.json")
+	newP := filepath.Join(dir, "new.json")
+	if err := os.WriteFile(oldP, []byte(stream("repro/internal/fleet", 100, 1, 0)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(newP, []byte(stream("repro/internal/hwslice", 30, 0, 0)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	code, err := run(oldP, newP, 10, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("disjoint benchmark sets must not fail the gate; output:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "only in") {
+		t.Fatalf("disjoint benchmarks should be listed; output:\n%s", out.String())
+	}
+}
+
+func TestRealArchiveRoundTrip(t *testing.T) {
+	// The committed archive, when present, must parse and self-diff clean:
+	// identical files have zero delta and exit 0 at any threshold.
+	path := filepath.Join("..", "..", "BENCH_latest.json")
+	if _, err := os.Stat(path); err != nil {
+		t.Skip("no committed BENCH_latest.json")
+	}
+	var out strings.Builder
+	code, err := run(path, path, 1, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("self-diff must pass; output:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "ns/op") {
+		t.Fatalf("self-diff should report rows; output:\n%s", out.String())
+	}
+}

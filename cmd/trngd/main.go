@@ -56,6 +56,7 @@ type options struct {
 	biasedFrac    float64
 	bias          float64
 	seed          int64
+	bitSliced     bool
 	verifyReadout bool
 	alarm         int
 	deadline      time.Duration
@@ -87,6 +88,7 @@ func main() {
 	flag.Float64Var(&o.biasedFrac, "biased", 0.0625, "fraction of tenants streaming a biased (statistically defective) source")
 	flag.Float64Var(&o.bias, "bias", 0.75, "P(bit=1) of the biased tenants")
 	flag.Int64Var(&o.seed, "seed", 1, "base seed; every tenant derives its own deterministic substream")
+	flag.BoolVar(&o.bitSliced, "bitsliced", false, "use bit-sliced lane-group ingest (transposed 64-stream tiles; see internal/hwslice); verdicts are bit-identical to serial ingest")
 	flag.BoolVar(&o.verifyReadout, "verify-readout", false, "double-evaluate each sequence and quarantine on readout mismatch")
 	flag.IntVar(&o.alarm, "alarm-threshold", 0, "latch a per-stream alarm after this many consecutive failing sequences (0 = off)")
 	flag.DurationVar(&o.deadline, "stream-deadline", 0, "per-stream push deadline; stalled streams get watchdog faults (0 = off)")
@@ -146,6 +148,7 @@ func run(o options) int {
 		MaxStreams:     o.maxStreams,
 		Policy:         policy,
 		SampleEvery:    o.sampleEvery,
+		BitSliced:      o.bitSliced,
 		VerifyReadout:  o.verifyReadout,
 		AlarmThreshold: o.alarm,
 		StreamDeadline: o.deadline,
@@ -155,8 +158,12 @@ func run(o options) int {
 		return fatal(err)
 	}
 	cfg := pool.Config()
-	fmt.Fprintf(o.stdout, "trngd: design=%s alpha=%g shards=%d queue=%d policy=%s streams=%d words=%d generations=%d\n",
-		design.Name, o.alpha, cfg.Shards, cfg.QueueDepth, policy, o.streams, o.words, o.generations)
+	ingest := "serial"
+	if cfg.BitSliced {
+		ingest = "bitsliced"
+	}
+	fmt.Fprintf(o.stdout, "trngd: design=%s alpha=%g shards=%d queue=%d policy=%s ingest=%s streams=%d words=%d generations=%d\n",
+		design.Name, o.alpha, cfg.Shards, cfg.QueueDepth, policy, ingest, o.streams, o.words, o.generations)
 
 	// The stall sweeper, when armed, runs the fleet-level watchdog.
 	sweepDone := make(chan struct{})
@@ -249,6 +256,16 @@ func runTenant(pool *fleet.Pool, plan tenantPlan, o options) (fleet.StreamReport
 		stormAt = o.words / 2
 	}
 	hard := errors.New("trngd: injected hard source fault")
+	// Healthy tenants push through the batched producer API in small runs
+	// — the realistic shape for a DMA'd hardware source, and the fast path
+	// on bit-sliced pools (one atomic publish per staging fill). Tenants
+	// that interleave fault events keep the word-at-a-time path so the
+	// fault lands at its exact position in the batch order.
+	const runWords = 32
+	var run []uint64
+	if !plan.faulty && stormAt < 0 {
+		run = make([]uint64, 0, runWords)
+	}
 	for i := 0; i < o.words; i++ {
 		var w uint64
 		for b := 0; b < 64; b++ {
@@ -257,6 +274,17 @@ func runTenant(pool *fleet.Pool, plan tenantPlan, o options) (fleet.StreamReport
 				return fleet.StreamReport{}, err
 			}
 			w |= uint64(bit&1) << uint(b)
+		}
+		if run != nil {
+			run = append(run, w)
+			if len(run) == runWords || i == o.words-1 {
+				if err := s.PushWords(run); err != nil &&
+					!errors.Is(err, fleet.ErrShed) && !errors.Is(err, fleet.ErrSampledOut) {
+					return fleet.StreamReport{}, err
+				}
+				run = run[:0]
+			}
+			continue
 		}
 		if err := s.Push(w, 64); err != nil &&
 			!errors.Is(err, fleet.ErrShed) && !errors.Is(err, fleet.ErrSampledOut) {

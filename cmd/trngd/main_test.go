@@ -52,6 +52,31 @@ func TestRunCleanFleet(t *testing.T) {
 	}
 }
 
+func TestRunBitSlicedFleet(t *testing.T) {
+	// The full defect zoo through the bit-sliced ingest path: verdict
+	// counts, breaker trips and the batch accounting identity must all
+	// come out exactly as the serial path produces them (run exits 2 on
+	// any accounting leak).
+	var out, errOut bytes.Buffer
+	o := testOptions()
+	o.bitSliced = true
+	o.words = 32
+	o.stdout, o.stderr = &out, &errOut
+	if code := run(o); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	got := out.String()
+	if !strings.Contains(got, "ingest=bitsliced") {
+		t.Fatalf("banner should report the ingest mode:\n%s", got)
+	}
+	if !strings.Contains(got, "streams: 48 completed") {
+		t.Fatalf("all streams must complete under bit-sliced ingest:\n%s", got)
+	}
+	if !strings.Contains(got, "3 breaker trips") {
+		t.Fatalf("fault isolation must match the serial path (3 stormers):\n%s", got)
+	}
+}
+
 func TestRunGenerationsRecycleMonitors(t *testing.T) {
 	var out, errOut bytes.Buffer
 	o := testOptions()

@@ -1,0 +1,25 @@
+package bitstream
+
+// Transpose64 transposes a 64×64 bit matrix in place: bit j of m[i] moves
+// to bit i of m[j]. The matrix convention used by the bit-sliced ingest
+// engine (internal/hwslice) is lane-major in, time-major out — m[lane]
+// holds lane's next 64 chronological bits (bit t = step t), and after the
+// transpose m[t] holds step t of every lane (bit l = lane l). Because
+// transposition is an involution, the same call de-transposes: there is no
+// separate Detranspose64.
+//
+// The kernel is the classic recursive block swap (Hacker's Delight §7-3):
+// six stages, each exchanging off-diagonal sub-blocks of half the previous
+// size with shift/mask/XOR — 64 words are transposed in ~6·64 word
+// operations, no tables, no allocation.
+func Transpose64(m *[64]uint64) {
+	// Stage k swaps the two off-diagonal j×j sub-blocks of every 2j×2j
+	// block, j = 32, 16, 8, 4, 2, 1.
+	for j, mask := 32, uint64(0x00000000FFFFFFFF); j != 0; j, mask = j>>1, mask^(mask<<uint(j>>1)) {
+		for k := 0; k < 64; k = (k + j + 1) &^ j {
+			t := (m[k] ^ (m[k+j] << uint(j))) & ^mask
+			m[k] ^= t
+			m[k+j] ^= t >> uint(j)
+		}
+	}
+}

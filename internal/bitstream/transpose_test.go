@@ -1,0 +1,141 @@
+package bitstream
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// naiveTranspose64 is the bit-by-bit reference definition: out[i] bit j =
+// in[j] bit i, with bit k = (w >> k) & 1.
+func naiveTranspose64(in *[64]uint64) [64]uint64 {
+	var out [64]uint64
+	for i := 0; i < 64; i++ {
+		for j := 0; j < 64; j++ {
+			out[i] |= (in[j] >> uint(i) & 1) << uint(j)
+		}
+	}
+	return out
+}
+
+func TestTranspose64MatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cases := [][64]uint64{
+		{},                       // all zeros
+		{0: ^uint64(0)},          // one full row
+		{63: 1},                  // one corner bit
+		{0: 1 << 63, 63: 1},      // both corners
+		{7: 0xAAAAAAAAAAAAAAAA},  // alternating row
+		{31: 0x00000000FFFFFFFF}, // half row on a stage boundary
+	}
+	var all [64]uint64
+	for i := range all {
+		all[i] = ^uint64(0)
+	}
+	cases = append(cases, all)
+	for c := 0; c < 32; c++ {
+		var m [64]uint64
+		for i := range m {
+			m[i] = rng.Uint64()
+		}
+		cases = append(cases, m)
+	}
+	for ci, m := range cases {
+		want := naiveTranspose64(&m)
+		got := m
+		Transpose64(&got)
+		if got != want {
+			t.Fatalf("case %d: Transpose64 disagrees with the naive reference", ci)
+		}
+	}
+}
+
+func TestTranspose64Involution(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for c := 0; c < 64; c++ {
+		var m [64]uint64
+		for i := range m {
+			m[i] = rng.Uint64()
+		}
+		got := m
+		Transpose64(&got)
+		Transpose64(&got)
+		if got != m {
+			t.Fatalf("case %d: transpose twice is not the identity", c)
+		}
+	}
+}
+
+// TestTranspose64LaneConvention pins the convention the bit-sliced ingest
+// engine relies on: with m[lane] holding a lane's 64 chronological bits,
+// the transposed m[t] holds step t of every lane, bit l = lane l.
+func TestTranspose64LaneConvention(t *testing.T) {
+	var m [64]uint64
+	// Lane 5 all ones; lane 17 has only bit (step) 3 set.
+	m[5] = ^uint64(0)
+	m[17] = 1 << 3
+	Transpose64(&m)
+	for step := 0; step < 64; step++ {
+		wantLane17 := uint64(0)
+		if step == 3 {
+			wantLane17 = 1
+		}
+		if got := m[step] >> 5 & 1; got != 1 {
+			t.Fatalf("step %d: lane 5 bit = %d, want 1", step, got)
+		}
+		if got := m[step] >> 17 & 1; got != wantLane17 {
+			t.Fatalf("step %d: lane 17 bit = %d, want %d", step, got, wantLane17)
+		}
+	}
+}
+
+// FuzzTransposeRoundTrip proves transpose → de-transpose is the identity
+// for ragged lane groups: 1–64 occupied lanes, lane lengths that are not a
+// multiple of 64 (the unfilled tail bits and the vacant lanes stay zero, as
+// they do in a partially attached fleet lane group).
+func FuzzTransposeRoundTrip(f *testing.F) {
+	f.Add(uint8(1), uint8(1), []byte{0xFF})
+	f.Add(uint8(64), uint8(63), []byte{0xAA, 0x55, 0x00, 0x01})
+	f.Add(uint8(17), uint8(40), []byte{1, 2, 3, 4, 5, 6, 7, 8, 9})
+	f.Fuzz(func(t *testing.T, lanesRaw, lenRaw uint8, data []byte) {
+		lanes := int(lanesRaw)%64 + 1 // 1..64 occupied lanes
+		nbits := int(lenRaw)%64 + 1   // 1..64 bits per lane (ragged tail)
+		var m [64]uint64
+		bi := 0
+		next := func() uint64 {
+			if len(data) == 0 {
+				return 0
+			}
+			b := uint64(data[bi%len(data)] >> uint(bi%8) & 1)
+			bi++
+			return b
+		}
+		for l := 0; l < lanes; l++ {
+			for t := 0; t < nbits; t++ {
+				m[l] |= next() << uint(t)
+			}
+		}
+		orig := m
+		Transpose64(&m)
+		// The transposed matrix must agree with the naive definition...
+		if want := naiveTranspose64(&orig); m != want {
+			t.Fatalf("transpose disagrees with the naive reference")
+		}
+		// ...steps past the ragged tail must not invent bits in any lane...
+		for step := nbits; step < 64; step++ {
+			if m[step] != 0 {
+				t.Fatalf("step %d past the %d-bit tail is nonzero: %#x", step, nbits, m[step])
+			}
+		}
+		// ...vacant lanes must stay vacant...
+		for step := 0; step < 64; step++ {
+			if lanes < 64 && m[step]>>uint(lanes) != 0 {
+				t.Fatalf("step %d has bits above lane %d: %#x", step, lanes-1, m[step])
+			}
+		}
+		// ...and de-transposing (the same involution) must round-trip.
+		Transpose64(&m)
+		if m != orig {
+			t.Fatalf("transpose round trip is not the identity")
+		}
+	})
+}

@@ -23,6 +23,7 @@ import (
 	"fmt"
 
 	"repro/internal/hwblock"
+	"repro/internal/hwfast"
 	"repro/internal/obs"
 	"repro/internal/sweval"
 	"repro/internal/trng"
@@ -184,6 +185,20 @@ func (m *Monitor) Config() hwblock.Config { return m.block.Config() }
 // Block exposes the hardware testing block (for area reporting and
 // register-file inspection).
 func (m *Monitor) Block() *hwblock.Block { return m.block }
+
+// LoadWordStats hands externally maintained sliceable-engine state back to
+// the block (see hwblock.Block.LoadWordStats) and keeps the monitor's own
+// bit count in step: a residual-free sliced stream feeds the monitor
+// nothing between sequence boundaries, so the hand-back may fast-forward
+// the position, and the skipped bits count as seen.
+func (m *Monitor) LoadWordStats(ws *hwfast.WordStats) error {
+	pre := m.block.BitsSeen()
+	if err := m.block.LoadWordStats(ws); err != nil {
+		return err
+	}
+	m.bitsSeen += int64(m.block.BitsSeen() - pre)
+	return nil
+}
 
 // Alpha returns the configured level of significance.
 func (m *Monitor) Alpha() float64 { return m.cv.Alpha }

@@ -106,6 +106,71 @@ func BenchmarkFleetSteadyState(b *testing.B) {
 	p.Shutdown()
 }
 
+// BenchmarkFleetBitSliced gates the bit-sliced aggregate ingest claim: the
+// same 64 streams as BenchmarkFleetSteadyState, resident as one full lane
+// group on a single shard (64+ streams/shard), on the same design and
+// instrumentation, with Config.BitSliced routing the producer through
+// staged batches (PushWords, the batched producer API: one atomic publish
+// per staging fill instead of one per word) into the transposed
+// lane-group engines. One op is one 64-bit batch, like the serial
+// benchmark. The acceptance gate is ≥4x the serial fleet's ns/op at zero
+// allocs/op; the staging credit protocol keeps the producer and shard
+// sides pipelined.
+func BenchmarkFleetBitSliced(b *testing.B) {
+	cfg := Config{
+		Design:     design65536(b),
+		Alpha:      0.01,
+		Shards:     1,
+		QueueDepth: 2048,
+		BitSliced:  true,
+		Obs:        obs.NewRegistry(),
+	}
+	p, err := New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const nStreams = 64
+	streams := make([]*Stream, nStreams)
+	for i := range streams {
+		s, err := p.Register("bench-" + string(rune('a'+i%26)) + string(rune('a'+i/26)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		streams[i] = s
+	}
+	var words [1024]uint64
+	rng := rand.New(rand.NewSource(2))
+	for i := range words {
+		words[i] = rng.Uint64()
+	}
+	// Fill every lane group before the timed section so adoption (the one
+	// allocating step) is done and all 64 lanes per shard are resident.
+	for j := 0; j < 2*stageBatches; j++ {
+		for _, s := range streams {
+			if err := s.Push(words[j&1023], 64); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportAllocs()
+	b.SetBytes(8)
+	b.ResetTimer()
+	const run = 64 // words per PushWords call; b.N still counts words
+	for i, n := 0, 0; i < b.N; i += run {
+		k := run
+		if left := b.N - i; k > left {
+			k = left
+		}
+		off := n * run & 1023
+		if err := streams[n%nStreams].PushWords(words[off : off+k]); err != nil {
+			b.Fatal(err)
+		}
+		n++
+	}
+	b.StopTimer()
+	p.Shutdown()
+}
+
 // BenchmarkFleetRegisterDetach measures pooled stream churn: after the
 // first generation, monitor recycling means a register/detach cycle
 // allocates only the stream handle, never a hardware block or evaluator.

@@ -55,6 +55,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/hwblock"
+	"repro/internal/hwslice"
 	"repro/internal/obs"
 	"repro/internal/sweval"
 )
@@ -173,6 +174,20 @@ type Config struct {
 	// (0 = DefaultKeepReports; negative keeps everything).
 	KeepReports int
 
+	// BitSliced switches the shards to transposed ("bit-sliced") ingest:
+	// resident streams are grouped into 64-wide lane groups whose
+	// word-parallelizable statistics (frequency, runs, cusum, longest run)
+	// advance through one shared internal/hwslice engine per group, one
+	// transposed tile at a time, while each stream's own monitor runs only
+	// the residual per-stream engines on the original words. Producers
+	// additionally stage batches (stageBatches per queue handoff), so Push
+	// throughput rises severalfold at high stream density. Verdicts,
+	// accounting and incident timelines stay byte-identical to the serial
+	// path; a stream that cannot stay lane-aligned (detach, hard fault,
+	// starving fifo) falls back to serial ingest transparently. Requires a
+	// design whose sequence length is a multiple of 64.
+	BitSliced bool
+
 	// StreamDeadline arms the stall sweeper: SweepStalled injects a
 	// watchdog fault into any stream that has not pushed within the
 	// deadline. 0 disables the sweeper and keeps the pool free of any
@@ -215,6 +230,14 @@ func (c Config) withDefaults() (Config, error) {
 	// translates to the Monitor's 0-keeps-everything convention.
 	if c.KeepReports == 0 {
 		c.KeepReports = DefaultKeepReports
+	}
+	if c.BitSliced {
+		// Fail admission-time, not adoption-time: the design must be
+		// expressible as a lane group (n a tile multiple, block lengths
+		// dividing n). The throwaway group is the cheapest full check.
+		if _, err := hwslice.New(c.Design.N, c.Design.Tests, c.Design.Params); err != nil {
+			return c, fmt.Errorf("fleet: BitSliced: %w", err)
+		}
 	}
 	if c.Clock == nil {
 		//trnglint:allow determinism the stall sweeper is deliberately wall-clock (it exists to bound a silent producer); it is armed only when StreamDeadline > 0 and tests inject a fake clock

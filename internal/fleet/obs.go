@@ -54,6 +54,15 @@ type fleetObs struct {
 	condStatFail    *obs.Counter
 	condSourceFault *obs.Counter
 
+	// Bit-sliced ingest (Config.BitSliced).
+	slicedTiles         *obs.Counter
+	slicedAdoptions     *obs.Counter
+	slicedEvictHealth   *obs.Counter
+	slicedEvictDetach   *obs.Counter
+	slicedEvictFault    *obs.Counter
+	slicedEvictOverflow *obs.Counter
+	slicedLanes         *obs.Gauge
+
 	// Per-shard ingest-queue gauges.
 	queueDepth     []*obs.Gauge
 	queueHighWater []*obs.Gauge
@@ -106,6 +115,18 @@ func (f *fleetObs) init(r *obs.Registry, shards int) {
 	f.condFailedOver = r.Counter("fleet_stream_conditions_total", condHelp, "condition", core.FailedOver.String())
 	f.condStatFail = r.Counter("fleet_stream_conditions_total", condHelp, "condition", core.StatFail.String())
 	f.condSourceFault = r.Counter("fleet_stream_conditions_total", condHelp, "condition", core.SourceFault.String())
+
+	f.slicedTiles = r.Counter("fleet_sliced_tiles_total",
+		"64-bit transposed tiles absorbed by bit-sliced lane groups")
+	f.slicedAdoptions = r.Counter("fleet_sliced_adoptions_total",
+		"streams adopted into a bit-sliced lane group")
+	const evictHelp = "streams returned from bit-sliced to serial ingest, by reason: health (breaker or alarm at a sequence boundary), detach, fault (hard source fault mid-sequence), overflow (starved lane group drained past its fifo bound)"
+	f.slicedEvictHealth = r.Counter("fleet_sliced_evictions_total", evictHelp, "reason", "health")
+	f.slicedEvictDetach = r.Counter("fleet_sliced_evictions_total", evictHelp, "reason", "detach")
+	f.slicedEvictFault = r.Counter("fleet_sliced_evictions_total", evictHelp, "reason", "fault")
+	f.slicedEvictOverflow = r.Counter("fleet_sliced_evictions_total", evictHelp, "reason", "overflow")
+	f.slicedLanes = r.Gauge("fleet_sliced_lanes",
+		"streams currently resident in bit-sliced lane groups")
 
 	f.queueDepth = make([]*obs.Gauge, shards)
 	f.queueHighWater = make([]*obs.Gauge, shards)

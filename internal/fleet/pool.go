@@ -16,6 +16,11 @@ import (
 // producer goroutine per stream).
 type Pool struct {
 	cfg Config
+	// skipFeed marks a bit-sliced design with no residual engines
+	// (templates, serial): sliced streams' monitors have nothing to clock
+	// between sequence boundaries, so non-final tiles skip the per-lane
+	// monitor feed and the boundary hand-back fast-forwards the position.
+	skipFeed bool
 	// cv is the one shared critical-value table: deriving it is the
 	// expensive part of monitor construction, and it is read-only after
 	// construction, so every monitor of the fleet shares it race-free.
@@ -55,6 +60,15 @@ func newPool(cfg Config, start bool) (*Pool, error) {
 		cfg:      cfg,
 		cv:       cv,
 		byTenant: make(map[string]*Stream),
+	}
+	if cfg.BitSliced {
+		p.skipFeed = true
+		for _, t := range cfg.Design.Tests {
+			if t == 7 || t == 8 || t == 11 || t == 12 {
+				p.skipFeed = false
+				break
+			}
+		}
 	}
 	p.fobs.init(cfg.Obs, cfg.Shards)
 	p.shards = make([]*shard, cfg.Shards)
@@ -119,7 +133,14 @@ func (p *Pool) Register(tenant string) (*Stream, error) {
 		tenant: tenant,
 		mon:    mon,
 		policy: policy,
+		stamp:  p.cfg.StreamDeadline > 0,
 		done:   make(chan struct{}),
+	}
+	if p.cfg.BitSliced {
+		s.credits = make(chan struct{}, 1)
+		s.credits <- struct{}{}
+		s.stg = &stageBuf{}
+		s.fifo = &laneFifo{}
 	}
 	if p.cfg.PerTenantObs && p.cfg.Obs != nil {
 		s.tobs = newTenantObs(p.cfg.Obs, tenant)

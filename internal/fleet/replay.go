@@ -10,6 +10,9 @@ const (
 	OpWord OpKind = iota
 	// OpFault is a PushFault of Err.
 	OpFault
+	// OpRun is a PushWords of Ws — a run of full 64-bit batches,
+	// equivalent to one OpWord of 64 bits per element.
+	OpRun
 )
 
 // Op is one recorded stream operation. A stream's full input is its op
@@ -19,16 +22,21 @@ type Op struct {
 	Kind OpKind
 	W    uint64
 	N    int
+	Ws   []uint64
 	Err  error
 }
 
-// Apply plays the op against a live stream handle, returning Push's
+// Apply plays the op against a live stream handle, returning the push's
 // result.
 func (op Op) Apply(s *Stream) error {
-	if op.Kind == OpFault {
+	switch op.Kind {
+	case OpFault:
 		return s.PushFault(op.Err)
+	case OpRun:
+		return s.PushWords(op.Ws)
+	default:
+		return s.Push(op.W, op.N)
 	}
-	return s.Push(op.W, op.N)
 }
 
 // Replayer runs one stream's operations synchronously on the caller's
@@ -93,10 +101,19 @@ func ReplaySerial(cfg Config, tenant string, ops []Op) (StreamReport, error) {
 		return StreamReport{}, err
 	}
 	for _, op := range ops {
-		if op.Kind == OpFault {
+		switch op.Kind {
+		case OpFault:
 			r.Fault(op.Err)
-		} else if err := r.Word(op.W, op.N); err != nil {
-			return StreamReport{}, err
+		case OpRun:
+			for _, w := range op.Ws {
+				if err := r.Word(w, 64); err != nil {
+					return StreamReport{}, err
+				}
+			}
+		default:
+			if err := r.Word(op.W, op.N); err != nil {
+				return StreamReport{}, err
+			}
 		}
 	}
 	return r.Finish(), nil

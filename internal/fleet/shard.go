@@ -1,9 +1,17 @@
 package fleet
 
+import (
+	"errors"
+
+	"repro/internal/trng"
+)
+
 // item is one unit of shard work. It travels by value through the bounded
 // queue channel, so the steady-state ingest path performs no heap
 // allocation — the item is copied into the channel's ring buffer and out
-// again.
+// again. An itemBatch refers to a staged buffer by index (w packs the
+// buffer index and batch count); the credit protocol keeps the buffer
+// stable until the shard has copied it out.
 type item struct {
 	s     *Stream
 	w     uint64
@@ -17,6 +25,7 @@ const (
 	itemFault
 	itemDetach
 	itemStop
+	itemBatch
 )
 
 // shard is one worker: a bounded ingest queue drained by a single
@@ -30,6 +39,11 @@ type shard struct {
 	queue     chan item
 	done      chan struct{}
 	highWater int
+
+	// groups are the shard's bit-sliced lane groups (Config.BitSliced);
+	// owned by the shard goroutine. Emptied groups are reset in place and
+	// reused by the next adoption, so steady-state churn allocates none.
+	groups []*laneGroup
 }
 
 // loop drains the queue until an itemStop arrives (Pool.Shutdown enqueues
@@ -63,11 +77,61 @@ func (sh *shard) loop() {
 		switch it.kind {
 		case itemWord:
 			it.s.ingestWord(it.w, int(it.nbits))
+		case itemBatch:
+			sh.handleBatch(it)
 		case itemFault:
+			// A hard fault quarantines the in-flight sequence, which a
+			// sliced stream's monitor only knows about after the hand-back
+			// and drain — and the drained batches precede the fault, in
+			// push order. Transient faults touch no sequence state and
+			// need no eviction.
+			if it.s.grp != nil && !errors.Is(it.err, trng.ErrTransient) {
+				it.s.grp.evict(sh, it.s, false, fo.slicedEvictFault)
+			}
 			it.s.applyFault(it.err)
 		case itemDetach:
+			if it.s.grp != nil {
+				it.s.grp.evict(sh, it.s, false, fo.slicedEvictDetach)
+			}
 			it.s.finalize()
 		}
 		depth.Set(float64(len(sh.queue)))
+	}
+}
+
+// handleBatch routes a staged buffer and returns the credit: a healthy
+// stream at a sequence boundary is (re)adopted into a lane group and
+// buffers into its lane fifo; an unsliced stream takes the serial path
+// batch by batch. Routing reads the producer's buffer in place — the
+// producer cannot refill it until the credit comes back, so no defensive
+// copy is needed; the credit is returned as soon as the buffer is drained
+// so the producer restages while the group advances.
+func (sh *shard) handleBatch(it item) {
+	s := it.s
+	buf, cnt := int(it.w>>16), int(it.w&0xffff)
+	ws, ls := &s.stg.words[buf], &s.stg.lens[buf]
+	if s.grp == nil && !s.breakerOpen && !s.latched && s.mon.SequenceBits() == 0 {
+		sh.adopt(s)
+	}
+	if s.grp == nil {
+		for i := 0; i < cnt; i++ {
+			s.ingestWord(ws[i], int(ls[i]))
+		}
+		s.credits <- struct{}{}
+		return
+	}
+	pre := s.fifo.bits
+	if s.fifo.putAll(ws, ls, cnt) {
+		if pre < 64 && s.fifo.bits >= 64 {
+			s.grp.ready++
+		}
+	} else {
+		for i := 0; i < cnt; i++ {
+			sh.fifoPut(s, ws[i], ls[i])
+		}
+	}
+	s.credits <- struct{}{}
+	if g := s.grp; g != nil {
+		g.tryAdvance(sh, false)
 	}
 }

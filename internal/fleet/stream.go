@@ -7,8 +7,19 @@ import (
 	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/hwfast"
+	"repro/internal/obs"
 	"repro/internal/trng"
 )
+
+// stageBuf is one bit-sliced stream's double-buffered producer staging
+// area: the producer fills one buffer while the shard drains the other.
+// It hangs off the Stream behind a pointer so serial pools don't pay its
+// footprint on every registration.
+type stageBuf struct {
+	words [2][stageBatches]uint64
+	lens  [2][stageBatches]uint8
+}
 
 // Stream is one tenant's handle on the fleet. The producer side (Push,
 // PushFault, Detach) is called by the tenant's ingest goroutine; the
@@ -22,23 +33,57 @@ type Stream struct {
 	tenant string
 	idx    int // position in pool.list, maintained under pool.mu
 
-	// Producer-side state: atomics so Detach/finalize and the stall
-	// sweeper can read them from other goroutines.
-	detached   atomic.Bool
-	offered    atomic.Int64
-	shedCount  atomic.Int64
-	sampledOut atomic.Int64
-	congested  atomic.Int64 // congested-offer counter driving DegradeSample
-	lastPush   atomic.Int64 // Clock() stamp; only when StreamDeadline > 0
-
 	// pushMu orders the producer-side check-then-enqueue against Detach:
 	// once Detach has enqueued the detach item (under this mutex, after
 	// setting detached), no word or fault item for this stream can follow
 	// it into the queue. Without the ordering, a push that passed the
 	// detached check could land behind the detach item — processed against
 	// a finalized stream — or behind the shutdown stop item, blocking the
-	// producer forever on a queue nothing drains.
-	pushMu     sync.Mutex
+	// producer forever on a queue nothing drains. The bit-sliced staging
+	// fast path deliberately does NOT take it (see Push); every flush and
+	// control operation does. It sits with the fields the Push fast path
+	// touches (detached, staging cursor, stamp) so one cold stream costs
+	// one producer-side cache line, not four.
+	pushMu   sync.Mutex
+	detached atomic.Bool
+	// stCnt packs the staging generation (which of the two buffers the
+	// producer fills, bits 16+) and the published batch count (low 16
+	// bits). The producer's lock-free fast path publishes a staged batch
+	// with a single release store of count+1; flushes (under pushMu) reset
+	// the count and flip the generation. Go atomics are sequentially
+	// consistent, which is what makes the Detach race resolvable: a push
+	// whose post-publish detached check still reads false is ordered
+	// before Detach's flush capture, so the flush provably includes it; a
+	// push that reads true resolves through raceDetached.
+	stCnt atomic.Uint32
+	// drained records, under pushMu, the batch count the most recent flush
+	// captured; raceDetached compares it against a raced push's stage
+	// index to decide whether Detach's flush carried the batch out.
+	drained int32
+	// stamp caches cfg.StreamDeadline > 0 so the push fast path decides
+	// whether to take a clock reading without chasing pool.cfg.
+	stamp    bool
+	lastPush atomic.Int64 // Clock() stamp; only when StreamDeadline > 0
+
+	// Bit-sliced producer staging (Config.BitSliced pools only; credits
+	// and stg are nil otherwise — the staging buffers are ~1.2KB, so
+	// serial pools must not carry them in every Stream). Push accumulates
+	// batches and hands them to the shard stageBatches at a time as one
+	// queue item carrying only the buffer index — the shard reads the
+	// batches in place and returns the single credit, so at most one
+	// flushed buffer is ever in flight and the producer never overwrites
+	// a buffer the shard still reads. The two pointers live here, in the
+	// same cache line as the staging cursor the fast path reads anyway.
+	credits chan struct{}
+	stg     *stageBuf
+
+	// Producer-side accounting: atomics so Detach/finalize and the stall
+	// sweeper can read them from other goroutines.
+	offered    atomic.Int64
+	shedCount  atomic.Int64
+	sampledOut atomic.Int64
+	congested  atomic.Int64 // congested-offer counter driving DegradeSample
+
 	detachOnce sync.Once
 	done       chan struct{} // closed by finalize; publishes final
 	final      StreamReport
@@ -61,6 +106,15 @@ type Stream struct {
 	latched          bool
 	events           []core.Event
 
+	// Bit-sliced shard-side state: the stream's lane group and lane index
+	// while sliced (grp nil on the serial path), its lane fifo (like stg,
+	// ~1.2KB allocated only for bit-sliced pools), and a reusable scratch
+	// for the sliceable-state hand-back.
+	grp  *laneGroup
+	lane int
+	fifo *laneFifo
+	ws   hwfast.WordStats
+
 	tobs tenantObs // opt-in per-tenant handles; zero value is all no-ops
 }
 
@@ -77,15 +131,58 @@ func (s *Stream) Push(w uint64, nbits int) error {
 	if nbits < 1 || nbits > 64 {
 		return fmt.Errorf("fleet: word size %d out of range [1,64]", nbits)
 	}
+	if s.credits != nil {
+		// Bit-sliced pool: stage the batch lock-free; a full stage flushes
+		// as one queue item, amortizing the handoff across stageBatches
+		// pushes. The fast path is one plain slot write plus one atomic
+		// publish — no mutex, no per-push offered add (flushes account for
+		// every staged batch, kept or dropped). Only the stream's single
+		// producer goroutine writes the slot and the publish word;
+		// Detach's flush reads them through the stCnt acquire/release
+		// edge, and the post-publish detached re-check resolves the one
+		// racy interleaving (see raceDetached).
+		if nbits != 64 {
+			w &= lowMask(nbits)
+		}
+		if s.detached.Load() {
+			return ErrDetached
+		}
+		v := s.stCnt.Load()
+		idx, n := v>>16, v&0xffff
+		s.stg.words[idx][n] = w
+		s.stg.lens[idx][n] = uint8(nbits)
+		if s.stamp {
+			s.lastPush.Store(s.pool.cfg.Clock())
+		}
+		s.stCnt.Store(v + 1)
+		if n+1 < stageBatches {
+			if s.detached.Load() {
+				return s.raceDetached(int(n))
+			}
+			return nil
+		}
+		s.pushMu.Lock()
+		if s.detached.Load() {
+			carried := s.drained > int32(n)
+			s.pushMu.Unlock()
+			if carried {
+				return nil
+			}
+			return ErrDetached
+		}
+		err := s.flushStaged(false)
+		s.pushMu.Unlock()
+		return err
+	}
 	s.pushMu.Lock()
 	defer s.pushMu.Unlock()
 	if s.detached.Load() {
 		return ErrDetached
 	}
-	s.offered.Add(1)
-	if s.pool.cfg.StreamDeadline > 0 {
+	if s.stamp {
 		s.lastPush.Store(s.pool.cfg.Clock())
 	}
+	s.offered.Add(1)
 	it := item{s: s, w: w, nbits: uint8(nbits), kind: itemWord}
 	switch s.pool.cfg.Policy {
 	case ShedNewest:
@@ -117,6 +214,73 @@ func (s *Stream) Push(w uint64, nbits int) error {
 	return nil
 }
 
+// PushWords offers a run of full 64-bit batches, equivalent to calling
+// Push(w, 64) for each word in order but with the producer-side cost
+// amortized across the run: on a bit-sliced pool the whole run is written
+// into the staging buffer with a single atomic publish per staging fill
+// instead of one per word, which is most of a word push's cost. The
+// publish protocol is unchanged — plain slot writes, then one
+// sequentially-consistent count store covering all of them, then the
+// detached re-check — so the Detach race resolves exactly as for Push: a
+// run whose publish is ordered before Detach's flush capture is provably
+// drained. Returns the first error; an error means that word and every
+// word after it were not delivered (earlier words in the run were).
+func (s *Stream) PushWords(ws []uint64) error {
+	if s.credits == nil {
+		for _, w := range ws {
+			if err := s.Push(w, 64); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for len(ws) > 0 {
+		if s.detached.Load() {
+			return ErrDetached
+		}
+		v := s.stCnt.Load()
+		idx, n := v>>16, int(v&0xffff)
+		k := stageBatches - n
+		if k > len(ws) {
+			k = len(ws)
+		}
+		copy(s.stg.words[idx][n:n+k], ws[:k])
+		lens := s.stg.lens[idx][n : n+k]
+		for i := range lens {
+			lens[i] = 64
+		}
+		if s.stamp {
+			s.lastPush.Store(s.pool.cfg.Clock())
+		}
+		s.stCnt.Store(v + uint32(k))
+		if n+k < stageBatches {
+			// The stage has room left, so this fill consumed the whole
+			// run (k == len(ws)); on a raced detach, carried means every
+			// slot through n+k−1 was drained — the full run.
+			if s.detached.Load() {
+				return s.raceDetached(n + k - 1)
+			}
+			return nil
+		}
+		s.pushMu.Lock()
+		if s.detached.Load() {
+			carried := s.drained >= int32(n+k)
+			s.pushMu.Unlock()
+			if carried && len(ws) == k {
+				return nil
+			}
+			return ErrDetached
+		}
+		err := s.flushStaged(false)
+		s.pushMu.Unlock()
+		if err != nil {
+			return err
+		}
+		ws = ws[k:]
+	}
+	return nil
+}
+
 // PushFault delivers a source fault event to the stream, in order with its
 // batches. Fault events are control plane: they are never shed, they take
 // backpressure for their queue slot regardless of policy.
@@ -132,8 +296,99 @@ func (s *Stream) PushFault(err error) error {
 	if s.pool.cfg.StreamDeadline > 0 {
 		s.lastPush.Store(s.pool.cfg.Clock())
 	}
+	if s.credits != nil {
+		s.flushStaged(true) // staged batches precede the fault, in order
+	}
 	s.sh.queue <- item{s: s, err: err, kind: itemFault}
 	return nil
+}
+
+// raceDetached resolves a push that published its batch concurrently with
+// Detach: taking pushMu waits out the detach body, after which drained
+// says whether Detach's flush captured the batch (processed — the push
+// succeeded) or missed it (report ErrDetached, exactly as if the push had
+// arrived after the detach; the orphaned slot is never read again).
+func (s *Stream) raceDetached(n int) error {
+	s.pushMu.Lock()
+	carried := s.drained > int32(n)
+	s.pushMu.Unlock()
+	if carried {
+		return nil
+	}
+	return ErrDetached
+}
+
+// flushStaged hands the staged batches to the shard, under pushMu. The
+// control form (fault and detach flushes) always blocks for its slot; data
+// flushes honor the pool's shed policy at stage granularity — when a
+// congested flush is dropped, all of its staged batches are shed (or
+// sampled out) together and accounted per batch.
+func (s *Stream) flushStaged(control bool) error {
+	v := s.stCnt.Load()
+	idx, cnt := v>>16, v&0xffff
+	s.drained = int32(cnt)
+	if cnt == 0 {
+		return nil
+	}
+	s.offered.Add(int64(cnt))
+	it := item{s: s, kind: itemBatch, w: uint64(idx)<<16 | uint64(cnt)}
+	fo := &s.pool.fobs
+	switch {
+	case control || s.pool.cfg.Policy == Block:
+		<-s.credits
+		s.sh.queue <- it
+	case s.pool.cfg.Policy == ShedNewest:
+		select {
+		case <-s.credits:
+		default:
+			s.dropStaged(v, &s.shedCount, fo.batchesShed)
+			return ErrShed
+		}
+		select {
+		case s.sh.queue <- it:
+		default:
+			s.credits <- struct{}{}
+			s.dropStaged(v, &s.shedCount, fo.batchesShed)
+			return ErrShed
+		}
+	default: // DegradeSample
+		sent := false
+		select {
+		case <-s.credits:
+			select {
+			case s.sh.queue <- it:
+				sent = true
+			default:
+				s.credits <- struct{}{}
+			}
+		default:
+		}
+		if !sent {
+			c := s.congested.Add(1)
+			if (c-1)%int64(s.pool.cfg.SampleEvery) != 0 {
+				s.dropStaged(v, &s.sampledOut, fo.batchesSampledOut)
+				return ErrSampledOut
+			}
+			// The sampled stage takes backpressure for its slot.
+			<-s.credits
+			s.sh.queue <- it
+		}
+	}
+	// The buffer is in flight: flip the generation so the producer stages
+	// into the other one until the credit returns.
+	s.stCnt.Store((idx ^ 1) << 16)
+	return nil
+}
+
+// dropStaged sheds the whole staged buffer, accounting every batch in it.
+// The buffer was never handed off, so the generation stays put and only
+// the published count resets.
+func (s *Stream) dropStaged(v uint32, streamCounter *atomic.Int64, poolCounter *obs.Counter) {
+	n := uint64(v & 0xffff)
+	streamCounter.Add(int64(n))
+	poolCounter.Add(n)
+	s.tobs.dropped.Add(n)
+	s.stCnt.Store(v >> 16 << 16)
 }
 
 // Detach removes the stream from the fleet: queued batches are still
@@ -147,7 +402,14 @@ func (s *Stream) PushFault(err error) error {
 func (s *Stream) Detach() StreamReport {
 	s.detachOnce.Do(func() {
 		s.pushMu.Lock()
+		// detached is set before the flush captures stCnt: sequential
+		// consistency then guarantees the capture includes every push
+		// whose post-publish detached check read false, which is what
+		// lets the lock-free staging path report those as delivered.
 		s.detached.Store(true)
+		if s.credits != nil {
+			s.flushStaged(true) // drain, not discard: staged batches land first
+		}
 		s.sh.queue <- item{s: s, kind: itemDetach}
 		s.pushMu.Unlock()
 	})
@@ -157,9 +419,9 @@ func (s *Stream) Detach() StreamReport {
 
 // ---- shard-side processing (shard goroutine only) ----
 
-// ingestWord feeds one accepted batch into the monitor, splitting it at
-// sequence boundaries and handling verified-readout mismatches with the
-// Supervisor's quarantine semantics.
+// ingestWord feeds one accepted batch into the monitor: the batch-outcome
+// accounting (discard when out of service, accept otherwise) followed by
+// the shared feed loop.
 func (s *Stream) ingestWord(w uint64, nbits int) {
 	fo := &s.pool.fobs
 	if s.breakerOpen || s.latched {
@@ -169,6 +431,20 @@ func (s *Stream) ingestWord(w uint64, nbits int) {
 	}
 	s.acceptedBatches++
 	fo.batchesAccepted.Inc()
+	s.feedMonitor(w, nbits)
+}
+
+// feedMonitor runs the monitor feed loop for one batch (or batch
+// fragment), splitting it at sequence boundaries and handling
+// verified-readout mismatches with the Supervisor's quarantine semantics.
+// No batch accounting happens here — it is the shared core of ingestWord
+// and the bit-sliced tile path, which accounts at consumption instead. It
+// reports whether it stopped early, dropping the remaining bits (breaker
+// opened on an evaluation error, or the alarm latched): on a tile-aligned
+// feed nothing is ever left unconsumed, but the flag tells the caller the
+// serial contract for buffered bits of a batch that straddles the feed.
+func (s *Stream) feedMonitor(w uint64, nbits int) (stopped bool) {
+	fo := &s.pool.fobs
 	for nbits > 0 {
 		take := s.pool.cfg.Design.N - s.mon.SequenceBits()
 		if take > nbits {
@@ -202,15 +478,16 @@ func (s *Stream) ingestWord(w uint64, nbits int) {
 				fo.breakerTrips.Inc()
 				s.event(core.EventQuarantine, "breaker open: evaluation error: "+err.Error())
 			}
-			return
+			return true
 		}
 		if rep != nil {
 			s.acceptReport(rep)
 			if s.latched {
-				return
+				return true
 			}
 		}
 	}
+	return false
 }
 
 // acceptReport folds one accepted sequence verdict into the stream.

@@ -360,6 +360,66 @@ func (b *Block) SetPath(p IngestPath) error {
 	return nil
 }
 
+// SetSliced selects bit-sliced assist mode for the fast path: the four
+// word-parallelizable engines (walk/cusum, runs, block frequency, longest
+// run) are maintained externally by a 64-stream lane group
+// (internal/hwslice) and ClockWord advances only the bit position and the
+// residual per-stream-order engines (templates, serial). Enabling it
+// requires the fast path and a sequence boundary; the lane group hands the
+// engine state back through LoadWordStats, which returns the block to
+// normal ingest. Disabling is allowed any time (it is what LoadWordStats
+// does implicitly). Like the ingest path, the mode survives Reset: it is a
+// property of how the block is driven, not of the sequence in flight.
+//
+// While sliced, the register-file image of the four assisted engines is
+// stale (the group holds their state); the fleet layer only evaluates
+// after LoadWordStats, so a monitored stream never observes the staleness.
+func (b *Block) SetSliced(on bool) error {
+	if !on {
+		if b.fast != nil {
+			b.fast.SetExternal(false)
+		}
+		return nil
+	}
+	if b.path != FastPath || b.fast == nil {
+		return fmt.Errorf("hwblock: bit-sliced assist requires the fast ingest path")
+	}
+	if b.bits != 0 && !b.done {
+		return fmt.Errorf("hwblock: cannot enter bit-sliced assist %d bits into a sequence", b.bits)
+	}
+	b.flushPending()
+	b.fast.SetExternal(true)
+	return nil
+}
+
+// Sliced reports whether bit-sliced assist mode is active.
+func (b *Block) Sliced() bool { return b.fast != nil && b.fast.External() }
+
+// LoadWordStats hands the externally maintained sliceable-engine state back
+// to the fast-path model (see hwfast.LoadWordStats) and marks the register
+// image dirty so the next bus read republishes from the restored state.
+// The block leaves assist mode: subsequent ClockWord calls ingest fully.
+// Bits the hand-back fast-forwards over (a residual-free sliced stream
+// skips ClockWord between boundaries) are accounted as fast-path ingest.
+func (b *Block) LoadWordStats(ws *hwfast.WordStats) error {
+	if b.path != FastPath || b.fast == nil {
+		return fmt.Errorf("hwblock: word-stats hand-back requires the fast ingest path")
+	}
+	if b.pendN != 0 {
+		return fmt.Errorf("hwblock: %d bits pending in the per-bit buffer", b.pendN)
+	}
+	pre := b.fast.BitsSeen()
+	if err := b.fast.LoadWordStats(ws); err != nil {
+		return err
+	}
+	if d := b.fast.BitsSeen() - pre; d > 0 {
+		b.bits += d
+		b.obsBitsFast.Add(uint64(d))
+	}
+	b.dirty = true
+	return nil
+}
+
 // Config returns the block's design configuration.
 func (b *Block) Config() Config { return b.cfg }
 

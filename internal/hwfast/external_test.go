@@ -1,0 +1,206 @@
+package hwfast
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/nist"
+)
+
+// configsUnderTest mirrors the eight Table III design points without
+// importing hwblock (which would cycle).
+func configsUnderTest() []struct {
+	name  string
+	n     int
+	tests []int
+} {
+	light := []int{1, 2, 3, 4, 13}
+	return []struct {
+		name  string
+		n     int
+		tests []int
+	}{
+		{"n128-light", 128, light},
+		{"n128-medium", 128, []int{1, 2, 3, 4, 11, 12, 13}},
+		{"n65536-light", 65536, light},
+		{"n65536-medium", 65536, []int{1, 2, 3, 4, 7, 13}},
+		{"n65536-high", 65536, []int{1, 2, 3, 4, 7, 8, 11, 12, 13}},
+		{"n1m-light", 1 << 20, light},
+		{"n1m-medium", 1 << 20, []int{1, 2, 3, 4, 7, 13}},
+		{"n1m-high", 1 << 20, []int{1, 2, 3, 4, 7, 8, 11, 12, 13}},
+	}
+}
+
+// feedWords pushes n bits of seeded random data as 64-bit words, returning
+// the words for replay.
+func sequenceWords(n int, seed int64) []uint64 {
+	rng := rand.New(rand.NewSource(seed))
+	words := make([]uint64, n/64)
+	for i := range words {
+		words[i] = rng.Uint64()
+	}
+	return words
+}
+
+// TestExternalHandBack proves the external-mode contract end to end: a
+// state that ran k words in external mode (sliceable engines frozen,
+// residual engines live) resumes bit-exact internal ingest after
+// LoadWordStats from a reference that ingested everything internally.
+func TestExternalHandBack(t *testing.T) {
+	for _, tc := range configsUnderTest() {
+		n := tc.n
+		if n > 65536 && testing.Short() {
+			continue
+		}
+		words := sequenceWords(n, int64(n)+7)
+		for _, handoff := range []int{1, n / 128, n/64 - 1} {
+			if handoff < 1 {
+				continue
+			}
+			ref, err := New(n, tc.tests, nist.RecommendedParams(n))
+			if err != nil {
+				t.Fatalf("%s: %v", tc.name, err)
+			}
+			ext, err := New(n, tc.tests, nist.RecommendedParams(n))
+			if err != nil {
+				t.Fatalf("%s: %v", tc.name, err)
+			}
+			ext.SetExternal(true)
+			if !ext.External() {
+				t.Fatalf("%s: External() not set", tc.name)
+			}
+			var ws WordStats
+			for i, w := range words {
+				if err := ref.ClockWord(w, 64); err != nil {
+					t.Fatalf("%s: ref word %d: %v", tc.name, i, err)
+				}
+				if i < handoff {
+					if err := ext.ClockWord(w, 64); err != nil {
+						t.Fatalf("%s: ext word %d: %v", tc.name, i, err)
+					}
+					continue
+				}
+				if i == handoff {
+					// Hand the sliceable state back (in the fleet this comes
+					// from the lane group; here the reference plays its role,
+					// which also proves Export/Load are mutually inverse).
+					refAt, err := New(n, tc.tests, nist.RecommendedParams(n))
+					if err != nil {
+						t.Fatal(err)
+					}
+					for j := 0; j < handoff; j++ {
+						if err := refAt.ClockWord(words[j], 64); err != nil {
+							t.Fatal(err)
+						}
+					}
+					refAt.ExportWordStats(&ws)
+					if err := ext.LoadWordStats(&ws); err != nil {
+						t.Fatalf("%s: LoadWordStats at word %d: %v", tc.name, handoff, err)
+					}
+					if ext.External() {
+						t.Fatalf("%s: LoadWordStats left external mode set", tc.name)
+					}
+				}
+				if err := ext.ClockWord(w, 64); err != nil {
+					t.Fatalf("%s: ext word %d: %v", tc.name, i, err)
+				}
+			}
+			if !ext.Done() || !ref.Done() {
+				t.Fatalf("%s: sequence not done", tc.name)
+			}
+			var wsRef, wsExt WordStats
+			ref.ExportWordStats(&wsRef)
+			ext.ExportWordStats(&wsExt)
+			if !reflect.DeepEqual(wsRef, wsExt) {
+				t.Fatalf("%s handoff %d: final sliceable state diverges:\nref: %+v\next: %+v",
+					tc.name, handoff, wsRef, wsExt)
+			}
+			if hasTest(tc.tests, 11) || hasTest(tc.tests, 12) {
+				for i := 0; i < 3; i++ {
+					if !reflect.DeepEqual(ref.SerialCounts(i), ext.SerialCounts(i)) {
+						t.Fatalf("%s handoff %d: serial bank %d diverges", tc.name, handoff, i)
+					}
+				}
+			}
+			if hasTest(tc.tests, 7) && !reflect.DeepEqual(ref.NonOverlapBank(), ext.NonOverlapBank()) {
+				t.Fatalf("%s handoff %d: non-overlapping bank diverges", tc.name, handoff)
+			}
+			if hasTest(tc.tests, 8) && !reflect.DeepEqual(ref.OverlapClasses(), ext.OverlapClasses()) {
+				t.Fatalf("%s handoff %d: overlapping classes diverge", tc.name, handoff)
+			}
+		}
+	}
+}
+
+func hasTest(tests []int, id int) bool {
+	for _, t := range tests {
+		if t == id {
+			return true
+		}
+	}
+	return false
+}
+
+// TestExternalSkipsSliceableEngines pins that external mode really freezes
+// the four sliceable engines while the bit position advances.
+func TestExternalSkipsSliceableEngines(t *testing.T) {
+	st, err := New(128, []int{1, 2, 3, 4, 13}, nist.RecommendedParams(128))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.SetExternal(true)
+	if err := st.ClockWord(^uint64(0), 64); err != nil {
+		t.Fatal(err)
+	}
+	if st.BitsSeen() != 64 {
+		t.Fatalf("BitsSeen = %d, want 64", st.BitsSeen())
+	}
+	if s, mn, mx := st.Walk(); s != 0 || mn != 0 || mx != 0 {
+		t.Fatalf("walk advanced in external mode: %d %d %d", s, mn, mx)
+	}
+	if st.Runs() != 0 {
+		t.Fatalf("runs advanced in external mode: %d", st.Runs())
+	}
+}
+
+// TestExternalSurvivesReset pins that Reset treats external as a mode, not
+// state.
+func TestExternalSurvivesReset(t *testing.T) {
+	st, err := New(128, []int{1, 2, 3, 4, 13}, nist.RecommendedParams(128))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.SetExternal(true)
+	st.Reset()
+	if !st.External() {
+		t.Fatal("Reset cleared external mode")
+	}
+}
+
+func TestLoadWordStatsValidation(t *testing.T) {
+	st, err := New(128, []int{1, 2, 3, 4, 13}, nist.RecommendedParams(128))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ws WordStats
+	st.ExportWordStats(&ws)
+	ws.Bits = 64
+	if err := st.LoadWordStats(&ws); err == nil {
+		t.Fatal("LoadWordStats accepted a bit-position mismatch")
+	}
+	st.ExportWordStats(&ws)
+	ws.BFBank = ws.BFBank[:1]
+	if err := st.LoadWordStats(&ws); err == nil {
+		t.Fatal("LoadWordStats accepted a short block-frequency bank")
+	}
+	st.ExportWordStats(&ws)
+	ws.LRClasses = append(ws.LRClasses, 0)
+	if err := st.LoadWordStats(&ws); err == nil {
+		t.Fatal("LoadWordStats accepted an oversized longest-run class bank")
+	}
+	st.ExportWordStats(&ws)
+	if err := st.LoadWordStats(&ws); err != nil {
+		t.Fatalf("round-trip LoadWordStats failed: %v", err)
+	}
+}

@@ -49,6 +49,15 @@ type State struct {
 	bits int
 	done bool
 
+	// external marks the word-parallelizable engines (walk/cusum, runs,
+	// block frequency, longest run) as externally maintained: ClockWord
+	// still validates, advances the bit position and runs the residual
+	// per-stream engines (templates, serial), but skips the four sliceable
+	// engines — a bit-sliced lane group (internal/hwslice) advances them
+	// for 64 streams at once and hands the state back via LoadWordStats.
+	// The flag is a mode, not state: Reset preserves it.
+	external bool
+
 	// cumulative-sums walk (tests 1, 3, 13): current value and extrema.
 	s, sMin, sMax int64
 
@@ -219,6 +228,106 @@ func (st *State) SerialCounts(i int) []uint64 {
 // Clock ingests a single bit — the per-bit convenience entry point;
 // ClockWord is the throughput path.
 func (st *State) Clock(bit byte) error { return st.ClockWord(uint64(bit&1), 1) }
+
+// SetExternal selects whether the sliceable engines (walk/cusum, runs,
+// block frequency, longest run) are maintained externally; see the field
+// comment. Enabling it mid-sequence leaves the already-accumulated internal
+// state frozen, so callers normally switch at a sequence boundary and
+// return via LoadWordStats (which clears the flag).
+func (st *State) SetExternal(on bool) { st.external = on }
+
+// External reports whether the sliceable engines are externally maintained.
+func (st *State) External() bool { return st.external }
+
+// WordStats is the transferable state of the four word-parallelizable
+// engines at an arbitrary bit position — everything a bit-sliced lane group
+// must hand back for this model to resume exact per-bit ingest, and
+// everything this model exports for a differential comparison. Fill
+// positions (block offsets) are not part of the transfer: they are derived
+// from Bits, because every block length divides the sequence position
+// stream ("block detection" — block boundaries are bits of the global
+// counter).
+type WordStats struct {
+	// Bits is the absolute bit position the statistics correspond to.
+	Bits int
+	// S, SMin and SMax are the cumulative-sums walk value and extrema.
+	S, SMin, SMax int64
+	// Runs is the runs counter; Prev is the previous (latest) bit, which
+	// seeds the next seam comparison.
+	Runs uint64
+	Prev byte
+	// BFEps is the ones count of the in-flight block-frequency block;
+	// BFBank holds the completed blocks' counts.
+	BFEps  uint64
+	BFBank []uint64
+	// LRRun is the length of the ones run ending at the last bit, LRBlkMax
+	// the longest run seen in the in-flight block, LRClasses the completed
+	// blocks' class counters.
+	LRRun, LRBlkMax int
+	LRClasses       []uint64
+}
+
+// ExportWordStats fills ws with the sliceable-engine state at the current
+// bit position. Bank slices are resized in place (allocation-free once ws
+// has warmed up to the design's bank sizes).
+func (st *State) ExportWordStats(ws *WordStats) {
+	ws.Bits = st.bits
+	ws.S, ws.SMin, ws.SMax = st.s, st.sMin, st.sMax
+	ws.Runs, ws.Prev = st.runs, st.prev
+	ws.BFEps = st.bfEps
+	ws.BFBank = append(ws.BFBank[:0], st.bfBank...)
+	ws.LRRun, ws.LRBlkMax = st.lrRun, st.lrBlkMax
+	ws.LRClasses = append(ws.LRClasses[:0], st.lrClasses...)
+}
+
+// Residual reports whether the design has per-stream-order engines that
+// keep running in external mode (templates, serial). A residual-free
+// external model is fully idle between hand-backs, so nothing at all needs
+// to be clocked through it mid-sequence.
+func (st *State) Residual() bool { return st.hasNO || st.hasOV || st.hasSer }
+
+// LoadWordStats restores the sliceable-engine state from ws and returns the
+// model to internal ingest (clearing the external flag): the next ClockWord
+// continues exactly as if every bit had been ingested internally. ws.Bits
+// must equal the model's bit position — in external mode the position kept
+// advancing, only the four engines stood still — and the bank lengths must
+// match the design. Fill positions are rederived from Bits.
+//
+// One exception: an external model with no residual engines has nothing to
+// clock between hand-backs, so its driver may skip ClockWord entirely and
+// let the hand-back fast-forward the position — ws.Bits may then lie ahead
+// of the model's, anywhere short of the sequence end.
+func (st *State) LoadWordStats(ws *WordStats) error {
+	if ws.Bits != st.bits {
+		if !st.external || st.Residual() || ws.Bits < st.bits || ws.Bits >= st.n {
+			return fmt.Errorf("hwfast: word stats are for bit %d, model is at bit %d", ws.Bits, st.bits)
+		}
+		st.bits = ws.Bits
+	}
+	st.s, st.sMin, st.sMax = ws.S, ws.SMin, ws.SMax
+	if st.hasRuns {
+		st.runs, st.prev = ws.Runs, ws.Prev
+	}
+	if st.hasBF {
+		if len(ws.BFBank) != len(st.bfBank) {
+			return fmt.Errorf("hwfast: block-frequency bank has %d blocks, design wants %d", len(ws.BFBank), len(st.bfBank))
+		}
+		copy(st.bfBank, ws.BFBank)
+		st.bfEps = ws.BFEps
+		st.bfFill = st.bits % st.bfM
+		st.bfCur = st.bits / st.bfM
+	}
+	if st.hasLR {
+		if len(ws.LRClasses) != len(st.lrClasses) {
+			return fmt.Errorf("hwfast: longest-run classes have %d entries, design wants %d", len(ws.LRClasses), len(st.lrClasses))
+		}
+		copy(st.lrClasses, ws.LRClasses)
+		st.lrRun, st.lrBlkMax = ws.LRRun, ws.LRBlkMax
+		st.lrPos = st.bits % st.lrM
+	}
+	st.external = false
+	return nil
+}
 
 // Reset returns the model to its power-on state so the next sequence can
 // begin. Allocated banks are retained and zeroed.

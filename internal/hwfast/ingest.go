@@ -57,15 +57,20 @@ func (st *State) ClockWord(w uint64, nbits int) error {
 	}
 	v := w & lowMask(nbits)
 
-	st.ingestWalk(v, nbits)
-	if st.hasRuns {
-		st.ingestRuns(v, nbits)
-	}
-	if st.hasBF {
-		st.ingestBlockFreq(v, nbits)
-	}
-	if st.hasLR {
-		st.ingestLongestRun(v, nbits)
+	// In external (bit-sliced assist) mode the four sliceable engines are
+	// advanced by the lane group; only the residual per-stream-order
+	// engines below run here.
+	if !st.external {
+		st.ingestWalk(v, nbits)
+		if st.hasRuns {
+			st.ingestRuns(v, nbits)
+		}
+		if st.hasBF {
+			st.ingestBlockFreq(v, nbits)
+		}
+		if st.hasLR {
+			st.ingestLongestRun(v, nbits)
+		}
 	}
 	if st.hasNO || st.hasOV {
 		st.ingestTemplates(v, nbits)

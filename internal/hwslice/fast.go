@@ -1,0 +1,599 @@
+package hwslice
+
+import (
+	"math/bits"
+
+	"repro/internal/hwfast"
+)
+
+// fastGroup is the tile-rate engine behind Group for designs whose block
+// lengths are tile-aligned (n, BlockFrequencyM and LongestRunM all
+// multiples of 64, n ≤ 2^20) — every standard design of 65536 bits and up.
+// It computes the same four sliceable statistics as the generic per-step
+// engine, but entirely horizontally: one pass over the 64 lane-major
+// words per tile, with no per-bit state transitions at all.
+//
+//   - The cumulative-sums walk is per-lane, per-tile. The reflected walk
+//     obeys the Lindley recursion: over any 64-bit span the floor hits
+//     (new extrema) are drops = max(0, M − d₀), where d₀ is the distance
+//     to the extremum at tile start and M the span's maximum prefix
+//     deficit, and the end distance is d₀ + S + drops (S the net sum).
+//     M, its excess twin E and S come from an 8-bit lookup table folded
+//     over the word's bytes; a lane at distance ≥ 64 on both sides skips
+//     even that and takes the linear update d ± (2·ones − 64).
+//   - Runs and block frequency have no cross-bit state: per-lane
+//     transition counts and ones counts are single POPCNTs.
+//   - Longest run keeps a carried open-run length per lane and tests
+//     whole words: the carried run closed by the word's leading ones
+//     competes first, then a word-parallel doubling test (y &= y<<s
+//     marks run ends of length ≥ c) asks only whether some internal
+//     run beats the current maximum — exact length is recovered by
+//     further doubling only on the rare new-maximum event. Completed
+//     blocks classify scalar per lane into per-class counters, so no
+//     per-block bank exists and extraction is O(1) in the block count.
+//
+// Inactive lanes are not masked out: a stale slot updates independently
+// and is never read (ExtractLane is only called for attached lanes), and
+// every bound below holds for arbitrary bit patterns — d and the drops
+// counters grow at most n per sequence, run lengths are capped by lrM —
+// so stale lanes can neither overflow a counter nor perturb a live one.
+// Rollover clears them.
+type fastGroup struct {
+	n int
+
+	// cumulative-sums walk: distances to the extrema plus monotone
+	// extrema counters, one scalar per lane.
+	dMin  [64]uint32 // s − sMin; ≤ 2n
+	dMax  [64]uint32 // sMax − s; ≤ 2n
+	drops [64]uint32 // −sMin; ≤ n
+	rises [64]uint32 // sMax; ≤ n
+
+	hasRuns bool
+	runs    [64]uint32 // per-lane runs counter
+	prevT   uint64     // previous tile's last-bit mask (seam + ws.Prev)
+
+	hasBF  bool
+	bfM    int
+	bfEps  [64]uint32 // ones in the in-flight block
+	bfBank []uint32   // completed blocks × 64 lanes
+	bfCur  int        // completed blocks this sequence
+	nBFBlk int
+
+	hasLR      bool
+	lrM        int
+	lrLo, lrHi int
+	lrMax      [64]uint32     // longest ones run in the in-flight block
+	lrRun      [64]uint32     // ones run ending at the last absorbed bit
+	lrCls      [64 * 8]uint32 // per-lane × class completed-block counts
+}
+
+// walkTab maps a byte (eight chronological bits, LSB first) to its walk
+// summary: bits 16.. hold the maximum prefix excess E, bits 8..15 the
+// maximum prefix deficit M, bits 0..7 the net sum S offset by 8. Folding
+// it over a word's bytes gives the word's extrema:
+// M_word = max_k(M_k − S_{<k}), E_word = max_k(E_k + S_{<k}).
+var walkTab [256]uint32
+
+func init() {
+	for b := 0; b < 256; b++ {
+		s, m, e := 0, 0, 0
+		for i := 0; i < 8; i++ {
+			if b>>uint(i)&1 == 1 {
+				s++
+			} else {
+				s--
+			}
+			if -s > m {
+				m = -s
+			}
+			if s > e {
+				e = s
+			}
+		}
+		walkTab[b] = uint32(e<<16 | m<<8 | (s + 8))
+	}
+}
+
+// newFast reports whether the design can run on the tile-rate engine and
+// builds it if so. The gates are structural: tile-aligned block lengths
+// let block boundaries coincide with tile boundaries, and n ≤ 2^20 keeps
+// every counter within its fixed-width budget.
+func newFast(n int, hasRuns, hasBF bool, bfM int, hasLR bool, lrM, lrLo, lrHi int) *fastGroup {
+	if n > 1<<20 {
+		return nil
+	}
+	if hasBF && bfM%64 != 0 {
+		return nil
+	}
+	if hasLR && lrM%64 != 0 {
+		return nil
+	}
+	f := &fastGroup{n: n, hasRuns: hasRuns}
+	if hasBF {
+		f.hasBF = true
+		f.bfM = bfM
+		f.nBFBlk = n / bfM
+		f.bfBank = make([]uint32, f.nBFBlk*64)
+	}
+	if hasLR {
+		f.hasLR = true
+		f.lrM = lrM
+		f.lrLo, f.lrHi = lrLo, lrHi
+	}
+	return f
+}
+
+// absorbBurst advances every lane by len(tiles)·64 bits. tiles[j][l]
+// carries lane l's j-th next 64 chronological bits; off is the bit offset
+// of the first tile within the sequence (a multiple of 64). The burst is
+// split only at block-frequency boundaries (blocks of many tiles, so the
+// split is rare and chunks stay long); longest-run blocks can be as short
+// as two tiles, so their boundary work happens inline in the chunk loop —
+// splitting on them would chop every burst down to nothing.
+func (f *fastGroup) absorbBurst(tiles [][64]uint64, off int) {
+	for len(tiles) > 0 {
+		c := len(tiles)
+		if f.hasBF {
+			if room := (f.bfM - off%f.bfM) / 64; room < c {
+				c = room
+			}
+		}
+		f.absorbChunk(tiles[:c], off)
+		off += 64 * c
+		if f.hasBF && off%f.bfM == 0 {
+			base := f.bfCur * 64
+			copy(f.bfBank[base:base+64], f.bfEps[:])
+			for l := range f.bfEps {
+				f.bfEps[l] = 0
+			}
+			f.bfCur++
+		}
+		tiles = tiles[c:]
+	}
+}
+
+// absorbChunk is the burst hot loop: tile-outer, lane-inner, unrolled
+// two tiles per pass so each lane's counters load and store once per
+// word pair instead of once per word — that halves the L1 read/write
+// traffic on the counter arrays, which profiling showed was the largest
+// cost after the popcounts themselves. The full lane-outer transpose
+// (hoisting counters across the whole chunk) was tried and measured
+// slower — the widened loop spilled registers — so the pair is the
+// sweet spot. The per-word statistic updates are identical to the
+// per-bit engine; the differential suite against hwfast holds them to
+// bit-exactness.
+func (f *fastGroup) absorbChunk(tiles [][64]uint64, off int) {
+	hasRuns, hasBF, hasLR := f.hasRuns, f.hasBF, f.hasLR
+	first := uint64(0)
+	if off == 0 {
+		first = 1 // every lane counts its opening run at bit zero
+	}
+	// Longest-run block boundaries are tile-aligned and common to all
+	// lanes, so one countdown serves the whole chunk: when it hits zero
+	// every lane's block maximum classifies into its class counter and
+	// the trackers rearm — runs restart at block boundaries, exactly
+	// like the hardware engine.
+	lrTiles, cnt := 0, 0
+	lo, hi := f.lrLo, f.lrHi
+	if hasLR {
+		lrTiles = f.lrM / 64
+		cnt = lrTiles - (off/64)%lrTiles
+	}
+	prev := f.prevT
+	j := 0
+	for ; j+1 < len(tiles); j += 2 {
+		ta, tb := &tiles[j], &tiles[j+1]
+		// Advance the block countdown for both tiles up front: the
+		// boundaries are common to all lanes, so the lane loop only
+		// needs two flags saying whether a block closes after the
+		// first and/or the second word.
+		b0, b1 := false, false
+		if hasLR {
+			cnt--
+			if cnt == 0 {
+				b0, cnt = true, lrTiles
+			}
+			cnt--
+			if cnt == 0 {
+				b1, cnt = true, lrTiles
+			}
+		}
+		var pt uint64
+		for l := 0; l < 64; l++ {
+			w0, w1 := ta[l], tb[l]
+			runsv := f.runs[l]
+			bf := f.bfEps[l]
+			r := int(f.lrRun[l])
+			m := int(f.lrMax[l])
+			d, x := int(f.dMin[l]), int(f.dMax[l])
+
+			// ---- first word of the pair ----
+			{
+				w := w0
+				pc := int(bits.OnesCount64(w))
+				if hasRuns {
+					tr := (w ^ (w<<1 | prev>>uint(l)&1)) | first
+					runsv += uint32(bits.OnesCount64(tr))
+				}
+				if hasBF {
+					bf += uint32(pc)
+				}
+				if hasLR {
+					nw := ^w
+					lead := bits.TrailingZeros64(nw)
+					m = max(m, r+lead) // the carried-in run, closed inside w (or spanning it)
+					if lead == 64 {
+						r += 64
+					} else {
+						// Internal runs only matter if one beats m. Test run ≥ m+1
+						// with the doubling identity f(c+s) = f(c) & f(c)<<s (s ≤ c),
+						// where f(c) marks end positions of runs ≥ c; on the rare
+						// new-maximum event, keep doubling by 1 to the exact length.
+						if m < 64 {
+							y := w
+							for c := 1; c < m+1; {
+								s := min(c, m+1-c)
+								y &= y << uint(s)
+								if y == 0 {
+									// No run of length ≥ c+s at all — the test
+									// cannot recover, so skip the remaining
+									// doublings (typical random words die here
+									// within three iterations).
+									break
+								}
+								c += s
+							}
+							if y != 0 {
+								m++
+								for {
+									y &= y << 1
+									if y == 0 {
+										break
+									}
+									m++
+								}
+							}
+						}
+						// The trailing open run is an internal suffix run, so it
+						// never exceeds the (now exact) maximum.
+						r = bits.LeadingZeros64(nw)
+					}
+					if b0 {
+						c := min(max(m, lo), hi) - lo
+						f.lrCls[l<<3|c]++
+						m, r = 0, 0
+					}
+				}
+				s := 2*pc - 64
+				if d >= 64 && x >= 64 {
+					// Far on both sides: the walk cannot reach either extremum
+					// within 64 steps, so the floors never engage and the update
+					// is linear in the net sum 2·ones − 64.
+					d += s
+					x -= s
+				} else {
+					t0 := int(walkTab[w&0xff])
+					t1 := int(walkTab[w>>8&0xff])
+					t2 := int(walkTab[w>>16&0xff])
+					t3 := int(walkTab[w>>24&0xff])
+					t4 := int(walkTab[w>>32&0xff])
+					t5 := int(walkTab[w>>40&0xff])
+					t6 := int(walkTab[w>>48&0xff])
+					t7 := int(walkTab[w>>56])
+					s0 := t0&0xff - 8
+					s2 := t2&0xff - 8
+					s4 := t4&0xff - 8
+					s6 := t6&0xff - 8
+					s01 := s0 + t1&0xff - 8
+					s23 := s2 + t3&0xff - 8
+					s45 := s4 + t5&0xff - 8
+					s03 := s01 + s23
+					if d < 64 {
+						m01 := max(t0>>8&0xff, t1>>8&0xff-s0)
+						m23 := max(t2>>8&0xff, t3>>8&0xff-s2)
+						m45 := max(t4>>8&0xff, t5>>8&0xff-s4)
+						m67 := max(t6>>8&0xff, t7>>8&0xff-s6)
+						mw := max(max(m01, m23-s01), max(m45, m67-s45)-s03)
+						dr := max(0, mw-d)
+						f.drops[l] += uint32(dr)
+						d += dr
+					}
+					if x < 64 {
+						e01 := max(t1>>16+s0, t0>>16)
+						e23 := max(t3>>16+s2, t2>>16)
+						e45 := max(t5>>16+s4, t4>>16)
+						e67 := max(t7>>16+s6, t6>>16)
+						e := max(max(e23+s01, e01), max(e67+s45, e45)+s03)
+						ri := max(0, e-x)
+						f.rises[l] += uint32(ri)
+						x += ri
+					}
+					d += s
+					x -= s
+				}
+			}
+
+			// ---- second word of the pair ----
+			{
+				w := w1
+				pc := int(bits.OnesCount64(w))
+				if hasRuns {
+					tr := w ^ (w<<1 | w0>>63)
+					runsv += uint32(bits.OnesCount64(tr))
+				}
+				if hasBF {
+					bf += uint32(pc)
+				}
+				if hasLR {
+					nw := ^w
+					lead := bits.TrailingZeros64(nw)
+					m = max(m, r+lead)
+					if lead == 64 {
+						r += 64
+					} else {
+						if m < 64 {
+							y := w
+							for c := 1; c < m+1; {
+								s := min(c, m+1-c)
+								y &= y << uint(s)
+								if y == 0 {
+									break
+								}
+								c += s
+							}
+							if y != 0 {
+								m++
+								for {
+									y &= y << 1
+									if y == 0 {
+										break
+									}
+									m++
+								}
+							}
+						}
+						r = bits.LeadingZeros64(nw)
+					}
+					if b1 {
+						c := min(max(m, lo), hi) - lo
+						f.lrCls[l<<3|c]++
+						m, r = 0, 0
+					}
+				}
+				s := 2*pc - 64
+				if d >= 64 && x >= 64 {
+					d += s
+					x -= s
+				} else {
+					t0 := int(walkTab[w&0xff])
+					t1 := int(walkTab[w>>8&0xff])
+					t2 := int(walkTab[w>>16&0xff])
+					t3 := int(walkTab[w>>24&0xff])
+					t4 := int(walkTab[w>>32&0xff])
+					t5 := int(walkTab[w>>40&0xff])
+					t6 := int(walkTab[w>>48&0xff])
+					t7 := int(walkTab[w>>56])
+					s0 := t0&0xff - 8
+					s2 := t2&0xff - 8
+					s4 := t4&0xff - 8
+					s6 := t6&0xff - 8
+					s01 := s0 + t1&0xff - 8
+					s23 := s2 + t3&0xff - 8
+					s45 := s4 + t5&0xff - 8
+					s03 := s01 + s23
+					if d < 64 {
+						m01 := max(t0>>8&0xff, t1>>8&0xff-s0)
+						m23 := max(t2>>8&0xff, t3>>8&0xff-s2)
+						m45 := max(t4>>8&0xff, t5>>8&0xff-s4)
+						m67 := max(t6>>8&0xff, t7>>8&0xff-s6)
+						mw := max(max(m01, m23-s01), max(m45, m67-s45)-s03)
+						dr := max(0, mw-d)
+						f.drops[l] += uint32(dr)
+						d += dr
+					}
+					if x < 64 {
+						e01 := max(t1>>16+s0, t0>>16)
+						e23 := max(t3>>16+s2, t2>>16)
+						e45 := max(t5>>16+s4, t4>>16)
+						e67 := max(t7>>16+s6, t6>>16)
+						e := max(max(e23+s01, e01), max(e67+s45, e45)+s03)
+						ri := max(0, e-x)
+						f.rises[l] += uint32(ri)
+						x += ri
+					}
+					d += s
+					x -= s
+				}
+			}
+
+			f.runs[l] = runsv
+			f.bfEps[l] = bf
+			f.lrRun[l], f.lrMax[l] = uint32(r), uint32(m)
+			f.dMin[l], f.dMax[l] = uint32(d), uint32(x)
+			pt |= w1 >> 63 << uint(l)
+		}
+		prev = pt
+		first = 0
+	}
+	// Odd tail: at most one tile left; same per-word updates, counters
+	// touched directly.
+	for ; j < len(tiles); j++ {
+		lanes := &tiles[j]
+		var pt uint64
+		for l := 0; l < 64; l++ {
+			w := lanes[l]
+			pc := int(bits.OnesCount64(w))
+			if hasRuns {
+				tr := (w ^ (w<<1 | prev>>uint(l)&1)) | first
+				f.runs[l] += uint32(bits.OnesCount64(tr))
+			}
+			if hasBF {
+				f.bfEps[l] += uint32(pc)
+			}
+			if hasLR {
+				nw := ^w
+				lead := bits.TrailingZeros64(nw)
+				r := int(f.lrRun[l])
+				m := int(f.lrMax[l])
+				m = max(m, r+lead)
+				if lead == 64 {
+					r += 64
+				} else {
+					if m < 64 {
+						y := w
+						for c := 1; c < m+1; {
+							s := min(c, m+1-c)
+							y &= y << uint(s)
+							if y == 0 {
+								break
+							}
+							c += s
+						}
+						if y != 0 {
+							m++
+							for {
+								y &= y << 1
+								if y == 0 {
+									break
+								}
+								m++
+							}
+						}
+					}
+					r = bits.LeadingZeros64(nw)
+				}
+				f.lrRun[l], f.lrMax[l] = uint32(r), uint32(m)
+			}
+			s := 2*pc - 64
+			d, x := int(f.dMin[l]), int(f.dMax[l])
+			if d < 64 || x < 64 {
+				t0 := int(walkTab[w&0xff])
+				t1 := int(walkTab[w>>8&0xff])
+				t2 := int(walkTab[w>>16&0xff])
+				t3 := int(walkTab[w>>24&0xff])
+				t4 := int(walkTab[w>>32&0xff])
+				t5 := int(walkTab[w>>40&0xff])
+				t6 := int(walkTab[w>>48&0xff])
+				t7 := int(walkTab[w>>56])
+				s0 := t0&0xff - 8
+				s2 := t2&0xff - 8
+				s4 := t4&0xff - 8
+				s6 := t6&0xff - 8
+				s01 := s0 + t1&0xff - 8
+				s23 := s2 + t3&0xff - 8
+				s45 := s4 + t5&0xff - 8
+				s03 := s01 + s23
+				if d < 64 {
+					m01 := max(t0>>8&0xff, t1>>8&0xff-s0)
+					m23 := max(t2>>8&0xff, t3>>8&0xff-s2)
+					m45 := max(t4>>8&0xff, t5>>8&0xff-s4)
+					m67 := max(t6>>8&0xff, t7>>8&0xff-s6)
+					mw := max(max(m01, m23-s01), max(m45, m67-s45)-s03)
+					dr := max(0, mw-d)
+					f.drops[l] += uint32(dr)
+					d += dr
+				}
+				if x < 64 {
+					e01 := max(t1>>16+s0, t0>>16)
+					e23 := max(t3>>16+s2, t2>>16)
+					e45 := max(t5>>16+s4, t4>>16)
+					e67 := max(t7>>16+s6, t6>>16)
+					e := max(max(e23+s01, e01), max(e67+s45, e45)+s03)
+					ri := max(0, e-x)
+					f.rises[l] += uint32(ri)
+					x += ri
+				}
+			}
+			f.dMin[l] = uint32(d + s)
+			f.dMax[l] = uint32(x - s)
+			pt |= w >> 63 << uint(l)
+		}
+		prev = pt
+		first = 0
+		if hasLR {
+			cnt--
+			if cnt == 0 {
+				for l := 0; l < 64; l++ {
+					c := min(max(int(f.lrMax[l]), lo), hi) - lo
+					f.lrCls[l<<3|c]++
+					f.lrMax[l], f.lrRun[l] = 0, 0
+				}
+				cnt = lrTiles
+			}
+		}
+	}
+	f.prevT = prev
+}
+
+// extractLane mirrors Group.ExtractLane for the fast engine.
+func (f *fastGroup) extractLane(lane, off int, ws *hwfast.WordStats) {
+	ws.Bits = off
+	drops := int64(f.drops[lane])
+	ws.S = int64(f.dMin[lane]) - drops
+	ws.SMin = -drops
+	ws.SMax = int64(f.rises[lane])
+
+	ws.Runs, ws.Prev = 0, 0
+	if f.hasRuns {
+		ws.Runs = uint64(f.runs[lane])
+		if off > 0 {
+			ws.Prev = byte(f.prevT >> uint(lane) & 1)
+		}
+	}
+
+	ws.BFEps = 0
+	ws.BFBank = ws.BFBank[:0]
+	if f.hasBF {
+		ws.BFEps = uint64(f.bfEps[lane])
+		for b := 0; b < f.nBFBlk; b++ {
+			var v uint64
+			if b < f.bfCur {
+				v = uint64(f.bfBank[b*64+lane])
+			}
+			ws.BFBank = append(ws.BFBank, v)
+		}
+	}
+
+	ws.LRRun, ws.LRBlkMax = 0, 0
+	ws.LRClasses = ws.LRClasses[:0]
+	if f.hasLR {
+		ws.LRBlkMax = int(f.lrMax[lane])
+		ws.LRRun = int(f.lrRun[lane])
+		for c := 0; c <= f.lrHi-f.lrLo; c++ {
+			ws.LRClasses = append(ws.LRClasses, uint64(f.lrCls[lane<<3|c]))
+		}
+	}
+}
+
+// rollover clears every counter (including stale detached-lane state) for
+// the next sequence.
+func (f *fastGroup) rollover() {
+	for l := 0; l < 64; l++ {
+		f.dMin[l], f.dMax[l] = 0, 0
+		f.drops[l], f.rises[l] = 0, 0
+	}
+	if f.hasRuns {
+		for l := range f.runs {
+			f.runs[l] = 0
+		}
+	}
+	f.prevT = 0
+	if f.hasBF {
+		for l := range f.bfEps {
+			f.bfEps[l] = 0
+		}
+		for i := range f.bfBank[:f.bfCur*64] {
+			f.bfBank[i] = 0
+		}
+		f.bfCur = 0
+	}
+	if f.hasLR {
+		for l := range f.lrMax {
+			f.lrMax[l] = 0
+			f.lrRun[l] = 0
+		}
+		for i := range f.lrCls {
+			f.lrCls[i] = 0
+		}
+	}
+}

@@ -1,0 +1,409 @@
+// Package hwslice is the bit-sliced (transposed) ingest engine: it advances
+// the four word-parallelizable statistics of up to 64 streams at once by
+// operating on 64-bit tiles — lane-major words in, one transpose
+// (bitstream.Transpose64) inside, vertical carry-save arithmetic over the
+// time-major form where word t of a tile carries bit t of every lane.
+//
+// The sliceable subset is exactly the engines hwfast can freeze in external
+// mode: the cumulative-sums walk with its extrema (tests 1, 3, 13 inputs),
+// the runs counter (test 3), block frequency (test 2) and longest run of
+// ones (test 4). Two engines implement it behind one Group API:
+//
+//   - The generic engine (this file) reformulates each statistic over
+//     carry-save vertical counters (vcounter), stepping bit by bit:
+//     the walk keeps non-negative distances dMin = s−sMin and dMax = sMax−s
+//     whose saturating-decrement underflow masks feed the monotone extrema
+//     counters; runs adds per-step transition masks; block frequency and
+//     longest run copy plane snapshots into per-block banks at block
+//     boundaries. It handles every tile-granular design, including block
+//     lengths that straddle tile boundaries.
+//   - The fast engine (fast.go) is selected by New when the design's block
+//     lengths are tile-aligned (n, BlockFrequencyM, LongestRunM all
+//     multiples of 64 and n ≤ 2^20 — every standard design of 65536 bits
+//     and up). It hoists per-bit work to per-tile work: carry-save ones
+//     accumulation, a near/far lane split for the walk, horizontal
+//     POPCNT-based runs and block frequency, and vertical threshold
+//     classification for longest run. Same statistics, same extraction
+//     format, an order of magnitude less work per bit.
+//
+// The residual per-stream engines (templates, serial) are NOT computed
+// here: callers keep the original lane-major words and feed them to each
+// stream's own hwfast model in external mode ("lazy de-transposition" —
+// transposed words are never reconstructed). ExtractLane hands a lane's
+// sliceable state back as hwfast.WordStats, bit-exact with what internal
+// ingest of the same prefix would hold, so a stream can leave the group at
+// any tile boundary and resume serially.
+//
+// hwslice is pure word arithmetic over caller-supplied tiles — no clocks,
+// no randomness, no map iteration — and carries the repository's
+// determinism contract. It deliberately does not carry //trnglint:bus16:
+// it models no MSP430-visible registers; the 16-bit bus discipline applies
+// to the structural simulator and firmware layers it is differentially
+// tested against, not to this host-side engine.
+//
+//trnglint:deterministic
+package hwslice
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/bitstream"
+	"repro/internal/hwfast"
+	"repro/internal/nist"
+)
+
+// Group advances the sliceable statistics of up to 64 streams over one
+// shared design (n bits, test subset, parameters). Lanes attach at a
+// sequence boundary (offset zero) and may detach at any tile boundary;
+// detached lanes' stale counter bits are inert — every vertical counter
+// column ripples independently — and are cleared at the next Rollover.
+type Group struct {
+	n      int
+	off    int    // bits absorbed in the current sequence (multiple of 64)
+	active uint64 // mask of attached lanes
+
+	f *fastGroup // tile-rate engine; nil means the generic path below
+
+	tw  [64]uint64    // time-major scratch for the generic path
+	one [1][64]uint64 // single-tile burst scratch for the fast path
+
+	// cumulative-sums walk (always present, like hwfast's ingestWalk):
+	// distances to the extrema plus monotone extrema counters.
+	dMin, dMax         vcounter // s−sMin, sMax−s
+	minDrops, maxRises vcounter // −sMin, sMax
+
+	hasRuns bool
+	runs    vcounter
+	prevT   uint64 // previous step's lane bits (seam for transition masks)
+
+	hasBF    bool
+	bfM      int
+	bfPlanes int
+	bfEps    vcounter
+	bfBank   []uint64 // n/bfM completed blocks × bfPlanes planes
+	bfCur    int      // completed blocks this sequence
+	bfFill   int      // bits into the current block
+
+	hasLR      bool
+	lrM        int
+	lrLo, lrHi int
+	lrPlanes   int
+	lrMax      vcounter // m: longest ones run in the in-flight block
+	lrDiff     vcounter // m − r, r = ones run ending at the last bit
+	lrBank     []uint64 // n/lrM completed blocks × lrPlanes planes
+	lrCur      int
+	lrPos      int
+}
+
+// New builds a lane group for a design of n bits implementing the given
+// SP800-22 test subset with parameters p — the same inputs hwfast.New
+// takes, restricted to tile granularity (n must be a multiple of 64).
+func New(n int, tests []int, p nist.Params) (*Group, error) {
+	if n < 64 || n%64 != 0 {
+		return nil, fmt.Errorf("hwslice: sequence length %d is not a positive multiple of 64", n)
+	}
+	has := func(id int) bool {
+		for _, t := range tests {
+			if t == id {
+				return true
+			}
+		}
+		return false
+	}
+	g := &Group{n: n, hasRuns: has(3)}
+	var lrLo, lrHi int
+	if has(2) {
+		if p.BlockFrequencyM < 1 || n%p.BlockFrequencyM != 0 {
+			return nil, fmt.Errorf("hwslice: block frequency M=%d does not divide n=%d", p.BlockFrequencyM, n)
+		}
+		g.hasBF = true
+		g.bfM = p.BlockFrequencyM
+	}
+	if has(4) {
+		lo, hi, err := nist.LongestRunClassBounds(p.LongestRunM)
+		if err != nil {
+			return nil, fmt.Errorf("hwslice: %w", err)
+		}
+		if p.LongestRunM < 1 || n%p.LongestRunM != 0 {
+			return nil, fmt.Errorf("hwslice: longest-run M=%d does not divide n=%d", p.LongestRunM, n)
+		}
+		g.hasLR = true
+		g.lrM = p.LongestRunM
+		lrLo, lrHi = lo, hi
+		g.lrLo, g.lrHi = lo, hi
+	}
+
+	if f := newFast(n, g.hasRuns, g.hasBF, g.bfM, g.hasLR, g.lrM, lrLo, lrHi); f != nil {
+		g.f = f
+		return g, nil
+	}
+
+	g.dMin = newVCounter(2 * n)
+	g.dMax = newVCounter(2 * n)
+	g.minDrops = newVCounter(n)
+	g.maxRises = newVCounter(n)
+	if g.hasRuns {
+		g.runs = newVCounter(n)
+	}
+	if g.hasBF {
+		g.bfPlanes = bits.Len(uint(g.bfM))
+		g.bfEps = newVCounter(g.bfM)
+		g.bfBank = make([]uint64, n/g.bfM*g.bfPlanes)
+	}
+	if g.hasLR {
+		g.lrPlanes = bits.Len(uint(g.lrM))
+		g.lrMax = newVCounter(g.lrM)
+		g.lrDiff = newVCounter(g.lrM)
+		g.lrBank = make([]uint64, n/g.lrM*g.lrPlanes)
+	}
+	return g, nil
+}
+
+// N returns the design's sequence length in bits.
+func (g *Group) N() int { return g.n }
+
+// Off returns the bit offset into the current sequence (a tile multiple).
+func (g *Group) Off() int { return g.off }
+
+// Active returns the mask of attached lanes.
+func (g *Group) Active() uint64 { return g.active }
+
+// Lanes returns the number of attached lanes.
+func (g *Group) Lanes() int { return bits.OnesCount64(g.active) }
+
+// Attach claims a lane for a new stream. Lanes join only at a sequence
+// boundary — mid-sequence the counters already encode a prefix the
+// newcomer never produced.
+func (g *Group) Attach(lane int) error {
+	if lane < 0 || lane > 63 {
+		return fmt.Errorf("hwslice: lane %d out of range", lane)
+	}
+	if g.off != 0 {
+		return fmt.Errorf("hwslice: lane %d cannot attach at bit offset %d", lane, g.off)
+	}
+	if g.active>>uint(lane)&1 != 0 {
+		return fmt.Errorf("hwslice: lane %d already attached", lane)
+	}
+	g.active |= 1 << uint(lane)
+	return nil
+}
+
+// Detach releases a lane at any tile boundary. The lane's counter bits go
+// stale but stay inert until Rollover clears them; callers wanting the
+// lane's final statistics must ExtractLane before detaching.
+func (g *Group) Detach(lane int) {
+	g.active &^= 1 << uint(lane)
+}
+
+// AbsorbTile advances every attached lane by 64 bits. lanes is lane-major:
+// lanes[l] carries lane l's next 64 chronological bits, LSB first — the
+// words exactly as each stream produced them. The engine transposes
+// internally; inactive lanes' bits are ignored.
+func (g *Group) AbsorbTile(lanes *[64]uint64) error {
+	if g.off+64 > g.n {
+		return fmt.Errorf("hwslice: tile overruns sequence (%d of %d bits)", g.off, g.n)
+	}
+	if g.f != nil {
+		g.one[0] = *lanes
+		g.f.absorbBurst(g.one[:], g.off)
+		g.off += 64
+		return nil
+	}
+	g.tw = *lanes
+	bitstream.Transpose64(&g.tw)
+	tw := &g.tw
+	a := g.active
+	for t := 0; t < 64; t++ {
+		w := tw[t] & a
+		z := ^tw[t] & a
+
+		// Walk: ones raise dMin and erode dMax (underflow = new maximum),
+		// zeros mirror. The four counters partition by bit value, so the
+		// in-step order is immaterial.
+		g.dMin.add(w)
+		g.maxRises.add(g.dMax.decFloor(w))
+		g.dMax.add(z)
+		g.minDrops.add(g.dMin.decFloor(z))
+
+		if g.hasRuns {
+			if g.off == 0 && t == 0 {
+				g.runs.add(a)
+			} else {
+				g.runs.add((tw[t] ^ g.prevT) & a)
+			}
+			g.prevT = tw[t]
+		}
+
+		if g.hasBF {
+			g.bfEps.add(w)
+			g.bfFill++
+			if g.bfFill == g.bfM {
+				base := g.bfCur * g.bfPlanes
+				for p := 0; p < g.bfPlanes; p++ {
+					var v uint64
+					if p < g.bfEps.top {
+						v = g.bfEps.planes[p]
+					}
+					g.bfBank[base+p] = v
+				}
+				g.bfEps.zero()
+				g.bfCur++
+				g.bfFill = 0
+			}
+		}
+
+		if g.hasLR {
+			// One-bit: r++. diff==0 means r was already the block max, so
+			// the underflow mask is exactly the set of lanes whose maximum
+			// grows. Zero-bit: r drops to zero, diff returns to m.
+			g.lrMax.add(g.lrDiff.decFloor(w))
+			g.lrDiff.loadMasked(&g.lrMax, z)
+			g.lrPos++
+			if g.lrPos == g.lrM {
+				base := g.lrCur * g.lrPlanes
+				for p := 0; p < g.lrPlanes; p++ {
+					var v uint64
+					if p < g.lrMax.top {
+						v = g.lrMax.planes[p]
+					}
+					g.lrBank[base+p] = v
+				}
+				g.lrMax.zero()
+				g.lrDiff.zero()
+				g.lrCur++
+				g.lrPos = 0
+			}
+		}
+	}
+	g.off += 64
+	return nil
+}
+
+// AbsorbTiles absorbs a burst of consecutive tiles in one call —
+// equivalent to calling AbsorbTile on each in order, but the fast engine
+// runs the burst lane-outer, keeping every lane's counters in registers
+// across the whole burst instead of reloading them once per tile. Callers
+// that buffer more than one tile per lane (the fleet's lane groups) get
+// most of the engine's throughput headroom from this entry point.
+func (g *Group) AbsorbTiles(tiles [][64]uint64) error {
+	if g.off+64*len(tiles) > g.n {
+		return fmt.Errorf("hwslice: burst of %d tiles overruns sequence (%d of %d bits)", len(tiles), g.off, g.n)
+	}
+	if g.f != nil {
+		g.f.absorbBurst(tiles, g.off)
+		g.off += 64 * len(tiles)
+		return nil
+	}
+	for i := range tiles {
+		if err := g.AbsorbTile(&tiles[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ExtractLane fills ws with one lane's sliceable-engine state at the
+// current offset, in exactly the form hwfast.ExportWordStats would produce
+// after internal ingest of the same bits — ready for
+// hwfast.LoadWordStats. Bank slices are resized in place.
+func (g *Group) ExtractLane(lane int, ws *hwfast.WordStats) {
+	if g.f != nil {
+		g.f.extractLane(lane, g.off, ws)
+		return
+	}
+	ws.Bits = g.off
+	drops := int64(g.minDrops.get(lane))
+	ws.S = int64(g.dMin.get(lane)) - drops
+	ws.SMin = -drops
+	ws.SMax = int64(g.maxRises.get(lane))
+
+	ws.Runs, ws.Prev = 0, 0
+	if g.hasRuns {
+		ws.Runs = g.runs.get(lane)
+		if g.off > 0 {
+			ws.Prev = byte(g.prevT >> uint(lane) & 1)
+		}
+	}
+
+	ws.BFEps = 0
+	ws.BFBank = ws.BFBank[:0]
+	if g.hasBF {
+		ws.BFEps = g.bfEps.get(lane)
+		nBlocks := g.n / g.bfM
+		for b := 0; b < nBlocks; b++ {
+			var v uint64
+			if b < g.bfCur {
+				base := b * g.bfPlanes
+				for p := 0; p < g.bfPlanes; p++ {
+					v |= g.bfBank[base+p] >> uint(lane) & 1 << uint(p)
+				}
+			}
+			ws.BFBank = append(ws.BFBank, v)
+		}
+	}
+
+	ws.LRRun, ws.LRBlkMax = 0, 0
+	ws.LRClasses = ws.LRClasses[:0]
+	if g.hasLR {
+		m := int(g.lrMax.get(lane))
+		ws.LRBlkMax = m
+		ws.LRRun = m - int(g.lrDiff.get(lane))
+		for c := 0; c <= g.lrHi-g.lrLo; c++ {
+			ws.LRClasses = append(ws.LRClasses, 0)
+		}
+		for b := 0; b < g.lrCur; b++ {
+			base := b * g.lrPlanes
+			longest := 0
+			for p := 0; p < g.lrPlanes; p++ {
+				longest |= int(g.lrBank[base+p]>>uint(lane)&1) << uint(p)
+			}
+			class := 0
+			switch {
+			case longest <= g.lrLo:
+				class = 0
+			case longest >= g.lrHi:
+				class = g.lrHi - g.lrLo
+			default:
+				class = longest - g.lrLo
+			}
+			ws.LRClasses[class]++
+		}
+	}
+}
+
+// Rollover rearms the group for the next sequence: every counter is
+// cleared (including any stale bits left by mid-sequence detaches) and the
+// offset returns to zero. Attached lanes stay attached. Call it after the
+// final tile of a sequence has been absorbed and every lane extracted.
+func (g *Group) Rollover() {
+	g.off = 0
+	if g.f != nil {
+		g.f.rollover()
+		return
+	}
+	g.dMin.zero()
+	g.dMax.zero()
+	g.minDrops.zero()
+	g.maxRises.zero()
+	if g.hasRuns {
+		g.runs.zero()
+		g.prevT = 0
+	}
+	if g.hasBF {
+		g.bfEps.zero()
+		g.bfCur, g.bfFill = 0, 0
+	}
+	if g.hasLR {
+		g.lrMax.zero()
+		g.lrDiff.zero()
+		g.lrCur, g.lrPos = 0, 0
+	}
+}
+
+// Reset is Rollover plus detaching every lane — the state a recycled group
+// must be in before adopting new streams.
+func (g *Group) Reset() {
+	g.Rollover()
+	g.active = 0
+}

@@ -1,0 +1,434 @@
+package hwslice_test
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/hwfast"
+	"repro/internal/hwslice"
+	"repro/internal/nist"
+)
+
+// variants mirrors the eight Table III design points (hwblock.AllConfigs)
+// without depending on hwblock's naming.
+var variants = []struct {
+	name  string
+	n     int
+	tests []int
+}{
+	{"n128-light", 128, []int{1, 2, 3, 4, 13}},
+	{"n128-medium", 128, []int{1, 2, 3, 4, 11, 12, 13}},
+	{"n65536-light", 65536, []int{1, 2, 3, 4, 13}},
+	{"n65536-medium", 65536, []int{1, 2, 3, 4, 7, 13}},
+	{"n65536-high", 65536, []int{1, 2, 3, 4, 7, 8, 11, 12, 13}},
+	{"n1m-light", 1 << 20, []int{1, 2, 3, 4, 13}},
+	{"n1m-medium", 1 << 20, []int{1, 2, 3, 4, 7, 13}},
+	{"n1m-high", 1 << 20, []int{1, 2, 3, 4, 7, 8, 11, 12, 13}},
+}
+
+// newPair builds a lane group and 64 shadow hwfast models for one variant.
+func newPair(t *testing.T, n int, tests []int) (*hwslice.Group, [64]*hwfast.State) {
+	t.Helper()
+	g, err := hwslice.New(n, tests, nist.RecommendedParams(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var shadows [64]*hwfast.State
+	for l := range shadows {
+		st, err := hwfast.New(n, tests, nist.RecommendedParams(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		shadows[l] = st
+	}
+	return g, shadows
+}
+
+// absorb transposes one lane-major tile into the group and feeds the same
+// words to the attached lanes' shadows.
+func absorb(t *testing.T, g *hwslice.Group, shadows *[64]*hwfast.State, tile *[64]uint64) {
+	t.Helper()
+	active := g.Active()
+	for l := 0; l < 64; l++ {
+		if active>>uint(l)&1 == 0 {
+			continue
+		}
+		if err := shadows[l].ClockWord(tile[l], 64); err != nil {
+			t.Fatalf("shadow lane %d: %v", l, err)
+		}
+	}
+	if err := g.AbsorbTile(tile); err != nil {
+		t.Fatalf("AbsorbTile: %v", err)
+	}
+}
+
+func compareLane(t *testing.T, g *hwslice.Group, sh *hwfast.State, lane int, ctx string) {
+	t.Helper()
+	var wsG, wsS hwfast.WordStats
+	g.ExtractLane(lane, &wsG)
+	sh.ExportWordStats(&wsS)
+	if !reflect.DeepEqual(wsG, wsS) {
+		t.Fatalf("%s lane %d: sliced state diverges from hwfast:\nslice: %+v\nfast:  %+v",
+			ctx, lane, wsG, wsS)
+	}
+}
+
+// TestGroupMatchesHWFastPerTile is the core differential proof: 64 random
+// streams per variant, extracted state compared against per-lane internal
+// hwfast ingest at every tile boundary (full-density for the small
+// designs, sampled lanes plus periodic full sweeps for the megabit ones).
+func TestGroupMatchesHWFastPerTile(t *testing.T) {
+	for _, tc := range variants {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			if tc.n > 65536 && testing.Short() {
+				t.Skip("megabit variant skipped in -short")
+			}
+			g, shadows := newPair(t, tc.n, tc.tests)
+			for l := 0; l < 64; l++ {
+				if err := g.Attach(l); err != nil {
+					t.Fatal(err)
+				}
+			}
+			rng := rand.New(rand.NewSource(int64(tc.n) + int64(len(tc.tests))))
+			tiles := tc.n / 64
+			full := tc.n <= 65536
+			for k := 0; k < tiles; k++ {
+				var tile [64]uint64
+				for l := range tile {
+					tile[l] = rng.Uint64()
+				}
+				absorb(t, g, &shadows, &tile)
+				if full || k%256 == 255 || k == tiles-1 {
+					for l := 0; l < 64; l++ {
+						compareLane(t, g, shadows[l], l, tc.name)
+					}
+				} else {
+					compareLane(t, g, shadows[k%64], k%64, tc.name)
+				}
+			}
+			if g.Off() != tc.n {
+				t.Fatalf("group off = %d, want %d", g.Off(), tc.n)
+			}
+		})
+	}
+}
+
+// TestGroupStructuredPatterns sweeps run- and boundary-heavy inputs: every
+// repeated byte value, single set bits, saturated and alternating words —
+// the cases that stress the carry-save underflow paths and the longest-run
+// block seams.
+func TestGroupStructuredPatterns(t *testing.T) {
+	patterns := make([]uint64, 0, 256+64+4)
+	for b := 0; b < 256; b++ {
+		w := uint64(b)
+		w |= w << 8
+		w |= w << 16
+		w |= w << 32
+		patterns = append(patterns, w)
+	}
+	for i := 0; i < 64; i++ {
+		patterns = append(patterns, 1<<uint(i))
+	}
+	patterns = append(patterns, 0, ^uint64(0), 0xAAAAAAAAAAAAAAAA, 0x5555555555555555)
+
+	for _, tc := range variants[:2] { // the n=128 designs: 2 tiles, exhaustive density
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			for start := 0; start < len(patterns); start += 64 {
+				g, shadows := newPair(t, tc.n, tc.tests)
+				for l := 0; l < 64; l++ {
+					if err := g.Attach(l); err != nil {
+						t.Fatal(err)
+					}
+				}
+				for k := 0; k < tc.n/64; k++ {
+					var tile [64]uint64
+					for l := range tile {
+						p := patterns[(start+l)%len(patterns)]
+						if k%2 == 1 {
+							p = ^p // flip alternate tiles to cross seams both ways
+						}
+						tile[l] = p
+					}
+					absorb(t, g, &shadows, &tile)
+					for l := 0; l < 64; l++ {
+						compareLane(t, g, shadows[l], l, tc.name)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestGroupLaneEviction detaches lanes mid-sequence and proves both sides
+// of the contract: the evicted lane's extracted state matches its shadow at
+// the detach point, and the surviving 63 lanes are undisturbed through the
+// end of the sequence. A rollover then reattaches the evicted lanes and
+// runs a second sequence to prove stale counter bits were cleared.
+func TestGroupLaneEviction(t *testing.T) {
+	tc := variants[4] // n65536-high
+	if testing.Short() {
+		tc = variants[1] // n128-medium
+	}
+	g, shadows := newPair(t, tc.n, tc.tests)
+	for l := 0; l < 64; l++ {
+		if err := g.Attach(l); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tiles := tc.n / 64
+	evictAt := map[int]int{ // lane -> tile boundary after which it leaves
+		7:  0,
+		11: 1,
+		63: tiles / 2,
+		0:  tiles - 1,
+	}
+	rng := rand.New(rand.NewSource(99))
+	for k := 0; k < tiles; k++ {
+		var tile [64]uint64
+		for l := range tile {
+			tile[l] = rng.Uint64()
+		}
+		absorb(t, g, &shadows, &tile)
+		for lane, at := range evictAt {
+			if at != k {
+				continue
+			}
+			compareLane(t, g, shadows[lane], lane, "pre-eviction")
+			g.Detach(lane)
+		}
+	}
+	for l := 0; l < 64; l++ {
+		if _, evicted := evictAt[l]; evicted {
+			continue
+		}
+		compareLane(t, g, shadows[l], l, "survivor")
+	}
+	if g.Lanes() != 64-len(evictAt) {
+		t.Fatalf("Lanes() = %d, want %d", g.Lanes(), 64-len(evictAt))
+	}
+
+	// Second sequence: rollover, reattach, everything must start clean.
+	g.Rollover()
+	for lane := range evictAt {
+		if err := g.Attach(lane); err != nil {
+			t.Fatalf("reattach lane %d: %v", lane, err)
+		}
+	}
+	for l := range shadows {
+		shadows[l].Reset()
+	}
+	for k := 0; k < tiles; k++ {
+		var tile [64]uint64
+		for l := range tile {
+			tile[l] = rng.Uint64()
+		}
+		absorb(t, g, &shadows, &tile)
+	}
+	for l := 0; l < 64; l++ {
+		compareLane(t, g, shadows[l], l, "post-rollover")
+	}
+}
+
+// TestGroupHandBackToHWFast is the end-to-end lazy-de-transposition proof
+// at the model level: a stream whose sliceable engines ran in the lane
+// group (residual engines live on its own external-mode hwfast) must
+// finish with state identical to pure internal ingest — including the
+// template and serial banks the group never touches.
+func TestGroupHandBackToHWFast(t *testing.T) {
+	for _, tc := range variants {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			if tc.n > 65536 && testing.Short() {
+				t.Skip("megabit variant skipped in -short")
+			}
+			p := nist.RecommendedParams(tc.n)
+			tiles := tc.n / 64
+			for _, handoff := range []int{1, tiles / 2, tiles - 1} {
+				if handoff < 1 {
+					continue
+				}
+				g, err := hwslice.New(tc.n, tc.tests, p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				lane := 37
+				if err := g.Attach(lane); err != nil {
+					t.Fatal(err)
+				}
+				ref, err := hwfast.New(tc.n, tc.tests, p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ext, err := hwfast.New(tc.n, tc.tests, p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ext.SetExternal(true)
+				rng := rand.New(rand.NewSource(int64(tc.n) ^ int64(handoff)))
+				var ws hwfast.WordStats
+				for k := 0; k < tiles; k++ {
+					w := rng.Uint64()
+					if err := ref.ClockWord(w, 64); err != nil {
+						t.Fatal(err)
+					}
+					if k == handoff {
+						g.ExtractLane(lane, &ws)
+						if err := ext.LoadWordStats(&ws); err != nil {
+							t.Fatalf("%s handoff %d: %v", tc.name, handoff, err)
+						}
+					}
+					if err := ext.ClockWord(w, 64); err != nil {
+						t.Fatal(err)
+					}
+					if k < handoff {
+						var tile [64]uint64
+						tile[lane] = w
+						if err := g.AbsorbTile(&tile); err != nil {
+							t.Fatal(err)
+						}
+					}
+				}
+				var wsRef, wsExt hwfast.WordStats
+				ref.ExportWordStats(&wsRef)
+				ext.ExportWordStats(&wsExt)
+				if !reflect.DeepEqual(wsRef, wsExt) {
+					t.Fatalf("%s handoff %d: final state diverges:\nref: %+v\next: %+v",
+						tc.name, handoff, wsRef, wsExt)
+				}
+				if has(tc.tests, 11) || has(tc.tests, 12) {
+					for i := 0; i < 3; i++ {
+						if !reflect.DeepEqual(ref.SerialCounts(i), ext.SerialCounts(i)) {
+							t.Fatalf("%s handoff %d: serial bank %d diverges", tc.name, handoff, i)
+						}
+					}
+				}
+				if has(tc.tests, 7) && !reflect.DeepEqual(ref.NonOverlapBank(), ext.NonOverlapBank()) {
+					t.Fatalf("%s handoff %d: non-overlapping bank diverges", tc.name, handoff)
+				}
+				if has(tc.tests, 8) && !reflect.DeepEqual(ref.OverlapClasses(), ext.OverlapClasses()) {
+					t.Fatalf("%s handoff %d: overlapping classes diverge", tc.name, handoff)
+				}
+			}
+		})
+	}
+}
+
+func has(tests []int, id int) bool {
+	for _, t := range tests {
+		if t == id {
+			return true
+		}
+	}
+	return false
+}
+
+func TestGroupValidation(t *testing.T) {
+	p := nist.RecommendedParams(128)
+	if _, err := hwslice.New(100, []int{1}, p); err == nil {
+		t.Fatal("accepted n not a multiple of 64")
+	}
+	if _, err := hwslice.New(0, []int{1}, p); err == nil {
+		t.Fatal("accepted n = 0")
+	}
+	g, err := hwslice.New(128, []int{1, 2, 3, 4, 13}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Attach(64); err == nil {
+		t.Fatal("accepted lane 64")
+	}
+	if err := g.Attach(-1); err == nil {
+		t.Fatal("accepted lane -1")
+	}
+	if err := g.Attach(5); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Attach(5); err == nil {
+		t.Fatal("accepted duplicate lane")
+	}
+	var tile [64]uint64
+	if err := g.AbsorbTile(&tile); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Attach(6); err == nil {
+		t.Fatal("accepted mid-sequence attach")
+	}
+	if err := g.AbsorbTile(&tile); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AbsorbTile(&tile); err == nil {
+		t.Fatal("accepted tile past sequence end")
+	}
+	g.Reset()
+	if g.Off() != 0 || g.Active() != 0 || g.Lanes() != 0 {
+		t.Fatal("Reset left state behind")
+	}
+	if err := g.Attach(6); err != nil {
+		t.Fatalf("attach after Reset: %v", err)
+	}
+}
+
+// FuzzSliceEquivalence drives a ragged lane population over an n=128
+// design from fuzz-chosen bytes and cross-checks every attached lane
+// against internal hwfast ingest at both tile boundaries.
+func FuzzSliceEquivalence(f *testing.F) {
+	f.Add(uint8(0), uint64(0xFFFFFFFFFFFFFFFF), int64(1))
+	f.Add(uint8(1), uint64(0x8000000000000001), int64(2))
+	f.Add(uint8(1), uint64(0), int64(3))
+	f.Fuzz(func(t *testing.T, variant uint8, laneMask uint64, seed int64) {
+		tc := variants[int(variant)%2]
+		if laneMask == 0 {
+			laneMask = 1
+		}
+		g, err := hwslice.New(tc.n, tc.tests, nist.RecommendedParams(tc.n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var shadows [64]*hwfast.State
+		for l := 0; l < 64; l++ {
+			if laneMask>>uint(l)&1 == 0 {
+				continue
+			}
+			if err := g.Attach(l); err != nil {
+				t.Fatal(err)
+			}
+			st, err := hwfast.New(tc.n, tc.tests, nist.RecommendedParams(tc.n))
+			if err != nil {
+				t.Fatal(err)
+			}
+			shadows[l] = st
+		}
+		rng := rand.New(rand.NewSource(seed))
+		var ws1, ws2 hwfast.WordStats
+		for k := 0; k < tc.n/64; k++ {
+			var tile [64]uint64
+			for l := range tile {
+				tile[l] = rng.Uint64()
+			}
+			for l := 0; l < 64; l++ {
+				if shadows[l] == nil {
+					continue
+				}
+				if err := shadows[l].ClockWord(tile[l], 64); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := g.AbsorbTile(&tile); err != nil {
+				t.Fatal(err)
+			}
+			for l := 0; l < 64; l++ {
+				if shadows[l] == nil {
+					continue
+				}
+				g.ExtractLane(l, &ws1)
+				shadows[l].ExportWordStats(&ws2)
+				if !reflect.DeepEqual(ws1, ws2) {
+					t.Fatalf("tile %d lane %d: %+v != %+v", k, l, ws1, ws2)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,92 @@
+package hwslice
+
+import "math/bits"
+
+// vcounter is a carry-save "vertical" counter bank: 64 independent
+// unsigned counters, one per bit lane, stored transposed — planes[p] holds
+// bit p of every lane's count. One add or saturating decrement advances all
+// 64 lanes in O(carry-chain) word operations, which is what makes the
+// frequency, runs, cusum and longest-run statistics word-parallel across
+// streams. Every bit column ripples independently, so lanes never
+// interfere: evicting a stream from a lane group freezes its column
+// without touching the other 63.
+type vcounter struct {
+	planes []uint64
+	// top is a high-water mark: planes[top:] are known zero, so decrements
+	// and copies stop early. It only grows (or resets with zero).
+	top int
+}
+
+// newVCounter sizes the bank for counts in [0, maxValue]. Exceeding
+// maxValue is a sizing bug and panics on the plane index — the engines size
+// every counter from the design parameters, so the bound is structural.
+func newVCounter(maxValue int) vcounter {
+	return vcounter{planes: make([]uint64, bits.Len(uint(maxValue)))}
+}
+
+// add increments the counters of the lanes in mask.
+func (c *vcounter) add(mask uint64) {
+	i := 0
+	for mask != 0 {
+		carry := c.planes[i] & mask
+		c.planes[i] ^= mask
+		mask = carry
+		i++
+	}
+	if i > c.top {
+		c.top = i
+	}
+}
+
+// decFloor decrements the counters of the lanes in mask, saturating at
+// zero, and returns the mask of lanes that were already zero (the
+// "underflow" lanes, left at zero). The borrow ripples optimistically: a
+// lane at zero flips every plane bit on the way through and its surviving
+// borrow identifies it, after which the wrapped bits are cleared.
+func (c *vcounter) decFloor(mask uint64) (under uint64) {
+	borrow := mask
+	for i := 0; i < c.top && borrow != 0; i++ {
+		next := borrow &^ c.planes[i]
+		c.planes[i] ^= borrow
+		borrow = next
+	}
+	if borrow != 0 {
+		for i := 0; i < c.top; i++ {
+			c.planes[i] &^= borrow
+		}
+	}
+	return borrow
+}
+
+// loadMasked copies src's count into c for the lanes in mask, leaving the
+// other lanes untouched. Both counters must be sized identically (the
+// longest-run engine pairs run and block-max counters of the same width).
+func (c *vcounter) loadMasked(src *vcounter, mask uint64) {
+	n := c.top
+	if src.top > n {
+		n = src.top
+	}
+	for p := 0; p < n; p++ {
+		c.planes[p] = c.planes[p]&^mask | src.planes[p]&mask
+	}
+	if src.top > c.top {
+		c.top = src.top
+	}
+}
+
+// get reads one lane's count.
+func (c *vcounter) get(lane int) uint64 {
+	var v uint64
+	for p := 0; p < c.top; p++ {
+		v |= c.planes[p] >> uint(lane) & 1 << uint(p)
+	}
+	return v
+}
+
+// zero clears every lane.
+func (c *vcounter) zero() {
+	for p := 0; p < c.top; p++ {
+		c.planes[p] = 0
+	}
+	c.top = 0
+}

@@ -66,12 +66,24 @@ func (r *Report) Failed() []int {
 type Evaluator struct {
 	cv       *CriticalValues
 	wordBits int
+
+	// Register names are fixed by the design, so they are formatted once
+	// here instead of once per sequence: a fleet evaluating thousands of
+	// sequences per second would otherwise spend a visible fraction of its
+	// time in fmt.Sprintf building the same strings.
+	bfNames     []string         // BF_EPS_i, test 2
+	lrNames     []string         // LR_NU_i, test 4
+	noNames     []string         // NO_W_i, test 7
+	ovNames     []string         // OV_NU_i, test 8
+	serialNames map[int][]string // SERIAL_NUw_pattern by width, tests 11/12
 }
 
 // NewEvaluator returns an evaluator bound to one set of critical values,
 // metering at the paper's 16-bit word size.
 func NewEvaluator(cv *CriticalValues) *Evaluator {
-	return &Evaluator{cv: cv, wordBits: WordSize16}
+	ev := &Evaluator{cv: cv, wordBits: WordSize16}
+	ev.buildNames()
+	return ev
 }
 
 // NewEvaluatorWordSize returns an evaluator metering at the given word size
@@ -79,9 +91,76 @@ func NewEvaluator(cv *CriticalValues) *Evaluator {
 func NewEvaluatorWordSize(cv *CriticalValues, wordBits int) (*Evaluator, error) {
 	switch wordBits {
 	case WordSize16, WordSize32, WordSize64:
-		return &Evaluator{cv: cv, wordBits: wordBits}, nil
+		ev := &Evaluator{cv: cv, wordBits: wordBits}
+		ev.buildNames()
+		return ev, nil
 	}
 	return nil, fmt.Errorf("sweval: unsupported word size %d", wordBits)
+}
+
+// buildNames precomputes the per-counter register names the configured
+// tests will read.
+func (ev *Evaluator) buildNames() {
+	cfg := ev.cv.cfg
+	for _, id := range cfg.Tests {
+		switch id {
+		case 2:
+			if cfg.Params.BlockFrequencyM > 0 {
+				nBlocks := cfg.N / cfg.Params.BlockFrequencyM
+				ev.bfNames = make([]string, nBlocks)
+				for i := range ev.bfNames {
+					ev.bfNames[i] = fmt.Sprintf("BF_EPS_%d", i)
+				}
+			}
+		case 4:
+			ev.lrNames = make([]string, len(ev.cv.longestRunQ16))
+			for i := range ev.lrNames {
+				ev.lrNames[i] = fmt.Sprintf("LR_NU_%d", i)
+			}
+		case 7:
+			ev.noNames = make([]string, cfg.Params.NonOverlappingN)
+			for i := range ev.noNames {
+				ev.noNames[i] = fmt.Sprintf("NO_W_%d", i)
+			}
+		case 8:
+			ev.ovNames = make([]string, len(ev.cv.overlapQ16))
+			for i := range ev.ovNames {
+				ev.ovNames[i] = fmt.Sprintf("OV_NU_%d", i)
+			}
+		case 11, 12:
+			for w := cfg.Params.SerialM; w >= cfg.Params.SerialM-2 && w >= 1; w-- {
+				if ev.serialNames == nil {
+					ev.serialNames = make(map[int][]string)
+				}
+				if _, ok := ev.serialNames[w]; ok {
+					continue
+				}
+				names := make([]string, 1<<uint(w))
+				for pat := range names {
+					names[pat] = fmt.Sprintf("SERIAL_NU%d_%0*b", w, w, pat)
+				}
+				ev.serialNames[w] = names
+			}
+		}
+	}
+}
+
+// cachedName returns names[i] when cached, formatting the name only when
+// the index is outside the precomputed range.
+func cachedName(names []string, prefix string, i int) string {
+	if i < len(names) {
+		return names[i]
+	}
+	return fmt.Sprintf("%s%d", prefix, i)
+}
+
+// serialName returns the cached SERIAL_NUw_pattern register name, falling
+// back to formatting for widths outside the precomputed set.
+func (ev *Evaluator) serialName(w, pat int) string {
+	if names := ev.serialNames[w]; pat < len(names) {
+		return names[pat]
+	}
+	return fmt.Sprintf("SERIAL_NU%d_%0*b", w, w, pat)
 }
 
 // newMeter builds a meter at the evaluator's word size.
@@ -156,7 +235,7 @@ func (ev *Evaluator) Evaluate(b *hwblock.Block) (*Report, error) {
 			nBlocks := cfg.N / cfg.Params.BlockFrequencyM
 			var d int64
 			for i := 0; i < nBlocks; i++ {
-				eps, err := readVal(m, fmt.Sprintf("BF_EPS_%d", i))
+				eps, err := readVal(m, cachedName(ev.bfNames, "BF_EPS_", i))
 				if err != nil {
 					return nil, err
 				}
@@ -180,7 +259,7 @@ func (ev *Evaluator) Evaluate(b *hwblock.Block) (*Report, error) {
 			nBlocks := int64(cfg.N / cfg.Params.LongestRunM)
 			var sum int64
 			for i := range ev.cv.longestRunQ16 {
-				nu, err := readVal(m, fmt.Sprintf("LR_NU_%d", i))
+				nu, err := readVal(m, cachedName(ev.lrNames, "LR_NU_", i))
 				if err != nil {
 					return nil, err
 				}
@@ -197,7 +276,7 @@ func (ev *Evaluator) Evaluate(b *hwblock.Block) (*Report, error) {
 			muScaled := m.sub(blockLen, int64(tm-1)) // μ·2^m = M − m + 1
 			var d int64
 			for i := 0; i < cfg.Params.NonOverlappingN; i++ {
-				w, err := readVal(m, fmt.Sprintf("NO_W_%d", i))
+				w, err := readVal(m, cachedName(ev.noNames, "NO_W_", i))
 				if err != nil {
 					return nil, err
 				}
@@ -211,7 +290,7 @@ func (ev *Evaluator) Evaluate(b *hwblock.Block) (*Report, error) {
 			m := ev.newMeter()
 			var sum int64
 			for i := range ev.cv.overlapQ16 {
-				nu, err := readVal(m, fmt.Sprintf("OV_NU_%d", i))
+				nu, err := readVal(m, cachedName(ev.ovNames, "OV_NU_", i))
 				if err != nil {
 					return nil, err
 				}
@@ -342,7 +421,7 @@ func (ev *Evaluator) evalRuns(m *meter, n, sFin, ones, zeros, v int64) Verdict {
 func (ev *Evaluator) sumSquares(m *meter, w int, readVal func(*meter, string) (int64, error)) (int64, error) {
 	var sum int64
 	for pat := 0; pat < 1<<uint(w); pat++ {
-		v, err := readVal(m, fmt.Sprintf("SERIAL_NU%d_%0*b", w, w, pat))
+		v, err := readVal(m, ev.serialName(w, pat))
 		if err != nil {
 			return 0, err
 		}
@@ -360,8 +439,7 @@ func (ev *Evaluator) phiQ16(m *meter, cfg hwblock.Config, w int, readVal func(*m
 	}
 	var phi int64
 	for pat := 0; pat < 1<<uint(w); pat++ {
-		name := fmt.Sprintf("SERIAL_NU%d_%0*b", w, w, pat)
-		nu, err := readVal(m, name)
+		nu, err := readVal(m, ev.serialName(w, pat))
 		if err != nil {
 			return 0, err
 		}
