@@ -25,16 +25,25 @@ test:
 
 # lint is the static gate: formatting, go vet, the repository's own
 # trnglint analyzers (16-bit bus masking, determinism, error-contract and
-# monitor-reset invariants — see internal/analysis), and designlint (the
-# design-space checker: counter widths, register-map integrity, resource
-# sharing and accounting over all eight variants — see
-# internal/analysis/designlint). govulncheck runs when installed; the
-# offline dev container does not ship it.
+# monitor-reset invariants, plus the conclint concurrency family —
+# guardedby, atomicmix, lockorder, gorolife; see internal/analysis), and
+# designlint (the design-space checker: counter widths, register-map
+# integrity, resource sharing and accounting over all eight variants — see
+# internal/analysis/designlint). The linters are built once into a cached
+# bin dir so repeated `make lint` runs pay one link, not one per
+# invocation, and trnglint runs with -time so per-analyzer wall time shows
+# up in the log — a slow analyzer is a regression too. govulncheck runs
+# when installed; the offline dev container does not ship it.
+LINTBIN := .cache/lintbin
+
 lint: vet
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
-	go run ./cmd/trnglint ./...
-	go run ./cmd/designlint
+	@mkdir -p $(LINTBIN)
+	go build -o $(LINTBIN)/trnglint ./cmd/trnglint
+	go build -o $(LINTBIN)/designlint ./cmd/designlint
+	./$(LINTBIN)/trnglint -time ./...
+	./$(LINTBIN)/designlint
 	@if command -v govulncheck >/dev/null 2>&1; then \
 		govulncheck ./...; \
 	else \
@@ -52,7 +61,10 @@ bench-smoke:
 # so this is a correctness gate, not just a does-it-crash check. Runs
 # twice — serial ingest and bit-sliced lane-group ingest — so the sliced
 # hot path soaks under -race with every defect class too. Bounded wall
-# time: ~seconds.
+# time: ~seconds. GORACE=halt_on_error=1 turns the race detector's report
+# into an immediate non-zero exit, so a data race fails the gate even if
+# the run would otherwise complete with a clean accounting identity.
+soak: export GORACE=halt_on_error=1
 soak:
 	go run -race ./cmd/trngd -n 128 -variant light \
 		-streams 192 -words 48 -generations 2 -shards 8 -queue 64 \

@@ -1,32 +1,45 @@
 // Command trnglint is the repository's multichecker: it runs the
 // internal/analysis analyzers — regwidth, determinism, errdrop,
-// resetcheck — over the module and reports every unwaived finding. The
-// suite proves, at lint time, the invariants the paper's platform rests
-// on: 16-bit bus arithmetic stays masked, the bit-reproducible packages
-// stay free of wall-clock and scheduling leaks, partial-result errors are
-// never discarded, and reused monitors are reset between sources.
+// resetcheck, and the conclint concurrency family (guardedby, atomicmix,
+// lockorder, gorolife) — over the module and reports every unwaived
+// finding. The suite proves, at lint time, the invariants the paper's
+// platform rests on: 16-bit bus arithmetic stays masked, the
+// bit-reproducible packages stay free of wall-clock and scheduling leaks,
+// partial-result errors are never discarded, reused monitors are reset
+// between sources, annotated fields are only touched under their mutex,
+// atomic and plain accesses never mix, locks are acquired in one partial
+// order, and every goroutine has a join/quit path.
 //
 // Usage:
 //
-//	trnglint [-only regwidth,errdrop] [packages]
+//	trnglint [-only regwidth,errdrop] [-json] [-time] [packages]
 //
-// Packages default to ./... resolved against the enclosing module. The
-// exit status is 0 when clean, 1 when findings were reported, 2 when the
-// load or analysis itself failed — the same convention go vet uses, so
-// CI wires it in as one more gate.
+// Packages default to ./... resolved against the enclosing module. -json
+// emits one JSON object per finding (file/line/col/analyzer/message) for
+// CI annotation tooling. -time prints per-analyzer wall time to stderr.
+// The exit status is 0 when clean, 1 when findings were reported, 2 when
+// the load or analysis itself failed — the same convention go vet uses,
+// so CI wires it in as one more gate.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/analysis"
+	"repro/internal/analysis/atomicmix"
 	"repro/internal/analysis/determinism"
 	"repro/internal/analysis/errdrop"
+	"repro/internal/analysis/gorolife"
+	"repro/internal/analysis/guardedby"
 	"repro/internal/analysis/load"
+	"repro/internal/analysis/lockorder"
 	"repro/internal/analysis/regwidth"
 	"repro/internal/analysis/resetcheck"
 )
@@ -37,14 +50,35 @@ var analyzers = []*analysis.Analyzer{
 	determinism.Analyzer,
 	errdrop.Analyzer,
 	resetcheck.Analyzer,
+	guardedby.Analyzer,
+	atomicmix.Analyzer,
+	lockorder.Analyzer,
+	gorolife.Analyzer,
+}
+
+// Finding is one unwaived diagnostic, in the shape the -json mode emits.
+type Finding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// String renders the classic single-line form:
+// file:line:col: [analyzer] message.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.File, f.Line, f.Col, f.Analyzer, f.Message)
 }
 
 func main() {
 	only := flag.String("only", "", "comma-separated subset of analyzers to run")
 	list := flag.Bool("list", false, "list the analyzers and exit")
+	jsonOut := flag.Bool("json", false, "emit findings as JSON objects, one per line")
+	timing := flag.Bool("time", false, "report per-analyzer wall time on stderr")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
-			"usage: trnglint [-only a,b] [-list] [packages]\n\nAnalyzers:\n")
+			"usage: trnglint [-only a,b] [-list] [-json] [-time] [packages]\n\nAnalyzers:\n")
 		for _, a := range analyzers {
 			fmt.Fprintf(flag.CommandLine.Output(), "  %-12s %s\n", a.Name, a.Doc)
 		}
@@ -58,24 +92,46 @@ func main() {
 		return
 	}
 
-	suite, err := selectAnalyzers(*only)
+	os.Exit(run(os.Stdout, os.Stderr, *only, *jsonOut, *timing, flag.Args()))
+}
+
+// run is main minus the process boundary, returning the exit code so the
+// exit-code golden test can drive every path.
+func run(stdout, stderr io.Writer, only string, jsonOut, timing bool, patterns []string) int {
+	suite, err := selectAnalyzers(only)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "trnglint:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "trnglint:", err)
+		return 2
 	}
 
-	findings, err := Lint(".", suite, flag.Args()...)
+	findings, times, err := LintTimed(".", suite, patterns...)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "trnglint:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "trnglint:", err)
+		return 2
 	}
-	for _, f := range findings {
-		fmt.Println(f)
+	if timing {
+		for _, a := range suite {
+			fmt.Fprintf(stderr, "trnglint: %-12s %s\n", a.Name, times[a.Name].Round(time.Millisecond))
+		}
+	}
+	if jsonOut {
+		enc := json.NewEncoder(stdout)
+		for _, f := range findings {
+			if err := enc.Encode(f); err != nil {
+				fmt.Fprintln(stderr, "trnglint:", err)
+				return 2
+			}
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Fprintln(stdout, f)
+		}
 	}
 	if len(findings) > 0 {
-		fmt.Fprintf(os.Stderr, "trnglint: %d finding(s)\n", len(findings))
-		os.Exit(1)
+		fmt.Fprintf(stderr, "trnglint: %d finding(s)\n", len(findings))
+		return 1
 	}
+	return 0
 }
 
 func selectAnalyzers(only string) ([]*analysis.Analyzer, error) {
@@ -103,32 +159,63 @@ func selectAnalyzers(only string) ([]*analysis.Analyzer, error) {
 // (and the self-lint test that keeps the repository clean) drive exactly
 // what CI runs.
 func Lint(dir string, suite []*analysis.Analyzer, patterns ...string) ([]string, error) {
-	l, err := load.NewModuleLoader(dir)
+	findings, _, err := LintTimed(dir, suite, patterns...)
 	if err != nil {
 		return nil, err
+	}
+	lines := make([]string, len(findings))
+	for i, f := range findings {
+		lines[i] = f.String()
+	}
+	return lines, nil
+}
+
+// LintTimed is Lint returning structured findings plus per-analyzer wall
+// time (accumulated across packages, keyed by analyzer name).
+func LintTimed(dir string, suite []*analysis.Analyzer, patterns ...string) ([]Finding, map[string]time.Duration, error) {
+	l, err := load.NewModuleLoader(dir)
+	if err != nil {
+		return nil, nil, err
 	}
 	targets, err := l.Load(patterns...)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	var findings []string
+	times := make(map[string]time.Duration, len(suite))
+	var findings []Finding
 	for _, t := range targets {
 		if len(t.TypeErrors) > 0 {
-			return nil, fmt.Errorf("%s does not type-check: %v (run go build first)",
+			return nil, nil, fmt.Errorf("%s does not type-check: %v (run go build first)",
 				t.ImportPath, t.TypeErrors[0])
 		}
 		unit := &analysis.Unit{Fset: t.Fset, Files: t.Files, Pkg: t.Pkg, Info: t.Info}
 		for _, a := range suite {
+			start := time.Now()
 			diags, err := analysis.Run(unit, a)
+			times[a.Name] += time.Since(start)
 			if err != nil {
-				return nil, fmt.Errorf("%s: %w", t.ImportPath, err)
+				return nil, nil, fmt.Errorf("%s: %w", t.ImportPath, err)
 			}
 			for _, d := range diags {
-				findings = append(findings,
-					fmt.Sprintf("%s: [%s] %s", t.Fset.Position(d.Pos), a.Name, d.Message))
+				p := t.Fset.Position(d.Pos)
+				findings = append(findings, Finding{
+					File: p.Filename, Line: p.Line, Col: p.Column,
+					Analyzer: a.Name, Message: d.Message,
+				})
 			}
 		}
 	}
-	sort.Strings(findings)
-	return findings, nil
+	sort.Slice(findings, func(i, j int) bool {
+		if findings[i].File != findings[j].File {
+			return findings[i].File < findings[j].File
+		}
+		if findings[i].Line != findings[j].Line {
+			return findings[i].Line < findings[j].Line
+		}
+		if findings[i].Col != findings[j].Col {
+			return findings[i].Col < findings[j].Col
+		}
+		return findings[i].Analyzer < findings[j].Analyzer
+	})
+	return findings, times, nil
 }

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -34,11 +36,13 @@ func TestSelectAnalyzers(t *testing.T) {
 	}
 }
 
-// TestSuiteCoversAllInvariants keeps the four paper invariants wired: a
-// dropped analyzer would silently weaken the gate.
+// TestSuiteCoversAllInvariants keeps the paper invariants and the
+// concurrency contracts wired: a dropped analyzer would silently weaken
+// the gate.
 func TestSuiteCoversAllInvariants(t *testing.T) {
 	want := map[string]bool{
 		"regwidth": true, "determinism": true, "errdrop": true, "resetcheck": true,
+		"guardedby": true, "atomicmix": true, "lockorder": true, "gorolife": true,
 	}
 	for _, a := range analyzers {
 		if !want[a.Name] {
@@ -48,5 +52,69 @@ func TestSuiteCoversAllInvariants(t *testing.T) {
 	}
 	for name := range want {
 		t.Errorf("analyzer %q missing from the suite", name)
+	}
+}
+
+// TestExitCodes pins the go-vet exit convention the CI gate relies on:
+// 0 clean, 1 findings, 2 when the run itself fails. The dirty fixture
+// lives under testdata so only these tests ever load it.
+func TestExitCodes(t *testing.T) {
+	cases := []struct {
+		name     string
+		only     string
+		patterns []string
+		want     int
+	}{
+		{"clean", "", []string{"internal/tables"}, 0},
+		{"findings", "gorolife", []string{"cmd/trnglint/testdata/dirty"}, 1},
+		{"bad pattern", "", []string{"no/such/dir"}, 2},
+		{"bad analyzer", "nosuch", []string{"internal/tables"}, 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			got := run(&stdout, &stderr, tc.only, false, false, tc.patterns)
+			if got != tc.want {
+				t.Errorf("exit code %d, want %d (stdout %q, stderr %q)",
+					got, tc.want, stdout.String(), stderr.String())
+			}
+		})
+	}
+}
+
+// TestJSONOutput pins the -json exposition: one JSON object per finding
+// with the file/line/analyzer fields CI annotation tooling keys on.
+func TestJSONOutput(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run(&stdout, &stderr, "gorolife", true, false,
+		[]string{"cmd/trnglint/testdata/dirty"})
+	if code != 1 {
+		t.Fatalf("exit code %d, want 1 (stderr %q)", code, stderr.String())
+	}
+	lines := strings.Split(strings.TrimSpace(stdout.String()), "\n")
+	if len(lines) != 1 {
+		t.Fatalf("want exactly one JSON finding, got %d: %q", len(lines), stdout.String())
+	}
+	var f Finding
+	if err := json.Unmarshal([]byte(lines[0]), &f); err != nil {
+		t.Fatalf("output is not JSON: %v (%q)", err, lines[0])
+	}
+	if !strings.HasSuffix(f.File, "dirty.go") || f.Line <= 0 || f.Analyzer != "gorolife" ||
+		!strings.Contains(f.Message, "join or quit") {
+		t.Errorf("unexpected finding: %+v", f)
+	}
+}
+
+// TestTimingOutput pins -time: one per-analyzer wall-time line on stderr.
+func TestTimingOutput(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run(&stdout, &stderr, "regwidth,gorolife", false, true,
+		[]string{"internal/tables"}); code != 0 {
+		t.Fatalf("exit code %d, want 0 (stderr %q)", code, stderr.String())
+	}
+	for _, name := range []string{"regwidth", "gorolife"} {
+		if !strings.Contains(stderr.String(), name) {
+			t.Errorf("stderr lacks a timing line for %s: %q", name, stderr.String())
+		}
 	}
 }

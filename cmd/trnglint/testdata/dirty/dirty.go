@@ -1,0 +1,13 @@
+// Package dirty is the fixture for trnglint's exit-code and JSON output
+// tests: it carries exactly one deliberate finding (a leaked goroutine).
+// It lives under testdata so the ./... walk — and therefore the self-lint
+// gate — never matches it; only the command's own tests load it by
+// explicit pattern.
+package dirty
+
+func leak() {
+	go func() {
+		for {
+		}
+	}()
+}

@@ -1,0 +1,251 @@
+// Package atomicmix enforces the platform's atomic-publish discipline: a
+// memory location either belongs to the atomic world or the plain world,
+// never both. The fleet's lock-free paths (Stream.detached, the staging
+// slot counter, per-stream accounting) are correct only because every
+// access goes through sync/atomic — one plain load of a flag that is
+// atomically stored elsewhere is exactly the unsynchronized fast-path
+// read that made the PR 6 detach race. Three rules:
+//
+//  1. A field of an atomic.* type (atomic.Bool, atomic.Int64, ...) may
+//     only be accessed by calling its methods or taking its address;
+//     copying or overwriting the value bypasses the atomic protocol
+//     (and smuggles the internal state across goroutines).
+//
+//  2. A struct field that is anywhere in the package accessed through a
+//     sync/atomic function (atomic.LoadInt32(&s.n), atomic.AddInt64,
+//     ...) is an atomic location: every plain read or write of the same
+//     field is a finding. Locals are exempt — the
+//     add-atomically-then-read-after-join worker-counter idiom is
+//     correct and common.
+//
+//  3. A struct (transitively) containing atomic fields must not be
+//     copied: dereference copies, value assignments from an existing
+//     variable, by-value parameters, and by-value call arguments are
+//     findings. Checking the argument rather than the parameter type is
+//     what sees copies that enter through interface{} parameters, where
+//     vet -copylocks goes blind.
+//
+// Intentional exceptions are waived in place with
+// //trnglint:allow atomicmix <reason>.
+package atomicmix
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer flags plain access to atomic locations and copies of
+// atomic-bearing structs.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicmix",
+	Doc: "flag plain loads/stores of fields accessed via sync/atomic (or of " +
+		"atomic.* type) and copies of structs containing atomics",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	mixed := collectAtomicFields(pass)
+	for _, f := range pass.Files {
+		analysis.WithStack(f, func(n ast.Node, stack []ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				checkFieldAccess(pass, mixed, n, stack)
+			case *ast.AssignStmt:
+				for _, rhs := range n.Rhs {
+					checkCopy(pass, rhs)
+				}
+			case *ast.ValueSpec:
+				for _, v := range n.Values {
+					checkCopy(pass, v)
+				}
+			case *ast.CallExpr:
+				for _, arg := range n.Args {
+					checkCopy(pass, arg)
+				}
+			case *ast.FuncDecl:
+				checkParams(pass, n.Recv)
+				checkParams(pass, n.Type.Params)
+			case *ast.ReturnStmt:
+				for _, r := range n.Results {
+					checkCopy(pass, r)
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// collectAtomicFields finds every struct field the package accesses
+// through a sync/atomic function, by scanning for atomic.XxxInt32(&s.f,
+// ...) style calls.
+func collectAtomicFields(pass *analysis.Pass) map[types.Object]bool {
+	mixed := make(map[types.Object]bool)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := analysis.CalleeFunc(pass.TypesInfo, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			if fn.Type().(*types.Signature).Recv() != nil {
+				return true // methods on atomic.* types are rule 1's turf
+			}
+			for _, arg := range call.Args {
+				un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				if obj := analysis.FieldObjectOf(pass.TypesInfo, sel); obj != nil {
+					mixed[obj] = true
+				}
+			}
+			return true
+		})
+	}
+	return mixed
+}
+
+// checkFieldAccess applies rules 1 and 2 to one field selection.
+func checkFieldAccess(pass *analysis.Pass, mixed map[types.Object]bool, sel *ast.SelectorExpr, stack []ast.Node) {
+	field := analysis.FieldObjectOf(pass.TypesInfo, sel)
+	if field == nil {
+		return
+	}
+	isAtomicTyped := isAtomicType(field.Type())
+	if !isAtomicTyped && !mixed[field] {
+		return
+	}
+	// Allowed contexts: calling a method on the field (s.flag.Load() —
+	// the parent selector resolves to a method with this selection as
+	// receiver) and taking its address (&s.n for an atomic call or a
+	// pointer hand-off).
+	if len(stack) >= 2 {
+		switch parent := stack[len(stack)-2].(type) {
+		case *ast.SelectorExpr:
+			if parent.X == sel {
+				if _, ok := pass.ObjectOf(parent.Sel).(*types.Func); ok {
+					return
+				}
+			}
+		case *ast.UnaryExpr:
+			if parent.Op == token.AND {
+				return
+			}
+		}
+	}
+	if isAtomicTyped {
+		pass.Reportf(sel.Sel.Pos(),
+			"%s has atomic type %s: copying or overwriting the value bypasses the atomic protocol — "+
+				"use its methods, or waive with //trnglint:allow atomicmix <reason>",
+			field.Name(), typeShortName(field.Type()))
+		return
+	}
+	pass.Reportf(sel.Sel.Pos(),
+		"%s is accessed via sync/atomic elsewhere in this package: this plain access races with those — "+
+			"use the atomic API here too, or waive with //trnglint:allow atomicmix <reason>",
+		field.Name())
+}
+
+// checkCopy applies rule 3 to one value-context expression: an
+// identifier, field selection, dereference, or index of an atomic-bearing
+// struct type in copy position. Fresh values (composite literals, call
+// results) and pointers are fine.
+func checkCopy(pass *analysis.Pass, e ast.Expr) {
+	switch un := ast.Unparen(e).(type) {
+	case *ast.Ident, *ast.StarExpr, *ast.IndexExpr:
+	case *ast.SelectorExpr:
+		// A copy of an atomic-typed FIELD is rule 1's finding; don't
+		// report the same expression twice.
+		if analysis.FieldObjectOf(pass.TypesInfo, un) != nil && isAtomicType(pass.TypeOf(e)) {
+			return
+		}
+	default:
+		return
+	}
+	t := pass.TypeOf(e)
+	if t == nil || !structContainsAtomic(t, nil) {
+		return
+	}
+	pass.Reportf(e.Pos(),
+		"copy of %s, which contains atomic fields: the copy severs them from their publishers — "+
+			"pass a pointer, or waive with //trnglint:allow atomicmix <reason>",
+		typeShortName(t))
+}
+
+// checkParams flags by-value parameters and receivers of atomic-bearing
+// struct types: every call would copy the atomics.
+func checkParams(pass *analysis.Pass, fields *ast.FieldList) {
+	if fields == nil {
+		return
+	}
+	for _, f := range fields.List {
+		t := pass.TypeOf(f.Type)
+		if t == nil || !structContainsAtomic(t, nil) {
+			continue
+		}
+		pass.Reportf(f.Type.Pos(),
+			"by-value parameter of %s, which contains atomic fields: every call copies them — "+
+				"take a pointer, or waive with //trnglint:allow atomicmix <reason>",
+			typeShortName(t))
+	}
+}
+
+// isAtomicType reports whether t is one of the sync/atomic value types
+// (Bool, Int32, Int64, Uint32, Uint64, Uintptr, Pointer[T], Value).
+func isAtomicType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+}
+
+// structContainsAtomic reports whether t is an atomic.* type or a struct
+// (or array of structs) transitively holding one. Pointers, slices, and
+// maps stop the walk: copying a pointer to atomics is fine.
+func structContainsAtomic(t types.Type, seen map[types.Type]bool) bool {
+	if isAtomicType(t) {
+		return true
+	}
+	if seen[t] {
+		return false
+	}
+	if seen == nil {
+		seen = make(map[types.Type]bool)
+	}
+	seen[t] = true
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if structContainsAtomic(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return structContainsAtomic(u.Elem(), seen)
+	}
+	return false
+}
+
+func typeShortName(t types.Type) string {
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil {
+			return obj.Pkg().Name() + "." + obj.Name()
+		}
+		return obj.Name()
+	}
+	return t.String()
+}

@@ -1,0 +1,197 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+func parseConc(t *testing.T, src string) (*ConcAnnotations, *types.Package, []string) {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "conc.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v\n%s", err, src)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	pkg, err := conf.Check("p", fset, []*ast.File{file}, info)
+	if err != nil {
+		t.Fatalf("typecheck: %v\n%s", err, src)
+	}
+	var reports []string
+	ann := CollectConcAnnotations(fset, []*ast.File{file}, pkg, info,
+		func(pos token.Pos, format string, args ...any) {
+			reports = append(reports, fmt.Sprintf(format, args...))
+		})
+	return ann, pkg, reports
+}
+
+const concSrc = `package p
+
+import "sync"
+
+type Pool struct {
+	mu sync.Mutex
+	// closed latches shutdown.
+	//trnglint:guardedby mu
+	closed bool
+	//trnglint:guardedby mu
+	list, count int
+}
+
+type Stream struct {
+	pool   *Pool
+	pushMu sync.Mutex
+	idx    int //trnglint:guardedby pool.mu
+	//trnglint:guardedby pushMu
+	drained int32
+}
+
+var gmu sync.Mutex
+
+//trnglint:guardedby gmu
+type ignored struct{} // guardedby on a type (not a field) is inert
+
+type G struct {
+	//trnglint:guardedby gmu
+	hits int
+}
+
+//trnglint:holds pushMu
+func (s *Stream) flushStaged() {}
+
+//trnglint:holds pool.mu
+func (s *Stream) relink() {}
+
+//trnglint:holds gmu
+func bump() {}
+
+func plain() {}
+`
+
+func TestCollectGuards(t *testing.T) {
+	ann, pkg, reports := parseConc(t, concSrc)
+	if len(reports) != 0 {
+		t.Fatalf("unexpected annotation errors: %v", reports)
+	}
+
+	field := func(typeName, fieldName string) types.Object {
+		st := pkg.Scope().Lookup(typeName).(*types.TypeName).Type().Underlying().(*types.Struct)
+		for i := 0; i < st.NumFields(); i++ {
+			if st.Field(i).Name() == fieldName {
+				return st.Field(i)
+			}
+		}
+		t.Fatalf("no field %s.%s", typeName, fieldName)
+		return nil
+	}
+
+	cases := []struct {
+		typ, fld, wantMu string
+	}{
+		{"Pool", "closed", "mu"},
+		{"Pool", "list", "mu"},
+		{"Pool", "count", "mu"}, // multi-name field: both names guarded
+		{"Stream", "idx", "mu"}, // dotted path pool.mu → Pool.mu field
+		{"Stream", "drained", "pushMu"},
+		{"G", "hits", "gmu"}, // package-level mutex
+	}
+	for _, c := range cases {
+		spec := ann.GuardOf(field(c.typ, c.fld))
+		if spec == nil {
+			t.Errorf("%s.%s: no guard spec", c.typ, c.fld)
+			continue
+		}
+		if spec.Mutex.Name() != c.wantMu {
+			t.Errorf("%s.%s guarded by %q, want %q", c.typ, c.fld, spec.Mutex.Name(), c.wantMu)
+		}
+	}
+	if spec := ann.GuardOf(field("Stream", "pool")); spec != nil {
+		t.Errorf("Stream.pool unexpectedly guarded")
+	}
+	// Stream.idx must resolve to the same object identity a lock walk of
+	// p.mu.Lock() would record: the Pool.mu field var.
+	if got, want := ann.GuardOf(field("Stream", "idx")).Mutex, field("Pool", "mu"); got != want {
+		t.Errorf("Stream.idx mutex identity = %v, want Pool.mu field object", got)
+	}
+}
+
+func TestCollectHolds(t *testing.T) {
+	ann, pkg, reports := parseConc(t, concSrc)
+	if len(reports) != 0 {
+		t.Fatalf("unexpected annotation errors: %v", reports)
+	}
+	fnByName := make(map[string]*types.Func)
+	for fn := range ann.Holds {
+		fnByName[fn.Name()] = fn
+	}
+	for name, wantMu := range map[string]string{
+		"flushStaged": "pushMu",
+		"relink":      "mu",
+		"bump":        "gmu",
+	} {
+		fn := fnByName[name]
+		if fn == nil {
+			t.Errorf("%s: no holds spec", name)
+			continue
+		}
+		seeds := ann.AssumedLocks(fn)
+		if len(seeds) != 1 || seeds[0].Name() != wantMu {
+			t.Errorf("%s assumed locks = %v, want [%s]", name, seeds, wantMu)
+		}
+	}
+	plain, _ := pkg.Scope().Lookup("plain").(*types.Func)
+	if specs := ann.HoldsOf(plain); specs != nil {
+		t.Errorf("plain unexpectedly has holds specs: %v", specs)
+	}
+}
+
+func TestCollectConcAnnotationErrors(t *testing.T) {
+	src := `package p
+
+import "sync"
+
+type T struct {
+	mu sync.Mutex
+	//trnglint:guardedby
+	a int
+	//trnglint:guardedby nosuch
+	b int
+	//trnglint:guardedby c
+	c int
+}
+
+//trnglint:holds nosuch
+func (t *T) f() {}
+
+//trnglint:holds
+func (t *T) g() {}
+`
+	_, _, reports := parseConc(t, src)
+	wants := []string{
+		"guardedby needs a mutex path",
+		"guardedby nosuch: cannot resolve",
+		"guardedby c: cannot resolve", // c is an int, not a mutex
+		"holds nosuch: cannot resolve",
+		"holds needs a mutex path",
+	}
+	if len(reports) != len(wants) {
+		t.Fatalf("got %d reports %v, want %d", len(reports), reports, len(wants))
+	}
+	for i, want := range wants {
+		if !strings.Contains(reports[i], want) {
+			t.Errorf("report %d = %q, want substring %q", i, reports[i], want)
+		}
+	}
+}

@@ -25,6 +25,25 @@ import (
 //	//trnglint:allow <analyzer> <reason>
 //	    Generic line waiver for any analyzer, same placement and
 //	    mandatory-reason rule.
+//
+//	//trnglint:detached <reason>
+//	    Line waiver for gorolife: the go statement on this line (or the
+//	    line below) intentionally spawns a goroutine with no join/quit
+//	    path. The reason is mandatory.
+//
+// Two further verbs are annotations rather than waivers and are parsed by
+// CollectConcAnnotations (concann.go) from the declarations they document,
+// not from this line-indexed table:
+//
+//	//trnglint:guardedby <mutex>
+//	    On a struct field: the field may only be read or written while
+//	    the named sibling mutex (dotted paths like pool.mu reach through
+//	    struct-typed fields) is held. Enforced by the guardedby analyzer.
+//
+//	//trnglint:holds <mutex>
+//	    On a function or method: callers must hold the named mutex of the
+//	    receiver (or a package-level mutex). Assumed inside the body,
+//	    checked at every call site.
 const directivePrefix = "//trnglint:"
 
 // Directives is the parsed set of //trnglint: comments of one package.
@@ -72,6 +91,12 @@ func (d *Directives) parseComment(fset *token.FileSet, c *ast.Comment) {
 	case "allow":
 		if len(rest) >= 2 { // analyzer name plus a reason
 			d.addWaiver(fset, c.Pos(), rest[0])
+		}
+	case "detached":
+		// Shorthand for "allow gorolife <reason>"; the reason is
+		// mandatory so every detached goroutine documents itself.
+		if len(rest) > 0 {
+			d.addWaiver(fset, c.Pos(), "gorolife")
 		}
 	}
 }

@@ -1,0 +1,12 @@
+package gorolife_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/gorolife"
+)
+
+func TestGorolife(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), gorolife.Analyzer, "lifedemo")
+}

@@ -1,0 +1,144 @@
+// Package lifedemo is the golden suite for the gorolife analyzer: every
+// accepted join/quit shape, the leaked-goroutine findings, named-function
+// targets, unanalyzable targets, and the //trnglint:detached waiver.
+package lifedemo
+
+import "sync"
+
+type pump struct {
+	req  chan int
+	quit chan struct{}
+	done chan struct{}
+}
+
+// ---- accepted shapes ----
+
+func goodWaitGroup(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+func goodValueWaitGroup() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+func goodDeferClose(p *pump) {
+	go func() {
+		defer close(p.done)
+		work()
+	}()
+}
+
+func goodRangeOverChannel(p *pump) {
+	go func() {
+		for r := range p.req {
+			_ = r
+		}
+	}()
+}
+
+func goodQuitSelect(p *pump) {
+	go func() {
+		for {
+			select {
+			case r := <-p.req:
+				_ = r
+			case <-p.quit:
+				return
+			}
+		}
+	}()
+}
+
+func goodFinalSend(results chan int) {
+	go func() {
+		v := compute()
+		results <- v
+	}()
+	<-results
+}
+
+// ---- leaks ----
+
+func badLeakedLoop() {
+	go func() { // want `goroutine has no provable join or quit path`
+		for {
+			work()
+		}
+	}()
+}
+
+func badFireAndForget() {
+	go func() { // want `goroutine has no provable join or quit path`
+		work()
+	}()
+}
+
+func badSelectWithoutQuit(p *pump) {
+	go func() { // want `goroutine has no provable join or quit path`
+		for {
+			select {
+			case r := <-p.req:
+				_ = r // receives but never leaves: not a quit path
+			}
+		}
+	}()
+}
+
+// ---- named targets resolve to their bodies ----
+
+func (p *pump) loop() {
+	defer close(p.done)
+	for r := range p.req {
+		_ = r
+	}
+}
+
+func (p *pump) spin() {
+	for {
+		work()
+	}
+}
+
+func goodNamedTarget(p *pump) {
+	go p.loop()
+}
+
+func badNamedTarget(p *pump) {
+	go p.spin() // want `goroutine spin has no provable join or quit path in its body`
+}
+
+func badUnanalyzableTarget(fn func()) {
+	go fn() // want `goroutine target is not analyzable here`
+}
+
+// ---- waivers ----
+
+func waivedDetached() {
+	//trnglint:detached metrics listener lives for the process lifetime
+	go func() {
+		for {
+			work()
+		}
+	}()
+}
+
+func waivedViaAllow() {
+	//trnglint:allow gorolife best-effort cache warmer, process-lifetime
+	go func() {
+		work()
+	}()
+}
+
+func work()        {}
+func compute() int { return 1 }

@@ -67,6 +67,35 @@ func TestLoadFullyConstrainedPackage(t *testing.T) {
 	}
 }
 
+// TestGenericsTypeCheck proves the loader type-checks type parameters
+// from source: constrained generic functions, generic types with pointer
+// methods, and both inferred and explicit instantiation must resolve to
+// concrete types without the optional go/types Instances map.
+func TestGenericsTypeCheck(t *testing.T) {
+	targets, err := edgeLoader().Load("generics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tgt := targets[0]
+	if len(tgt.TypeErrors) != 0 {
+		t.Fatalf("generics package has type errors: %v", tgt.TypeErrors)
+	}
+	total := tgt.Pkg.Scope().Lookup("Total")
+	if total == nil {
+		t.Fatal("Total missing")
+	}
+	if got := total.Type().String(); got != "int64" {
+		t.Errorf("inferred Sum instantiation: Total is %s, want int64", got)
+	}
+	words := tgt.Pkg.Scope().Lookup("Words")
+	if words == nil {
+		t.Fatal("Words missing")
+	}
+	if got := words.Type().String(); !strings.Contains(got, "Ring[uint64]") {
+		t.Errorf("explicit NewRing instantiation: Words is %s, want *Ring[uint64]", got)
+	}
+}
+
 // TestImportOfSkippedPackage: a buildable package importing a fully
 // constrained-out one still yields best-effort syntax and types, with the
 // broken import surfaced as a soft type error naming the import.

@@ -1,0 +1,47 @@
+// Package generics exercises the loader's type-checking of type
+// parameters: go/types must parse, constrain and instantiate generic
+// declarations from source (the loader deliberately omits the optional
+// Instances map, so inference has to resolve through Types/Defs alone),
+// and the instantiated results must surface as concrete types for the
+// analyzers downstream.
+package generics
+
+// Number is a union constraint with approximation terms.
+type Number interface {
+	~int | ~int64 | ~float64
+}
+
+// Sum is a constrained generic function, instantiated by inference below.
+func Sum[T Number](xs []T) T {
+	var s T
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// Ring is a generic type with a pointer method — the method set of an
+// instantiated generic is where early go/types versions had sharp edges.
+type Ring[T any] struct {
+	buf  []T
+	next int
+}
+
+// NewRing is instantiated explicitly below.
+func NewRing[T any](n int) *Ring[T] { return &Ring[T]{buf: make([]T, n)} }
+
+// Put exercises the instantiated method set.
+func (r *Ring[T]) Put(v T) {
+	r.buf[r.next%len(r.buf)] = v
+	r.next++
+}
+
+// Total pins inferred instantiation: Sum[int64].
+var Total = Sum([]int64{1, 2, 3})
+
+// Words pins explicit instantiation: NewRing[uint64].
+var Words = NewRing[uint64](4)
+
+func init() {
+	Words.Put(uint64(Total))
+}

@@ -1,0 +1,639 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// This file is the lock half of the flow-sensitive engine: where flow.go
+// tracks per-variable value intervals, the lock walker tracks the set of
+// mutexes provably held at each program point. The two walkers share the
+// same precision philosophy — a fact is recorded only when it is true on
+// EVERY path reaching the point:
+//
+//   - x.mu.Lock() / RLock() adds the mutex to the set; Unlock() / RUnlock()
+//     removes it; defer x.mu.Unlock() keeps it held through every return
+//     (including early ones);
+//   - if/else forks the set and joins both exits by intersection; a branch
+//     that provably terminates (return, panic, break/continue, Fatal-style
+//     call) drops out of the join, which is what makes the
+//     lock/check/unlock-and-return idiom prove clean;
+//   - loops are entered and left with the entry set minus every mutex
+//     released anywhere in the body (a later iteration may begin after that
+//     release), and locks acquired inside a loop never survive it;
+//   - switch/type-switch join the surviving case exits by intersection,
+//     plus the entry set when there is no default (the tag may match no
+//     case); select joins only case exits (one always runs);
+//   - a function literal spawned by go or stored for later runs with an
+//     EMPTY set (the spawner's locks are not its locks), while deferred and
+//     immediately-invoked literals inherit the current set;
+//   - goto makes the whole function unanalyzable: the walker visits every
+//     node with an empty set and reports nothing through Provable, so
+//     analyzers can choose silence over false findings.
+//
+// Lock identity is the *types.Var of the mutex — the struct field or the
+// (package-level or local) variable — NOT the instance: p.mu and s.pool.mu
+// are the same lock to this analysis. That deliberately conflates distinct
+// instances of one type (two Pools "share" Pool.mu here), which is the
+// standard static-analysis compromise: it keeps the guardedby proof
+// independent of aliasing, at the cost of accepting a lock on the wrong
+// instance. The fleet's locks are one-instance-per-owner, so nothing is
+// lost there; code that locks sibling instances by rank needs a waiver.
+
+// LockSet is the set of mutexes held at one program point.
+type LockSet struct {
+	held map[types.Object]token.Pos
+}
+
+// Holds reports whether the mutex identified by obj is in the set.
+func (s *LockSet) Holds(obj types.Object) bool {
+	if s == nil || obj == nil {
+		return false
+	}
+	_, ok := s.held[obj]
+	return ok
+}
+
+// Empty reports whether no mutex is held.
+func (s *LockSet) Empty() bool { return s == nil || len(s.held) == 0 }
+
+// Held returns the held mutexes ordered by acquisition position (ties by
+// name), so diagnostics and lock-graph edges are deterministic.
+func (s *LockSet) Held() []types.Object {
+	if s == nil {
+		return nil
+	}
+	out := make([]types.Object, 0, len(s.held))
+	for obj := range s.held {
+		out = append(out, obj)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		pi, pj := s.held[out[i]], s.held[out[j]]
+		if pi != pj {
+			return pi < pj
+		}
+		return out[i].Name() < out[j].Name()
+	})
+	return out
+}
+
+// AcquiredAt returns the position of the acquisition that put obj in the
+// set (token.NoPos for assumed locks).
+func (s *LockSet) AcquiredAt(obj types.Object) token.Pos {
+	if s == nil {
+		return token.NoPos
+	}
+	return s.held[obj]
+}
+
+// LockVisitor receives every node of the walked body in source order with
+// the lock set current at that point. The set it sees at a Lock() call is
+// the PRE-acquire set (what lockorder needs for graph edges). provable is
+// false when the enclosing function contains goto — the set is then always
+// empty and analyzers should not report on it. Returning false prunes the
+// subtree below n.
+type LockVisitor func(n ast.Node, held *LockSet, provable bool) bool
+
+// LockWalk walks one function body maintaining the flow-sensitive lock
+// set. assumed seeds the set (the //trnglint:holds precondition); its
+// members carry token.NoPos.
+func LockWalk(info *types.Info, body *ast.BlockStmt, assumed []types.Object, visit LockVisitor) {
+	w := &lockWalker{
+		info:  info,
+		visit: visit,
+		held:  make(map[types.Object]token.Pos),
+	}
+	for _, obj := range assumed {
+		if obj != nil {
+			w.held[obj] = token.NoPos
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if b, ok := n.(*ast.BranchStmt); ok && b.Tok == token.GOTO {
+			w.frozen = true
+		}
+		return true
+	})
+	if w.frozen {
+		w.held = make(map[types.Object]token.Pos)
+	}
+	w.walkStmt(body)
+}
+
+type lockWalker struct {
+	info  *types.Info
+	visit LockVisitor
+
+	held       map[types.Object]token.Pos
+	terminated bool
+	frozen     bool // body contains goto: empty set, provable=false
+}
+
+func (w *lockWalker) set() *LockSet { return &LockSet{held: w.held} }
+
+func (w *lockWalker) acquire(obj types.Object, pos token.Pos) {
+	if obj != nil && !w.frozen {
+		w.held[obj] = pos
+	}
+}
+
+func (w *lockWalker) release(obj types.Object) {
+	if obj != nil {
+		delete(w.held, obj)
+	}
+}
+
+func cloneLocks(m map[types.Object]token.Pos) map[types.Object]token.Pos {
+	out := make(map[types.Object]token.Pos, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// joinLocks keeps only mutexes held on both paths.
+func joinLocks(a, b map[types.Object]token.Pos) map[types.Object]token.Pos {
+	out := make(map[types.Object]token.Pos)
+	for obj, pos := range a {
+		if _, ok := b[obj]; ok {
+			out[obj] = pos
+		}
+	}
+	return out
+}
+
+// visitTree delivers parent and the expression trees under it to the
+// visitor with the set as it stands NOW (before the statement's own lock
+// effects are applied).
+func (w *lockWalker) visitTree(parent ast.Node, exprs ...ast.Expr) {
+	if !w.visit(parent, w.set(), !w.frozen) {
+		return
+	}
+	for _, e := range exprs {
+		if e != nil {
+			w.walkExpr(e, exprLater)
+		}
+	}
+}
+
+// How a function literal encountered in expression position will run,
+// which decides the lock set its body is walked with.
+type litMode int
+
+const (
+	exprLater litMode = iota // stored/passed: runs at an unknown time — empty set
+	exprNow                  // immediately invoked or deferred: inherits the current set
+	exprGo                   // spawned: a different goroutine — empty set
+)
+
+// walkExpr visits e and its subexpressions. Function literals are walked
+// as independent bodies whose entry set depends on how they run.
+func (w *lockWalker) walkExpr(e ast.Expr, mode litMode) {
+	if lit, ok := e.(*ast.FuncLit); ok {
+		inner := &lockWalker{info: w.info, visit: w.visit, frozen: w.frozen,
+			held: make(map[types.Object]token.Pos)}
+		if mode == exprNow {
+			inner.held = cloneLocks(w.held)
+		}
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			if b, ok := n.(*ast.BranchStmt); ok && b.Tok == token.GOTO {
+				inner.frozen = true
+			}
+			return true
+		})
+		if inner.frozen {
+			inner.held = make(map[types.Object]token.Pos)
+		}
+		if !w.visit(lit, w.set(), !w.frozen) {
+			return
+		}
+		inner.walkStmt(lit.Body)
+		return
+	}
+	if !w.visit(e, w.set(), !w.frozen) {
+		return
+	}
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		w.walkExpr(e.X, mode)
+	case *ast.UnaryExpr:
+		w.walkExpr(e.X, exprLater)
+	case *ast.StarExpr:
+		w.walkExpr(e.X, exprLater)
+	case *ast.BinaryExpr:
+		w.walkExpr(e.X, exprLater)
+		w.walkExpr(e.Y, exprLater)
+	case *ast.CallExpr:
+		// An immediately-invoked literal runs here and now, with the
+		// caller's locks.
+		w.walkExpr(e.Fun, exprNow)
+		for _, a := range e.Args {
+			w.walkExpr(a, exprLater)
+		}
+	case *ast.IndexExpr:
+		w.walkExpr(e.X, exprLater)
+		w.walkExpr(e.Index, exprLater)
+	case *ast.IndexListExpr:
+		w.walkExpr(e.X, exprLater)
+		for _, ix := range e.Indices {
+			w.walkExpr(ix, exprLater)
+		}
+	case *ast.SliceExpr:
+		w.walkExpr(e.X, exprLater)
+		for _, ix := range []ast.Expr{e.Low, e.High, e.Max} {
+			if ix != nil {
+				w.walkExpr(ix, exprLater)
+			}
+		}
+	case *ast.SelectorExpr:
+		w.walkExpr(e.X, exprLater)
+	case *ast.TypeAssertExpr:
+		w.walkExpr(e.X, exprLater)
+	case *ast.KeyValueExpr:
+		w.walkExpr(e.Key, exprLater)
+		w.walkExpr(e.Value, exprLater)
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			w.walkExpr(el, exprLater)
+		}
+	}
+}
+
+// releasedIn collects every mutex released by a non-deferred Unlock
+// anywhere in n, excluding nested function literals (their releases happen
+// on their own activation, not the enclosing loop's iterations).
+func (w *lockWalker) releasedIn(n ast.Node) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.DeferStmt:
+			return false
+		case *ast.CallExpr:
+			if obj, acquire, ok := LockOpOf(w.info, n); ok && !acquire {
+				out[obj] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func (w *lockWalker) walkStmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		for _, st := range s.List {
+			w.walkStmt(st)
+		}
+
+	case *ast.ExprStmt:
+		w.visitTree(s, s.X)
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
+			if obj, acquire, ok := LockOpOf(w.info, call); ok {
+				if acquire {
+					w.acquire(obj, call.Pos())
+				} else {
+					w.release(obj)
+				}
+			}
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				if _, isBuiltin := w.info.ObjectOf(id).(*types.Builtin); isBuiltin {
+					w.terminated = true
+				}
+			}
+		}
+
+	case *ast.DeferStmt:
+		// A deferred literal runs at return time; on the paths that matter
+		// to a deferred unlock the locks of this point are still held, so
+		// it inherits the current set. A deferred Unlock itself is NOT a
+		// release here — that is precisely what keeps the lock held through
+		// early returns.
+		if !w.visit(s, w.set(), !w.frozen) {
+			return
+		}
+		w.walkExpr(s.Call.Fun, exprNow)
+		for _, a := range s.Call.Args {
+			w.walkExpr(a, exprLater)
+		}
+
+	case *ast.GoStmt:
+		if !w.visit(s, w.set(), !w.frozen) {
+			return
+		}
+		w.walkExpr(s.Call.Fun, exprGo)
+		for _, a := range s.Call.Args {
+			w.walkExpr(a, exprLater)
+		}
+
+	case *ast.SendStmt:
+		w.visitTree(s, s.Chan, s.Value)
+
+	case *ast.IncDecStmt:
+		w.visitTree(s, s.X)
+
+	case *ast.AssignStmt:
+		exprs := append(append([]ast.Expr{}, s.Rhs...), s.Lhs...)
+		w.visitTree(s, exprs...)
+
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					w.visitTree(s, vs.Values...)
+				}
+			}
+		}
+
+	case *ast.ReturnStmt:
+		w.visitTree(s, s.Results...)
+		w.terminated = true
+
+	case *ast.BranchStmt:
+		// break/continue/goto leave this region: the path no longer reaches
+		// the statements that follow, so it drops out of joins exactly like
+		// a return. (goto additionally froze the whole walk up front.)
+		if !w.visit(s, w.set(), !w.frozen) {
+			return
+		}
+		if s.Tok != token.FALLTHROUGH {
+			w.terminated = true
+		}
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init)
+		}
+		w.visitTree(s, s.Cond)
+		base := w.held
+		baseTerm := w.terminated
+		w.held = cloneLocks(base)
+		w.walkStmt(s.Body)
+		thenHeld, thenTerm := w.held, w.terminated
+		w.held, w.terminated = cloneLocks(base), baseTerm
+		if s.Else != nil {
+			w.walkStmt(s.Else)
+		}
+		elseHeld, elseTerm := w.held, w.terminated
+		switch {
+		case thenTerm && elseTerm:
+			w.held, w.terminated = elseHeld, true
+		case thenTerm:
+			w.held, w.terminated = elseHeld, baseTerm
+		case elseTerm:
+			w.held, w.terminated = thenHeld, baseTerm
+		default:
+			w.held, w.terminated = joinLocks(thenHeld, elseHeld), baseTerm
+		}
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init)
+		}
+		w.loopBody(s, s.Cond, nil, func() {
+			w.walkStmt(s.Body)
+			if s.Post != nil {
+				w.walkStmt(s.Post)
+			}
+		})
+
+	case *ast.RangeStmt:
+		w.loopBody(s, s.X, []ast.Expr{s.Key, s.Value}, func() {
+			w.walkStmt(s.Body)
+		})
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init)
+		}
+		if s.Tag != nil {
+			w.visitTree(s, s.Tag)
+		} else {
+			w.visitTree(s)
+		}
+		w.walkCases(s.Body, hasDefaultClause(s.Body), func(c ast.Stmt) []ast.Stmt {
+			cc := c.(*ast.CaseClause)
+			w.visitTree(cc, cc.List...)
+			return cc.Body
+		})
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init)
+		}
+		w.walkStmt(s.Assign)
+		w.walkCases(s.Body, hasDefaultClause(s.Body), func(c ast.Stmt) []ast.Stmt {
+			cc := c.(*ast.CaseClause)
+			w.visitTree(cc)
+			return cc.Body
+		})
+
+	case *ast.SelectStmt:
+		// A select always runs exactly one of its cases (an empty select
+		// blocks forever), so the join covers only case exits.
+		w.visitTree(s)
+		if len(s.Body.List) == 0 {
+			w.terminated = true
+			return
+		}
+		w.walkCases(s.Body, true, func(c ast.Stmt) []ast.Stmt {
+			cc := c.(*ast.CommClause)
+			w.visitTree(cc)
+			if cc.Comm != nil {
+				w.walkStmt(cc.Comm)
+			}
+			return cc.Body
+		})
+
+	case *ast.LabeledStmt:
+		w.walkStmt(s.Stmt)
+	}
+}
+
+// loopBody walks one loop: entered and left with the entry set minus every
+// mutex the body may release, so no iteration (including the zeroth and
+// the post-release tail of a later one) is credited with a lock it might
+// not hold.
+func (w *lockWalker) loopBody(loop ast.Node, header ast.Expr, extra []ast.Expr, body func()) {
+	for obj := range w.releasedIn(loop) {
+		w.release(obj)
+	}
+	entry := cloneLocks(w.held)
+	entryTerm := w.terminated
+	exprs := append([]ast.Expr{header}, extra...)
+	w.visitTree(loop, exprs...)
+	body()
+	w.held, w.terminated = entry, entryTerm
+}
+
+// walkCases walks each clause from the pre-switch set and joins the
+// surviving exits; mayFallThrough ("no default") adds the entry set to the
+// join because the construct may run no clause at all.
+func (w *lockWalker) walkCases(body *ast.BlockStmt, exhaustive bool, clause func(ast.Stmt) []ast.Stmt) {
+	base := cloneLocks(w.held)
+	baseTerm := w.terminated
+	var joined map[types.Object]token.Pos
+	allTerm := true
+	for _, c := range body.List {
+		w.held, w.terminated = cloneLocks(base), baseTerm
+		stmts := clause(c)
+		for _, st := range stmts {
+			w.walkStmt(st)
+		}
+		if !w.terminated {
+			allTerm = false
+			if joined == nil {
+				joined = cloneLocks(w.held)
+			} else {
+				joined = joinLocks(joined, w.held)
+			}
+		}
+	}
+	if !exhaustive {
+		allTerm = false
+		if joined == nil {
+			joined = cloneLocks(base)
+		} else {
+			joined = joinLocks(joined, base)
+		}
+	}
+	switch {
+	case len(body.List) == 0 && exhaustive:
+		w.held, w.terminated = base, baseTerm
+	case allTerm:
+		w.held, w.terminated = make(map[types.Object]token.Pos), true
+	default:
+		w.held, w.terminated = joined, baseTerm
+	}
+}
+
+func hasDefaultClause(body *ast.BlockStmt) bool {
+	for _, c := range body.List {
+		if cc, ok := c.(*ast.CaseClause); ok && cc.List == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// ---- lock identity ----
+
+// LockOpOf classifies call as a mutex acquire (Lock/RLock) or release
+// (Unlock/RUnlock) on a sync.Mutex or sync.RWMutex and returns the lock's
+// identity object. TryLock/TryRLock are deliberately NOT acquires — their
+// success is conditional and this walker does not track booleans. RLock
+// counts as a full hold: the engine does not yet distinguish read from
+// write accesses, which is conservative for readers and documented as a
+// limitation for writers under RLock.
+func LockOpOf(info *types.Info, call *ast.CallExpr) (obj types.Object, acquire, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return nil, false, false
+	}
+	fn, _ := info.ObjectOf(sel.Sel).(*types.Func)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return nil, false, false
+	}
+	switch fn.Name() {
+	case "Lock", "RLock":
+		acquire = true
+	case "Unlock", "RUnlock":
+		acquire = false
+	default:
+		return nil, false, false
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil || !isSyncMutexType(recv.Type()) {
+		return nil, false, false
+	}
+	obj = MutexObject(info, sel)
+	if obj == nil {
+		return nil, false, false
+	}
+	return obj, acquire, true
+}
+
+// MutexObject resolves the identity object of the mutex a method selector
+// (x.mu.Lock's x.mu, or t.Lock through an embedded Mutex) denotes: the
+// innermost field *types.Var, or the variable itself for plain mutex
+// variables. nil when the expression has no stable identity (map element,
+// function result, ...).
+func MutexObject(info *types.Info, methodSel *ast.SelectorExpr) types.Object {
+	// Through an embedded mutex (t.Lock()) the selection's index path ends
+	// with the method; the field step before it is the identity.
+	if s, ok := info.Selections[methodSel]; ok && s.Kind() == types.MethodVal {
+		if idx := s.Index(); len(idx) > 1 {
+			return fieldByIndexPath(s.Recv(), idx[:len(idx)-1])
+		}
+	}
+	return mutexExprObject(info, methodSel.X)
+}
+
+// mutexExprObject resolves the identity of a mutex-valued expression.
+func mutexExprObject(info *types.Info, e ast.Expr) types.Object {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if v, ok := info.ObjectOf(e).(*types.Var); ok {
+			return v
+		}
+	case *ast.SelectorExpr:
+		if s, ok := info.Selections[e]; ok && s.Kind() == types.FieldVal {
+			return fieldByIndexPath(s.Recv(), s.Index())
+		}
+		// Package-qualified variable (pkg.Mu).
+		if v, ok := info.ObjectOf(e.Sel).(*types.Var); ok {
+			return v
+		}
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			return mutexExprObject(info, e.X)
+		}
+	case *ast.StarExpr:
+		return mutexExprObject(info, e.X)
+	}
+	return nil
+}
+
+// fieldByIndexPath walks a selection index path from a receiver type to
+// the final field's object.
+func fieldByIndexPath(t types.Type, idx []int) types.Object {
+	var fld *types.Var
+	for _, i := range idx {
+		t = derefType(t)
+		st, ok := t.Underlying().(*types.Struct)
+		if !ok || i >= st.NumFields() {
+			return nil
+		}
+		fld = st.Field(i)
+		t = fld.Type()
+	}
+	if fld == nil {
+		return nil
+	}
+	return fld
+}
+
+func derefType(t types.Type) types.Type {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}
+
+// isSyncMutexType reports whether t (possibly behind a pointer) is
+// sync.Mutex or sync.RWMutex.
+func isSyncMutexType(t types.Type) bool {
+	t = derefType(t)
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}

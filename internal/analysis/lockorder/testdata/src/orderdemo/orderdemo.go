@@ -1,0 +1,129 @@
+// Package orderdemo is the golden suite for the lockorder analyzer: a
+// pool → stream hierarchy with a consistent partial order, plus the
+// inversions, direct and indirect self-deadlocks, and call-graph
+// propagated cycles the analyzer must catch.
+package orderdemo
+
+import "sync"
+
+type Pool struct {
+	mu      sync.Mutex
+	streams []*Stream
+}
+
+type Stream struct {
+	pool   *Pool
+	pushMu sync.Mutex
+	evalMu sync.Mutex
+	auxMu  sync.Mutex
+	n      int
+}
+
+// ---- the blessed order: pool.mu, then pushMu, then evalMu ----
+
+func (p *Pool) detachAll() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, s := range p.streams {
+		s.pushMu.Lock() // pool.mu → pushMu: consistent everywhere
+		s.n = 0
+		s.pushMu.Unlock()
+	}
+}
+
+func (s *Stream) push() {
+	s.pushMu.Lock()
+	defer s.pushMu.Unlock()
+	s.evalMu.Lock() // pushMu → evalMu
+	s.n++
+	s.evalMu.Unlock()
+}
+
+// ---- inversion: evalMu then pushMu somewhere else ----
+
+func (s *Stream) badInverted() {
+	s.evalMu.Lock()
+	defer s.evalMu.Unlock()
+	s.pushMu.Lock() // want `lock order inversion: evalMu is acquired before pushMu here, but the reverse order exists at .*orderdemo.go:\d+`
+	s.n--
+	s.pushMu.Unlock()
+}
+
+// ---- direct self-deadlock ----
+
+func (p *Pool) badRelock() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.mu.Lock() // want `mu acquired while already held: self-deadlock`
+	defer p.mu.Unlock()
+}
+
+// ---- call-graph propagation ----
+
+// lockedLen acquires pool.mu itself.
+func (p *Pool) lockedLen() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.streams)
+}
+
+func (s *Stream) badCallbackUnderPush() {
+	s.pushMu.Lock()
+	defer s.pushMu.Unlock()
+	// pushMu → pool.mu through the call graph, inverting detachAll's
+	// pool.mu → pushMu:
+	_ = s.pool.lockedLen() // want `lock order inversion: pushMu is acquired before mu here`
+}
+
+func (p *Pool) badIndirectRelock() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	_ = p.lockedLen() // want `mu acquired while already held: self-deadlock`
+}
+
+// ---- //trnglint:holds participates instead of creating false edges ----
+
+//trnglint:holds pushMu
+func (s *Stream) flushLocked() {
+	s.evalMu.Lock() // inherits pushMu → evalMu, the blessed order
+	s.n++
+	s.evalMu.Unlock()
+}
+
+func (s *Stream) goodHoldsCaller() {
+	s.pushMu.Lock()
+	s.flushLocked() // holds-assumed pushMu is not a fresh acquisition
+	s.pushMu.Unlock()
+}
+
+// ---- goroutine bodies are separate lock stacks ----
+
+func (p *Pool) goodSpawnerHandsOff(s *Stream) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	go func() {
+		// Runs without the spawner's locks: evalMu → (nothing); no
+		// pool.mu → evalMu edge and no inversion with push().
+		s.evalMu.Lock()
+		s.n++
+		s.evalMu.Unlock()
+	}()
+}
+
+// ---- waiver: the finding lands on the site contradicting the ----
+// ---- earlier-established order, so that is where the waiver goes ----
+
+func (s *Stream) auxAfterEval() {
+	s.evalMu.Lock()
+	defer s.evalMu.Unlock()
+	s.auxMu.Lock() // establishes evalMu → auxMu
+	s.auxMu.Unlock()
+}
+
+func (s *Stream) waivedInversion() {
+	s.auxMu.Lock()
+	defer s.auxMu.Unlock()
+	//trnglint:allow lockorder shutdown path runs single-goroutine after drain
+	s.evalMu.Lock()
+	s.evalMu.Unlock()
+}

@@ -33,10 +33,15 @@ type Pool struct {
 	// allocates nothing but the Stream handle itself.
 	monitors sync.Pool
 
-	mu        sync.Mutex
-	closed    bool
-	list      []*Stream // active streams; swap-removed via Stream.idx
-	byTenant  map[string]*Stream
+	mu sync.Mutex
+	//trnglint:guardedby mu
+	closed bool
+	// list holds the active streams; swap-removed via Stream.idx.
+	//trnglint:guardedby mu
+	list []*Stream
+	//trnglint:guardedby mu
+	byTenant map[string]*Stream
+	//trnglint:guardedby mu
 	nextShard int
 }
 

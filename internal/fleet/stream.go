@@ -31,7 +31,9 @@ type Stream struct {
 	pool   *Pool
 	sh     *shard
 	tenant string
-	idx    int // position in pool.list, maintained under pool.mu
+	// idx is the stream's position in pool.list.
+	//trnglint:guardedby pool.mu
+	idx int
 
 	// pushMu orders the producer-side check-then-enqueue against Detach:
 	// once Detach has enqueued the detach item (under this mutex, after
@@ -59,6 +61,7 @@ type Stream struct {
 	// drained records, under pushMu, the batch count the most recent flush
 	// captured; raceDetached compares it against a raced push's stage
 	// index to decide whether Detach's flush carried the batch out.
+	//trnglint:guardedby pushMu
 	drained int32
 	// stamp caches cfg.StreamDeadline > 0 so the push fast path decides
 	// whether to take a clock reading without chasing pool.cfg.
@@ -323,6 +326,8 @@ func (s *Stream) raceDetached(n int) error {
 // flushes honor the pool's shed policy at stage granularity — when a
 // congested flush is dropped, all of its staged batches are shed (or
 // sampled out) together and accounted per batch.
+//
+//trnglint:holds pushMu
 func (s *Stream) flushStaged(control bool) error {
 	v := s.stCnt.Load()
 	idx, cnt := v>>16, v&0xffff

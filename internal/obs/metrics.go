@@ -74,11 +74,17 @@ func (g *Gauge) Value() float64 {
 // same cells regardless of arrival timing. All methods are no-ops on a nil
 // receiver.
 type Histogram struct {
-	mu     sync.Mutex
-	bounds []float64 // ascending upper bounds; an implicit +Inf bucket follows
-	counts []uint64  // len(bounds)+1: counts[i] observes v <= bounds[i]
-	sum    float64
-	n      uint64
+	mu sync.Mutex
+	// bounds is the ascending upper bounds; an implicit +Inf bucket
+	// follows. Read-only after construction, so it needs no guard.
+	bounds []float64
+	// counts has len(bounds)+1 cells: counts[i] observes v <= bounds[i].
+	//trnglint:guardedby mu
+	counts []uint64
+	//trnglint:guardedby mu
+	sum float64
+	//trnglint:guardedby mu
+	n uint64
 }
 
 func newHistogram(bounds []float64) *Histogram {

@@ -46,10 +46,17 @@ const DefaultTraceCapacity = 4096
 // All methods are safe for concurrent use, and all methods are no-ops on a
 // nil *Registry — instrumented code never needs to guard its calls.
 type Registry struct {
-	mu       sync.Mutex
-	families []*family          // insertion order; exposition sorts by name
-	byName   map[string]*family // lookup only — never ranged over
-	trace    *Trace
+	mu sync.Mutex
+	// families holds insertion order; exposition sorts by name.
+	//trnglint:guardedby mu
+	families []*family
+	// byName is lookup only — never ranged over.
+	//trnglint:guardedby mu
+	byName map[string]*family
+	// trace is swapped wholesale by SetTraceCapacity, so even the pointer
+	// read must hold mu; the *Trace itself is internally synchronized.
+	//trnglint:guardedby mu
+	trace *Trace
 }
 
 // family is one metric family: a name, help text, a type, and the member
@@ -181,6 +188,8 @@ func (r *Registry) Trace() *Trace {
 	if r == nil {
 		return nil
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	return r.trace
 }
 
@@ -204,5 +213,8 @@ func (r *Registry) Emit(kind string, bit int64, detail string) {
 	}
 	r.Counter("obs_trace_events_total",
 		"events appended to the ring-buffered trace, by kind", "kind", kind).Inc()
-	r.trace.Emit(kind, bit, detail)
+	// Fetch the trace pointer under mu (SetTraceCapacity may swap it), but
+	// emit outside the lock — Trace has its own mutex and the append may
+	// be contended.
+	r.Trace().Emit(kind, bit, detail)
 }

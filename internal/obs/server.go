@@ -72,6 +72,7 @@ func Serve(addr string, r *Registry) (*http.Server, string, error) {
 		return nil, "", fmt.Errorf("obs: metrics listener: %w", err)
 	}
 	srv := &http.Server{Handler: Handler(r)}
+	//trnglint:detached the exposition server lives until srv.Close; Serve returns when the listener dies, so there is nothing to join
 	go func() {
 		// ErrServerClosed on shutdown is the expected exit; any other
 		// serve error has nowhere meaningful to go once the listener is

@@ -30,9 +30,12 @@ type Event struct {
 // events are retained, older ones are evicted in FIFO order. All methods
 // are safe for concurrent use and are no-ops on a nil *Trace.
 type Trace struct {
-	mu   sync.Mutex
-	buf  []Event
-	next uint64 // total events ever emitted
+	mu sync.Mutex
+	//trnglint:guardedby mu
+	buf []Event
+	// next counts total events ever emitted.
+	//trnglint:guardedby mu
+	next uint64
 }
 
 // NewTrace returns an empty trace retaining the last capacity events
