@@ -1,6 +1,6 @@
 # Mirrors .github/workflows/ci.yml so `make check` locally is the same
 # gate CI runs.
-.PHONY: check vet build test bench-smoke bench bench-diff lint docs docs-check soak
+.PHONY: check vet build test bench-smoke bench bench-diff lint docs docs-check soak ttd
 
 check: build lint test bench-smoke
 
@@ -9,8 +9,14 @@ check: build lint test bench-smoke
 docs:
 	go run ./cmd/regmapdoc -o REGISTERS.md
 
+# docs-check additionally runs cmd/doccheck: every exported identifier in
+# the audited packages must carry a doc comment, and every repro command
+# quoted in EXPERIMENTS.md's fenced blocks must still parse against the
+# repository (go run ./cmd/<name> directories, make targets).
 docs-check: docs
 	git diff --exit-code REGISTERS.md
+	go run ./cmd/doccheck -md EXPERIMENTS.md \
+		./internal/online ./internal/fleet ./internal/sp80090b ./internal/hwslice
 
 vet:
 	go vet ./...
@@ -52,6 +58,14 @@ lint: vet
 
 bench-smoke:
 	go test -run='^$$' -bench=. -benchtime=1x ./...
+
+# ttd reproduces the time-to-detect tables of EXPERIMENTS.md ("Time to
+# detect"): the online anomaly detector swept across the defect zoo.
+# Deterministic in the seed — the published tables regenerate bit for bit.
+ttd:
+	go run ./cmd/ttd -n 128 -variant medium -trials 25 -onset 4096
+	go run ./cmd/ttd -n 128 -variant medium -family bias -trials 25 \
+		-onset 4096 -window 4096 -max-bits 1048576
 
 # soak is the race-enabled fleet chaos smoke: a short trngd run with every
 # defect class at once (fault-storming, biased and transient-flaky tenants

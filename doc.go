@@ -23,6 +23,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/hwblock"
 	"repro/internal/nist"
+	"repro/internal/online"
 	"repro/internal/sweval"
 	"repro/internal/trng"
 )
@@ -80,6 +81,19 @@ type SupervisorConfig = core.SupervisorConfig
 
 // SupervisorReport is the outcome of one supervised run.
 type SupervisorReport = core.SupervisorReport
+
+// OnlineConfig tunes the streaming anomaly tracker a supervisor runs
+// when SupervisorConfig.Online is set; see internal/online.
+type OnlineConfig = online.Config
+
+// OnlineTracker is the sliding-window anomaly detector itself, for
+// standalone use over any bit stream.
+type OnlineTracker = online.Tracker
+
+// NewOnlineTracker builds a streaming anomaly tracker for a design.
+func NewOnlineTracker(d Design, cfg OnlineConfig) (*OnlineTracker, error) {
+	return online.New(d, cfg)
+}
 
 // NewSupervisor supervises a monitor over a primary source with an
 // optional (nilable) standby for failover.

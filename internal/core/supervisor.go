@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/online"
 	"repro/internal/trng"
 )
 
@@ -135,6 +136,13 @@ type SupervisorConfig struct {
 	// Policy, if set, folds every accepted report into the alarm policy;
 	// a latch stops the run with Condition StatFail.
 	Policy *AlarmPolicy
+	// Online, if set, runs a streaming anomaly tracker (internal/online)
+	// over every bit the monitor accepts and latches the statistical
+	// alarm — same StatFail verdict, same EventAlarmLatched timeline
+	// entry as a Policy latch — as soon as the score trajectory confirms
+	// a drift, without waiting for the sequence boundary. Zero fields
+	// select defaults derived from the monitored design (window = N).
+	Online *online.Config
 	// Sleep is the backoff clock, replaceable in tests. nil means
 	// time.Sleep.
 	Sleep func(time.Duration)
@@ -159,6 +167,12 @@ type SupervisorReport struct {
 	// Events is the incident timeline (quarantines, watchdog trips,
 	// failover, alarm latch). Retries are counted, not logged.
 	Events []Event
+	// OnlineScore is the streaming anomaly score at the end of the run
+	// (0 when online tracking is disabled or the window never filled).
+	OnlineScore float64
+	// OnlineDetectedAt is the absolute bit position at which the online
+	// tracker's alarm latched, or -1 (also -1 when tracking is disabled).
+	OnlineDetectedAt int64
 }
 
 // Supervisor wraps a Monitor with the operational fault handling a
@@ -177,8 +191,10 @@ type Supervisor struct {
 	standby trng.Source
 	cfg     SupervisorConfig
 
-	src           trng.Source // source currently in use
-	reader        *srcReader  // watchdog reader for src (nil until needed)
+	src           trng.Source     // source currently in use
+	reader        *srcReader      // watchdog reader for src (nil until needed)
+	tracker       *online.Tracker // streaming anomaly tracker (nil unless cfg.Online)
+	trackerErr    error           // deferred cfg.Online validation failure
 	usingStandby  bool
 	latched       bool
 	aborted       bool
@@ -207,7 +223,7 @@ func NewSupervisor(mon *Monitor, primary, standby trng.Source, cfg SupervisorCon
 	if cfg.Sleep == nil {
 		cfg.Sleep = time.Sleep
 	}
-	return &Supervisor{
+	s := &Supervisor{
 		mon:         mon,
 		primary:     primary,
 		standby:     standby,
@@ -215,7 +231,17 @@ func NewSupervisor(mon *Monitor, primary, standby trng.Source, cfg SupervisorCon
 		src:         primary,
 		failoverBit: -1,
 	}
+	if cfg.Online != nil {
+		// Validation is deferred to the first Run so this constructor
+		// keeps its no-error signature.
+		s.tracker, s.trackerErr = online.New(mon.Config(), *cfg.Online)
+	}
+	return s
 }
+
+// OnlineTracker returns the streaming anomaly tracker, or nil when
+// SupervisorConfig.Online is unset.
+func (s *Supervisor) OnlineTracker() *online.Tracker { return s.tracker }
 
 // Monitor returns the supervised monitor.
 func (s *Supervisor) Monitor() *Monitor { return s.mon }
@@ -230,6 +256,9 @@ func (s *Supervisor) Reset() {
 	s.mon.Reset()
 	if s.cfg.Policy != nil {
 		s.cfg.Policy.Reset()
+	}
+	if s.tracker != nil {
+		s.tracker.Reset()
 	}
 	if s.reader != nil {
 		s.reader.abandon()
@@ -280,6 +309,9 @@ func (s *Supervisor) SetObs(r *obs.Registry) {
 // *SourceError, inspectable with errors.As) or an internal evaluation
 // error. Run may be called again to continue the same supervised stream.
 func (s *Supervisor) Run(sequences int) (*SupervisorReport, error) {
+	if s.trackerErr != nil {
+		return s.report(nil), fmt.Errorf("core: online tracker: %w", s.trackerErr)
+	}
 	var accepted []SequenceReport
 	for len(accepted) < sequences {
 		bit, err := s.readBit()
@@ -291,13 +323,34 @@ func (s *Supervisor) Run(sequences int) (*SupervisorReport, error) {
 		if err != nil {
 			return s.report(accepted), err
 		}
+		// The online tracker sees every bit the monitor accepted, so a
+		// confirmed score excursion latches the statistical alarm
+		// mid-sequence — detection does not wait for the boundary. When
+		// the latch lands exactly on a boundary bit the completed
+		// sequence is still evaluated first, leaving the monitor clean.
+		scoreLatched := false
+		if s.tracker != nil && !s.latched {
+			s.tracker.Push(uint64(bit), 1)
+			if s.tracker.Alarmed() {
+				s.latched = true
+				scoreLatched = true
+				s.event(EventAlarmLatched, fmt.Sprintf("online anomaly score %.2f confirmed at bit %d",
+					s.tracker.Score(), s.tracker.DetectedAt()))
+			}
+		}
 		if !done {
+			if scoreLatched {
+				break
+			}
 			continue
 		}
 		rep, err := s.mon.completeSequence(s.cfg.VerifyReadout)
 		if err != nil {
 			if errors.Is(err, ErrReadoutMismatch) {
 				s.quarantine("register readout mismatch")
+				if scoreLatched {
+					break
+				}
 				if s.cfg.QuarantineLimit > 0 && s.quarantineRun >= s.cfg.QuarantineLimit {
 					s.aborted = true
 					return s.report(accepted), fmt.Errorf("core: %d consecutive quarantines — readout path unusable: %w",
@@ -312,6 +365,9 @@ func (s *Supervisor) Run(sequences int) (*SupervisorReport, error) {
 		if s.cfg.Policy != nil && s.cfg.Policy.Observe(rep) && !s.latched {
 			s.latched = true
 			s.event(EventAlarmLatched, fmt.Sprintf("after %d consecutive failures", s.cfg.Policy.Threshold))
+			break
+		}
+		if scoreLatched {
 			break
 		}
 	}
@@ -435,15 +491,21 @@ func (s *Supervisor) Events() []Event { return s.events }
 
 func (s *Supervisor) report(accepted []SequenceReport) *SupervisorReport {
 	s.obsCondition.Set(float64(s.Condition()))
-	return &SupervisorReport{
-		Reports:      accepted,
-		Condition:    s.Condition(),
-		Quarantined:  s.quarantined,
-		Retries:      s.retries,
-		FailoverBit:  s.failoverBit,
-		ActiveSource: s.src.Name(),
-		Events:       append([]Event(nil), s.events...),
+	rep := &SupervisorReport{
+		Reports:          accepted,
+		Condition:        s.Condition(),
+		Quarantined:      s.quarantined,
+		Retries:          s.retries,
+		FailoverBit:      s.failoverBit,
+		ActiveSource:     s.src.Name(),
+		Events:           append([]Event(nil), s.events...),
+		OnlineDetectedAt: -1,
 	}
+	if s.tracker != nil {
+		rep.OnlineScore = s.tracker.Score()
+		rep.OnlineDetectedAt = s.tracker.DetectedAt()
+	}
+	return rep
 }
 
 // srcReader runs a source's blocking ReadBit calls on a dedicated

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/hwblock"
+	"repro/internal/online"
+	"repro/internal/trng"
+)
+
+// TestSupervisorOnlineDetectsMidSequenceDrift proves the online tracker
+// latches StatFail on a drifting source faster than the per-sequence
+// alarm policy could, with the latch recorded in the standard event
+// vocabulary and the detection bit in the report.
+func TestSupervisorOnlineDetectsMidSequenceDrift(t *testing.T) {
+	m := newMonitor(t, 128, hwblock.Medium, 0.001)
+	onset := 3 * 128
+	src := trng.NewSwitchAt(trng.NewIdeal(41), trng.NewStuckAt(1), onset)
+	sup := NewSupervisor(m, src, nil, SupervisorConfig{
+		Online: &online.Config{},
+	})
+	rep, err := sup.Run(200)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.Condition != StatFail {
+		t.Fatalf("condition %v, want StatFail", rep.Condition)
+	}
+	if rep.OnlineDetectedAt <= int64(onset) {
+		t.Fatalf("detection bit %d not after onset %d", rep.OnlineDetectedAt, onset)
+	}
+	// The whole point: detection well before the 200 sequences the
+	// per-sequence path was asked for.
+	if got := len(rep.Reports); got >= 200 {
+		t.Fatalf("run did not stop early: %d sequences accepted", got)
+	}
+	var latch *Event
+	for i := range rep.Events {
+		if rep.Events[i].Kind == EventAlarmLatched {
+			latch = &rep.Events[i]
+		}
+	}
+	if latch == nil {
+		t.Fatal("no EventAlarmLatched in the timeline")
+	}
+	if !strings.Contains(latch.Detail, "online anomaly score") {
+		t.Fatalf("latch detail %q does not name the online score", latch.Detail)
+	}
+	if sup.OnlineTracker() == nil || !sup.OnlineTracker().Alarmed() {
+		t.Fatal("tracker not exposed or not alarmed")
+	}
+}
+
+// TestSupervisorOnlineHealthyRunStaysOK proves online tracking does not
+// disturb a healthy run: same accepted sequences, OK condition, no alarm.
+func TestSupervisorOnlineHealthyRunStaysOK(t *testing.T) {
+	mOn := newMonitor(t, 128, hwblock.Medium, 0.001)
+	mOff := newMonitor(t, 128, hwblock.Medium, 0.001)
+	supOn := NewSupervisor(mOn, trng.NewIdeal(55), nil, SupervisorConfig{Online: &online.Config{}})
+	supOff := NewSupervisor(mOff, trng.NewIdeal(55), nil, SupervisorConfig{})
+	repOn, err := supOn.Run(16)
+	if err != nil {
+		t.Fatalf("Run(on): %v", err)
+	}
+	repOff, err := supOff.Run(16)
+	if err != nil {
+		t.Fatalf("Run(off): %v", err)
+	}
+	if repOn.Condition != OK {
+		t.Fatalf("condition %v, want OK", repOn.Condition)
+	}
+	if repOn.OnlineDetectedAt != -1 {
+		t.Fatalf("healthy run reports detection bit %d", repOn.OnlineDetectedAt)
+	}
+	if len(repOn.Reports) != len(repOff.Reports) {
+		t.Fatalf("online tracking changed the run: %d vs %d sequences", len(repOn.Reports), len(repOff.Reports))
+	}
+	for i := range repOn.Reports {
+		if repOn.Reports[i].Report.Pass() != repOff.Reports[i].Report.Pass() {
+			t.Fatalf("sequence %d verdict changed under online tracking", i)
+		}
+	}
+	if repOff.OnlineDetectedAt != -1 || repOff.OnlineScore != 0 {
+		t.Fatalf("disabled tracking leaked score state: %+v", repOff)
+	}
+}
+
+// TestSupervisorOnlineReset proves Reset clears the tracker with the rest
+// of the supervisor state.
+func TestSupervisorOnlineReset(t *testing.T) {
+	m := newMonitor(t, 128, hwblock.Light, 0.001)
+	sup := NewSupervisor(m, trng.NewStuckAt(0), nil, SupervisorConfig{Online: &online.Config{}})
+	if _, err := sup.Run(50); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !sup.OnlineTracker().Alarmed() {
+		t.Fatal("stuck source did not latch")
+	}
+	sup.Reset()
+	if sup.OnlineTracker().Alarmed() || sup.OnlineTracker().BitsSeen() != 0 {
+		t.Fatal("Reset did not clear the tracker")
+	}
+	if sup.Condition() != OK {
+		t.Fatalf("condition after Reset: %v", sup.Condition())
+	}
+}
+
+// TestSupervisorOnlineBadConfig proves an invalid online configuration
+// surfaces on the first Run instead of being silently ignored.
+func TestSupervisorOnlineBadConfig(t *testing.T) {
+	m := newMonitor(t, 128, hwblock.Light, 0.001)
+	sup := NewSupervisor(m, trng.NewIdeal(1), nil, SupervisorConfig{
+		Online: &online.Config{Window: 100}, // not a multiple of 64
+	})
+	if _, err := sup.Run(1); err == nil {
+		t.Fatal("invalid online config did not error")
+	}
+}

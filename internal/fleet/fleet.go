@@ -33,6 +33,21 @@
 //     as a StreamReport (completed-sequence reports, counters, incident
 //     timeline), and detached monitors return to the pool.
 //
+// Two opt-in ingest extensions preserve the serial contract bit for bit:
+//
+//   - Bit-sliced ingest (Config.BitSliced): each shard regroups resident
+//     streams into 64-lane groups advanced through one transposed
+//     internal/hwslice engine, one 64-bit tile per call. Sequence
+//     boundaries and lane evictions hand each lane's state back to its
+//     own monitor, so verdicts, alarms, breaker trips and accounting are
+//     byte-identical to the serial path (DESIGN.md §6.2).
+//   - Online anomaly tracking (Config.Online): every stream carries a
+//     pooled internal/online tracker fed the same bits as its monitor
+//     (per take-chunk on the serial path, per lane-group tile on the
+//     sliced path — Push is segmentation-invariant, so the trajectories
+//     coincide). Observation-only unless Config.OnlineQuarantine latches
+//     confirmed alarms at the next sequence boundary (DESIGN.md §6.3).
+//
 // Everything is observable through internal/obs: aggregate admission,
 // batch-outcome, fault, quarantine, breaker and verdict counters, plus
 // per-shard queue-depth gauges and optional per-tenant families — shed
@@ -57,6 +72,7 @@ import (
 	"repro/internal/hwblock"
 	"repro/internal/hwslice"
 	"repro/internal/obs"
+	"repro/internal/online"
 	"repro/internal/sweval"
 )
 
@@ -188,6 +204,26 @@ type Config struct {
 	// design whose sequence length is a multiple of 64.
 	BitSliced bool
 
+	// Online, if set, runs a per-stream streaming anomaly tracker
+	// (internal/online) over exactly the bits each stream's monitor
+	// consumes, in consumption order — identical on the serial and
+	// bit-sliced paths, so a stream's score trajectory is as deterministic
+	// as its verdicts. The tracker never touches service decisions unless
+	// OnlineQuarantine is also set: with Online alone the fleet is in
+	// observation mode (per-tenant anomaly gauges, StreamReport score
+	// fields, fleet_online_alarms_total), and every verdict, event and
+	// counter is identical to a pool with Online nil.
+	Online *online.Config
+	// OnlineQuarantine takes a stream whose online tracker has latched out
+	// of service at its next accepted sequence boundary, through the same
+	// latch path as AlarmThreshold (AlarmLatched, Condition StatFail,
+	// EventAlarmLatched). Boundary-latched on purpose: mid-sequence feeds
+	// never stop a stream (the bit-sliced tile path depends on it), and
+	// the detection bit is recorded by the tracker the moment the score
+	// confirmed, so no latency measurement is lost by latching at the
+	// boundary. Requires Online.
+	OnlineQuarantine bool
+
 	// StreamDeadline arms the stall sweeper: SweepStalled injects a
 	// watchdog fault into any stream that has not pushed within the
 	// deadline. 0 disables the sweeper and keeps the pool free of any
@@ -239,6 +275,16 @@ func (c Config) withDefaults() (Config, error) {
 			return c, fmt.Errorf("fleet: BitSliced: %w", err)
 		}
 	}
+	if c.Online != nil {
+		// Same admission-time discipline: a throwaway tracker is the full
+		// validity check, so Register's per-stream construction can never
+		// fail on a config the pool accepted.
+		if _, err := online.New(c.Design, *c.Online); err != nil {
+			return c, fmt.Errorf("fleet: Online: %w", err)
+		}
+	} else if c.OnlineQuarantine {
+		return c, fmt.Errorf("fleet: OnlineQuarantine set without Online: no tracker to quarantine on")
+	}
 	if c.Clock == nil {
 		//trnglint:allow determinism the stall sweeper is deliberately wall-clock (it exists to bound a silent producer); it is armed only when StreamDeadline > 0 and tests inject a fake clock
 		c.Clock = func() int64 { return time.Now().UnixNano() }
@@ -279,6 +325,15 @@ type StreamReport struct {
 	// detach (its bits are inside BitsSeen but produced no report).
 	BitsSeen    int64
 	PartialBits int
+	// Online anomaly tracking (Config.Online): OnlineScore is the stream's
+	// final exponentially-decayed anomaly score, OnlineAlarmed whether the
+	// tracker's confirmation latch fired, and OnlineDetectedAt the
+	// tracker-stream bit index at which it fired (−1 if it never did, or
+	// if online tracking is disabled). An alarmed tracker affects
+	// Condition only under Config.OnlineQuarantine.
+	OnlineScore      float64
+	OnlineAlarmed    bool
+	OnlineDetectedAt int64
 	// Events is the bounded incident timeline (quarantines, watchdogs,
 	// alarm latch), in the Supervisor's event vocabulary.
 	Events []core.Event

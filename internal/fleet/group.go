@@ -309,6 +309,18 @@ func (g *laneGroup) step(sh *shard) {
 				}
 			}
 		}
+	} else if sh.pool.cfg.Online != nil {
+		// With the monitor feed skipped, the online trackers would never
+		// see mid-sequence bits: feed them here, in the same per-lane tile
+		// order the feedMonitor loop (and the serial path) would use, so a
+		// stream's score trajectory is byte-identical either way.
+		for j := 0; j < k; j++ {
+			for l := 0; l < 64; l++ {
+				if s := g.lanes[l]; s != nil {
+					s.tracker.Push(g.lwK[j][l], 64)
+				}
+			}
+		}
 	}
 	fo.slicedTiles.Add(uint64(k))
 }

@@ -38,6 +38,7 @@ type fleetObs struct {
 	quarantines     *obs.Counter
 	breakerTrips    *obs.Counter
 	alarmLatches    *obs.Counter
+	onlineAlarms    *obs.Counter
 	seqPass         *obs.Counter
 	seqFail         *obs.Counter
 
@@ -99,6 +100,8 @@ func (f *fleetObs) init(r *obs.Registry, shards int) {
 		"per-stream circuit breakers opened (stream out of service)")
 	f.alarmLatches = r.Counter("fleet_alarm_latches_total",
 		"per-stream statistical alarms latched")
+	f.onlineAlarms = r.Counter("fleet_online_alarms_total",
+		"per-stream online anomaly trackers confirmed over threshold (quarantines the stream only under OnlineQuarantine)")
 	const seqHelp = "evaluated sequences across the fleet, by verdict"
 	f.seqPass = r.Counter("fleet_sequences_total", seqHelp, "result", "pass")
 	f.seqFail = r.Counter("fleet_sequences_total", seqHelp, "result", "fail")
@@ -175,7 +178,7 @@ func (f *fleetObs) conditionCounter(c core.Condition) *obs.Counter {
 // tenantObs is the opt-in per-tenant handle set (Config.PerTenantObs).
 type tenantObs struct {
 	pass, fail, quarantines, dropped *obs.Counter
-	condition                        *obs.Gauge
+	condition, anomaly               *obs.Gauge
 }
 
 func newTenantObs(r *obs.Registry, tenant string) tenantObs {
@@ -190,5 +193,7 @@ func newTenantObs(r *obs.Registry, tenant string) tenantObs {
 			"batches lost to load shedding per tenant (shed + sampled-out)", "tenant", tenant),
 		condition: r.Gauge("fleet_tenant_condition",
 			"stream condition per tenant: 0 ok, 1 degraded, 2 failed-over, 3 stat-fail, 4 source-fault", "tenant", tenant),
+		anomaly: r.Gauge("fleet_tenant_anomaly_score",
+			"online anomaly score per tenant (exponentially decayed worst z-score; updated at sequence boundaries, 0 until the window is primed)", "tenant", tenant),
 	}
 }

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/online"
 	"repro/internal/sweval"
 )
 
@@ -32,6 +33,9 @@ type Pool struct {
 	// Reset monitor; a cold pool builds one. Steady-state churn therefore
 	// allocates nothing but the Stream handle itself.
 	monitors sync.Pool
+	// trackers recycles detached streams' online anomaly trackers under
+	// the same discipline (Config.Online pools only).
+	trackers sync.Pool
 
 	mu sync.Mutex
 	//trnglint:guardedby mu
@@ -133,13 +137,22 @@ func (p *Pool) Register(tenant string) (*Stream, error) {
 			return nil, err
 		}
 	}
+	var tracker *online.Tracker
+	if p.cfg.Online != nil {
+		tracker, err = p.acquireTracker()
+		if err != nil {
+			p.monitors.Put(mon)
+			return nil, err
+		}
+	}
 	s := &Stream{
-		pool:   p,
-		tenant: tenant,
-		mon:    mon,
-		policy: policy,
-		stamp:  p.cfg.StreamDeadline > 0,
-		done:   make(chan struct{}),
+		pool:    p,
+		tenant:  tenant,
+		mon:     mon,
+		policy:  policy,
+		tracker: tracker,
+		stamp:   p.cfg.StreamDeadline > 0,
+		done:    make(chan struct{}),
 	}
 	if p.cfg.BitSliced {
 		s.credits = make(chan struct{}, 1)
@@ -168,6 +181,9 @@ func (p *Pool) Register(tenant string) (*Stream, error) {
 		p.mu.Unlock()
 		rejected.Inc()
 		p.monitors.Put(mon)
+		if tracker != nil {
+			p.trackers.Put(tracker)
+		}
 		return nil, reject
 	}
 	s.sh = p.shards[p.nextShard]
@@ -281,6 +297,24 @@ func (p *Pool) acquireMonitor() (*core.Monitor, error) {
 func (p *Pool) recycleMonitor(m *core.Monitor) {
 	m.Reset()
 	p.monitors.Put(m)
+}
+
+// acquireTracker pops a recycled online tracker or builds a fresh one.
+// Construction cannot fail on a config the pool accepted (withDefaults
+// builds a throwaway tracker as its validity check), but the error is
+// propagated anyway rather than papered over.
+func (p *Pool) acquireTracker() (*online.Tracker, error) {
+	if t, ok := p.trackers.Get().(*online.Tracker); ok {
+		return t, nil
+	}
+	return online.New(p.cfg.Design, *p.cfg.Online)
+}
+
+// recycleTracker resets a detached stream's tracker and returns it to the
+// pool.
+func (p *Pool) recycleTracker(t *online.Tracker) {
+	t.Reset()
+	p.trackers.Put(t)
 }
 
 // removeStream unlinks a finalized stream (shard goroutine only).

@@ -9,6 +9,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/hwfast"
 	"repro/internal/obs"
+	"repro/internal/online"
 	"repro/internal/trng"
 )
 
@@ -108,6 +109,15 @@ type Stream struct {
 	breakerOpen      bool
 	latched          bool
 	events           []core.Event
+
+	// Online anomaly tracking (Config.Online; nil otherwise). The tracker
+	// is fed exactly the bits the monitor consumes, in consumption order —
+	// inside feedMonitor on the serial path, and directly from the tile
+	// loop on the skip-feed bit-sliced path — so its trajectory is
+	// byte-identical between the two. alarmCounted makes the aggregate
+	// alarm counter fire once per stream.
+	tracker      *online.Tracker
+	alarmCounted bool
 
 	// Bit-sliced shard-side state: the stream's lane group and lane index
 	// while sliced (grp nil on the serial path), its lane fifo (like stg,
@@ -455,6 +465,13 @@ func (s *Stream) feedMonitor(w uint64, nbits int) (stopped bool) {
 		if take > nbits {
 			take = nbits
 		}
+		// The tracker sees the chunk the moment it is clocked — even a
+		// chunk whose evaluation errors was clocked into the hardware, and
+		// a quarantine discards bits only from the monitor's sequence, not
+		// from the stream the tracker scores.
+		if s.tracker != nil {
+			s.tracker.Push(w, take)
+		}
 		var rep *core.SequenceReport
 		var err error
 		if s.pool.cfg.VerifyReadout {
@@ -514,6 +531,29 @@ func (s *Stream) acceptReport(rep *core.SequenceReport) {
 		s.latched = true
 		fo.alarmLatches.Inc()
 		s.event(core.EventAlarmLatched, "alarm policy latched: stream out of service")
+	}
+	if s.tracker == nil {
+		return
+	}
+	// Online anomaly scoring is folded in at the sequence boundary — the
+	// one point both ingest paths share — so gauges, counters and the
+	// optional quarantine land at identical positions on the serial and
+	// bit-sliced paths. In observation mode (OnlineQuarantine false) this
+	// touches only observability state, never the stream's service.
+	s.tobs.anomaly.Set(s.tracker.Score())
+	if !s.tracker.Alarmed() {
+		return
+	}
+	if !s.alarmCounted {
+		s.alarmCounted = true
+		fo.onlineAlarms.Inc()
+	}
+	if s.pool.cfg.OnlineQuarantine && !s.latched {
+		s.latched = true
+		fo.alarmLatches.Inc()
+		s.event(core.EventAlarmLatched, fmt.Sprintf(
+			"online anomaly score %.2f confirmed at bit %d: stream out of service",
+			s.tracker.Score(), s.tracker.DetectedAt()))
 	}
 }
 
@@ -616,7 +656,16 @@ func (s *Stream) finalize() {
 		DiscardedBatches:  s.discardedBatches,
 		BitsSeen:          s.mon.BitsSeen(),
 		PartialBits:       s.mon.SequenceBits(),
+		OnlineDetectedAt:  -1,
 		Events:            s.events,
+	}
+	if s.tracker != nil {
+		r.OnlineScore = s.tracker.Score()
+		r.OnlineAlarmed = s.tracker.Alarmed()
+		r.OnlineDetectedAt = s.tracker.DetectedAt()
+		s.tobs.anomaly.Set(r.OnlineScore)
+		s.pool.recycleTracker(s.tracker)
+		s.tracker = nil
 	}
 	r.Condition = r.computeCondition()
 	s.final = r

@@ -37,6 +37,14 @@ func MostCommonValue(s *bitstream.Sequence) (*MCVEstimate, error) {
 	if n-ones > count {
 		count = n - ones
 	}
+	return mcvFromCounts(count, n), nil
+}
+
+// mcvFromCounts is the shared count-to-estimate arithmetic: count is the
+// occurrence count of the most common value among n bits. Both the batch
+// and the sliding-window paths call it, which is what makes the online
+// estimate bit-identical to the batch one over the same bits.
+func mcvFromCounts(count, n int) *MCVEstimate {
 	pHat := float64(count) / float64(n)
 	// z for a one-sided 99% bound.
 	const z99 = 2.5758293035489004
@@ -48,7 +56,7 @@ func MostCommonValue(s *bitstream.Sequence) (*MCVEstimate, error) {
 	if minEnt < 0 {
 		minEnt = 0
 	}
-	return &MCVEstimate{PHat: pHat, PUpper: pUpper, MinEntropy: minEnt}, nil
+	return &MCVEstimate{PHat: pHat, PUpper: pUpper, MinEntropy: minEnt}
 }
 
 // MarkovEstimate is the first-order Markov min-entropy estimate (SP800-90B
@@ -70,14 +78,22 @@ func Markov(s *bitstream.Sequence) (*MarkovEstimate, error) {
 		return nil, fmt.Errorf("sp80090b: sequence too short for Markov estimation")
 	}
 	var trans [2][2]float64
-	var from [2]float64
 	for i := 0; i+1 < n; i++ {
-		a, b := s.Bit(i), s.Bit(i+1)
-		trans[a][b]++
-		from[a]++
+		trans[s.Bit(i)][s.Bit(i+1)]++
+	}
+	return markovFromCounts(trans, float64(s.Ones()), n), nil
+}
+
+// markovFromCounts is the shared count-to-estimate arithmetic: trans
+// holds the adjacent-pair counts over n bits (n−1 pairs), ones the ones
+// count. Shared by the batch and sliding-window paths for bit-identical
+// estimates over the same bits.
+func markovFromCounts(trans [2][2]float64, ones float64, n int) *MarkovEstimate {
+	var from [2]float64
+	for a := 0; a < 2; a++ {
+		from[a] = trans[a][0] + trans[a][1]
 	}
 	e := &MarkovEstimate{}
-	ones := float64(s.Ones())
 	e.P1 = ones / float64(n)
 	e.P0 = 1 - e.P1
 	for a := 0; a < 2; a++ {
@@ -136,5 +152,5 @@ func Markov(s *bitstream.Sequence) (*MarkovEstimate, error) {
 	if e.MinEntropy > 1 {
 		e.MinEntropy = 1
 	}
-	return e, nil
+	return e
 }

@@ -1,0 +1,197 @@
+package sp80090b
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// This file adds the continuous counterpart of the batch estimators: an
+// OnlineEstimator maintains the most-common-value and Markov min-entropy
+// estimates over a sliding window of the stream with O(1) amortized work
+// per bit, so a supervisor can read a live entropy figure alongside the
+// monitor's per-sequence verdicts instead of waiting for an offline pass.
+// The estimates are EXACTLY the batch ones: at any 64-bit-aligned
+// position, MCV and Markov return bit-identical results to
+// MostCommonValue and Markov run on a Sequence holding the window's
+// bits, because both paths share the same count-to-estimate arithmetic.
+
+// onlineChunk is one committed 64-bit chunk's summary: the ones count,
+// the interior transition-pair counts, and the boundary bits used to
+// account for the seam pairs between adjacent chunks.
+type onlineChunk struct {
+	ones        uint8
+	pairs       [2][2]uint8 // interior adjacent-pair counts
+	first, last uint8
+}
+
+// OnlineEstimator is the sliding-window form of the binary min-entropy
+// estimators. Feed bits with Push; once Primed, MCV and Markov return
+// window estimates. Not safe for concurrent use.
+type OnlineEstimator struct {
+	window int
+
+	cur     uint64
+	curBits int
+	bits    int64
+
+	ring  []onlineChunk
+	head  int
+	count int
+
+	ones  int64
+	pairs [2][2]int64 // window adjacent-pair counts (seams included)
+}
+
+// NewOnlineEstimator builds an estimator over a window of the given
+// length in bits, which must be a positive multiple of 64.
+func NewOnlineEstimator(window int) (*OnlineEstimator, error) {
+	if window < 64 || window%64 != 0 {
+		return nil, fmt.Errorf("sp80090b: window %d is not a positive multiple of 64", window)
+	}
+	return &OnlineEstimator{
+		window: window,
+		ring:   make([]onlineChunk, window/64),
+	}, nil
+}
+
+// Window returns the window length in bits.
+func (e *OnlineEstimator) Window() int { return e.window }
+
+// BitsSeen returns the total bits pushed since Reset.
+func (e *OnlineEstimator) BitsSeen() int64 { return e.bits }
+
+// Primed reports whether a full window has been ingested.
+func (e *OnlineEstimator) Primed() bool { return e.count == len(e.ring) }
+
+// Reset returns the estimator to its initial state, retaining the ring.
+func (e *OnlineEstimator) Reset() {
+	e.cur, e.curBits, e.bits = 0, 0, 0
+	e.head, e.count = 0, 0
+	e.ones = 0
+	e.pairs = [2][2]int64{}
+}
+
+// Push ingests nbits bits (1..64), chronological LSB first — the same
+// packing order as bitstream.Sequence words.
+func (e *OnlineEstimator) Push(w uint64, nbits int) {
+	if nbits < 1 || nbits > 64 {
+		panic(fmt.Sprintf("sp80090b: word size %d out of range [1,64]", nbits))
+	}
+	v := w & onlineMask(nbits)
+	off := 0
+	for off < nbits {
+		take := nbits - off
+		if rem := 64 - e.curBits; take > rem {
+			take = rem
+		}
+		e.cur |= v >> uint(off) & onlineMask(take) << uint(e.curBits)
+		e.curBits += take
+		e.bits += int64(take)
+		if e.curBits == 64 {
+			e.commit()
+			e.cur, e.curBits = 0, 0
+		}
+		off += take
+	}
+}
+
+// commit folds the completed chunk into the window.
+func (e *OnlineEstimator) commit() {
+	v := e.cur
+	k := len(e.ring)
+	if e.count == k {
+		old := &e.ring[e.head]
+		e.ones -= int64(old.ones)
+		for a := 0; a < 2; a++ {
+			for b := 0; b < 2; b++ {
+				e.pairs[a][b] -= int64(old.pairs[a][b])
+			}
+		}
+		if e.count > 1 {
+			next := &e.ring[(e.head+1)%k]
+			e.pairs[old.last][next.first]--
+		}
+		e.head = (e.head + 1) % k
+		e.count--
+	}
+
+	idx := (e.head + e.count) % k
+	c := &e.ring[idx]
+	*c = onlineChunk{
+		ones:  uint8(bits.OnesCount64(v)),
+		first: uint8(v & 1),
+		last:  uint8(v >> 63),
+	}
+	// Interior pairs: for each of the four (a,b) combinations, count
+	// positions i in [0,63) with bit i == a and bit i+1 == b.
+	x, y := v, v>>1
+	const m63 = 1<<63 - 1
+	c.pairs[1][1] = uint8(bits.OnesCount64(x & y & m63))
+	c.pairs[1][0] = uint8(bits.OnesCount64(x & ^y & m63))
+	c.pairs[0][1] = uint8(bits.OnesCount64(^x & y & m63))
+	c.pairs[0][0] = uint8(bits.OnesCount64(^x & ^y & m63))
+	if e.count > 0 {
+		prev := &e.ring[(idx+k-1)%k]
+		e.pairs[prev.last][c.first]++
+	}
+	e.ones += int64(c.ones)
+	for a := 0; a < 2; a++ {
+		for b := 0; b < 2; b++ {
+			e.pairs[a][b] += int64(c.pairs[a][b])
+		}
+	}
+	e.count++
+}
+
+// MCV returns the most-common-value estimate over the current window.
+// It errors until the window first fills.
+func (e *OnlineEstimator) MCV() (*MCVEstimate, error) {
+	if !e.Primed() {
+		return nil, fmt.Errorf("sp80090b: window not yet full (%d of %d bits)", e.bits, e.window)
+	}
+	count := e.ones
+	if z := int64(e.window) - e.ones; z > count {
+		count = z
+	}
+	return mcvFromCounts(int(count), e.window), nil
+}
+
+// Markov returns the first-order Markov estimate over the current
+// window. It errors until the window first fills.
+func (e *OnlineEstimator) Markov() (*MarkovEstimate, error) {
+	if !e.Primed() {
+		return nil, fmt.Errorf("sp80090b: window not yet full (%d of %d bits)", e.bits, e.window)
+	}
+	var trans [2][2]float64
+	for a := 0; a < 2; a++ {
+		for b := 0; b < 2; b++ {
+			trans[a][b] = float64(e.pairs[a][b])
+		}
+	}
+	return markovFromCounts(trans, float64(e.ones), e.window), nil
+}
+
+// MinEntropy returns the conservative (minimum) of the two window
+// estimates, or -1 until the window first fills.
+func (e *OnlineEstimator) MinEntropy() float64 {
+	mcv, err := e.MCV()
+	if err != nil {
+		return -1
+	}
+	mk, err := e.Markov()
+	if err != nil {
+		return -1
+	}
+	if mk.MinEntropy < mcv.MinEntropy {
+		return mk.MinEntropy
+	}
+	return mcv.MinEntropy
+}
+
+// onlineMask returns a mask of the low n bits (n in [0, 64]).
+func onlineMask(n int) uint64 {
+	if n >= 64 {
+		return ^uint64(0)
+	}
+	return 1<<uint(n) - 1
+}

@@ -1,0 +1,176 @@
+package sp80090b
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bitstream"
+	"repro/internal/trng"
+)
+
+// windowSeq builds a Sequence holding the last window bits of the fed
+// stream, for batch comparison.
+func windowSeq(stream []byte, window int) *bitstream.Sequence {
+	return bitstream.FromBits(stream[len(stream)-window:])
+}
+
+// TestOnlineMatchesBatch proves the sliding-window estimates are
+// bit-identical to the batch estimators run over the window's bits, at
+// every chunk-aligned position, over healthy and defective sources.
+func TestOnlineMatchesBatch(t *testing.T) {
+	const window = 1024
+	srcs := map[string]trng.Source{
+		"ideal":  trng.NewIdeal(31),
+		"biased": trng.NewBiased(0.7, 32),
+		"markov": trng.NewMarkov(0.8, 33),
+		"stuck":  trng.NewStuckAt(1),
+	}
+	for name, src := range srcs {
+		est, err := NewOnlineEstimator(window)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var stream []byte
+		rng := rand.New(rand.NewSource(int64(len(name))))
+		for fed := 0; fed < 4*window; {
+			// Ragged word widths exercise the chunk accumulator.
+			nb := 64
+			if rng.Intn(3) == 0 {
+				nb = 1 + rng.Intn(64)
+			}
+			var w uint64
+			for i := 0; i < nb; i++ {
+				b, err := src.ReadBit()
+				if err != nil {
+					b = 0
+				}
+				w |= uint64(b) << uint(i)
+				stream = append(stream, b)
+			}
+			est.Push(w, nb)
+			fed += nb
+
+			if !est.Primed() || est.BitsSeen()%64 != 0 {
+				continue
+			}
+			seq := windowSeq(stream[:est.BitsSeen()-int64(est.BitsSeen()%64)], window)
+			wantMCV, err := MostCommonValue(seq)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotMCV, err := est.MCV()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if *gotMCV != *wantMCV {
+				t.Fatalf("%s@%d: MCV online %+v != batch %+v", name, est.BitsSeen(), gotMCV, wantMCV)
+			}
+			wantMk, err := Markov(seq)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotMk, err := est.Markov()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if *gotMk != *wantMk {
+				t.Fatalf("%s@%d: Markov online %+v != batch %+v", name, est.BitsSeen(), gotMk, wantMk)
+			}
+			if want := min2(wantMCV.MinEntropy, wantMk.MinEntropy); est.MinEntropy() != want {
+				t.Fatalf("%s@%d: MinEntropy %v != %v", name, est.BitsSeen(), est.MinEntropy(), want)
+			}
+		}
+	}
+}
+
+func min2(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// TestOnlineUnprimed pins the before-window-full contract.
+func TestOnlineUnprimed(t *testing.T) {
+	est, err := NewOnlineEstimator(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est.Push(^uint64(0), 64)
+	if est.Primed() {
+		t.Fatal("primed after 64 of 256 bits")
+	}
+	if _, err := est.MCV(); err == nil {
+		t.Fatal("MCV before primed did not error")
+	}
+	if _, err := est.Markov(); err == nil {
+		t.Fatal("Markov before primed did not error")
+	}
+	if est.MinEntropy() != -1 {
+		t.Fatalf("MinEntropy before primed = %v, want -1", est.MinEntropy())
+	}
+}
+
+// TestOnlineWindowSlides proves old bits really leave the estimate: a
+// biased prefix followed by a window of stuck bits must estimate exactly
+// like a pure stuck window (min-entropy 0).
+func TestOnlineWindowSlides(t *testing.T) {
+	est, err := NewOnlineEstimator(128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 300; i++ {
+		est.Push(uint64(rng.Int63())&1, 1)
+	}
+	for i := 0; i < 200; i++ {
+		est.Push(1, 1)
+	}
+	// 500 bits fed: not chunk-aligned yet — push 12 more stuck bits.
+	est.Push(0xFFF, 12)
+	mcv, err := est.MCV()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mcv.PHat != 1 || mcv.MinEntropy != 0 {
+		t.Fatalf("stuck window: MCV %+v, want pHat=1 minEntropy=0", mcv)
+	}
+	mk, err := est.Markov()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mk.MinEntropy != 0 {
+		t.Fatalf("stuck window: Markov %+v, want minEntropy=0", mk)
+	}
+}
+
+// TestOnlineReset proves Reset restores a fresh estimator's behavior.
+func TestOnlineReset(t *testing.T) {
+	a, err := NewOnlineEstimator(128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewOnlineEstimator(128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 100; i++ {
+		a.Push(uint64(rng.Int63()), 64)
+	}
+	a.Reset()
+	if a.BitsSeen() != 0 || a.Primed() {
+		t.Fatal("reset did not clear state")
+	}
+	rng2 := rand.New(rand.NewSource(10))
+	for i := 0; i < 10; i++ {
+		w := uint64(rng2.Int63())
+		a.Push(w, 57)
+		b.Push(w, 57)
+	}
+	am := a.MinEntropy()
+	bm := b.MinEntropy()
+	if am != bm {
+		t.Fatalf("reset estimator diverged: %v vs %v", am, bm)
+	}
+}

@@ -10,6 +10,22 @@
 // catastrophic failures (stuck outputs, extreme bias). The repository uses
 // them as the contrast class: the detection-power experiments show which
 // defects escape RCT/APT and are caught only by the statistical monitor.
+//
+// The package also implements the standard's initial-assessment side:
+// the most-common-value (MCV) and first-order Markov min-entropy
+// estimators over fixed samples (entropy.go), their structural-hardware
+// cost model (hw.go), and OnlineEstimator (online.go) — the same
+// estimators over a sliding window of the last Window bits, updated in
+// O(1) amortized per 64-bit word by the chunk-ring construction
+// internal/online uses, for continuous min-entropy alongside the online
+// anomaly score.
+//
+// Every type here is a pure function of the bits pushed since its
+// construction or Reset — no clocks, no randomness — which is what the
+// //trnglint:deterministic annotation below asserts and the trnglint
+// analyzer enforces.
+//
+//trnglint:deterministic
 package sp80090b
 
 import (
