@@ -15,6 +15,14 @@
 // gate. P should be generous (the CI machines are noisy, and a 1-CPU
 // container doubles the variance); the gate exists to catch order-of-
 // magnitude regressions in the ingest fast paths, not 5% drift.
+//
+// The zero-alloc gate is separate and always on: a benchmark whose
+// archived allocs/op is 0 that now reports any allocations fails the run
+// regardless of -fail-over (even -fail-over 0, which only disables the
+// ns/op gate). Allocation counts are deterministic — unlike ns/op there
+// is no noise to forgive — and 0 allocs/op on the ingest fast paths is a
+// pinned property the perflint analyzers prove statically; this is the
+// dynamic half of that contract.
 package main
 
 import (
@@ -179,6 +187,7 @@ func run(oldPath, newPath string, failOver float64, w io.Writer) (int, error) {
 	defer tw.Flush()
 	fmt.Fprintf(tw, "%-64s %14s %14s %9s\n", "benchmark", "old ns/op", "new ns/op", "delta")
 	exit := 0
+	zeroAllocBroken := false
 	for _, r := range rows {
 		oldNs, okO := r.old.metrics["ns/op"]
 		newNs, okN := r.new.metrics["ns/op"]
@@ -201,7 +210,15 @@ func run(oldPath, newPath string, failOver float64, w io.Writer) (int, error) {
 			if !okO || !okN || (o == n) {
 				continue
 			}
-			fmt.Fprintf(tw, "%-64s %14.0f %14.0f  (%s)\n", "", o, n, unit)
+			mark := ""
+			if unit == "allocs/op" && o == 0 && n > 0 {
+				// A zero-alloc benchmark started allocating: hard failure,
+				// independent of the ns/op threshold.
+				mark = "  REGRESSED (was 0 allocs/op)"
+				zeroAllocBroken = true
+				exit = 1
+			}
+			fmt.Fprintf(tw, "%-64s %14.0f %14.0f  (%s)%s\n", "", o, n, unit, mark)
 		}
 	}
 	for _, k := range onlyOld {
@@ -210,14 +227,17 @@ func run(oldPath, newPath string, failOver float64, w io.Writer) (int, error) {
 	for _, k := range onlyNew {
 		fmt.Fprintf(tw, "%-64s only in %s\n", k, newPath)
 	}
-	if exit != 0 {
+	if zeroAllocBroken {
+		fmt.Fprintf(tw, "\nbenchdiff: zero-alloc benchmark now allocates (hard failure, ignores -fail-over)\n")
+	}
+	if exit != 0 && !zeroAllocBroken {
 		fmt.Fprintf(tw, "\nbenchdiff: ns/op regression over %.0f%% threshold\n", failOver)
 	}
 	return exit, nil
 }
 
 func main() {
-	failOver := flag.Float64("fail-over", 0, "exit non-zero when any ns/op regresses by more than this percentage (0 disables)")
+	failOver := flag.Float64("fail-over", 0, "exit non-zero when any ns/op regresses by more than this percentage (0 disables the ns/op gate; the zero-alloc gate is always on)")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: benchdiff [-fail-over pct] OLD.json NEW.json\n")
 		flag.PrintDefaults()

@@ -168,3 +168,48 @@ func TestRealArchiveRoundTrip(t *testing.T) {
 		t.Fatalf("self-diff should report rows; output:\n%s", out.String())
 	}
 }
+
+// TestRunZeroAllocHardFailure pins the always-on allocation gate: a
+// benchmark archived at 0 allocs/op that now allocates fails the run even
+// when the ns/op threshold is generous or disabled entirely.
+func TestRunZeroAllocHardFailure(t *testing.T) {
+	dir := t.TempDir()
+	oldP := filepath.Join(dir, "old.json")
+	newP := filepath.Join(dir, "new.json")
+	if err := os.WriteFile(oldP, []byte(stream("repro/internal/fleet", 100, 0, 0)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(newP, []byte(stream("repro/internal/fleet", 100, 16, 1)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, failOver := range []float64{0, 1000} {
+		var out strings.Builder
+		code, err := run(oldP, newP, failOver, &out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if code == 0 {
+			t.Fatalf("0 -> 1 allocs/op must fail at -fail-over %v; output:\n%s", failOver, out.String())
+		}
+		if !strings.Contains(out.String(), "was 0 allocs/op") {
+			t.Fatalf("failing diff should mark the broken zero-alloc row; output:\n%s", out.String())
+		}
+	}
+
+	// A nonzero baseline drifting is reported but never a hard failure.
+	if err := os.WriteFile(oldP, []byte(stream("repro/internal/fleet", 100, 16, 2)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(newP, []byte(stream("repro/internal/fleet", 100, 24, 3)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	code, err := run(oldP, newP, 0, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("2 -> 3 allocs/op is not a zero-alloc break; output:\n%s", out.String())
+	}
+}

@@ -1,0 +1,183 @@
+// Command escapecheck cross-checks the //trnglint:hotpath closure against
+// the compiler's own escape analysis. The perflint analyzers (noalloc,
+// hotcall, nodefer) prove allocation discipline syntactically; escapecheck
+// closes the loop semantically: it rebuilds the module with
+// -gcflags=-m=2, parses the escape diagnostics the gc backend emits, and
+// fails when a value escapes to the heap inside a hot function — exactly
+// the regression the 0 allocs/op benchmark gates would later catch, but
+// at lint time and pinned to the offending line.
+//
+// Usage:
+//
+//	escapecheck [-C dir] [packages]
+//
+// Packages default to ./... against the enclosing module. A diagnostic
+// inside the hot closure is suppressed by the same line waiver the
+// analyzers honor: //trnglint:alloc <reason> on the line or the line
+// above. Exit status: 0 clean, 1 findings, 2 when the load or the build
+// itself failed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/load"
+)
+
+func main() {
+	dir := flag.String("C", ".", "directory whose enclosing module is checked")
+	flag.Parse()
+	os.Exit(run(os.Stdout, os.Stderr, *dir, flag.Args()))
+}
+
+// escape is one heap diagnostic parsed from the compiler output.
+type escape struct {
+	File string // as printed by the compiler (usually module-relative)
+	Line int
+	Col  int
+	Msg  string
+}
+
+// parseEscapes extracts the heap-relevant diagnostics from -m=2 output:
+// "escapes to heap" and "moved to heap:" lines. Everything else — the
+// "does not escape" confirmations, inlining notes, and the indented
+// flow-explanation lines -m=2 appends — is dropped.
+func parseEscapes(out string) []escape {
+	var es []escape
+	for _, line := range strings.Split(out, "\n") {
+		if line == "" || line[0] == ' ' || line[0] == '\t' || line[0] == '#' {
+			continue
+		}
+		file, rest, ok := strings.Cut(line, ".go:")
+		if !ok {
+			continue
+		}
+		file += ".go"
+		parts := strings.SplitN(rest, ":", 3)
+		if len(parts) != 3 {
+			continue
+		}
+		ln, err1 := strconv.Atoi(parts[0])
+		col, err2 := strconv.Atoi(parts[1])
+		if err1 != nil || err2 != nil {
+			continue
+		}
+		msg := strings.TrimSpace(parts[2])
+		if strings.Contains(msg, "does not escape") {
+			continue
+		}
+		if !strings.Contains(msg, "escapes to heap") && !strings.Contains(msg, "moved to heap:") {
+			continue
+		}
+		es = append(es, escape{File: file, Line: ln, Col: col, Msg: msg})
+	}
+	return es
+}
+
+// hotRange is the line span of one function in the hot closure.
+type hotRange struct {
+	Fn         string
+	Start, End int
+}
+
+// hotSpans maps each absolute file path to the hot function spans in it.
+type hotSpans map[string][]hotRange
+
+// lookup returns the label of the hot function covering file:line, if any.
+func (h hotSpans) lookup(file string, line int) (string, bool) {
+	for _, r := range h[file] {
+		if line >= r.Start && line <= r.End {
+			return r.Fn, true
+		}
+	}
+	return "", false
+}
+
+// run is main minus the process boundary, returning the exit code.
+func run(stdout, stderr io.Writer, dir string, patterns []string) int {
+	l, err := load.NewModuleLoader(dir)
+	if err != nil {
+		fmt.Fprintln(stderr, "escapecheck:", err)
+		return 2
+	}
+	targets, err := l.Load(patterns...)
+	if err != nil {
+		fmt.Fprintln(stderr, "escapecheck:", err)
+		return 2
+	}
+	idx := analysis.NewHotIndex()
+	for _, t := range l.Cached() {
+		idx.AddPackage(t.Files, t.Info)
+	}
+	spans := make(hotSpans)
+	dirsByFile := make(map[string]*analysis.Directives)
+	for _, t := range targets {
+		if len(t.TypeErrors) > 0 {
+			fmt.Fprintf(stderr, "escapecheck: %s does not type-check: %v\n", t.ImportPath, t.TypeErrors[0])
+			return 2
+		}
+		dirs := analysis.ParseDirectives(t.Fset, t.Files)
+		for _, f := range t.Files {
+			dirsByFile[t.Fset.Position(f.Pos()).Filename] = dirs
+		}
+		u := &analysis.Unit{Fset: t.Fset, Files: t.Files, Pkg: t.Pkg, Info: t.Info, Hot: idx}
+		for fn, fd := range analysis.HotClosure(u, dirs, idx) {
+			p := t.Fset.Position(fd.Pos())
+			spans[p.Filename] = append(spans[p.Filename], hotRange{
+				Fn:    analysis.FuncLabel(fn),
+				Start: p.Line,
+				End:   t.Fset.Position(fd.End()).Line,
+			})
+		}
+	}
+
+	// The compiler replays -m=2 diagnostics from the build cache on
+	// repeat runs, so no -a is needed; the run is incremental-build fast.
+	args := append([]string{"build", "-gcflags=-m=2"}, patterns...)
+	if len(patterns) == 0 {
+		args = append(args, "./...")
+	}
+	cmd := exec.Command("go", args...)
+	cmd.Dir = l.ModRoot()
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		fmt.Fprintf(stderr, "escapecheck: go build failed: %v\n%s", err, out)
+		return 2
+	}
+
+	var findings []string
+	for _, e := range parseEscapes(string(out)) {
+		file := e.File
+		if !filepath.IsAbs(file) {
+			file = filepath.Join(l.ModRoot(), file)
+		}
+		fn, hot := spans.lookup(file, e.Line)
+		if !hot {
+			continue
+		}
+		dirs := dirsByFile[file]
+		if dirs != nil && dirs.WaivedLine(file, e.Line, "escapecheck") {
+			continue
+		}
+		findings = append(findings,
+			fmt.Sprintf("%s:%d:%d: [escapecheck] hot path %s: %s", file, e.Line, e.Col, fn, e.Msg))
+	}
+	sort.Strings(findings)
+	for _, f := range findings {
+		fmt.Fprintln(stdout, f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(stderr, "escapecheck: %d finding(s)\n", len(findings))
+		return 1
+	}
+	return 0
+}

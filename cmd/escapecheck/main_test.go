@@ -1,0 +1,129 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestParseEscapes pins the -m=2 grammar the checker depends on: heap
+// lines kept, confirmations / inline notes / flow explanations dropped.
+func TestParseEscapes(t *testing.T) {
+	out := strings.Join([]string{
+		"# scratch/lib",
+		"lib/lib.go:5:6: can inline Cold",
+		"lib/lib.go:9:2: x escapes to heap:",
+		"\tflow: ~r0 = &x:",
+		"\t  from &x (address-of) at lib/lib.go:10:9",
+		"lib/lib.go:12:2: moved to heap: y",
+		"lib/lib.go:20:10: make([]byte, n) does not escape",
+		"lib/lib.go:31:14: []byte(s) escapes to heap",
+		"not a diagnostic line",
+		"lib/lib.go:badline:1: escapes to heap",
+	}, "\n")
+	es := parseEscapes(out)
+	if len(es) != 3 {
+		t.Fatalf("parsed %d escapes, want 3: %+v", len(es), es)
+	}
+	want := []escape{
+		{File: "lib/lib.go", Line: 9, Col: 2, Msg: "x escapes to heap:"},
+		{File: "lib/lib.go", Line: 12, Col: 2, Msg: "moved to heap: y"},
+		{File: "lib/lib.go", Line: 31, Col: 14, Msg: "[]byte(s) escapes to heap"},
+	}
+	for i, w := range want {
+		if es[i] != w {
+			t.Errorf("escape[%d] = %+v, want %+v", i, es[i], w)
+		}
+	}
+}
+
+func TestHotSpansLookup(t *testing.T) {
+	h := hotSpans{"/m/a.go": {{Fn: "Hot", Start: 10, End: 20}, {Fn: "Warm", Start: 30, End: 31}}}
+	if fn, ok := h.lookup("/m/a.go", 15); !ok || fn != "Hot" {
+		t.Errorf("lookup(15) = %q, %v; want Hot, true", fn, ok)
+	}
+	if _, ok := h.lookup("/m/a.go", 25); ok {
+		t.Error("lookup(25) matched between spans")
+	}
+	if _, ok := h.lookup("/m/b.go", 15); ok {
+		t.Error("lookup matched the wrong file")
+	}
+}
+
+// writeScratchModule lays down a self-contained module whose hot function
+// provably leaks a local to the heap, with a waived twin and a cold twin.
+func writeScratchModule(t *testing.T, waived bool) string {
+	t.Helper()
+	dir := t.TempDir()
+	waiver := ""
+	if waived {
+		// The compiler anchors "moved to heap: x" at the declaration, so
+		// that is the line the waiver goes on — the finding names it.
+		waiver = " //trnglint:alloc documented escape, returned once per sequence"
+	}
+	files := map[string]string{
+		"go.mod": "module scratch\n\ngo 1.22\n",
+		"lib/lib.go": `// Package lib is escapecheck's integration fixture.
+package lib
+
+//trnglint:hotpath
+func Hot() *int {
+	x := 42` + waiver + `
+	return &x
+}
+
+func Cold() *int {
+	y := 7
+	return &y
+}
+`,
+	}
+	for name, src := range files {
+		p := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// TestRunScratchModule drives the whole checker against a real compile:
+// the hot escape is a finding, the cold one is not, and the line waiver
+// silences it.
+func TestRunScratchModule(t *testing.T) {
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go tool not in PATH")
+	}
+	dir := writeScratchModule(t, false)
+	var stdout, stderr bytes.Buffer
+	if code := run(&stdout, &stderr, dir, []string{"./..."}); code != 1 {
+		t.Fatalf("exit = %d, want 1\nstdout: %s\nstderr: %s", code, &stdout, &stderr)
+	}
+	got := stdout.String()
+	if !strings.Contains(got, "[escapecheck] hot path Hot: moved to heap: x") {
+		t.Errorf("missing hot finding in:\n%s", got)
+	}
+	if strings.Contains(got, "Cold") {
+		t.Errorf("cold function reported:\n%s", got)
+	}
+
+	stdout.Reset()
+	stderr.Reset()
+	waivedDir := writeScratchModule(t, true)
+	if code := run(&stdout, &stderr, waivedDir, []string{"./..."}); code != 0 {
+		t.Fatalf("waived exit = %d, want 0\nstdout: %s\nstderr: %s", code, &stdout, &stderr)
+	}
+}
+
+func TestRunBadDir(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run(&stdout, &stderr, t.TempDir(), nil); code != 2 {
+		t.Fatalf("exit = %d, want 2 (no go.mod)", code)
+	}
+}

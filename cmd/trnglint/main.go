@@ -1,14 +1,17 @@
 // Command trnglint is the repository's multichecker: it runs the
 // internal/analysis analyzers — regwidth, determinism, errdrop,
-// resetcheck, and the conclint concurrency family (guardedby, atomicmix,
-// lockorder, gorolife) — over the module and reports every unwaived
-// finding. The suite proves, at lint time, the invariants the paper's
-// platform rests on: 16-bit bus arithmetic stays masked, the
-// bit-reproducible packages stay free of wall-clock and scheduling leaks,
-// partial-result errors are never discarded, reused monitors are reset
-// between sources, annotated fields are only touched under their mutex,
-// atomic and plain accesses never mix, locks are acquired in one partial
-// order, and every goroutine has a join/quit path.
+// resetcheck, the conclint concurrency family (guardedby, atomicmix,
+// lockorder, gorolife), and the perflint hot-path family (noalloc,
+// hotcall, nodefer) — over the module and reports every unwaived finding.
+// The suite proves, at lint time, the invariants the paper's platform
+// rests on: 16-bit bus arithmetic stays masked, the bit-reproducible
+// packages stay free of wall-clock and scheduling leaks, partial-result
+// errors are never discarded, reused monitors are reset between sources,
+// annotated fields are only touched under their mutex, atomic and plain
+// accesses never mix, locks are acquired in one partial order, every
+// goroutine has a join/quit path, and the //trnglint:hotpath closure —
+// the line-rate ingest paths the 0 allocs/op benchmark gates measure —
+// stays free of allocating constructs, cold calls, and scheduling points.
 //
 // Usage:
 //
@@ -38,14 +41,19 @@ import (
 	"repro/internal/analysis/errdrop"
 	"repro/internal/analysis/gorolife"
 	"repro/internal/analysis/guardedby"
+	"repro/internal/analysis/hotcall"
 	"repro/internal/analysis/load"
 	"repro/internal/analysis/lockorder"
+	"repro/internal/analysis/noalloc"
+	"repro/internal/analysis/nodefer"
 	"repro/internal/analysis/regwidth"
 	"repro/internal/analysis/resetcheck"
 )
 
-// analyzers is the full suite, in reporting order.
-var analyzers = []*analysis.Analyzer{
+// analyzers is the full suite. Registration is sorted by name so -list,
+// -only error messages, usage text and per-analyzer timing report in one
+// deterministic order no matter how the families grow.
+var analyzers = sortedSuite(
 	regwidth.Analyzer,
 	determinism.Analyzer,
 	errdrop.Analyzer,
@@ -54,6 +62,14 @@ var analyzers = []*analysis.Analyzer{
 	atomicmix.Analyzer,
 	lockorder.Analyzer,
 	gorolife.Analyzer,
+	noalloc.Analyzer,
+	hotcall.Analyzer,
+	nodefer.Analyzer,
+)
+
+func sortedSuite(all ...*analysis.Analyzer) []*analysis.Analyzer {
+	sort.Slice(all, func(i, j int) bool { return all[i].Name < all[j].Name })
+	return all
 }
 
 // Finding is one unwaived diagnostic, in the shape the -json mode emits.
@@ -181,6 +197,14 @@ func LintTimed(dir string, suite []*analysis.Analyzer, patterns ...string) ([]Fi
 	if err != nil {
 		return nil, nil, err
 	}
+	// The //trnglint:hotpath index spans every loaded package — named
+	// targets and dependencies alike — so the perflint analyzers resolve
+	// cross-package hot callees (fleet → hwslice/online/obs) even when a
+	// run names only a subset of the module.
+	idx := analysis.NewHotIndex()
+	for _, c := range l.Cached() {
+		idx.AddPackage(c.Files, c.Info)
+	}
 	times := make(map[string]time.Duration, len(suite))
 	var findings []Finding
 	for _, t := range targets {
@@ -188,7 +212,7 @@ func LintTimed(dir string, suite []*analysis.Analyzer, patterns ...string) ([]Fi
 			return nil, nil, fmt.Errorf("%s does not type-check: %v (run go build first)",
 				t.ImportPath, t.TypeErrors[0])
 		}
-		unit := &analysis.Unit{Fset: t.Fset, Files: t.Files, Pkg: t.Pkg, Info: t.Info}
+		unit := &analysis.Unit{Fset: t.Fset, Files: t.Files, Pkg: t.Pkg, Info: t.Info, Hot: idx}
 		for _, a := range suite {
 			start := time.Now()
 			diags, err := analysis.Run(unit, a)

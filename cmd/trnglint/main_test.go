@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"sort"
 	"strings"
 	"testing"
 )
@@ -43,6 +44,7 @@ func TestSuiteCoversAllInvariants(t *testing.T) {
 	want := map[string]bool{
 		"regwidth": true, "determinism": true, "errdrop": true, "resetcheck": true,
 		"guardedby": true, "atomicmix": true, "lockorder": true, "gorolife": true,
+		"noalloc": true, "hotcall": true, "nodefer": true,
 	}
 	for _, a := range analyzers {
 		if !want[a.Name] {
@@ -52,6 +54,19 @@ func TestSuiteCoversAllInvariants(t *testing.T) {
 	}
 	for name := range want {
 		t.Errorf("analyzer %q missing from the suite", name)
+	}
+}
+
+// TestSuiteIsSorted pins the deterministic registration order: -list, the
+// usage text, -only errors and the per-analyzer timing report all iterate
+// the suite in name order no matter how the families are registered.
+func TestSuiteIsSorted(t *testing.T) {
+	names := make([]string, len(analyzers))
+	for i, a := range analyzers {
+		names[i] = a.Name
+	}
+	if !sort.StringsAreSorted(names) {
+		t.Errorf("suite is not sorted by name: %v", names)
 	}
 }
 
@@ -83,25 +98,39 @@ func TestExitCodes(t *testing.T) {
 }
 
 // TestJSONOutput pins the -json exposition: one JSON object per finding
-// with the file/line/analyzer fields CI annotation tooling keys on.
+// with the file/line/analyzer fields CI annotation tooling keys on, for a
+// conclint finding and a perflint one.
 func TestJSONOutput(t *testing.T) {
-	var stdout, stderr bytes.Buffer
-	code := run(&stdout, &stderr, "gorolife", true, false,
-		[]string{"cmd/trnglint/testdata/dirty"})
-	if code != 1 {
-		t.Fatalf("exit code %d, want 1 (stderr %q)", code, stderr.String())
+	cases := []struct {
+		name     string
+		only     string
+		pattern  string
+		file     string
+		contains string
+	}{
+		{"gorolife", "gorolife", "cmd/trnglint/testdata/dirty", "dirty.go", "join or quit"},
+		{"noalloc", "noalloc", "cmd/trnglint/testdata/dirtyhot", "dirtyhot.go", "hot path kernel: make allocates"},
 	}
-	lines := strings.Split(strings.TrimSpace(stdout.String()), "\n")
-	if len(lines) != 1 {
-		t.Fatalf("want exactly one JSON finding, got %d: %q", len(lines), stdout.String())
-	}
-	var f Finding
-	if err := json.Unmarshal([]byte(lines[0]), &f); err != nil {
-		t.Fatalf("output is not JSON: %v (%q)", err, lines[0])
-	}
-	if !strings.HasSuffix(f.File, "dirty.go") || f.Line <= 0 || f.Analyzer != "gorolife" ||
-		!strings.Contains(f.Message, "join or quit") {
-		t.Errorf("unexpected finding: %+v", f)
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			code := run(&stdout, &stderr, tc.only, true, false, []string{tc.pattern})
+			if code != 1 {
+				t.Fatalf("exit code %d, want 1 (stderr %q)", code, stderr.String())
+			}
+			lines := strings.Split(strings.TrimSpace(stdout.String()), "\n")
+			if len(lines) != 1 {
+				t.Fatalf("want exactly one JSON finding, got %d: %q", len(lines), stdout.String())
+			}
+			var f Finding
+			if err := json.Unmarshal([]byte(lines[0]), &f); err != nil {
+				t.Fatalf("output is not JSON: %v (%q)", err, lines[0])
+			}
+			if !strings.HasSuffix(f.File, tc.file) || f.Line <= 0 || f.Col <= 0 ||
+				f.Analyzer != tc.only || !strings.Contains(f.Message, tc.contains) {
+				t.Errorf("unexpected finding: %+v", f)
+			}
+		})
 	}
 }
 

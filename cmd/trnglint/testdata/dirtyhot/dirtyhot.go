@@ -1,0 +1,12 @@
+// Package dirtyhot is the fixture for trnglint's perflint JSON exposition
+// test: it carries exactly one deliberate noalloc finding (a make inside a
+// //trnglint:hotpath function). Like dirty, it lives under testdata so the
+// ./... walk — and the self-lint gate — never matches it.
+package dirtyhot
+
+//trnglint:hotpath
+func kernel(w uint64) uint64 {
+	buf := make([]uint64, 1)
+	buf[0] = w
+	return buf[0]
+}

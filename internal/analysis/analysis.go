@@ -51,8 +51,21 @@ type Pass struct {
 	// Directives holds the package's parsed //trnglint: comments
 	// (markers such as deterministic/bus16 and per-line waivers).
 	Directives *Directives
+	// Hot is the //trnglint:hotpath annotation index the perflint
+	// analyzers resolve cross-package callees against. Never nil when
+	// the pass was built by Run: module-wide when the driver supplied
+	// Unit.Hot, otherwise covering just this package.
+	Hot *HotIndex
 
 	Report func(Diagnostic)
+}
+
+// HotFuncs returns the hot-path closure of the pass's package: every
+// function annotated //trnglint:hotpath plus the same-package functions
+// transitively called from one at unwaived call sites (see HotClosure).
+func (p *Pass) HotFuncs() map[*types.Func]*ast.FuncDecl {
+	u := &Unit{Fset: p.Fset, Files: p.Files, Pkg: p.Pkg, Info: p.TypesInfo}
+	return HotClosure(u, p.Directives, p.Hot)
 }
 
 // Reportf reports a formatted diagnostic at pos.
@@ -76,6 +89,11 @@ type Unit struct {
 	Files []*ast.File
 	Pkg   *types.Package
 	Info  *types.Info
+	// Hot optionally carries a module-wide //trnglint:hotpath index so
+	// the perflint analyzers resolve cross-package hot callees. Drivers
+	// that load whole modules populate it from every loaded package;
+	// when nil, Run builds one covering this unit's files only.
+	Hot *HotIndex
 }
 
 // Run executes one analyzer over one package and returns its diagnostics
@@ -85,6 +103,11 @@ type Unit struct {
 // behaves identically under the golden tests and in CI.
 func Run(u *Unit, a *Analyzer) ([]Diagnostic, error) {
 	dirs := ParseDirectives(u.Fset, u.Files)
+	hot := u.Hot
+	if hot == nil {
+		hot = NewHotIndex()
+		hot.AddPackage(u.Files, u.Info)
+	}
 	var diags []Diagnostic
 	pass := &Pass{
 		Analyzer:   a,
@@ -93,6 +116,7 @@ func Run(u *Unit, a *Analyzer) ([]Diagnostic, error) {
 		Pkg:        u.Pkg,
 		TypesInfo:  u.Info,
 		Directives: dirs,
+		Hot:        hot,
 		Report:     func(d Diagnostic) { diags = append(diags, d) },
 	}
 	if _, err := a.Run(pass); err != nil {

@@ -39,18 +39,27 @@ func TestData() string {
 func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgpaths ...string) {
 	t.Helper()
 	l := load.NewTestdataLoader(dir + "/src")
+	var targets []*load.Target
 	for _, pkgpath := range pkgpaths {
-		targets, err := l.Load(pkgpath)
+		ts, err := l.Load(pkgpath)
 		if err != nil {
 			t.Errorf("loading %s: %v", pkgpath, err)
 			continue
 		}
-		for _, tgt := range targets {
-			for _, terr := range tgt.TypeErrors {
-				t.Errorf("%s: type error: %v", pkgpath, terr)
-			}
-			checkPackage(t, tgt, a)
+		targets = append(targets, ts...)
+	}
+	// Build the //trnglint:hotpath index over every loaded package —
+	// overlay dependencies included — so cross-package hot callees
+	// resolve in the goldens exactly as they do under cmd/trnglint.
+	idx := analysis.NewHotIndex()
+	for _, c := range l.Cached() {
+		idx.AddPackage(c.Files, c.Info)
+	}
+	for _, tgt := range targets {
+		for _, terr := range tgt.TypeErrors {
+			t.Errorf("%s: type error: %v", tgt.ImportPath, terr)
 		}
+		checkPackage(t, tgt, a, idx)
 	}
 }
 
@@ -59,10 +68,10 @@ type key struct {
 	line int
 }
 
-func checkPackage(t *testing.T, tgt *load.Target, a *analysis.Analyzer) {
+func checkPackage(t *testing.T, tgt *load.Target, a *analysis.Analyzer, idx *analysis.HotIndex) {
 	t.Helper()
 	diags, err := analysis.Run(&analysis.Unit{
-		Fset: tgt.Fset, Files: tgt.Files, Pkg: tgt.Pkg, Info: tgt.Info,
+		Fset: tgt.Fset, Files: tgt.Files, Pkg: tgt.Pkg, Info: tgt.Info, Hot: idx,
 	}, a)
 	if err != nil {
 		t.Errorf("%s: %v", tgt.ImportPath, err)

@@ -31,9 +31,19 @@ import (
 //	    line below) intentionally spawns a goroutine with no join/quit
 //	    path. The reason is mandatory.
 //
-// Two further verbs are annotations rather than waivers and are parsed by
-// CollectConcAnnotations (concann.go) from the declarations they document,
-// not from this line-indexed table:
+//	//trnglint:alloc <reason>
+//	    Line waiver for the perflint family (noalloc, hotcall, nodefer)
+//	    and the escapecheck compiler cross-check: the allocation, cold
+//	    call, or scheduling construct on this line is a deliberate part
+//	    of the hot path's contract. A waived call site also stops the
+//	    hot-path closure (hotpath.go) from following the callee, so one
+//	    waiver marks the boundary where hot code deliberately hands off
+//	    to cold code. The reason is mandatory.
+//
+// Further verbs are annotations rather than waivers and are parsed from
+// the declarations they document, not from this line-indexed table —
+// guardedby/holds by CollectConcAnnotations (concann.go), hotpath by
+// HotIndex.AddPackage (hotpath.go):
 //
 //	//trnglint:guardedby <mutex>
 //	    On a struct field: the field may only be read or written while
@@ -44,6 +54,14 @@ import (
 //	    On a function or method: callers must hold the named mutex of the
 //	    receiver (or a package-level mutex). Assumed inside the body,
 //	    checked at every call site.
+//
+//	//trnglint:hotpath
+//	    On a function or method: the body is a line-rate hot path that
+//	    must stay allocation-free and latency-predictable. The perflint
+//	    analyzers (noalloc, hotcall, nodefer) check the annotated body
+//	    and every same-package function it transitively calls; the
+//	    escapecheck command cross-checks the compiler's escape analysis
+//	    over the same set.
 const directivePrefix = "//trnglint:"
 
 // Directives is the parsed set of //trnglint: comments of one package.
@@ -98,6 +116,15 @@ func (d *Directives) parseComment(fset *token.FileSet, c *ast.Comment) {
 		if len(rest) > 0 {
 			d.addWaiver(fset, c.Pos(), "gorolife")
 		}
+	case "alloc":
+		// One waiver covers the whole perflint family plus the compiler
+		// escape cross-check: whichever analyzer flags the line, the
+		// deliberate allocation/handoff is documented exactly once.
+		if len(rest) > 0 {
+			for _, name := range []string{"noalloc", "hotcall", "nodefer", "escapecheck"} {
+				d.addWaiver(fset, c.Pos(), name)
+			}
+		}
 	}
 }
 
@@ -119,12 +146,19 @@ func (d *Directives) HasMarker(name string) bool { return d.markers[name] }
 // suppressed by a waiver on the same line or the line immediately above.
 func (d *Directives) Waived(fset *token.FileSet, pos token.Pos, analyzer string) bool {
 	p := fset.Position(pos)
-	byLine := d.waivers[p.Filename]
+	return d.WaivedLine(p.Filename, p.Line, analyzer)
+}
+
+// WaivedLine is Waived for callers that hold a file/line pair instead of a
+// token.Pos — cmd/escapecheck correlates compiler diagnostics, which carry
+// positions in go-build's own coordinates, against the waiver table.
+func (d *Directives) WaivedLine(file string, line int, analyzer string) bool {
+	byLine := d.waivers[file]
 	if byLine == nil {
 		return false
 	}
-	for _, line := range []int{p.Line, p.Line - 1} {
-		for _, name := range byLine[line] {
+	for _, l := range []int{line, line - 1} {
+		for _, name := range byLine[l] {
 			if name == analyzer {
 				return true
 			}

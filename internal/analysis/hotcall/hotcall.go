@@ -1,0 +1,126 @@
+// Package hotcall enforces the call discipline of //trnglint:hotpath
+// code: a hot body may only call functions that are themselves hot
+// (annotated in their own package, or absorbed into this package's
+// closure), allowlisted allocation-free stdlib primitives (math,
+// math/bits, sync/atomic, the sync mutex operations, errors.Is), or calls
+// waived in place with //trnglint:alloc <reason>. This is the check that
+// catches a cold helper silently entering the ingest path: noalloc proves
+// the hot bodies themselves clean, hotcall proves the hot set is closed —
+// nothing outside it is reachable from inside without a documented waiver.
+//
+// Dynamically-dispatched calls — interface methods and function-typed
+// values — cannot be resolved statically and are findings too: the hot
+// contract cannot follow them, so the call site must either be waived or
+// restructured onto a concrete callee.
+package hotcall
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer enforces that hot code only calls hot, waived, or allowlisted
+// functions.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotcall",
+	Doc:  "hot-path code may only call hot-annotated, waived, or allocation-free stdlib functions",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	hot := pass.HotFuncs()
+	for fn, decl := range hot {
+		checkBody(pass, analysis.FuncLabel(fn), decl, hot)
+	}
+	return nil, nil
+}
+
+func checkBody(pass *analysis.Pass, label string, decl *ast.FuncDecl, hot map[*types.Func]*ast.FuncDecl) {
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // the literal itself is noalloc's finding
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if tv, ok := pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+			return true // conversion, not a call; noalloc owns the allocating ones
+		}
+		callee := analysis.CalleeFunc(pass.TypesInfo, call)
+		if callee == nil {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+				if _, ok := pass.ObjectOf(id).(*types.Builtin); ok {
+					return true // builtins are intrinsic; noalloc/nodefer own the relevant ones
+				}
+			}
+			pass.Reportf(call.Pos(), "hot path %s: call target is not statically resolvable (function value)", label)
+			return true
+		}
+		callee = callee.Origin()
+		if _, inClosure := hot[callee]; inClosure || pass.Hot.IsHot(callee) {
+			return true
+		}
+		if sig, ok := callee.Type().(*types.Signature); ok && sig.Recv() != nil {
+			if types.IsInterface(sig.Recv().Type().Underlying()) {
+				pass.Reportf(call.Pos(), "hot path %s: dynamic interface call %s", label, callee.Name())
+				return true
+			}
+		}
+		if allowedStdlib(callee) {
+			return true
+		}
+		pass.Reportf(call.Pos(), "hot path %s: calls non-hot %s (annotate it //trnglint:hotpath or waive the call //trnglint:alloc <reason>)",
+			label, calleeLabel(callee))
+		return true
+	})
+}
+
+// allowedStdlib reports whether fn is a standard-library function the hot
+// contract trusts to be allocation-free and latency-bounded: pure
+// arithmetic (math, math/bits), the atomics, the sync mutex operations
+// (bounded by the guardedby/lockorder contracts elsewhere), and errors.Is
+// (pointer walk, no wrapping).
+func allowedStdlib(fn *types.Func) bool {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return false
+	}
+	switch pkg.Path() {
+	case "math", "math/bits", "sync/atomic":
+		return true
+	case "errors":
+		return fn.Name() == "Is"
+	case "sync":
+		sig, _ := fn.Type().(*types.Signature)
+		if sig == nil || sig.Recv() == nil {
+			return false
+		}
+		t := sig.Recv().Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		named, ok := t.(*types.Named)
+		if !ok {
+			return false
+		}
+		switch named.Obj().Name() {
+		case "Mutex", "RWMutex":
+			switch fn.Name() {
+			case "Lock", "Unlock", "RLock", "RUnlock", "TryLock", "TryRLock":
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func calleeLabel(fn *types.Func) string {
+	label := analysis.FuncLabel(fn)
+	if pkg := fn.Pkg(); pkg != nil {
+		return pkg.Name() + "." + label
+	}
+	return label
+}

@@ -1,0 +1,12 @@
+package hotcall_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/hotcall"
+)
+
+func TestHotcall(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), hotcall.Analyzer, "hotdemo")
+}

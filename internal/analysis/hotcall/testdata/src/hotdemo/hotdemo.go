@@ -1,0 +1,45 @@
+// Package hotdemo is the golden suite for the hotcall analyzer: which
+// callees hot code may reach (same-package closure, cross-package
+// annotated, allowlisted stdlib), which it may not (cold cross-package
+// functions, dynamic dispatch, function values), and the waiver behaviour.
+package hotdemo
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+	"sync"
+	"sync/atomic"
+
+	"hotdep"
+)
+
+var errSentinel = errors.New("sentinel")
+
+type counter struct {
+	n  atomic.Uint64
+	mu sync.Mutex
+}
+
+type writer interface{ WriteWord(uint64) }
+
+//trnglint:hotpath
+func hot(c *counter, w writer, f func(), err error) {
+	helper()                // same-package: absorbed into the closure, clean
+	_ = hotdep.Kernel(1)    // cross-package hot-annotated: clean
+	hotdep.Cold()           // want `hot path hot: calls non-hot hotdep.Cold`
+	_ = bits.OnesCount64(7) // math/bits allowlisted: clean
+	c.n.Add(1)              // sync/atomic allowlisted: clean
+	c.mu.Lock()             // sync mutex ops allowlisted: clean
+	c.mu.Unlock()
+	_ = errors.Is(err, errSentinel) // errors.Is allowlisted: clean
+	fmt.Println("x")                // want `hot path hot: calls non-hot fmt.Println`
+	w.WriteWord(1)                  // want `hot path hot: dynamic interface call WriteWord`
+	f()                             // want `hot path hot: call target is not statically resolvable`
+	coldTeardown()                  //trnglint:alloc deliberate hand-back to the cold path
+	_ = uint64(len("x"))            // conversion and builtin: not calls, clean
+}
+
+func helper() { _ = bits.TrailingZeros64(8) }
+
+func coldTeardown() { fmt.Println("bye") }

@@ -1,0 +1,9 @@
+// Package hotdep is the dependency side of the hotcall golden suite: one
+// annotated hot kernel and one cold helper, imported by hotdemo.
+package hotdep
+
+//trnglint:hotpath
+func Kernel(w uint64) uint64 { return w ^ (w >> 1) }
+
+// Cold is deliberately unannotated.
+func Cold() {}

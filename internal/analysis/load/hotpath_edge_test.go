@@ -1,0 +1,156 @@
+package load_test
+
+import (
+	"go/ast"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/load"
+)
+
+// The hotpath-resolution edge cases the fleet sources lean on: a
+// //trnglint:hotpath method reached through embedded-struct promotion
+// (fleet's getter calls through embedded engine state) and a hot generic
+// function reached through an instantiation (Origin() must map the
+// instantiated *types.Func back to the annotated declaration). Both are
+// loaded cross-package so the module-wide index built from Loader.Cached
+// is what resolves them, exactly as the trnglint and escapecheck drivers
+// do it.
+
+func loadHotEdge(t *testing.T) (*load.Loader, []*load.Target, *analysis.HotIndex) {
+	t.Helper()
+	l := load.NewTestdataLoader("testdata/src")
+	targets, err := l.Load("hotedge", "hotedgedep")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tgt := range targets {
+		if len(tgt.TypeErrors) > 0 {
+			t.Fatalf("%s does not type-check: %v", tgt.ImportPath, tgt.TypeErrors)
+		}
+	}
+	idx := analysis.NewHotIndex()
+	for _, c := range l.Cached() {
+		idx.AddPackage(c.Files, c.Info)
+	}
+	return l, targets, idx
+}
+
+// closureLabels runs HotClosure over one target and returns the labels.
+func closureLabels(tgt *load.Target, idx *analysis.HotIndex) map[string]bool {
+	u := &analysis.Unit{Fset: tgt.Fset, Files: tgt.Files, Pkg: tgt.Pkg, Info: tgt.Info, Hot: idx}
+	dirs := analysis.ParseDirectives(tgt.Fset, tgt.Files)
+	labels := make(map[string]bool)
+	for fn := range analysis.HotClosure(u, dirs, idx) {
+		labels[analysis.FuncLabel(fn)] = true
+	}
+	return labels
+}
+
+func TestHotIndexEmbeddedPromotion(t *testing.T) {
+	_, targets, idx := loadHotEdge(t)
+	var hotedge *load.Target
+	for _, tgt := range targets {
+		if tgt.ImportPath == "hotedge" {
+			hotedge = tgt
+		}
+	}
+	if hotedge == nil {
+		t.Fatal("hotedge target not loaded")
+	}
+
+	// The promoted call d.Absorb(w) must resolve through the selection to
+	// the embedded type's method, and that method must be hot in the
+	// module-wide index even though it is declared in another package.
+	var resolved bool
+	for _, f := range hotedge.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Absorb" {
+				return true
+			}
+			fn := analysis.CalleeFunc(hotedge.Info, call)
+			if fn == nil {
+				t.Fatal("promoted call did not resolve to a *types.Func")
+			}
+			if !idx.IsHot(fn) {
+				t.Errorf("promoted callee %s not hot in the module index", analysis.FuncLabel(fn))
+			}
+			if got := analysis.FuncLabel(fn.Origin()); got != "Engine.Absorb" {
+				t.Errorf("promoted callee resolved to %q, want Engine.Absorb", got)
+			}
+			resolved = true
+			return true
+		})
+	}
+	if !resolved {
+		t.Fatal("no promoted Absorb call found in the fixture")
+	}
+
+	labels := closureLabels(hotedge, idx)
+	if !labels["Ingest"] {
+		t.Errorf("Ingest missing from the hot closure: %v", labels)
+	}
+	if labels["cold"] {
+		t.Errorf("cold leaked into the hot closure: %v", labels)
+	}
+}
+
+func TestHotIndexGenericInstantiation(t *testing.T) {
+	_, targets, idx := loadHotEdge(t)
+	var hotedge, dep *load.Target
+	for _, tgt := range targets {
+		switch tgt.ImportPath {
+		case "hotedge":
+			hotedge = tgt
+		case "hotedgedep":
+			dep = tgt
+		}
+	}
+
+	// The instantiated identity[uint64] call inside Generic: CalleeFunc
+	// returns the instantiation, Origin maps it to the annotated generic.
+	var checked bool
+	for _, f := range hotedge.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			if !ok || id.Name != "identity" {
+				return true
+			}
+			fn := analysis.CalleeFunc(hotedge.Info, call)
+			if fn == nil {
+				t.Fatal("generic call did not resolve")
+			}
+			if !idx.IsHot(fn) {
+				t.Error("instantiated generic callee not hot via Origin")
+			}
+			checked = true
+			return true
+		})
+	}
+	if !checked {
+		t.Fatal("no identity instantiation found in the fixture")
+	}
+
+	labels := closureLabels(hotedge, idx)
+	for _, want := range []string{"Generic", "identity"} {
+		if !labels[want] {
+			t.Errorf("%s missing from the hot closure: %v", want, labels)
+		}
+	}
+
+	// The dep package's own closure: the annotated method is hot, its
+	// cold sibling is not.
+	depLabels := closureLabels(dep, idx)
+	if !depLabels["Engine.Absorb"] || depLabels["Engine.Teardown"] {
+		t.Errorf("dep closure wrong: %v", depLabels)
+	}
+}

@@ -91,6 +91,26 @@ func NewTestdataLoader(srcRoot string) *Loader {
 // Fset returns the loader's shared file set.
 func (l *Loader) Fset() *token.FileSet { return l.fset }
 
+// ModRoot returns the module root directory for module loaders ("" for
+// testdata loaders). Drivers that shell out to the go tool (escapecheck)
+// run it here so the compiler's relative diagnostic paths correlate with
+// the loader's absolute ones.
+func (l *Loader) ModRoot() string { return l.modRoot }
+
+// Cached returns every module/overlay package this loader has loaded so
+// far — the named targets and the dependencies pulled in through the
+// importer — sorted by import path. Drivers use it to build module-wide
+// annotation indexes (the //trnglint:hotpath index) that must also cover
+// packages reached only as dependencies of the named patterns.
+func (l *Loader) Cached() []*Target {
+	out := make([]*Target, 0, len(l.cache))
+	for _, t := range l.cache {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ImportPath < out[j].ImportPath })
+	return out
+}
+
 func findModule(dir string) (root, modPath string, err error) {
 	abs, err := filepath.Abs(dir)
 	if err != nil {

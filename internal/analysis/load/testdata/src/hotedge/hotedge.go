@@ -1,0 +1,25 @@
+// Package hotedge exercises the two hard hotpath-resolution cases: a hot
+// method called through embedded-struct promotion, and a hot generic
+// function called through an instantiation.
+package hotedge
+
+import "hotedgedep"
+
+type Driver struct {
+	hotedgedep.Engine
+}
+
+//trnglint:hotpath
+func Ingest(d *Driver, w uint64) {
+	d.Absorb(w)
+}
+
+//trnglint:hotpath
+func identity[T any](v T) T { return v }
+
+//trnglint:hotpath
+func Generic(w uint64) uint64 {
+	return identity(w)
+}
+
+func cold(d *Driver) { d.Teardown() }

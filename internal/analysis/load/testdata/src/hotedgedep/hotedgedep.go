@@ -1,0 +1,10 @@
+// Package hotedgedep provides the embedded engine whose hot method is
+// reached through struct promotion from another package.
+package hotedgedep
+
+type Engine struct{ n uint64 }
+
+//trnglint:hotpath
+func (e *Engine) Absorb(w uint64) { e.n += w }
+
+func (e *Engine) Teardown() { e.n = 0 }

@@ -10,8 +10,11 @@ import (
 	"repro/internal/analysis/atomicmix"
 	"repro/internal/analysis/gorolife"
 	"repro/internal/analysis/guardedby"
+	"repro/internal/analysis/hotcall"
 	"repro/internal/analysis/load"
 	"repro/internal/analysis/lockorder"
+	"repro/internal/analysis/noalloc"
+	"repro/internal/analysis/nodefer"
 )
 
 // The concurrency mutation-kill suite: each analyzer must catch the seeded
@@ -364,4 +367,110 @@ func TestMutationFleetDetachTOCTOU(t *testing.T) {
 		msgs = append(msgs, d.Message)
 	}
 	assertKilled(t, msgs, "flushStaged requires pushMu held")
+}
+
+// ---- the perflint mutation kills ----
+
+func TestMutationHotPathAllocation(t *testing.T) {
+	const clean = `package mut
+
+//trnglint:hotpath
+func kernel(buf *[8]uint64, w uint64) {
+	buf[0] = w
+}
+`
+	assertClean(t, runAnalyzer(t, noalloc.Analyzer, "mut", clean))
+	mutant := mustReplace(t, clean, "\tbuf[0] = w\n",
+		"\ttmp := make([]uint64, 1)\n\ttmp[0] = w\n\tbuf[0] = tmp[0]\n")
+	assertKilled(t, runAnalyzer(t, noalloc.Analyzer, "mut", mutant),
+		"make allocates")
+}
+
+func TestMutationHotPathColdCall(t *testing.T) {
+	const clean = `package mut
+
+import (
+	"math/bits"
+	"os"
+)
+
+var home = os.Getenv("HOME")
+
+//trnglint:hotpath
+func kernel(w uint64) int {
+	return bits.OnesCount64(w)
+}
+`
+	assertClean(t, runAnalyzer(t, hotcall.Analyzer, "mut", clean))
+	mutant := mustReplace(t, clean, "\treturn bits.OnesCount64(w)\n",
+		"\t_ = os.Getenv(\"HOME\")\n\treturn bits.OnesCount64(w)\n")
+	assertKilled(t, runAnalyzer(t, hotcall.Analyzer, "mut", mutant),
+		"calls non-hot os.Getenv")
+}
+
+func TestMutationHotPathDefer(t *testing.T) {
+	const clean = `package mut
+
+import "sync"
+
+type S struct {
+	mu sync.Mutex
+	n  uint64
+}
+
+//trnglint:hotpath
+func (s *S) bump() {
+	s.mu.Lock()
+	s.n++
+	s.mu.Unlock()
+}
+`
+	assertClean(t, runAnalyzer(t, nodefer.Analyzer, "mut", clean))
+	mutant := mustReplace(t, clean, "\ts.mu.Lock()\n\ts.n++\n\ts.mu.Unlock()\n",
+		"\ts.mu.Lock()\n\tdefer s.mu.Unlock()\n\ts.n++\n")
+	assertKilled(t, runAnalyzer(t, nodefer.Analyzer, "mut", mutant),
+		"defer schedules work at function exit")
+}
+
+// TestMutationFleetStagingAllocation replays a perflint regression against
+// the real module: a heap allocation planted into the lock-free staging
+// fast path of Stream.Push — the exact code the FleetBitSliced 0 allocs/op
+// benchmark gate measures — must be re-flagged by noalloc in a scratch
+// copy of the repository.
+func TestMutationFleetStagingAllocation(t *testing.T) {
+	root := copyModule(t)
+	streamGo := filepath.Join(root, "internal", "fleet", "stream.go")
+	data, err := os.ReadFile(streamGo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutant := mustReplace(t, string(data),
+		"\t\ts.stg.words[idx][n] = w\n",
+		"\t\tstaged := make([]uint64, 1)\n\t\tstaged[0] = w\n\t\ts.stg.words[idx][n] = staged[0]\n")
+	if err := os.WriteFile(streamGo, []byte(mutant), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	l, err := load.NewModuleLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	targets, err := l.Load("repro/internal/fleet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tgt := targets[0]
+	if len(tgt.TypeErrors) > 0 {
+		t.Fatalf("mutated fleet does not type-check: %v", tgt.TypeErrors)
+	}
+	unit := &analysis.Unit{Fset: tgt.Fset, Files: tgt.Files, Pkg: tgt.Pkg, Info: tgt.Info}
+	diags, err := analysis.Run(unit, noalloc.Analyzer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var msgs []string
+	for _, d := range diags {
+		msgs = append(msgs, d.Message)
+	}
+	assertKilled(t, msgs, "hot path Stream.Push: make allocates")
 }

@@ -1,0 +1,213 @@
+// Package noalloc flags flow-reachable heap-allocating constructs inside
+// hot-path code. The platform's on-the-fly requirement — testing keeps up
+// with the generator at line rate — is pinned dynamically by the
+// 0 allocs/op benchmark gates (BenchmarkFleetSteadyState,
+// BenchmarkFleetBitSliced); noalloc proves the same discipline statically,
+// over every execution path of every function in the //trnglint:hotpath
+// closure, not just the paths a benchmark happens to drive.
+//
+// Flagged constructs: make and new; append (the growth path allocates);
+// slice, map and address-taken composite literals; interface boxing
+// (concrete arguments to interface parameters, interface conversions and
+// returns, panic arguments — the shape behind fmt and error wrapping);
+// string↔[]byte/[]rune conversions; non-empty variadic calls (the
+// argument slice); string concatenation; and function literals (the
+// closure cell). A deliberate allocation is waived in place with
+// //trnglint:alloc <reason>.
+package noalloc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer flags heap-allocating constructs in //trnglint:hotpath code.
+var Analyzer = &analysis.Analyzer{
+	Name: "noalloc",
+	Doc:  "hot-path code (//trnglint:hotpath closure) must not contain heap-allocating constructs",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for fn, decl := range pass.HotFuncs() {
+		checkBody(pass, fn, decl)
+	}
+	return nil, nil
+}
+
+func checkBody(pass *analysis.Pass, fn *types.Func, decl *ast.FuncDecl) {
+	label := analysis.FuncLabel(fn)
+	sig, _ := fn.Type().(*types.Signature)
+	analysis.WithStack(decl.Body, func(n ast.Node, stack []ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(), "hot path %s: function literal allocates a closure", label)
+			return false // its body runs on whatever schedule captures it
+		case *ast.CallExpr:
+			checkCall(pass, label, n)
+		case *ast.CompositeLit:
+			checkCompositeLit(pass, label, n, stack)
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isString(pass.TypeOf(n.X)) {
+				pass.Reportf(n.Pos(), "hot path %s: string concatenation allocates", label)
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && isString(pass.TypeOf(n.Lhs[0])) {
+				pass.Reportf(n.Pos(), "hot path %s: string concatenation allocates", label)
+			}
+		case *ast.ReturnStmt:
+			checkReturn(pass, label, sig, n)
+		}
+		return true
+	})
+}
+
+func checkCall(pass *analysis.Pass, label string, call *ast.CallExpr) {
+	// Conversions: only the string↔[]byte/[]rune pairs copy their operand
+	// to the heap; numeric and named-type conversions are free.
+	if tv, ok := pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+		if len(call.Args) == 1 {
+			if allocatingConversion(tv.Type, pass.TypeOf(call.Args[0])) {
+				pass.Reportf(call.Pos(), "hot path %s: string conversion allocates", label)
+			} else if boxes(tv.Type, pass.TypeOf(call.Args[0])) {
+				pass.Reportf(call.Pos(), "hot path %s: interface conversion boxes %s", label, pass.TypeOf(call.Args[0]))
+			}
+		}
+		return
+	}
+
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := pass.ObjectOf(id).(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				pass.Reportf(call.Pos(), "hot path %s: make allocates", label)
+			case "new":
+				pass.Reportf(call.Pos(), "hot path %s: new allocates", label)
+			case "append":
+				pass.Reportf(call.Pos(), "hot path %s: append may grow its backing array", label)
+			case "panic":
+				// panic's parameter is any; a concrete argument is boxed.
+				if len(call.Args) == 1 && boxes(types.NewInterfaceType(nil, nil), pass.TypeOf(call.Args[0])) {
+					pass.Reportf(call.Pos(), "hot path %s: interface conversion boxes the panic argument", label)
+				}
+			}
+			return
+		}
+	}
+
+	sig, _ := pass.TypeOf(call.Fun).(*types.Signature)
+	if sig == nil {
+		return
+	}
+	fixed := sig.Params().Len()
+	if sig.Variadic() {
+		fixed--
+		// A non-empty variadic slot without an explicit ...spread builds a
+		// fresh []T per call — the allocation behind fmt-style wrapping.
+		if call.Ellipsis == token.NoPos && len(call.Args) > fixed {
+			pass.Reportf(call.Pos(), "hot path %s: variadic call allocates its argument slice", label)
+		}
+	}
+	// Fixed interface parameters box concrete arguments. The variadic part
+	// is already covered by the slice report above (boxing is part of
+	// building the []any), so only the fixed slots are checked here.
+	for i, arg := range call.Args {
+		if i >= fixed {
+			break
+		}
+		if boxes(sig.Params().At(i).Type(), pass.TypeOf(arg)) {
+			pass.Reportf(arg.Pos(), "hot path %s: interface conversion boxes %s", label, pass.TypeOf(arg))
+		}
+	}
+}
+
+func checkCompositeLit(pass *analysis.Pass, label string, lit *ast.CompositeLit, stack []ast.Node) {
+	// A composite literal nested inside another literal is part of the
+	// enclosing allocation (or by-value layout); flag the outermost only.
+	if len(stack) >= 2 {
+		switch parent := stack[len(stack)-2].(type) {
+		case *ast.CompositeLit:
+			return
+		case *ast.UnaryExpr:
+			if parent.Op == token.AND {
+				pass.Reportf(parent.Pos(), "hot path %s: address of composite literal may escape to the heap", label)
+				return
+			}
+		}
+	}
+	switch pass.TypeOf(lit).Underlying().(type) {
+	case *types.Slice:
+		pass.Reportf(lit.Pos(), "hot path %s: slice literal allocates", label)
+	case *types.Map:
+		pass.Reportf(lit.Pos(), "hot path %s: map literal allocates", label)
+	}
+	// By-value struct and array literals stay on the stack (the fleet's
+	// item{...} values travel whole through the shard channels) — clean.
+}
+
+func checkReturn(pass *analysis.Pass, label string, sig *types.Signature, ret *ast.ReturnStmt) {
+	if sig == nil || len(ret.Results) != sig.Results().Len() {
+		return // naked return or multi-value forwarding: no conversion here
+	}
+	for i, res := range ret.Results {
+		if boxes(sig.Results().At(i).Type(), pass.TypeOf(res)) {
+			pass.Reportf(res.Pos(), "hot path %s: interface conversion boxes %s", label, pass.TypeOf(res))
+		}
+	}
+}
+
+// boxes reports whether assigning a value of type src to a destination of
+// type dst wraps it in a fresh interface allocation: dst is a concrete
+// interface, src a concrete non-interface type. Type parameters are
+// excluded on both sides — a generic T's interface underlying is a
+// constraint, not a box, and instantiation decides the real layout.
+func boxes(dst, src types.Type) bool {
+	if dst == nil || src == nil {
+		return false
+	}
+	if _, ok := dst.(*types.TypeParam); ok {
+		return false
+	}
+	if _, ok := src.(*types.TypeParam); ok {
+		return false
+	}
+	if !types.IsInterface(dst.Underlying()) {
+		return false
+	}
+	if types.IsInterface(src.Underlying()) {
+		return false // interface-to-interface carries the existing box
+	}
+	if b, ok := src.(*types.Basic); ok && b.Kind() == types.UntypedNil {
+		return false
+	}
+	return true
+}
+
+// allocatingConversion reports whether a conversion dst(src) copies its
+// operand: the string↔[]byte and string↔[]rune pairs.
+func allocatingConversion(dst, src types.Type) bool {
+	if src == nil {
+		return false
+	}
+	return (isString(dst) && isCharSlice(src)) || (isCharSlice(dst) && isString(src))
+}
+
+func isString(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isCharSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune)
+}

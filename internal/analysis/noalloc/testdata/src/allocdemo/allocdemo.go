@@ -1,0 +1,134 @@
+// Package allocdemo is the golden suite for the noalloc analyzer: every
+// heap-allocating construct it must flag inside the hotpath closure, the
+// by-value shapes it must stay silent on, and the waiver behaviour.
+package allocdemo
+
+import "fmt"
+
+type point struct{ x, y int }
+
+//trnglint:hotpath
+func builtins(buf []byte, n int) []byte {
+	s := make([]byte, n) // want `hot path builtins: make allocates`
+	_ = s
+	p := new(int) // want `hot path builtins: new allocates`
+	_ = p
+	buf = append(buf, 1) // want `hot path builtins: append may grow its backing array`
+	return buf
+}
+
+//trnglint:hotpath
+func literals() {
+	_ = []int{1, 2}       // want `hot path literals: slice literal allocates`
+	_ = map[int]int{1: 2} // want `hot path literals: map literal allocates`
+	v := point{1, 2}      // by-value struct literal: stack-resident, clean
+	_ = v
+	q := &point{3, 4} // want `hot path literals: address of composite literal may escape to the heap`
+	_ = q
+	var a [4]uint64 // by-value array: clean
+	_ = a
+}
+
+//trnglint:hotpath
+func conversions(s string, b []byte) {
+	_ = []byte(s)      // want `hot path conversions: string conversion allocates`
+	_ = string(b)      // want `hot path conversions: string conversion allocates`
+	_ = []rune(s)      // want `hot path conversions: string conversion allocates`
+	_ = uint64(len(s)) // numeric conversion: free, clean
+}
+
+//trnglint:hotpath
+func concat(a, b string) string {
+	c := a
+	c += b       // want `hot path concat: string concatenation allocates`
+	return a + b // want `hot path concat: string concatenation allocates`
+}
+
+func sink(v any)      { _ = v }
+func vsink(vs ...int) { _ = vs }
+func esink(err error) { _ = err }
+
+//trnglint:hotpath
+func boxing(n int, e error) {
+	sink(n)    // want `hot path boxing: interface conversion boxes int`
+	sink(e)    // interface-to-interface: carries the existing box, clean
+	esink(nil) // untyped nil: no box, clean
+	_ = any(n) // want `hot path boxing: interface conversion boxes int`
+}
+
+//trnglint:hotpath
+func variadic(vals []int) {
+	vsink(1, 2)    // want `hot path variadic: variadic call allocates its argument slice`
+	vsink()        // empty variadic slot: no slice built, clean
+	vsink(vals...) // explicit spread reuses the caller's slice, clean
+}
+
+//trnglint:hotpath
+func wrap(err error) error {
+	return fmt.Errorf("ingest: %w", err) // want `hot path wrap: variadic call allocates its argument slice`
+}
+
+//trnglint:hotpath
+func boom(code int) {
+	panic(code) // want `hot path boom: interface conversion boxes the panic argument`
+}
+
+//trnglint:hotpath
+func retBox(n int) any {
+	return n // want `hot path retBox: interface conversion boxes int`
+}
+
+//trnglint:hotpath
+func closure() func() {
+	f := func() {} // want `hot path closure: function literal allocates a closure`
+	return f
+}
+
+// helper is unannotated but called from a hot body, so the closure
+// absorbs it and its allocation is a finding.
+
+//trnglint:hotpath
+func caller() { helper() }
+
+func helper() {
+	_ = make([]int, 4) // want `hot path helper: make allocates`
+}
+
+// waivedCall's callee is deliberately cold: the //trnglint:alloc on the
+// call line stops the closure, so coldFinalize's allocations are clean.
+
+//trnglint:hotpath
+func waivedCall() {
+	coldFinalize() //trnglint:alloc sequence-boundary teardown, amortized over n bits
+}
+
+func coldFinalize() {
+	_ = make([]int, 64)
+	_ = fmt.Sprintf("report")
+}
+
+// waivedLine documents a deliberate allocation in place.
+
+//trnglint:hotpath
+func waivedLine() {
+	_ = make([]int, 8) //trnglint:alloc recycled scratch, capacity amortizes to zero
+}
+
+// generic hot functions: the instantiated call resolves through Origin,
+// so the generic body is in the closure.
+
+//trnglint:hotpath
+func genericCaller() {
+	_ = identity(3)
+}
+
+func identity[T any](v T) T {
+	_ = make([]T, 1) // want `hot path identity: make allocates`
+	return v         // type-parameter result: instantiation decides layout, clean
+}
+
+// coldFree is outside the closure entirely: never flagged.
+func coldFree() {
+	_ = make([]int, 2)
+	_ = fmt.Sprintf("%d", 1)
+}

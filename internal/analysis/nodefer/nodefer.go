@@ -1,0 +1,110 @@
+// Package nodefer keeps latency-unpredictable control constructs out of
+// //trnglint:hotpath code: defer (work scheduled at function exit, paid on
+// every return), recover (implies a deferred handler), map iteration
+// (randomized order, rehash-dependent cost), goroutine launches, and
+// channel operations (sends, receives, range-over-channel, close, select)
+// — each one a scheduling point where the ingest path can block or yield.
+// Where a hot function's contract deliberately includes a handoff — the
+// fleet producer's bounded-queue send is the backpressure policy itself —
+// the construct is waived in place with //trnglint:alloc <reason>, so
+// every concession is documented at the line that makes it.
+//
+// A select statement is reported once, at the select keyword, rather than
+// once per communication clause: the scheduling concession is the select
+// itself, and one waiver should document it.
+package nodefer
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer flags defer, recover, map iteration, goroutine launches and
+// channel operations in hot-path code.
+var Analyzer = &analysis.Analyzer{
+	Name: "nodefer",
+	Doc:  "hot-path code must not defer, recover, iterate maps, start goroutines, or touch channels",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for fn, decl := range pass.HotFuncs() {
+		checkBody(pass, analysis.FuncLabel(fn), decl)
+	}
+	return nil, nil
+}
+
+func checkBody(pass *analysis.Pass, label string, decl *ast.FuncDecl) {
+	// Communication clauses of a reported select are not re-reported.
+	inSelect := make(map[ast.Stmt]bool)
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // the literal itself is noalloc's finding
+		case *ast.DeferStmt:
+			pass.Reportf(n.Pos(), "hot path %s: defer schedules work at function exit", label)
+		case *ast.GoStmt:
+			pass.Reportf(n.Pos(), "hot path %s: go statement hands work to the scheduler", label)
+		case *ast.SelectStmt:
+			pass.Reportf(n.Pos(), "hot path %s: select is a scheduling point", label)
+			for _, clause := range n.Body.List {
+				if cc, ok := clause.(*ast.CommClause); ok && cc.Comm != nil {
+					inSelect[cc.Comm] = true
+				}
+			}
+		case *ast.SendStmt:
+			if !inSelect[n] {
+				pass.Reportf(n.Pos(), "hot path %s: channel send can block", label)
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && !receiveInSelect(inSelect, n) {
+				pass.Reportf(n.Pos(), "hot path %s: channel receive can block", label)
+			}
+		case *ast.RangeStmt:
+			t := pass.TypeOf(n.X)
+			if t == nil {
+				break
+			}
+			switch t.Underlying().(type) {
+			case *types.Map:
+				pass.Reportf(n.Pos(), "hot path %s: map iteration has randomized order and rehash-dependent cost", label)
+			case *types.Chan:
+				pass.Reportf(n.Pos(), "hot path %s: range over channel blocks per element", label)
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok {
+				if b, ok := pass.ObjectOf(id).(*types.Builtin); ok {
+					switch b.Name() {
+					case "recover":
+						pass.Reportf(n.Pos(), "hot path %s: recover implies a deferred handler", label)
+					case "close":
+						pass.Reportf(n.Pos(), "hot path %s: channel close is a lifecycle operation", label)
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// receiveInSelect reports whether the receive expression recv is the
+// communication operation of an already-reported select clause (either
+// bare `<-ch` or the right-hand side of `v := <-ch`).
+func receiveInSelect(inSelect map[ast.Stmt]bool, recv *ast.UnaryExpr) bool {
+	for stmt := range inSelect {
+		switch stmt := stmt.(type) {
+		case *ast.ExprStmt:
+			if ast.Unparen(stmt.X) == recv {
+				return true
+			}
+		case *ast.AssignStmt:
+			if len(stmt.Rhs) == 1 && ast.Unparen(stmt.Rhs[0]) == recv {
+				return true
+			}
+		}
+	}
+	return false
+}

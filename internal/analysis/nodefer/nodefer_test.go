@@ -1,0 +1,12 @@
+package nodefer_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/nodefer"
+)
+
+func TestNodefer(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), nodefer.Analyzer, "deferdemo")
+}

@@ -1,0 +1,75 @@
+// Package deferdemo is the golden suite for the nodefer analyzer: the
+// latency-unpredictable constructs it must flag in hotpath code, the
+// single-report select behaviour, and the waiver placement.
+package deferdemo
+
+type stats struct{ m map[int]int }
+
+//trnglint:hotpath
+func constructs(ch chan uint64, st stats) {
+	defer cleanup()     // want `hot path constructs: defer schedules work at function exit`
+	ch <- 1             // want `hot path constructs: channel send can block`
+	<-ch                // want `hot path constructs: channel receive can block`
+	for w := range ch { // want `hot path constructs: range over channel blocks per element`
+		_ = w
+	}
+	for k := range st.m { // want `hot path constructs: map iteration has randomized order and rehash-dependent cost`
+		_ = k
+	}
+	close(ch)             // want `hot path constructs: channel close is a lifecycle operation`
+	if recover() != nil { // want `hot path constructs: recover implies a deferred handler`
+		return
+	}
+	go cleanup() // want `hot path constructs: go statement hands work to the scheduler`
+}
+
+// A select is one finding at the keyword; its communication clauses are
+// not re-reported, so one waiverable line documents the whole concession.
+
+//trnglint:hotpath
+func selector(ch chan uint64) {
+	select { // want `hot path selector: select is a scheduling point`
+	case ch <- 2:
+	case v := <-ch:
+		_ = v
+	default:
+	}
+}
+
+// Receives in clause bodies (not the comm op itself) are still findings.
+
+//trnglint:hotpath
+func selectBody(ch chan uint64) {
+	select { // want `hot path selectBody: select is a scheduling point`
+	case ch <- 2:
+		<-ch // want `hot path selectBody: channel receive can block`
+	}
+}
+
+// waived documents the deliberate handoff in place: clean.
+
+//trnglint:hotpath
+func waived(ch chan uint64) {
+	ch <- 3  //trnglint:alloc bounded-queue handoff is the backpressure policy
+	select { //trnglint:alloc shed policy decides between enqueue and drop
+	case ch <- 4:
+	default:
+	}
+}
+
+// absorbed is in the closure through the hot caller.
+
+//trnglint:hotpath
+func caller(ch chan uint64) { absorbed(ch) }
+
+func absorbed(ch chan uint64) {
+	ch <- 5 // want `hot path absorbed: channel send can block`
+}
+
+// cold is outside the closure: nothing is flagged.
+func cold(ch chan uint64) {
+	defer cleanup()
+	ch <- 6
+}
+
+func cleanup() {}

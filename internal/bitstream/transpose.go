@@ -12,6 +12,8 @@ package bitstream
 // six stages, each exchanging off-diagonal sub-blocks of half the previous
 // size with shift/mask/XOR — 64 words are transposed in ~6·64 word
 // operations, no tables, no allocation.
+//
+//trnglint:hotpath
 func Transpose64(m *[64]uint64) {
 	// Stage k swaps the two off-diagonal j×j sub-blocks of every 2j×2j
 	// block, j = 32, 16, 8, 4, 2, 1.

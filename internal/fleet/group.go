@@ -175,7 +175,7 @@ func (sh *shard) fifoPut(s *Stream, w uint64, nb uint8) {
 		g := s.grp
 		straggler := g.minLane()
 		if straggler != s {
-			g.evict(sh, straggler, false, sh.pool.fobs.slicedEvictOverflow)
+			g.evict(sh, straggler, false, sh.pool.fobs.slicedEvictOverflow) //trnglint:alloc overflow relief: eviction is the degraded path
 			g.tryAdvance(sh, true)
 			continue
 		}
@@ -184,7 +184,7 @@ func (sh *shard) fifoPut(s *Stream, w uint64, nb uint8) {
 		// forced advance always makes room.
 		g.tryAdvance(sh, true)
 		if s.fifo.n == fifoBatches {
-			g.evict(sh, s, false, sh.pool.fobs.slicedEvictOverflow)
+			g.evict(sh, s, false, sh.pool.fobs.slicedEvictOverflow) //trnglint:alloc overflow relief: eviction is the degraded path
 		}
 	}
 	if s.grp == nil {
@@ -246,7 +246,7 @@ func (g *laneGroup) step(sh *shard) {
 	eng := g.eng
 	off, n := eng.Off(), eng.N()
 	if off == n-64 {
-		g.finalTile(sh)
+		g.finalTile(sh) //trnglint:alloc sequence-boundary hand-back, amortized over Design.N bits
 		return
 	}
 	k := (n - 64 - off) / 64
@@ -294,7 +294,7 @@ func (g *laneGroup) step(sh *shard) {
 	}
 	fo.batchesAccepted.Add(uint64(acc))
 	if err := eng.AbsorbTiles(g.lwK[:k]); err != nil {
-		panic("fleet: lane group out of step: " + err.Error())
+		panic("fleet: lane group out of step: " + err.Error()) //trnglint:alloc impossible-state panic on the failure path
 	}
 	// With no residual engines the monitors have nothing to clock
 	// mid-sequence: the boundary hand-back fast-forwards them. Feeding

@@ -49,12 +49,14 @@ type shard struct {
 // loop drains the queue until an itemStop arrives (Pool.Shutdown enqueues
 // one per shard after detaching every stream, so the stop is the last item
 // the shard ever sees).
+//
+//trnglint:hotpath
 func (sh *shard) loop() {
-	defer close(sh.done)
+	defer close(sh.done) //trnglint:alloc worker lifecycle: runs once at shutdown
 	fo := &sh.pool.fobs
 	depth := fo.queueDepth[sh.id]
 	high := fo.queueHighWater[sh.id]
-	for it := range sh.queue {
+	for it := range sh.queue { //trnglint:alloc blocking dequeue is the worker's idle state
 		if d := len(sh.queue) + 1; d > sh.highWater {
 			sh.highWater = d
 			high.Set(float64(d))
@@ -86,14 +88,14 @@ func (sh *shard) loop() {
 			// push order. Transient faults touch no sequence state and
 			// need no eviction.
 			if it.s.grp != nil && !errors.Is(it.err, trng.ErrTransient) {
-				it.s.grp.evict(sh, it.s, false, fo.slicedEvictFault)
+				it.s.grp.evict(sh, it.s, false, fo.slicedEvictFault) //trnglint:alloc incident path: hard-fault eviction
 			}
-			it.s.applyFault(it.err)
+			it.s.applyFault(it.err) //trnglint:alloc incident path: fault handling is off the data plane
 		case itemDetach:
 			if it.s.grp != nil {
-				it.s.grp.evict(sh, it.s, false, fo.slicedEvictDetach)
+				it.s.grp.evict(sh, it.s, false, fo.slicedEvictDetach) //trnglint:alloc teardown: detach eviction runs once per stream
 			}
-			it.s.finalize()
+			it.s.finalize() //trnglint:alloc teardown: finalize runs once per stream
 		}
 		depth.Set(float64(len(sh.queue)))
 	}
@@ -110,14 +112,14 @@ func (sh *shard) handleBatch(it item) {
 	s := it.s
 	buf, cnt := int(it.w>>16), int(it.w&0xffff)
 	ws, ls := &s.stg.words[buf], &s.stg.lens[buf]
-	if s.grp == nil && !s.breakerOpen && !s.latched && s.mon.SequenceBits() == 0 {
-		sh.adopt(s)
+	if s.grp == nil && !s.breakerOpen && !s.latched && s.mon.SequenceBits() == 0 { //trnglint:alloc core.Monitor boundary, measured by its own benchmarks
+		sh.adopt(s) //trnglint:alloc per-sequence lane adoption, amortized over Design.N bits
 	}
 	if s.grp == nil {
 		for i := 0; i < cnt; i++ {
 			s.ingestWord(ws[i], int(ls[i]))
 		}
-		s.credits <- struct{}{}
+		s.credits <- struct{}{} //trnglint:alloc credit return is the flow-control handoff
 		return
 	}
 	pre := s.fifo.bits
@@ -130,7 +132,7 @@ func (sh *shard) handleBatch(it item) {
 			sh.fifoPut(s, ws[i], ls[i])
 		}
 	}
-	s.credits <- struct{}{}
+	s.credits <- struct{}{} //trnglint:alloc credit return is the flow-control handoff
 	if g := s.grp; g != nil {
 		g.tryAdvance(sh, false)
 	}

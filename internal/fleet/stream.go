@@ -140,9 +140,11 @@ func (s *Stream) Tenant() string { return s.tenant }
 // backpressure, ShedNewest returns ErrShed, DegradeSample returns
 // ErrSampledOut for all but one in SampleEvery congested offers. The call
 // is allocation-free on every path but the argument-error one.
+//
+//trnglint:hotpath
 func (s *Stream) Push(w uint64, nbits int) error {
 	if nbits < 1 || nbits > 64 {
-		return fmt.Errorf("fleet: word size %d out of range [1,64]", nbits)
+		return fmt.Errorf("fleet: word size %d out of range [1,64]", nbits) //trnglint:alloc argument-validation error path, never taken at line rate
 	}
 	if s.credits != nil {
 		// Bit-sliced pool: stage the batch lock-free; a full stage flushes
@@ -165,7 +167,7 @@ func (s *Stream) Push(w uint64, nbits int) error {
 		s.stg.words[idx][n] = w
 		s.stg.lens[idx][n] = uint8(nbits)
 		if s.stamp {
-			s.lastPush.Store(s.pool.cfg.Clock())
+			s.lastPush.Store(s.pool.cfg.Clock()) //trnglint:alloc injected clock, one indirect call per stamped push
 		}
 		s.stCnt.Store(v + 1)
 		if n+1 < stageBatches {
@@ -183,23 +185,34 @@ func (s *Stream) Push(w uint64, nbits int) error {
 			}
 			return ErrDetached
 		}
-		err := s.flushStaged(false)
+		err := s.flushStaged(false) //trnglint:alloc amortized handoff: one flush per staged buffer, blocking is the backpressure policy
 		s.pushMu.Unlock()
 		return err
 	}
 	s.pushMu.Lock()
-	defer s.pushMu.Unlock()
+	err := s.pushSerial(w, nbits)
+	s.pushMu.Unlock()
+	return err
+}
+
+// pushSerial is Push's serial branch: one queue item per word, shed or
+// sampled per the congestion policy. It is a separate function so the
+// hot path schedules no defer — the caller brackets it with an explicit
+// Lock/Unlock pair.
+//
+//trnglint:holds pushMu
+func (s *Stream) pushSerial(w uint64, nbits int) error {
 	if s.detached.Load() {
 		return ErrDetached
 	}
 	if s.stamp {
-		s.lastPush.Store(s.pool.cfg.Clock())
+		s.lastPush.Store(s.pool.cfg.Clock()) //trnglint:alloc injected clock, one indirect call per stamped push
 	}
 	s.offered.Add(1)
 	it := item{s: s, w: w, nbits: uint8(nbits), kind: itemWord}
 	switch s.pool.cfg.Policy {
 	case ShedNewest:
-		select {
+		select { //trnglint:alloc shed policy decides between enqueue and drop
 		case s.sh.queue <- it:
 		default:
 			s.shedCount.Add(1)
@@ -208,7 +221,7 @@ func (s *Stream) Push(w uint64, nbits int) error {
 			return ErrShed
 		}
 	case DegradeSample:
-		select {
+		select { //trnglint:alloc shed policy decides between enqueue and drop
 		case s.sh.queue <- it:
 		default:
 			c := s.congested.Add(1)
@@ -219,10 +232,10 @@ func (s *Stream) Push(w uint64, nbits int) error {
 				return ErrSampledOut
 			}
 			// The sampled batch takes backpressure for its slot.
-			s.sh.queue <- it
+			s.sh.queue <- it //trnglint:alloc sampled batch takes backpressure for its queue slot
 		}
 	default: // Block
-		s.sh.queue <- it
+		s.sh.queue <- it //trnglint:alloc Block policy: bounded-queue handoff is the backpressure contract
 	}
 	return nil
 }
@@ -238,6 +251,8 @@ func (s *Stream) Push(w uint64, nbits int) error {
 // run whose publish is ordered before Detach's flush capture is provably
 // drained. Returns the first error; an error means that word and every
 // word after it were not delivered (earlier words in the run were).
+//
+//trnglint:hotpath
 func (s *Stream) PushWords(ws []uint64) error {
 	if s.credits == nil {
 		for _, w := range ws {
@@ -263,7 +278,7 @@ func (s *Stream) PushWords(ws []uint64) error {
 			lens[i] = 64
 		}
 		if s.stamp {
-			s.lastPush.Store(s.pool.cfg.Clock())
+			s.lastPush.Store(s.pool.cfg.Clock()) //trnglint:alloc injected clock, one indirect call per stamped push
 		}
 		s.stCnt.Store(v + uint32(k))
 		if n+k < stageBatches {
@@ -284,7 +299,7 @@ func (s *Stream) PushWords(ws []uint64) error {
 			}
 			return ErrDetached
 		}
-		err := s.flushStaged(false)
+		err := s.flushStaged(false) //trnglint:alloc amortized handoff: one flush per staged buffer, blocking is the backpressure policy
 		s.pushMu.Unlock()
 		if err != nil {
 			return err
@@ -461,7 +476,7 @@ func (s *Stream) ingestWord(w uint64, nbits int) {
 func (s *Stream) feedMonitor(w uint64, nbits int) (stopped bool) {
 	fo := &s.pool.fobs
 	for nbits > 0 {
-		take := s.pool.cfg.Design.N - s.mon.SequenceBits()
+		take := s.pool.cfg.Design.N - s.mon.SequenceBits() //trnglint:alloc core.Monitor boundary, measured by its own benchmarks
 		if take > nbits {
 			take = nbits
 		}
@@ -475,9 +490,9 @@ func (s *Stream) feedMonitor(w uint64, nbits int) (stopped bool) {
 		var rep *core.SequenceReport
 		var err error
 		if s.pool.cfg.VerifyReadout {
-			rep, err = s.mon.FeedWordVerified(w, take)
+			rep, err = s.mon.FeedWordVerified(w, take) //trnglint:alloc core.Monitor feed is the measured ingest boundary
 		} else {
-			rep, err = s.mon.FeedWord(w, take)
+			rep, err = s.mon.FeedWord(w, take) //trnglint:alloc core.Monitor feed is the measured ingest boundary
 		}
 		// The chunk never straddles a boundary, so on any error the whole
 		// chunk was still clocked into the hardware; advance past it.
@@ -488,22 +503,22 @@ func (s *Stream) feedMonitor(w uint64, nbits int) (stopped bool) {
 				// Counter transmission was corrupted: discard the sequence,
 				// never trust the verdict. The remaining bits of the batch
 				// open the next sequence.
-				s.quarantine("register readout mismatch")
-				s.maybeTrip()
+				s.quarantine("register readout mismatch") //trnglint:alloc incident path: readout mismatch
+				s.maybeTrip()                             //trnglint:alloc incident path: readout mismatch
 				continue
 			}
 			// Internal evaluation error — not a data defect. Quarantine
 			// whatever is in flight and take the stream out of service.
-			s.quarantine("internal evaluation error")
+			s.quarantine("internal evaluation error") //trnglint:alloc incident path: evaluation error
 			if !s.breakerOpen {
 				s.breakerOpen = true
 				fo.breakerTrips.Inc()
-				s.event(core.EventQuarantine, "breaker open: evaluation error: "+err.Error())
+				s.event(core.EventQuarantine, "breaker open: evaluation error: "+err.Error()) //trnglint:alloc incident path: breaker trips at most once per stream
 			}
 			return true
 		}
 		if rep != nil {
-			s.acceptReport(rep)
+			s.acceptReport(rep) //trnglint:alloc sequence-boundary verdict fold, amortized over Design.N bits
 			if s.latched {
 				return true
 			}

@@ -45,15 +45,17 @@ func lowMask(n int) uint64 {
 // sequence word feeds straight through. Feeding more bits than remain in
 // the sequence is an error, mirroring the hardware's one-sequence-per-reset
 // contract.
+//
+//trnglint:hotpath
 func (st *State) ClockWord(w uint64, nbits int) error {
 	if st.done {
-		return fmt.Errorf("hwfast: sequence complete; Reset before feeding more bits")
+		return fmt.Errorf("hwfast: sequence complete; Reset before feeding more bits") //trnglint:alloc argument-validation error path, never taken at line rate
 	}
 	if nbits < 1 || nbits > 64 {
-		return fmt.Errorf("hwfast: word size %d out of range [1,64]", nbits)
+		return fmt.Errorf("hwfast: word size %d out of range [1,64]", nbits) //trnglint:alloc argument-validation error path, never taken at line rate
 	}
 	if rem := st.n - st.bits; nbits > rem {
-		return fmt.Errorf("hwfast: %d bits exceed the %d remaining in the sequence", nbits, rem)
+		return fmt.Errorf("hwfast: %d bits exceed the %d remaining in the sequence", nbits, rem) //trnglint:alloc argument-validation error path, never taken at line rate
 	}
 	v := w & lowMask(nbits)
 

@@ -550,7 +550,7 @@ func (f *fastGroup) extractLane(lane, off int, ws *hwfast.WordStats) {
 			if b < f.bfCur {
 				v = uint64(f.bfBank[b*64+lane])
 			}
-			ws.BFBank = append(ws.BFBank, v)
+			ws.BFBank = append(ws.BFBank, v) //trnglint:alloc recycled WordStats backing reaches steady-state capacity after the first extraction
 		}
 	}
 
@@ -560,7 +560,7 @@ func (f *fastGroup) extractLane(lane, off int, ws *hwfast.WordStats) {
 		ws.LRBlkMax = int(f.lrMax[lane])
 		ws.LRRun = int(f.lrRun[lane])
 		for c := 0; c <= f.lrHi-f.lrLo; c++ {
-			ws.LRClasses = append(ws.LRClasses, uint64(f.lrCls[lane<<3|c]))
+			ws.LRClasses = append(ws.LRClasses, uint64(f.lrCls[lane<<3|c])) //trnglint:alloc recycled WordStats backing reaches steady-state capacity after the first extraction
 		}
 	}
 }

@@ -161,9 +161,13 @@ func New(n int, tests []int, p nist.Params) (*Group, error) {
 }
 
 // N returns the design's sequence length in bits.
+//
+//trnglint:hotpath
 func (g *Group) N() int { return g.n }
 
 // Off returns the bit offset into the current sequence (a tile multiple).
+//
+//trnglint:hotpath
 func (g *Group) Off() int { return g.off }
 
 // Active returns the mask of attached lanes.
@@ -200,9 +204,11 @@ func (g *Group) Detach(lane int) {
 // lanes[l] carries lane l's next 64 chronological bits, LSB first — the
 // words exactly as each stream produced them. The engine transposes
 // internally; inactive lanes' bits are ignored.
+//
+//trnglint:hotpath
 func (g *Group) AbsorbTile(lanes *[64]uint64) error {
 	if g.off+64 > g.n {
-		return fmt.Errorf("hwslice: tile overruns sequence (%d of %d bits)", g.off, g.n)
+		return fmt.Errorf("hwslice: tile overruns sequence (%d of %d bits)", g.off, g.n) //trnglint:alloc argument-validation error path, never taken at line rate
 	}
 	if g.f != nil {
 		g.one[0] = *lanes
@@ -286,9 +292,11 @@ func (g *Group) AbsorbTile(lanes *[64]uint64) error {
 // across the whole burst instead of reloading them once per tile. Callers
 // that buffer more than one tile per lane (the fleet's lane groups) get
 // most of the engine's throughput headroom from this entry point.
+//
+//trnglint:hotpath
 func (g *Group) AbsorbTiles(tiles [][64]uint64) error {
 	if g.off+64*len(tiles) > g.n {
-		return fmt.Errorf("hwslice: burst of %d tiles overruns sequence (%d of %d bits)", len(tiles), g.off, g.n)
+		return fmt.Errorf("hwslice: burst of %d tiles overruns sequence (%d of %d bits)", len(tiles), g.off, g.n) //trnglint:alloc argument-validation error path, never taken at line rate
 	}
 	if g.f != nil {
 		g.f.absorbBurst(tiles, g.off)
@@ -307,6 +315,8 @@ func (g *Group) AbsorbTiles(tiles [][64]uint64) error {
 // current offset, in exactly the form hwfast.ExportWordStats would produce
 // after internal ingest of the same bits — ready for
 // hwfast.LoadWordStats. Bank slices are resized in place.
+//
+//trnglint:hotpath
 func (g *Group) ExtractLane(lane int, ws *hwfast.WordStats) {
 	if g.f != nil {
 		g.f.extractLane(lane, g.off, ws)
@@ -339,7 +349,7 @@ func (g *Group) ExtractLane(lane int, ws *hwfast.WordStats) {
 					v |= g.bfBank[base+p] >> uint(lane) & 1 << uint(p)
 				}
 			}
-			ws.BFBank = append(ws.BFBank, v)
+			ws.BFBank = append(ws.BFBank, v) //trnglint:alloc recycled WordStats backing reaches steady-state capacity after the first extraction
 		}
 	}
 
@@ -350,7 +360,7 @@ func (g *Group) ExtractLane(lane int, ws *hwfast.WordStats) {
 		ws.LRBlkMax = m
 		ws.LRRun = m - int(g.lrDiff.get(lane))
 		for c := 0; c <= g.lrHi-g.lrLo; c++ {
-			ws.LRClasses = append(ws.LRClasses, 0)
+			ws.LRClasses = append(ws.LRClasses, 0) //trnglint:alloc recycled WordStats backing reaches steady-state capacity after the first extraction
 		}
 		for b := 0; b < g.lrCur; b++ {
 			base := b * g.lrPlanes
@@ -376,6 +386,8 @@ func (g *Group) ExtractLane(lane int, ws *hwfast.WordStats) {
 // cleared (including any stale bits left by mid-sequence detaches) and the
 // offset returns to zero. Attached lanes stay attached. Call it after the
 // final tile of a sequence has been absorbed and every lane extracted.
+//
+//trnglint:hotpath
 func (g *Group) Rollover() {
 	g.off = 0
 	if g.f != nil {

@@ -14,9 +14,13 @@ type Counter struct {
 }
 
 // Inc adds one.
+//
+//trnglint:hotpath
 func (c *Counter) Inc() { c.Add(1) }
 
 // Add adds n to the counter.
+//
+//trnglint:hotpath
 func (c *Counter) Add(n uint64) {
 	if c == nil {
 		return
@@ -39,6 +43,8 @@ type Gauge struct {
 }
 
 // Set replaces the gauge value.
+//
+//trnglint:hotpath
 func (g *Gauge) Set(v float64) {
 	if g == nil {
 		return
@@ -47,6 +53,8 @@ func (g *Gauge) Set(v float64) {
 }
 
 // Add adjusts the gauge by delta (negative deltas decrease it).
+//
+//trnglint:hotpath
 func (g *Gauge) Add(delta float64) {
 	if g == nil {
 		return

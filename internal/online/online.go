@@ -343,9 +343,11 @@ func (t *Tracker) Reset() {
 // Push ingests nbits bits (1..64). Bit i of w is the i-th bit
 // chronologically — the packing order of bitstream.Sequence and of
 // hwfast.ClockWord, so monitor feed words pass straight through.
+//
+//trnglint:hotpath
 func (t *Tracker) Push(w uint64, nbits int) {
 	if nbits < 1 || nbits > 64 {
-		panic(fmt.Sprintf("online: word size %d out of range [1,64]", nbits))
+		panic(fmt.Sprintf("online: word size %d out of range [1,64]", nbits)) //trnglint:alloc argument-validation panic, never taken at line rate
 	}
 	v := w & lowMask(nbits)
 	// Segments are chunk-aligned so the block engines are never ahead of
